@@ -1,0 +1,16 @@
+package main
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestParseInts(t *testing.T) {
+	if got := parseInts(""); got != nil {
+		t.Fatalf("empty = %v", got)
+	}
+	got := parseInts("1, 20,300")
+	if !reflect.DeepEqual(got, []int{1, 20, 300}) {
+		t.Fatalf("got %v", got)
+	}
+}

@@ -1,0 +1,136 @@
+// Command icrowd-server stands up the Appendix-A web server: the
+// ExternalQuestion endpoint AMT HITs would call for targeted task
+// assignment. It serves /assign, /submit, /status and /results over any
+// assignment strategy.
+//
+// Usage:
+//
+//	icrowd-server -addr :8080 -dataset ItemCompare -strategy icrowd
+//
+// Then drive it with the platform client (see examples/platform) or plain
+// HTTP:
+//
+//	curl 'http://localhost:8080/assign?workerId=alice'
+//	curl -X POST http://localhost:8080/submit \
+//	     -d '{"workerId":"alice","taskId":17,"answer":"YES"}'
+//	curl http://localhost:8080/status
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+
+	"icrowd/internal/baseline"
+	"icrowd/internal/core"
+	"icrowd/internal/experiments"
+	"icrowd/internal/platform"
+	"icrowd/internal/ppr"
+	"icrowd/internal/qualify"
+	"icrowd/internal/simgraph"
+	"icrowd/internal/store"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", ":8080", "listen address")
+		dataset   = flag.String("dataset", "ItemCompare", "dataset (YahooQA, ItemCompare)")
+		strategy  = flag.String("strategy", "icrowd", "strategy: icrowd, qfonly, besteffort, randommv, randomem, avgaccpv")
+		k         = flag.Int("k", 3, "assignment size per microtask")
+		q         = flag.Int("q", 10, "qualification microtasks")
+		seed      = flag.Int64("seed", 1, "random seed")
+		measure   = flag.String("measure", "Jaccard", "similarity measure")
+		threshold = flag.Float64("threshold", 0.25, "similarity threshold")
+		logPath   = flag.String("log", "", "event-log file; replayed on startup for crash recovery")
+		basisPath = flag.String("basis", "", "basis cache file: loaded if present, else computed and saved (skips the offline PPR phase on restart)")
+	)
+	flag.Parse()
+
+	ds, _, err := experiments.LoadDataset(*dataset, *seed, 0)
+	if err != nil {
+		fail(err)
+	}
+	var basis *ppr.Basis
+	if *basisPath != "" {
+		if cached, err := ppr.LoadFile(*basisPath); err == nil {
+			if cached.N() == ds.Len() {
+				basis = cached
+				log.Printf("icrowd-server: loaded basis cache from %s", *basisPath)
+			} else {
+				log.Printf("icrowd-server: basis cache covers %d tasks, dataset has %d; recomputing", cached.N(), ds.Len())
+			}
+		}
+	}
+	if basis == nil {
+		basis, err = core.BuildBasis(ds, simgraph.MeasureKind(*measure), *threshold, 0, 1.0, *seed)
+		if err != nil {
+			fail(err)
+		}
+		if *basisPath != "" {
+			if err := basis.SaveFile(*basisPath); err != nil {
+				fail(err)
+			}
+			log.Printf("icrowd-server: saved basis cache to %s", *basisPath)
+		}
+	}
+
+	var st core.Strategy
+	modes := map[string]core.Mode{
+		"icrowd": core.ModeAdapt, "qfonly": core.ModeQFOnly, "besteffort": core.ModeBestEffort,
+	}
+	if mode, ok := modes[*strategy]; ok {
+		cfg := core.DefaultConfig()
+		cfg.K = *k
+		cfg.Q = *q
+		cfg.Mode = mode
+		cfg.Seed = *seed
+		st, err = core.New(ds, basis, cfg)
+	} else {
+		var qual []int
+		qual, err = qualify.Select(qualify.InfQF, basis, *q, *seed)
+		if err != nil {
+			fail(err)
+		}
+		switch *strategy {
+		case "randommv":
+			st, err = baseline.NewRandomMV(ds, *k, qual, *seed)
+		case "randomem":
+			st, err = baseline.NewRandomEM(ds, *k, qual, *seed)
+		case "avgaccpv":
+			st, err = baseline.NewAvgAccPV(ds, *k, qual, 0, *seed)
+		default:
+			err = fmt.Errorf("unknown strategy %q", *strategy)
+		}
+	}
+	if err != nil {
+		fail(err)
+	}
+
+	srv := platform.NewServer(st, ds)
+	if *logPath != "" {
+		if events, err := store.ReadFile(*logPath); err == nil && len(events) > 0 {
+			if err := store.Replay(events, st); err != nil {
+				fail(fmt.Errorf("recovering from %s: %w", *logPath, err))
+			}
+			log.Printf("icrowd-server: recovered %d events from %s", len(events), *logPath)
+		}
+		l, err := store.Open(*logPath)
+		if err != nil {
+			fail(err)
+		}
+		defer l.Close()
+		srv.SetLog(l)
+	}
+	log.Printf("icrowd-server: %s over %s (%d tasks) listening on %s",
+		st.Name(), ds.Name, ds.Len(), *addr)
+	if err := http.ListenAndServe(*addr, srv.Handler()); err != nil {
+		fail(err)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "icrowd-server:", err)
+	os.Exit(1)
+}

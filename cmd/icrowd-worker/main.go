@@ -1,0 +1,112 @@
+// Command icrowd-worker is a terminal crowd-worker client: it polls an
+// icrowd-server for microtask assignments, shows each question, reads a
+// YES/NO answer from stdin, and submits it — the human-in-the-loop analogue
+// of the simulated worker agents, useful for demos and for manually
+// exercising a live server.
+//
+// Usage:
+//
+//	icrowd-server -addr :8080 -dataset ProductMatching &
+//	icrowd-worker -server http://localhost:8080 -worker alice
+//
+// Answer prompts accept y/yes/n/no (case-insensitive), s to skip (marks
+// the worker inactive, releasing the assignment) and q to quit.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"strings"
+
+	"icrowd/internal/platform"
+	"icrowd/internal/task"
+)
+
+func main() {
+	var (
+		server = flag.String("server", "http://localhost:8080", "icrowd-server base URL")
+		worker = flag.String("worker", "", "worker ID (required)")
+	)
+	flag.Parse()
+	if *worker == "" {
+		fmt.Fprintln(os.Stderr, "icrowd-worker: -worker is required")
+		os.Exit(2)
+	}
+	client := &platform.Client{BaseURL: *server}
+	in := bufio.NewScanner(os.Stdin)
+	answered := 0
+	for {
+		res, err := client.Assign(*worker)
+		if err != nil {
+			fail(err)
+		}
+		if res.Done {
+			fmt.Printf("\nAll microtasks are complete. You answered %d. Thanks!\n", answered)
+			return
+		}
+		if !res.Assigned {
+			fmt.Println("\nNo microtasks available for you right now. Bye!")
+			return
+		}
+		fmt.Printf("\nTask #%d", res.TaskID)
+		if res.HITRemaining > 0 {
+			fmt.Printf(" (%d more in this HIT)", res.HITRemaining)
+		}
+		fmt.Printf("\n  %s\n", res.Text)
+		ans, quit := readAnswer(in)
+		if quit {
+			markInactive(client, *server, *worker)
+			fmt.Printf("\nYou answered %d microtasks. Bye!\n", answered)
+			return
+		}
+		if ans == task.None {
+			markInactive(client, *server, *worker)
+			fmt.Println("  (skipped — assignment released)")
+			continue
+		}
+		if err := client.Submit(*worker, res.TaskID, ans); err != nil {
+			fail(err)
+		}
+		answered++
+		fmt.Printf("  recorded %s\n", ans)
+	}
+}
+
+// readAnswer parses one line of user input. quit is true on q/EOF; an
+// answer of task.None means "skip".
+func readAnswer(in *bufio.Scanner) (ans task.Answer, quit bool) {
+	for {
+		fmt.Print("  your answer [y/n, s=skip, q=quit]: ")
+		if !in.Scan() {
+			return task.None, true
+		}
+		switch strings.ToLower(strings.TrimSpace(in.Text())) {
+		case "y", "yes":
+			return task.Yes, false
+		case "n", "no":
+			return task.No, false
+		case "s", "skip":
+			return task.None, false
+		case "q", "quit":
+			return task.None, true
+		default:
+			fmt.Println("  please answer y, n, s or q")
+		}
+	}
+}
+
+func markInactive(c *platform.Client, server, worker string) {
+	resp, err := http.Post(server+"/inactive?workerId="+worker, "", nil)
+	if err == nil {
+		resp.Body.Close()
+	}
+	_ = c
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "icrowd-worker:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,17 @@
+// Package icrowd is a from-scratch Go reproduction of "iCrowd: An Adaptive
+// Crowdsourcing Framework" (Fan, Li, Ooi, Tan, Feng — SIGMOD 2015).
+//
+// The implementation lives under internal/: the graph-based worker-accuracy
+// estimation of Section 3 (internal/simgraph, internal/ppr,
+// internal/estimate), the adaptive assignment of Section 4
+// (internal/assign), the qualification machinery of Section 5
+// (internal/qualify), the framework and its baselines (internal/core,
+// internal/baseline), the AMT-style deployment of Appendix A
+// (internal/platform), and the simulated crowd plus experiment harness that
+// regenerate every table and figure of the evaluation (internal/sim,
+// internal/experiments).
+//
+// See README.md for a guided tour, DESIGN.md for the system inventory, and
+// EXPERIMENTS.md for paper-versus-measured results. The benchmarks in
+// bench_test.go regenerate each experiment under `go test -bench`.
+package icrowd

@@ -1,0 +1,80 @@
+// Platform demonstrates the Appendix-A deployment end to end, entirely in
+// one process: the iCrowd web server listens on a local port (this is what
+// AMT's ExternalQuestion HITs would call), and a pool of simulated worker
+// agents concurrently request microtasks, answer them according to their
+// latent domain accuracies, and submit — until every microtask reaches
+// consensus.
+package main
+
+import (
+	"fmt"
+	"log"
+	"net/http"
+	"net/http/httptest"
+
+	"icrowd/internal/core"
+	"icrowd/internal/experiments"
+	"icrowd/internal/platform"
+)
+
+func main() {
+	const seed = 5
+	ds, pool, err := experiments.LoadDataset(experiments.DatasetItemCompare, seed, 12)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	basis, err := core.BuildBasis(ds, "Jaccard", 0.25, 0, 1.0, seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := core.DefaultConfig()
+	cfg.Seed = seed
+	ic, err := core.New(ds, basis, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The iCrowd web server (Figure 11). httptest picks a free local port;
+	// in production this would be your public endpoint.
+	srv := httptest.NewServer(platform.NewServer(ic, ds).Handler())
+	defer srv.Close()
+	fmt.Printf("iCrowd server listening on %s\n", srv.URL)
+	fmt.Printf("dataset %s: %d microtasks, k=%d, Q=%d qualification tasks\n\n",
+		ds.Name, ds.Len(), cfg.K, cfg.Q)
+
+	// 12 concurrent worker agents hammer the server, exactly like AMT
+	// workers accepting HITs.
+	if err := platform.RunWorkers(srv.URL, ds, pool, 600, seed); err != nil {
+		log.Fatal(err)
+	}
+
+	client := &platform.Client{BaseURL: srv.URL, HTTPClient: http.DefaultClient}
+	status, err := client.Status()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("job status: %d/%d tasks answered, done=%v\n",
+		status.Completed, status.Total, status.Done)
+
+	results, err := client.Results()
+	if err != nil {
+		log.Fatal(err)
+	}
+	correct, scored := 0, 0
+	qual := map[int]bool{}
+	for _, q := range ic.QualificationTasks() {
+		qual[q] = true
+	}
+	for id, tk := range ds.Tasks {
+		if qual[id] {
+			continue
+		}
+		scored++
+		if results[id] == tk.Truth.String() {
+			correct++
+		}
+	}
+	fmt.Printf("crowd accuracy over %d scored microtasks: %.3f\n",
+		scored, float64(correct)/float64(scored))
+}

@@ -1,0 +1,89 @@
+// Yahooqa reproduces the paper's first evaluation scenario in miniature:
+// the YahooQA question-answer dataset (110 microtasks, six domains), a
+// 25-worker crowd with domain-diverse accuracies, and a comparison of all
+// four approaches of Figure 9 — RandomMV, RandomEM, AvgAccPV and iCrowd —
+// on the same crowd and qualification set.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"icrowd/internal/baseline"
+	"icrowd/internal/core"
+	"icrowd/internal/experiments"
+	"icrowd/internal/qualify"
+	"icrowd/internal/sim"
+)
+
+func main() {
+	const seed = 3
+	ds, pool, err := experiments.LoadDataset(experiments.DatasetYahooQA, seed, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("YahooQA: %d question-answer microtasks, %d simulated workers\n",
+		ds.Len(), len(pool))
+	fmt.Println("domains:")
+	doms := append([]string(nil), ds.Domains...)
+	sort.Strings(doms)
+	for _, d := range doms {
+		fmt.Printf("  %s = %s (%d tasks)\n", d, domainName(d), len(ds.ByDomain(d)))
+	}
+
+	basis, err := core.BuildBasis(ds, "Jaccard", 0.25, 0, 1.0, seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	qual, err := qualify.Select(qualify.InfQF, basis, 10, seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("\nshared qualification microtasks (InfQF, Q=10): %v\n\n", qual)
+	fmt.Printf("%-10s %-9s %s\n", "approach", "overall", "per-domain accuracy")
+
+	type mk func() (core.Strategy, error)
+	approaches := []struct {
+		name  string
+		build mk
+	}{
+		{"RandomMV", func() (core.Strategy, error) { return baseline.NewRandomMV(ds, 3, qual, seed) }},
+		{"RandomEM", func() (core.Strategy, error) { return baseline.NewRandomEM(ds, 3, qual, seed) }},
+		{"AvgAccPV", func() (core.Strategy, error) { return baseline.NewAvgAccPV(ds, 3, qual, 0, seed) }},
+		{"iCrowd", func() (core.Strategy, error) {
+			cfg := core.DefaultConfig()
+			cfg.Seed = seed
+			return core.NewWithQual(ds, basis, cfg, qual)
+		}},
+	}
+	for _, a := range approaches {
+		st, err := a.build()
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := sim.Run(st, ds, append([]sim.Profile(nil), pool...),
+			sim.RunOptions{Seed: seed + 7, ExcludeTasks: qual})
+		if err != nil {
+			log.Fatal(err)
+		}
+		line := fmt.Sprintf("%-10s %-9.3f", a.name, res.Accuracy)
+		for _, d := range doms {
+			line += fmt.Sprintf(" %s=%.2f", d, res.PerDomain[d])
+		}
+		fmt.Println(line)
+	}
+}
+
+func domainName(code string) string {
+	names := map[string]string{
+		"FF": "2006 FIFA World Cup",
+		"BA": "Books & Authors",
+		"DF": "Diet & Fitness",
+		"HS": "Home Schooling",
+		"HT": "Hunting",
+		"PH": "Philosophy",
+	}
+	return names[code]
+}

@@ -1,0 +1,3 @@
+module icrowd
+
+go 1.22

@@ -1,0 +1,312 @@
+// Package aggregate implements the answer-aggregation schemes used in the
+// paper: (weighted) majority voting (Section 2.1), the worker-set accuracy
+// of Eq. (1), Dawid–Skene Expectation-Maximization (the RandomEM baseline,
+// refs [31, 8]), and the probabilistic-verification model of CDAS (the
+// AvgAccPV baseline, ref [22]).
+package aggregate
+
+import (
+	"errors"
+	"math"
+	"sort"
+
+	"icrowd/internal/stats"
+	"icrowd/internal/task"
+)
+
+// Vote is one worker's answer to a microtask.
+type Vote struct {
+	// Worker identifies the voter.
+	Worker string
+	// Answer is the worker's binary response.
+	Answer task.Answer
+}
+
+// MajorityVote returns the consensus answer of the votes. ok is false for an
+// empty slice or an exact tie (possible only for an even number of votes —
+// the paper assumes odd assignment sizes k to avoid this).
+func MajorityVote(votes []task.Answer) (ans task.Answer, ok bool) {
+	var yes, no int
+	for _, v := range votes {
+		switch v {
+		case task.Yes:
+			yes++
+		case task.No:
+			no++
+		}
+	}
+	switch {
+	case yes > no:
+		return task.Yes, true
+	case no > yes:
+		return task.No, true
+	default:
+		return task.None, false
+	}
+}
+
+// WeightedVote aggregates votes with per-worker weights, returning the
+// answer whose total weight is larger. Ties and empty inputs yield
+// (None, false).
+func WeightedVote(votes []Vote, weight func(worker string) float64) (task.Answer, bool) {
+	var yes, no float64
+	for _, v := range votes {
+		w := weight(v.Worker)
+		switch v.Answer {
+		case task.Yes:
+			yes += w
+		case task.No:
+			no += w
+		}
+	}
+	switch {
+	case yes > no:
+		return task.Yes, true
+	case no > yes:
+		return task.No, true
+	default:
+		return task.None, false
+	}
+}
+
+// WorkerSetAccuracy computes Eq. (1): the probability that strictly more
+// than half of the workers (with independent accuracies ps) answer
+// correctly. It evaluates the Poisson-binomial tail with an O(k^2) dynamic
+// program rather than enumerating subsets.
+func WorkerSetAccuracy(ps []float64) (float64, error) {
+	k := len(ps)
+	if k == 0 {
+		return 0, errors.New("aggregate: empty worker set")
+	}
+	for _, p := range ps {
+		if p < 0 || p > 1 {
+			return 0, stats.ErrBadProbability
+		}
+	}
+	// dp[c] = P(c correct among processed workers).
+	dp := make([]float64, k+1)
+	dp[0] = 1
+	for i, p := range ps {
+		for c := i + 1; c >= 1; c-- {
+			dp[c] = dp[c]*(1-p) + dp[c-1]*p
+		}
+		dp[0] *= 1 - p
+	}
+	need := k/2 + 1 // strictly more than half
+	var tail float64
+	for c := need; c <= k; c++ {
+		tail += dp[c]
+	}
+	if tail > 1 {
+		tail = 1
+	}
+	return tail, nil
+}
+
+// ProbabilisticVerify implements the CDAS aggregation used by AvgAccPV: each
+// worker votes with weight log(acc/(1-acc)) (their log odds of being
+// correct), and the sign of the weighted sum decides. Workers missing from
+// acc vote with the fallback accuracy. Ties fall back to simple majority,
+// then to task.No.
+func ProbabilisticVerify(votes []Vote, acc map[string]float64, fallback float64) task.Answer {
+	var score float64
+	for _, v := range votes {
+		a, ok := acc[v.Worker]
+		if !ok {
+			a = fallback
+		}
+		w := stats.LogOdds(a)
+		switch v.Answer {
+		case task.Yes:
+			score += w
+		case task.No:
+			score -= w
+		}
+	}
+	switch {
+	case score > 0:
+		return task.Yes
+	case score < 0:
+		return task.No
+	default:
+		raw := make([]task.Answer, len(votes))
+		for i, v := range votes {
+			raw[i] = v.Answer
+		}
+		if ans, ok := MajorityVote(raw); ok {
+			return ans
+		}
+		return task.No
+	}
+}
+
+// EMResult is the output of Dawid–Skene EM.
+type EMResult struct {
+	// Labels is the hard label per task after the final E-step.
+	Labels map[int]task.Answer
+	// PosteriorYes is P(truth = YES | votes) per task.
+	PosteriorYes map[int]float64
+	// Sensitivity is each worker's estimated P(vote YES | truth YES).
+	Sensitivity map[string]float64
+	// Specificity is each worker's estimated P(vote NO | truth NO).
+	Specificity map[string]float64
+	// PriorYes is the estimated class prior P(truth = YES).
+	PriorYes float64
+	// Iterations is the number of EM rounds executed.
+	Iterations int
+}
+
+// Accuracy returns a worker's average accuracy under the fitted model,
+// weighting sensitivity and specificity by the class prior.
+func (r *EMResult) Accuracy(worker string) float64 {
+	se, ok := r.Sensitivity[worker]
+	if !ok {
+		return 0.5
+	}
+	sp := r.Specificity[worker]
+	return r.PriorYes*se + (1-r.PriorYes)*sp
+}
+
+// DawidSkene runs binary Dawid–Skene EM over votes (task -> votes). It
+// initializes posteriors with majority-vote fractions, alternates E/M steps
+// until the max posterior change falls below tol or maxIter is reached.
+func DawidSkene(votes map[int][]Vote, maxIter int, tol float64) (*EMResult, error) {
+	if len(votes) == 0 {
+		return nil, errors.New("aggregate: no votes")
+	}
+	if maxIter < 1 {
+		return nil, errors.New("aggregate: maxIter must be >= 1")
+	}
+	// Stable iteration orders.
+	taskIDs := make([]int, 0, len(votes))
+	for id := range votes {
+		taskIDs = append(taskIDs, id)
+	}
+	sort.Ints(taskIDs)
+	workerSet := map[string]bool{}
+	for _, vs := range votes {
+		for _, v := range vs {
+			workerSet[v.Worker] = true
+		}
+	}
+	workers := make([]string, 0, len(workerSet))
+	for w := range workerSet {
+		workers = append(workers, w)
+	}
+	sort.Strings(workers)
+
+	// Init: posterior = fraction of YES votes (softened).
+	post := map[int]float64{}
+	for _, id := range taskIDs {
+		var yes, n float64
+		for _, v := range votes[id] {
+			n++
+			if v.Answer == task.Yes {
+				yes++
+			}
+		}
+		if n == 0 {
+			post[id] = 0.5
+		} else {
+			post[id] = (yes + 0.5) / (n + 1)
+		}
+	}
+
+	sens := map[string]float64{}
+	spec := map[string]float64{}
+	prior := 0.5
+	// MAP smoothing: Beta(2.8, 1.2) prior on sensitivity/specificity (mean
+	// 0.7, strength 4). With only a handful of votes per task, unregularized
+	// EM overfits — it drives some workers' rates toward extremes and then
+	// propagates those errors through the posteriors (the failure mode the
+	// paper observes for RandomEM in some domains). The prior keeps
+	// low-evidence workers near a plausible crowd accuracy.
+	const priorA, priorB = 2.8, 1.2
+	var iter int
+	for iter = 1; iter <= maxIter; iter++ {
+		// M-step: per-worker confusion and class prior from posteriors.
+		type counts struct{ tpw, pw, tnw, nw float64 }
+		cs := map[string]*counts{}
+		for _, w := range workers {
+			cs[w] = &counts{}
+		}
+		var priorSum float64
+		for _, id := range taskIDs {
+			p := post[id]
+			priorSum += p
+			for _, v := range votes[id] {
+				c := cs[v.Worker]
+				c.pw += p
+				c.nw += 1 - p
+				if v.Answer == task.Yes {
+					c.tpw += p
+				} else {
+					c.tnw += 1 - p
+				}
+			}
+		}
+		prior = priorSum / float64(len(taskIDs))
+		for _, w := range workers {
+			c := cs[w]
+			sens[w] = (c.tpw + priorA) / (c.pw + priorA + priorB)
+			spec[w] = (c.tnw + priorA) / (c.nw + priorA + priorB)
+		}
+		// E-step: recompute posteriors.
+		var maxDelta float64
+		for _, id := range taskIDs {
+			logYes := math.Log(clampProb(prior))
+			logNo := math.Log(clampProb(1 - prior))
+			for _, v := range votes[id] {
+				se, sp := sens[v.Worker], spec[v.Worker]
+				if v.Answer == task.Yes {
+					logYes += math.Log(clampProb(se))
+					logNo += math.Log(clampProb(1 - sp))
+				} else {
+					logYes += math.Log(clampProb(1 - se))
+					logNo += math.Log(clampProb(sp))
+				}
+			}
+			// Normalize in log space.
+			m := math.Max(logYes, logNo)
+			py := math.Exp(logYes-m) / (math.Exp(logYes-m) + math.Exp(logNo-m))
+			if d := math.Abs(py - post[id]); d > maxDelta {
+				maxDelta = d
+			}
+			post[id] = py
+		}
+		if maxDelta < tol {
+			break
+		}
+	}
+	if iter > maxIter {
+		iter = maxIter
+	}
+
+	res := &EMResult{
+		Labels:       make(map[int]task.Answer, len(taskIDs)),
+		PosteriorYes: post,
+		Sensitivity:  sens,
+		Specificity:  spec,
+		PriorYes:     prior,
+		Iterations:   iter,
+	}
+	for _, id := range taskIDs {
+		if post[id] >= 0.5 {
+			res.Labels[id] = task.Yes
+		} else {
+			res.Labels[id] = task.No
+		}
+	}
+	return res, nil
+}
+
+func clampProb(p float64) float64 {
+	const eps = 1e-9
+	if p < eps {
+		return eps
+	}
+	if p > 1-eps {
+		return 1 - eps
+	}
+	return p
+}

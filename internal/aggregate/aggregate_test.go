@@ -1,0 +1,288 @@
+package aggregate
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"icrowd/internal/stats"
+	"icrowd/internal/task"
+)
+
+func TestMajorityVote(t *testing.T) {
+	if ans, ok := MajorityVote([]task.Answer{task.Yes, task.Yes, task.No}); !ok || ans != task.Yes {
+		t.Fatalf("got %v %v", ans, ok)
+	}
+	if ans, ok := MajorityVote([]task.Answer{task.No, task.No, task.Yes}); !ok || ans != task.No {
+		t.Fatalf("got %v %v", ans, ok)
+	}
+	if _, ok := MajorityVote([]task.Answer{task.Yes, task.No}); ok {
+		t.Fatal("tie should not be ok")
+	}
+	if _, ok := MajorityVote(nil); ok {
+		t.Fatal("empty should not be ok")
+	}
+	// None answers are ignored.
+	if ans, ok := MajorityVote([]task.Answer{task.None, task.Yes}); !ok || ans != task.Yes {
+		t.Fatalf("None should be ignored: %v %v", ans, ok)
+	}
+}
+
+func TestMajorityVoteOddNeverTies(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2*rng.Intn(5) + 1 // odd
+		votes := make([]task.Answer, n)
+		for i := range votes {
+			if rng.Float64() < 0.5 {
+				votes[i] = task.Yes
+			} else {
+				votes[i] = task.No
+			}
+		}
+		_, ok := MajorityVote(votes)
+		return ok
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWeightedVote(t *testing.T) {
+	votes := []Vote{
+		{"expert", task.Yes},
+		{"spam1", task.No},
+		{"spam2", task.No},
+	}
+	weights := map[string]float64{"expert": 5, "spam1": 1, "spam2": 1}
+	ans, ok := WeightedVote(votes, func(w string) float64 { return weights[w] })
+	if !ok || ans != task.Yes {
+		t.Fatalf("expert should win: %v %v", ans, ok)
+	}
+	// Uniform weights reduce to majority.
+	ans, ok = WeightedVote(votes, func(string) float64 { return 1 })
+	if !ok || ans != task.No {
+		t.Fatalf("uniform weights should follow majority: %v %v", ans, ok)
+	}
+	if _, ok := WeightedVote(nil, func(string) float64 { return 1 }); ok {
+		t.Fatal("empty weighted vote should not be ok")
+	}
+}
+
+func TestWorkerSetAccuracyUniform(t *testing.T) {
+	// Uniform accuracies reduce Eq. (1) to a binomial tail.
+	for _, k := range []int{1, 3, 5, 7} {
+		for _, p := range []float64{0.3, 0.5, 0.8} {
+			ps := make([]float64, k)
+			for i := range ps {
+				ps[i] = p
+			}
+			got, err := WorkerSetAccuracy(ps)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := stats.BinomialTail(k, k/2+1, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(got-want) > 1e-12 {
+				t.Fatalf("k=%d p=%v: %v vs binomial %v", k, p, got, want)
+			}
+		}
+	}
+}
+
+func TestWorkerSetAccuracyPaperExample(t *testing.T) {
+	// Hand-computed: workers 0.9, 0.8, 0.7; majority-correct probability =
+	// p1p2p3 + p1p2(1-p3) + p1(1-p2)p3 + (1-p1)p2p3.
+	want := 0.9*0.8*0.7 + 0.9*0.8*0.3 + 0.9*0.2*0.7 + 0.1*0.8*0.7
+	got, err := WorkerSetAccuracy([]float64{0.9, 0.8, 0.7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("got %v want %v", got, want)
+	}
+}
+
+func TestWorkerSetAccuracyErrors(t *testing.T) {
+	if _, err := WorkerSetAccuracy(nil); err == nil {
+		t.Fatal("empty set should error")
+	}
+	if _, err := WorkerSetAccuracy([]float64{1.5}); err == nil {
+		t.Fatal("bad probability should error")
+	}
+}
+
+func TestWorkerSetAccuracyMonotone(t *testing.T) {
+	// Property: raising any single worker's accuracy cannot lower the set
+	// accuracy — the justification for assigning top workers (Section 4).
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		k := 2*rng.Intn(3) + 3
+		ps := make([]float64, k)
+		for i := range ps {
+			ps[i] = rng.Float64()
+		}
+		before, err := WorkerSetAccuracy(ps)
+		if err != nil {
+			return false
+		}
+		i := rng.Intn(k)
+		ps[i] = ps[i] + (1-ps[i])*rng.Float64()
+		after, err := WorkerSetAccuracy(ps)
+		if err != nil {
+			return false
+		}
+		return after >= before-1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProbabilisticVerify(t *testing.T) {
+	votes := []Vote{
+		{"good", task.Yes},
+		{"bad1", task.No},
+		{"bad2", task.No},
+	}
+	acc := map[string]float64{"good": 0.95, "bad1": 0.55, "bad2": 0.55}
+	if got := ProbabilisticVerify(votes, acc, 0.5); got != task.Yes {
+		t.Fatalf("high-accuracy worker should outweigh two weak ones: %v", got)
+	}
+	// Unknown workers use fallback; with all-equal weights majority wins.
+	if got := ProbabilisticVerify(votes, nil, 0.7); got != task.No {
+		t.Fatalf("uniform fallback should follow majority: %v", got)
+	}
+	// Exact zero score (one worker at fallback 0.5 has weight 0... use two
+	// symmetric voters) falls back to majority, then to No.
+	sym := []Vote{{"a", task.Yes}, {"b", task.No}}
+	if got := ProbabilisticVerify(sym, map[string]float64{"a": 0.8, "b": 0.8}, 0.5); got != task.No {
+		t.Fatalf("tie should fall back to No: %v", got)
+	}
+}
+
+func TestDawidSkeneRecoverstruth(t *testing.T) {
+	// Synthetic crowd: 3 reliable workers (0.9), 2 spammers (0.5) over 200
+	// tasks. EM should (a) label most tasks correctly and (b) rank reliable
+	// workers above spammers.
+	rng := rand.New(rand.NewSource(42))
+	nTasks := 200
+	truth := make([]task.Answer, nTasks)
+	for i := range truth {
+		if rng.Float64() < 0.5 {
+			truth[i] = task.Yes
+		} else {
+			truth[i] = task.No
+		}
+	}
+	accs := map[string]float64{"r1": 0.9, "r2": 0.9, "r3": 0.85, "s1": 0.5, "s2": 0.5}
+	votes := map[int][]Vote{}
+	for i := 0; i < nTasks; i++ {
+		for w, a := range accs {
+			ans := truth[i]
+			if rng.Float64() > a {
+				ans = ans.Flip()
+			}
+			votes[i] = append(votes[i], Vote{w, ans})
+		}
+	}
+	res, err := DawidSkene(votes, 100, 1e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	correct := 0
+	for i := 0; i < nTasks; i++ {
+		if res.Labels[i] == truth[i] {
+			correct++
+		}
+	}
+	if acc := float64(correct) / float64(nTasks); acc < 0.9 {
+		t.Fatalf("EM label accuracy %v < 0.9", acc)
+	}
+	if res.Accuracy("r1") <= res.Accuracy("s1") {
+		t.Fatalf("EM should rank reliable above spammer: %v vs %v",
+			res.Accuracy("r1"), res.Accuracy("s1"))
+	}
+	if res.Accuracy("unknown") != 0.5 {
+		t.Fatal("unknown worker accuracy should default to 0.5")
+	}
+	if res.Iterations < 1 {
+		t.Fatal("EM should iterate at least once")
+	}
+}
+
+func TestDawidSkeneBeatsMajorityWhenSpammersOutnumber(t *testing.T) {
+	// 2 strong workers vs 3 pure spammers (accuracy 0.5): simple majority
+	// is dragged toward coin flips; EM learns to downweight the spammers.
+	rng := rand.New(rand.NewSource(7))
+	nTasks := 300
+	truth := make([]task.Answer, nTasks)
+	for i := range truth {
+		if rng.Float64() < 0.5 {
+			truth[i] = task.Yes
+		} else {
+			truth[i] = task.No
+		}
+	}
+	accs := map[string]float64{"g1": 0.9, "g2": 0.9, "a1": 0.5, "a2": 0.5, "a3": 0.5}
+	votes := map[int][]Vote{}
+	for i := 0; i < nTasks; i++ {
+		for w, a := range accs {
+			ans := truth[i]
+			if rng.Float64() > a {
+				ans = ans.Flip()
+			}
+			votes[i] = append(votes[i], Vote{w, ans})
+		}
+	}
+	res, err := DawidSkene(votes, 200, 1e-7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var emOK, mvOK int
+	for i := 0; i < nTasks; i++ {
+		if res.Labels[i] == truth[i] {
+			emOK++
+		}
+		raw := make([]task.Answer, 0, 5)
+		for _, v := range votes[i] {
+			raw = append(raw, v.Answer)
+		}
+		if mv, ok := MajorityVote(raw); ok && mv == truth[i] {
+			mvOK++
+		}
+	}
+	if emOK <= mvOK {
+		t.Fatalf("EM (%d) should beat MV (%d) against anti-correlated voters", emOK, mvOK)
+	}
+}
+
+func TestDawidSkeneErrors(t *testing.T) {
+	if _, err := DawidSkene(nil, 10, 1e-6); err == nil {
+		t.Fatal("empty votes should error")
+	}
+	if _, err := DawidSkene(map[int][]Vote{0: {{"w", task.Yes}}}, 0, 1e-6); err == nil {
+		t.Fatal("maxIter 0 should error")
+	}
+}
+
+func TestDawidSkeneDeterministic(t *testing.T) {
+	votes := map[int][]Vote{
+		0: {{"a", task.Yes}, {"b", task.Yes}, {"c", task.No}},
+		1: {{"a", task.No}, {"b", task.No}, {"c", task.No}},
+		2: {{"a", task.Yes}, {"b", task.No}, {"c", task.Yes}},
+	}
+	r1, err := DawidSkene(votes, 50, 1e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, _ := DawidSkene(votes, 50, 1e-9)
+	for id := range votes {
+		if r1.Labels[id] != r2.Labels[id] || r1.PosteriorYes[id] != r2.PosteriorYes[id] {
+			t.Fatal("DawidSkene not deterministic")
+		}
+	}
+}

@@ -1,0 +1,411 @@
+// Package assign implements the adaptive task-assignment machinery of
+// Section 4: top-worker-set computation (Definition 3), the greedy
+// approximation of the NP-hard optimal microtask assignment (Algorithm 3),
+// an exact optimal solver used to measure the greedy approximation error
+// (Appendix D.4 / Table 5), and the Step-3 worker performance test.
+package assign
+
+import (
+	"container/heap"
+	"errors"
+	"math"
+	"sort"
+
+	"icrowd/internal/estimate"
+)
+
+// Candidate is a worker with their estimated accuracy on some task.
+type Candidate struct {
+	// Worker identifies the worker.
+	Worker string
+	// Accuracy is the estimated p_i^w.
+	Accuracy float64
+}
+
+// CandidateAssignment pairs a microtask with its top worker set
+// (an element of the candidate set A^c in Algorithm 3).
+type CandidateAssignment struct {
+	// Task is the microtask ID.
+	Task int
+	// Workers is the top worker set, ordered by descending accuracy.
+	Workers []Candidate
+}
+
+// SumAccuracy returns the Definition-4 objective contribution
+// sum_{w in W(t)} p_t^w.
+func (a CandidateAssignment) SumAccuracy() float64 {
+	var s float64
+	for _, c := range a.Workers {
+		s += c.Accuracy
+	}
+	return s
+}
+
+// AvgAccuracy returns the Algorithm-3 selection score
+// sum_{w in W(t)} p_t^w / |W(t)|; 0 for an empty set.
+func (a CandidateAssignment) AvgAccuracy() float64 {
+	if len(a.Workers) == 0 {
+		return 0
+	}
+	return a.SumAccuracy() / float64(len(a.Workers))
+}
+
+// TopWorkers computes the top worker set of Definition 3: the k workers
+// among eligible with the highest estimated accuracy on taskID. Ties break
+// by worker ID for determinism. It is the O(|W|) reference used by
+// Algorithm 2 Step 1.
+func TopWorkers(e *estimate.Estimator, taskID, k int, eligible []string) []Candidate {
+	if k <= 0 {
+		return nil
+	}
+	cands := make([]Candidate, 0, len(eligible))
+	for _, w := range eligible {
+		cands = append(cands, Candidate{Worker: w, Accuracy: e.Accuracy(w, taskID)})
+	}
+	sortCandidates(cands)
+	if k < len(cands) {
+		cands = cands[:k]
+	}
+	return cands
+}
+
+func sortCandidates(cs []Candidate) {
+	sort.Slice(cs, func(i, j int) bool {
+		if cs[i].Accuracy != cs[j].Accuracy {
+			return cs[i].Accuracy > cs[j].Accuracy
+		}
+		return cs[i].Worker < cs[j].Worker
+	})
+}
+
+// Index accelerates top-worker computation ("effective index structures",
+// Section 4.1): workers without graph evidence on a task all estimate at
+// their base accuracy, so the index keeps the active workers sorted by base
+// accuracy once and, per task, only evaluates the (few) workers with
+// evidence from the estimator's support index plus a prefix of the base
+// order.
+type Index struct {
+	est    *estimate.Estimator
+	byBase []string
+	member map[string]bool
+}
+
+// NewIndex builds an index over the given active workers.
+func NewIndex(e *estimate.Estimator, active []string) *Index {
+	ix := &Index{est: e, byBase: append([]string(nil), active...), member: make(map[string]bool, len(active))}
+	sort.Slice(ix.byBase, func(i, j int) bool {
+		bi, bj := e.Base(ix.byBase[i]), e.Base(ix.byBase[j])
+		if bi != bj {
+			return bi > bj
+		}
+		return ix.byBase[i] < ix.byBase[j]
+	})
+	for _, w := range ix.byBase {
+		ix.member[w] = true
+	}
+	return ix
+}
+
+// NumActive returns the number of workers in the index.
+func (ix *Index) NumActive() int { return len(ix.byBase) }
+
+// TopWorkers returns the top-k eligible workers for taskID. exclude reports
+// workers that must be skipped (the already-assigned set W^d(t_i)). The
+// result matches the reference TopWorkers over the same active set whenever
+// every worker's estimate is >= its shrunk floor — which holds because
+// workers with no evidence sit exactly at base and evidence can only move
+// support-listed workers.
+func (ix *Index) TopWorkers(taskID, k int, exclude func(string) bool) []Candidate {
+	if k <= 0 {
+		return nil
+	}
+	support := ix.est.SupportWorkers(taskID)
+	inSupport := make(map[string]bool, len(support))
+	cands := make([]Candidate, 0, k+len(support))
+	for _, w := range support {
+		if !ix.member[w] || (exclude != nil && exclude(w)) {
+			continue
+		}
+		inSupport[w] = true
+		cands = append(cands, Candidate{Worker: w, Accuracy: ix.est.Accuracy(w, taskID)})
+	}
+	// Take base-ordered workers until k non-support candidates collected;
+	// beyond that, no non-support worker can enter the top k because their
+	// accuracy equals their base, which only decreases down the list.
+	taken := 0
+	for _, w := range ix.byBase {
+		if taken >= k {
+			break
+		}
+		if inSupport[w] || (exclude != nil && exclude(w)) {
+			continue
+		}
+		cands = append(cands, Candidate{Worker: w, Accuracy: ix.est.Accuracy(w, taskID)})
+		taken++
+	}
+	sortCandidates(cands)
+	if k < len(cands) {
+		cands = cands[:k]
+	}
+	return cands
+}
+
+// Greedy implements Algorithm 3 with a lazy max-heap: repeatedly pick the
+// candidate assignment with the highest average worker accuracy, then drop
+// every candidate sharing a worker with it. Runs in O(|A^c| log |A^c|) and
+// produces exactly the same scheme as the paper's O(|T|^2) formulation
+// (verified against GreedyReference in tests).
+func Greedy(cands []CandidateAssignment) []CandidateAssignment {
+	h := make(assignmentHeap, 0, len(cands))
+	for _, c := range cands {
+		if len(c.Workers) == 0 {
+			continue
+		}
+		h = append(h, heapItem{score: c.AvgAccuracy(), a: c})
+	}
+	heap.Init(&h)
+	used := map[string]bool{}
+	var out []CandidateAssignment
+	for h.Len() > 0 {
+		item := heap.Pop(&h).(heapItem)
+		conflict := false
+		for _, c := range item.a.Workers {
+			if used[c.Worker] {
+				conflict = true
+				break
+			}
+		}
+		if conflict {
+			continue
+		}
+		for _, c := range item.a.Workers {
+			used[c.Worker] = true
+		}
+		out = append(out, item.a)
+	}
+	return out
+}
+
+type heapItem struct {
+	score float64
+	a     CandidateAssignment
+}
+
+type assignmentHeap []heapItem
+
+func (h assignmentHeap) Len() int { return len(h) }
+func (h assignmentHeap) Less(i, j int) bool {
+	if h[i].score != h[j].score {
+		return h[i].score > h[j].score
+	}
+	return h[i].a.Task < h[j].a.Task // deterministic tie-break
+}
+func (h assignmentHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *assignmentHeap) Push(x interface{}) { *h = append(*h, x.(heapItem)) }
+func (h *assignmentHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	item := old[n-1]
+	*h = old[:n-1]
+	return item
+}
+
+// GreedyReference is the paper's literal O(|T|^2) Algorithm 3, kept as the
+// oracle the fast Greedy is tested against.
+func GreedyReference(cands []CandidateAssignment) []CandidateAssignment {
+	remaining := make([]CandidateAssignment, 0, len(cands))
+	for _, c := range cands {
+		if len(c.Workers) > 0 {
+			remaining = append(remaining, c)
+		}
+	}
+	var out []CandidateAssignment
+	for len(remaining) > 0 {
+		best := 0
+		for i := 1; i < len(remaining); i++ {
+			si, sb := remaining[i].AvgAccuracy(), remaining[best].AvgAccuracy()
+			if si > sb || (si == sb && remaining[i].Task < remaining[best].Task) {
+				best = i
+			}
+		}
+		chosen := remaining[best]
+		out = append(out, chosen)
+		usedW := map[string]bool{}
+		for _, c := range chosen.Workers {
+			usedW[c.Worker] = true
+		}
+		next := remaining[:0]
+		for _, c := range remaining {
+			overlap := false
+			for _, w := range c.Workers {
+				if usedW[w.Worker] {
+					overlap = true
+					break
+				}
+			}
+			if !overlap {
+				next = append(next, c)
+			}
+		}
+		remaining = next
+	}
+	return out
+}
+
+// TotalValue returns the Definition-4 objective of a scheme: the sum over
+// chosen assignments of their worker-accuracy sums.
+func TotalValue(scheme []CandidateAssignment) float64 {
+	var s float64
+	for _, a := range scheme {
+		s += a.SumAccuracy()
+	}
+	return s
+}
+
+// ErrTooManyWorkers reports that the exact solver's bitmask capacity is
+// exceeded.
+var ErrTooManyWorkers = errors.New("assign: exact solver supports at most 30 distinct workers")
+
+// Optimal solves optimal microtask assignment exactly by dynamic programming
+// over worker subsets (weighted set packing). The paper's enumeration could
+// not finish beyond 7 active workers within 30 minutes; the DP is
+// O(|T| * 2^|W|) and exact for |W| <= 30. Used for Table 5.
+func Optimal(cands []CandidateAssignment) (float64, []CandidateAssignment, error) {
+	workerID := map[string]int{}
+	for _, c := range cands {
+		for _, w := range c.Workers {
+			if _, ok := workerID[w.Worker]; !ok {
+				workerID[w.Worker] = len(workerID)
+			}
+		}
+	}
+	nw := len(workerID)
+	if nw > 30 {
+		return 0, nil, ErrTooManyWorkers
+	}
+	type entry struct {
+		mask  uint32
+		value float64
+	}
+	items := make([]entry, 0, len(cands))
+	kept := make([]CandidateAssignment, 0, len(cands))
+	for _, c := range cands {
+		if len(c.Workers) == 0 {
+			continue
+		}
+		var m uint32
+		for _, w := range c.Workers {
+			m |= 1 << uint(workerID[w.Worker])
+		}
+		items = append(items, entry{mask: m, value: c.SumAccuracy()})
+		kept = append(kept, c)
+	}
+	size := 1 << uint(nw)
+	best := make([]float64, size)
+	choice := make([]int, size) // item index that achieved best[mask], -1 none
+	from := make([]uint32, size)
+	for i := range choice {
+		choice[i] = -1
+	}
+	for i, it := range items {
+		// Iterate masks descending so each item is used at most once.
+		for m := size - 1; m >= 0; m-- {
+			um := uint32(m)
+			if um&it.mask != 0 {
+				continue
+			}
+			nm := um | it.mask
+			if v := best[m] + it.value; v > best[nm]+1e-15 {
+				best[nm] = v
+				choice[nm] = i
+				from[nm] = um
+			}
+		}
+	}
+	// Find the best mask and reconstruct.
+	bestMask := 0
+	for m := 1; m < size; m++ {
+		if best[m] > best[bestMask] {
+			bestMask = m
+		}
+	}
+	var chosen []CandidateAssignment
+	for m := uint32(bestMask); choice[m] >= 0; m = from[m] {
+		chosen = append(chosen, kept[choice[m]])
+	}
+	sort.Slice(chosen, func(i, j int) bool { return chosen[i].Task < chosen[j].Task })
+	return best[bestMask], chosen, nil
+}
+
+// OptimalEnumerate is the naive exponential enumeration of all feasible
+// schemes (the algorithm the paper timed out beyond 7 workers). It
+// cross-checks Optimal in tests; do not call it with many candidates.
+func OptimalEnumerate(cands []CandidateAssignment) float64 {
+	var rec func(i int, used map[string]bool) float64
+	rec = func(i int, used map[string]bool) float64 {
+		if i == len(cands) {
+			return 0
+		}
+		// Skip candidate i.
+		best := rec(i+1, used)
+		// Take candidate i if disjoint.
+		c := cands[i]
+		if len(c.Workers) == 0 {
+			return best
+		}
+		for _, w := range c.Workers {
+			if used[w.Worker] {
+				return best
+			}
+		}
+		for _, w := range c.Workers {
+			used[w.Worker] = true
+		}
+		if v := c.SumAccuracy() + rec(i+1, used); v > best {
+			best = v
+		}
+		for _, w := range c.Workers {
+			delete(used, w.Worker)
+		}
+		return best
+	}
+	return rec(0, map[string]bool{})
+}
+
+// TestTask describes a microtask eligible for a Step-3 performance test.
+type TestTask struct {
+	// Task is the microtask ID.
+	Task int
+	// AssignedAccuracies are the estimated accuracies of the workers
+	// already assigned to the task (W^d).
+	AssignedAccuracies []float64
+}
+
+// PerformanceTest selects the Step-3 test microtask for a worker left
+// without an assignment: it maximizes
+//
+//	uncertainty(w, t) * quality(W^d(t)),
+//
+// preferring tasks whose region the estimator knows least about for this
+// worker (Beta-distribution variance over effective counts) and whose
+// existing worker set is accurate enough to make the test reliable.
+// Returns (-1, false) when eligible is empty.
+func PerformanceTest(e *estimate.Estimator, worker string, eligible []TestTask) (int, bool) {
+	bestTask, bestScore := -1, math.Inf(-1)
+	for _, tt := range eligible {
+		quality := 0.5
+		if len(tt.AssignedAccuracies) > 0 {
+			var s float64
+			for _, a := range tt.AssignedAccuracies {
+				s += a
+			}
+			quality = s / float64(len(tt.AssignedAccuracies))
+		}
+		score := e.Uncertainty(worker, tt.Task) * quality
+		if score > bestScore || (score == bestScore && tt.Task < bestTask) {
+			bestScore = score
+			bestTask = tt.Task
+		}
+	}
+	return bestTask, bestTask >= 0
+}

@@ -1,0 +1,43 @@
+package assign_test
+
+import (
+	"fmt"
+
+	"icrowd/internal/assign"
+)
+
+// ExampleGreedy runs the paper's Table-3 walkthrough of Algorithm 3: the
+// greedy picks t11's top worker set first (highest average accuracy), which
+// eliminates the overlapping candidates for t4 and t10, and then picks t9.
+func ExampleGreedy() {
+	cands := []assign.CandidateAssignment{
+		{Task: 4, Workers: []assign.Candidate{{Worker: "w5", Accuracy: 0.75}, {Worker: "w4", Accuracy: 0.7}, {Worker: "w1", Accuracy: 0.6}}},
+		{Task: 11, Workers: []assign.Candidate{{Worker: "w5", Accuracy: 0.85}, {Worker: "w3", Accuracy: 0.8}}},
+		{Task: 9, Workers: []assign.Candidate{{Worker: "w4", Accuracy: 0.85}, {Worker: "w2", Accuracy: 0.75}, {Worker: "w1", Accuracy: 0.7}}},
+		{Task: 10, Workers: []assign.Candidate{{Worker: "w3", Accuracy: 0.7}, {Worker: "w1", Accuracy: 0.6}}},
+	}
+	for _, a := range assign.Greedy(cands) {
+		fmt.Printf("t%d gets %d workers (avg accuracy %.3f)\n",
+			a.Task, len(a.Workers), a.AvgAccuracy())
+	}
+	// Output:
+	// t11 gets 2 workers (avg accuracy 0.825)
+	// t9 gets 3 workers (avg accuracy 0.767)
+}
+
+// ExampleHungarian solves a k=1 assignment exactly: three workers, three
+// tasks, maximize total estimated accuracy.
+func ExampleHungarian() {
+	weights := [][]float64{
+		{0.9, 0.6, 0.5}, // worker 0 is an expert on task 0
+		{0.8, 0.8, 0.6}, // worker 1 is versatile
+		{0.4, 0.7, 0.9}, // worker 2 is an expert on task 2
+	}
+	match, total, err := assign.Hungarian(weights)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("assignment %v, total accuracy %.1f\n", match, total)
+	// Output:
+	// assignment [0 1 2], total accuracy 2.6
+}

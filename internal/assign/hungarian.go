@@ -1,0 +1,134 @@
+package assign
+
+import (
+	"errors"
+	"math"
+)
+
+// Hungarian solves the maximum-weight bipartite assignment problem exactly:
+// given weights[w][t] = estimated accuracy of worker w on task t, it
+// returns for each worker the assigned task index (-1 when unassigned
+// because there are fewer tasks than workers) and the total weight.
+//
+// The paper's related work cites Kuhn's Hungarian method [20] for task
+// assignment; with assignment size k = 1 the optimal microtask assignment
+// of Definition 4 is exactly this problem, so Hungarian provides a second,
+// independent optimum oracle for that special case (tests cross-check it
+// against the set-packing DP). Complexity O(n^2 m) with potentials.
+func Hungarian(weights [][]float64) ([]int, float64, error) {
+	n := len(weights)
+	if n == 0 {
+		return nil, 0, errors.New("assign: empty weight matrix")
+	}
+	m := len(weights[0])
+	for _, row := range weights {
+		if len(row) != m {
+			return nil, 0, errors.New("assign: ragged weight matrix")
+		}
+		for _, w := range row {
+			if math.IsNaN(w) || math.IsInf(w, 0) {
+				return nil, 0, errors.New("assign: non-finite weight")
+			}
+		}
+	}
+	if m == 0 {
+		return nil, 0, errors.New("assign: no tasks")
+	}
+	// The classic formulation minimizes cost with rows <= cols. Convert
+	// maximization to minimization by negation, and if workers outnumber
+	// tasks, transpose.
+	transposed := false
+	rows, cols := n, m
+	at := func(i, j int) float64 { return -weights[i][j] }
+	if n > m {
+		transposed = true
+		rows, cols = m, n
+		at = func(i, j int) float64 { return -weights[j][i] }
+	}
+
+	const inf = math.MaxFloat64
+	u := make([]float64, rows+1)
+	v := make([]float64, cols+1)
+	p := make([]int, cols+1)   // p[j] = row matched to column j (1-based)
+	way := make([]int, cols+1) // way[j] = previous column on the path
+	for i := 1; i <= rows; i++ {
+		p[0] = i
+		j0 := 0
+		minv := make([]float64, cols+1)
+		used := make([]bool, cols+1)
+		for j := range minv {
+			minv[j] = inf
+		}
+		for {
+			used[j0] = true
+			i0 := p[j0]
+			delta := inf
+			j1 := 0
+			for j := 1; j <= cols; j++ {
+				if used[j] {
+					continue
+				}
+				cur := at(i0-1, j-1) - u[i0] - v[j]
+				if cur < minv[j] {
+					minv[j] = cur
+					way[j] = j0
+				}
+				if minv[j] < delta {
+					delta = minv[j]
+					j1 = j
+				}
+			}
+			for j := 0; j <= cols; j++ {
+				if used[j] {
+					u[p[j]] += delta
+					v[j] -= delta
+				} else {
+					minv[j] -= delta
+				}
+			}
+			j0 = j1
+			if p[j0] == 0 {
+				break
+			}
+		}
+		for j0 != 0 {
+			j1 := way[j0]
+			p[j0] = p[j1]
+			j0 = j1
+		}
+	}
+
+	// Extract matching: match[row-1] = col-1.
+	match := make([]int, rows)
+	for i := range match {
+		match[i] = -1
+	}
+	for j := 1; j <= cols; j++ {
+		if p[j] != 0 {
+			match[p[j]-1] = j - 1
+		}
+	}
+
+	out := make([]int, n)
+	var total float64
+	if !transposed {
+		copy(out, match)
+		for i, j := range out {
+			if j >= 0 {
+				total += weights[i][j]
+			}
+		}
+	} else {
+		for i := range out {
+			out[i] = -1
+		}
+		// match is over tasks (rows) -> workers (cols).
+		for t, w := range match {
+			if w >= 0 {
+				out[w] = t
+				total += weights[w][t]
+			}
+		}
+	}
+	return out, total, nil
+}

@@ -1,0 +1,349 @@
+// Package baseline implements the three approaches the paper compares
+// against in Section 6.1:
+//
+//   - RandomMV: random task assignment, majority-vote aggregation.
+//   - RandomEM: random task assignment, Dawid–Skene EM aggregation [31, 8].
+//   - AvgAccPV: gold-injected average-accuracy estimation (CDAS [22]),
+//     assignment restricted to workers above the accuracy threshold,
+//     probabilistic-verification aggregation.
+//
+// All baselines implement core.Strategy and share the same qualification
+// microtasks as iCrowd ("We used the same set of microtasks for
+// qualification", Section 6.4): those tasks are pre-completed with ground
+// truth and, for AvgAccPV, also grade the workers.
+package baseline
+
+import (
+	"errors"
+	"math/rand"
+
+	"icrowd/internal/aggregate"
+	"icrowd/internal/core"
+	"icrowd/internal/qualify"
+	"icrowd/internal/task"
+)
+
+// randomAssigner is the shared random-assignment engine of RandomMV and
+// RandomEM.
+type randomAssigner struct {
+	job      *core.Job
+	rng      *rand.Rand
+	eligible func(worker string, taskID int) bool
+}
+
+func (r *randomAssigner) mayAssign(worker string, taskID int) bool {
+	return r.eligible == nil || r.eligible(worker, taskID)
+}
+
+func newRandomAssigner(ds *task.Dataset, k int, qual []int, seed int64) (*randomAssigner, error) {
+	job, err := core.NewJob(ds, k)
+	if err != nil {
+		return nil, err
+	}
+	for _, q := range qual {
+		if q < 0 || q >= ds.Len() {
+			return nil, errors.New("baseline: qualification task out of range")
+		}
+		job.ForceComplete(q, ds.Tasks[q].Truth)
+	}
+	return &randomAssigner{job: job, rng: rand.New(rand.NewSource(seed))}, nil
+}
+
+func (r *randomAssigner) request(worker string) (int, bool) {
+	if t, busy := r.job.Pending(worker); busy {
+		return t, true
+	}
+	var avail []int
+	for _, t := range r.job.Uncompleted() {
+		if r.job.Capacity(t) > 0 && !r.job.Touched(worker, t) && r.mayAssign(worker, t) {
+			avail = append(avail, t)
+		}
+	}
+	if len(avail) == 0 {
+		return 0, false
+	}
+	t := avail[r.rng.Intn(len(avail))]
+	if err := r.job.Assign(worker, t); err != nil {
+		return 0, false
+	}
+	return t, true
+}
+
+func (r *randomAssigner) submit(worker string, taskID int, ans task.Answer) error {
+	_, _, err := r.job.Submit(worker, taskID, ans)
+	return err
+}
+
+// RandomMV is the random-assignment + majority-voting baseline.
+type RandomMV struct {
+	ra *randomAssigner
+}
+
+// NewRandomMV builds the baseline. qual tasks are pre-completed with ground
+// truth so all approaches answer the same effective workload.
+func NewRandomMV(ds *task.Dataset, k int, qual []int, seed int64) (*RandomMV, error) {
+	ra, err := newRandomAssigner(ds, k, qual, seed)
+	if err != nil {
+		return nil, err
+	}
+	return &RandomMV{ra: ra}, nil
+}
+
+// Name implements core.Strategy.
+func (s *RandomMV) Name() string { return "RandomMV" }
+
+// RequestTask implements core.Strategy.
+func (s *RandomMV) RequestTask(worker string) (int, bool) { return s.ra.request(worker) }
+
+// SubmitAnswer implements core.Strategy.
+func (s *RandomMV) SubmitAnswer(worker string, taskID int, ans task.Answer) error {
+	return s.ra.submit(worker, taskID, ans)
+}
+
+// WorkerInactive implements core.Strategy.
+func (s *RandomMV) WorkerInactive(worker string) { s.ra.job.Release(worker) }
+
+// Done implements core.Strategy.
+func (s *RandomMV) Done() bool { return s.ra.job.Done() }
+
+// Results implements core.Strategy with majority voting.
+func (s *RandomMV) Results() map[int]task.Answer { return s.ra.job.MajorityResults() }
+
+// Job exposes the bookkeeping for the experiment harness.
+func (s *RandomMV) Job() *core.Job { return s.ra.job }
+
+// SetEligible restricts assignments to (worker, task) pairs the predicate
+// accepts — used by the replay evaluation.
+func (s *RandomMV) SetEligible(fn func(worker string, taskID int) bool) { s.ra.eligible = fn }
+
+// RandomEM is the random-assignment + Dawid–Skene EM baseline.
+type RandomEM struct {
+	ra       *randomAssigner
+	emIter   int
+	emTol    float64
+	qualSeed map[int]task.Answer
+}
+
+// NewRandomEM builds the baseline; EM runs at aggregation time over all
+// collected votes.
+func NewRandomEM(ds *task.Dataset, k int, qual []int, seed int64) (*RandomEM, error) {
+	ra, err := newRandomAssigner(ds, k, qual, seed)
+	if err != nil {
+		return nil, err
+	}
+	s := &RandomEM{ra: ra, emIter: 100, emTol: 1e-6, qualSeed: map[int]task.Answer{}}
+	for _, q := range qual {
+		s.qualSeed[q] = ds.Tasks[q].Truth
+	}
+	return s, nil
+}
+
+// Name implements core.Strategy.
+func (s *RandomEM) Name() string { return "RandomEM" }
+
+// RequestTask implements core.Strategy.
+func (s *RandomEM) RequestTask(worker string) (int, bool) { return s.ra.request(worker) }
+
+// SubmitAnswer implements core.Strategy.
+func (s *RandomEM) SubmitAnswer(worker string, taskID int, ans task.Answer) error {
+	return s.ra.submit(worker, taskID, ans)
+}
+
+// WorkerInactive implements core.Strategy.
+func (s *RandomEM) WorkerInactive(worker string) { s.ra.job.Release(worker) }
+
+// Done implements core.Strategy.
+func (s *RandomEM) Done() bool { return s.ra.job.Done() }
+
+// Job exposes the bookkeeping for the experiment harness.
+func (s *RandomEM) Job() *core.Job { return s.ra.job }
+
+// SetEligible restricts assignments to (worker, task) pairs the predicate
+// accepts — used by the replay evaluation.
+func (s *RandomEM) SetEligible(fn func(worker string, taskID int) bool) { s.ra.eligible = fn }
+
+// Results implements core.Strategy by running Dawid–Skene EM over all votes.
+// Qualification tasks keep their ground-truth results.
+func (s *RandomEM) Results() map[int]task.Answer {
+	votes := s.ra.job.AllVotes()
+	out := s.ra.job.MajorityResults() // fallback for tasks EM cannot see
+	if len(votes) > 0 {
+		if res, err := aggregate.DawidSkene(votes, s.emIter, s.emTol); err == nil {
+			for t, a := range res.Labels {
+				out[t] = a
+			}
+		}
+	}
+	for t, a := range s.qualSeed {
+		out[t] = a
+	}
+	return out
+}
+
+// AvgAccPV is the gold-injected CDAS baseline: a single average accuracy per
+// worker from qualification, threshold-based elimination of bad workers,
+// random assignment among surviving workers, probabilistic-verification
+// aggregation.
+type AvgAccPV struct {
+	job      *core.Job
+	warm     *qualify.WarmUp
+	rng      *rand.Rand
+	eligible func(worker string, taskID int) bool
+
+	workers  map[string]*pvWorker
+	qualSeed map[int]task.Answer
+}
+
+// SetEligible restricts assignments to (worker, task) pairs the predicate
+// accepts — used by the replay evaluation. Qualification is exempt.
+func (s *AvgAccPV) SetEligible(fn func(worker string, taskID int) bool) { s.eligible = fn }
+
+type pvWorker struct {
+	qualIdx     int
+	pendingQual int
+	answers     map[int]task.Answer
+	avg         float64
+	qualified   bool
+	rejected    bool
+}
+
+// NewAvgAccPV builds the baseline over the shared qualification set.
+// threshold <= 0 uses the default 0.6.
+func NewAvgAccPV(ds *task.Dataset, k int, qual []int, threshold float64, seed int64) (*AvgAccPV, error) {
+	job, err := core.NewJob(ds, k)
+	if err != nil {
+		return nil, err
+	}
+	warm, err := qualify.NewWarmUp(ds, qual, threshold)
+	if err != nil {
+		return nil, err
+	}
+	s := &AvgAccPV{
+		job:      job,
+		warm:     warm,
+		rng:      rand.New(rand.NewSource(seed)),
+		workers:  map[string]*pvWorker{},
+		qualSeed: map[int]task.Answer{},
+	}
+	for _, q := range qual {
+		job.ForceComplete(q, ds.Tasks[q].Truth)
+		s.qualSeed[q] = ds.Tasks[q].Truth
+	}
+	return s, nil
+}
+
+// Name implements core.Strategy.
+func (s *AvgAccPV) Name() string { return "AvgAccPV" }
+
+// Job exposes the bookkeeping for the experiment harness.
+func (s *AvgAccPV) Job() *core.Job { return s.job }
+
+// Accuracy returns a worker's gold-estimated average accuracy (0.5 before
+// qualification completes).
+func (s *AvgAccPV) Accuracy(worker string) float64 {
+	if w, ok := s.workers[worker]; ok && (w.qualified || w.rejected) {
+		return w.avg
+	}
+	return 0.5
+}
+
+// RequestTask implements core.Strategy: qualification first, then random
+// assignment for workers above the threshold.
+func (s *AvgAccPV) RequestTask(worker string) (int, bool) {
+	w, ok := s.workers[worker]
+	if !ok {
+		w = &pvWorker{pendingQual: -1, answers: map[int]task.Answer{}}
+		s.workers[worker] = w
+	}
+	if w.rejected {
+		return 0, false
+	}
+	if qual := s.warm.Tasks(); w.qualIdx < len(qual) {
+		if w.pendingQual >= 0 {
+			return w.pendingQual, true
+		}
+		w.pendingQual = qual[w.qualIdx]
+		return w.pendingQual, true
+	}
+	if t, busy := s.job.Pending(worker); busy {
+		return t, true
+	}
+	var avail []int
+	for _, t := range s.job.Uncompleted() {
+		if s.job.Capacity(t) > 0 && !s.job.Touched(worker, t) &&
+			(s.eligible == nil || s.eligible(worker, t)) {
+			avail = append(avail, t)
+		}
+	}
+	if len(avail) == 0 {
+		return 0, false
+	}
+	t := avail[s.rng.Intn(len(avail))]
+	if err := s.job.Assign(worker, t); err != nil {
+		return 0, false
+	}
+	return t, true
+}
+
+// SubmitAnswer implements core.Strategy.
+func (s *AvgAccPV) SubmitAnswer(worker string, taskID int, ans task.Answer) error {
+	w, ok := s.workers[worker]
+	if !ok {
+		return errors.New("baseline: unknown worker")
+	}
+	if w.pendingQual == taskID && w.pendingQual >= 0 {
+		if _, ok := s.warm.Grade(taskID, ans); !ok {
+			return errors.New("baseline: not a qualification task")
+		}
+		w.answers[taskID] = ans
+		w.pendingQual = -1
+		w.qualIdx++
+		if w.qualIdx >= len(s.warm.Tasks()) {
+			avg, pass := s.warm.Evaluate(w.answers)
+			w.avg = avg
+			if pass {
+				w.qualified = true
+			} else {
+				w.rejected = true
+			}
+		}
+		return nil
+	}
+	_, _, err := s.job.Submit(worker, taskID, ans)
+	return err
+}
+
+// WorkerInactive implements core.Strategy.
+func (s *AvgAccPV) WorkerInactive(worker string) {
+	s.job.Release(worker)
+	if w, ok := s.workers[worker]; ok {
+		w.pendingQual = -1
+	}
+}
+
+// Done implements core.Strategy.
+func (s *AvgAccPV) Done() bool { return s.job.Done() }
+
+// Results implements core.Strategy using the CDAS probabilistic-verification
+// model weighted by average accuracies.
+func (s *AvgAccPV) Results() map[int]task.Answer {
+	acc := map[string]float64{}
+	for id, w := range s.workers {
+		if w.qualified || w.rejected {
+			acc[id] = w.avg
+		}
+	}
+	out := make(map[int]task.Answer, s.job.Dataset().Len())
+	for t := 0; t < s.job.Dataset().Len(); t++ {
+		votes := s.job.Votes(t)
+		if len(votes) == 0 {
+			out[t] = task.None
+			continue
+		}
+		out[t] = aggregate.ProbabilisticVerify(votes, acc, 0.5)
+	}
+	for t, a := range s.qualSeed {
+		out[t] = a
+	}
+	return out
+}

@@ -1,0 +1,228 @@
+package baseline
+
+import (
+	"math/rand"
+	"testing"
+
+	"icrowd/internal/core"
+	"icrowd/internal/task"
+)
+
+// drive runs a strategy with simulated workers until done (or step cap).
+func drive(t *testing.T, s core.Strategy, ds *task.Dataset, accs map[string]float64, seed int64) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	var ids []string
+	for id := range accs {
+		ids = append(ids, id)
+	}
+	for step := 0; step < 50000 && !s.Done(); step++ {
+		w := ids[rng.Intn(len(ids))]
+		tid, ok := s.RequestTask(w)
+		if !ok {
+			continue
+		}
+		ans := ds.Tasks[tid].Truth
+		if rng.Float64() > accs[w] {
+			ans = ans.Flip()
+		}
+		if err := s.SubmitAnswer(w, tid, ans); err != nil {
+			t.Fatalf("%s submit: %v", s.Name(), err)
+		}
+	}
+}
+
+func accuracyOf(res map[int]task.Answer, ds *task.Dataset) float64 {
+	correct := 0
+	for i, tk := range ds.Tasks {
+		if res[i] == tk.Truth {
+			correct++
+		}
+	}
+	return float64(correct) / float64(ds.Len())
+}
+
+func TestRandomMVCompletes(t *testing.T) {
+	ds := task.ProductMatching()
+	s, err := NewRandomMV(ds, 3, []int{0, 1, 2}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Name() != "RandomMV" {
+		t.Fatalf("Name = %s", s.Name())
+	}
+	accs := map[string]float64{"a": 0.9, "b": 0.85, "c": 0.8, "d": 0.75}
+	drive(t, s, ds, accs, 2)
+	if !s.Done() {
+		t.Fatal("RandomMV did not finish")
+	}
+	if acc := accuracyOf(s.Results(), ds); acc < 0.6 {
+		t.Fatalf("accuracy %v too low for a good crowd", acc)
+	}
+	// Qualification tasks carry ground truth.
+	for _, q := range []int{0, 1, 2} {
+		if s.Results()[q] != ds.Tasks[q].Truth {
+			t.Fatal("qualification result should be ground truth")
+		}
+	}
+}
+
+func TestRandomMVNoRepeatAssignments(t *testing.T) {
+	ds := task.ProductMatching()
+	s, _ := NewRandomMV(ds, 3, nil, 1)
+	seen := map[[2]interface{}]bool{}
+	rng := rand.New(rand.NewSource(3))
+	for step := 0; step < 2000 && !s.Done(); step++ {
+		w := []string{"a", "b", "c"}[rng.Intn(3)]
+		tid, ok := s.RequestTask(w)
+		if !ok {
+			continue
+		}
+		key := [2]interface{}{w, tid}
+		if seen[key] {
+			t.Fatalf("worker %s got task %d twice", w, tid)
+		}
+		seen[key] = true
+		_ = s.SubmitAnswer(w, tid, task.Yes)
+	}
+}
+
+func TestRandomAssignerPendingIdempotent(t *testing.T) {
+	ds := task.ProductMatching()
+	s, _ := NewRandomMV(ds, 3, nil, 1)
+	t1, ok := s.RequestTask("a")
+	if !ok {
+		t.Fatal("no task")
+	}
+	t2, ok := s.RequestTask("a")
+	if !ok || t1 != t2 {
+		t.Fatalf("re-request changed task: %d vs %d", t1, t2)
+	}
+	s.WorkerInactive("a")
+	if _, busy := s.Job().Pending("a"); busy {
+		t.Fatal("release failed")
+	}
+}
+
+func TestRandomEMAggregation(t *testing.T) {
+	ds := task.GenerateItemCompare(4)
+	s, err := NewRandomEM(ds, 3, []int{0, 90, 180, 270}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Name() != "RandomEM" {
+		t.Fatalf("Name = %s", s.Name())
+	}
+	accs := map[string]float64{}
+	for _, id := range []string{"a", "b", "c", "d", "e", "f"} {
+		accs[id] = 0.85
+	}
+	drive(t, s, ds, accs, 7)
+	if !s.Done() {
+		t.Fatal("RandomEM did not finish")
+	}
+	if acc := accuracyOf(s.Results(), ds); acc < 0.75 {
+		t.Fatalf("EM accuracy %v too low", acc)
+	}
+}
+
+func TestQualOutOfRange(t *testing.T) {
+	ds := task.ProductMatching()
+	if _, err := NewRandomMV(ds, 3, []int{99}, 1); err == nil {
+		t.Fatal("bad qualification task should error")
+	}
+	if _, err := NewRandomMV(ds, 0, nil, 1); err == nil {
+		t.Fatal("k=0 should error")
+	}
+}
+
+func TestAvgAccPVQualificationAndRejection(t *testing.T) {
+	ds := task.ProductMatching()
+	qual := []int{0, 1, 2, 3, 4}
+	s, err := NewAvgAccPV(ds, 3, qual, 0.6, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Name() != "AvgAccPV" {
+		t.Fatalf("Name = %s", s.Name())
+	}
+	// Bad worker: answers all qualification tasks wrong.
+	for range qual {
+		tid, ok := s.RequestTask("bad")
+		if !ok {
+			t.Fatal("expected qualification task")
+		}
+		if err := s.SubmitAnswer("bad", tid, ds.Tasks[tid].Truth.Flip()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, ok := s.RequestTask("bad"); ok {
+		t.Fatal("rejected worker got a task")
+	}
+	if s.Accuracy("bad") != 0 {
+		t.Fatalf("bad accuracy = %v", s.Accuracy("bad"))
+	}
+	// Good worker passes and then receives crowd tasks.
+	for range qual {
+		tid, _ := s.RequestTask("good")
+		if err := s.SubmitAnswer("good", tid, ds.Tasks[tid].Truth); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.Accuracy("good") != 1 {
+		t.Fatalf("good accuracy = %v", s.Accuracy("good"))
+	}
+	if _, ok := s.RequestTask("good"); !ok {
+		t.Fatal("qualified worker should get a task")
+	}
+	if s.Accuracy("unseen") != 0.5 {
+		t.Fatal("unseen worker should default to 0.5")
+	}
+}
+
+func TestAvgAccPVCompletesAndAggregates(t *testing.T) {
+	ds := task.ProductMatching()
+	s, err := NewAvgAccPV(ds, 3, []int{0, 1, 2}, 0.3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	accs := map[string]float64{"a": 0.95, "b": 0.9, "c": 0.6, "d": 0.55}
+	drive(t, s, ds, accs, 5)
+	if !s.Done() {
+		t.Fatal("AvgAccPV did not finish")
+	}
+	res := s.Results()
+	if len(res) != ds.Len() {
+		t.Fatalf("results size %d", len(res))
+	}
+	if acc := accuracyOf(res, ds); acc < 0.6 {
+		t.Fatalf("accuracy %v too low", acc)
+	}
+}
+
+func TestAvgAccPVSubmitErrors(t *testing.T) {
+	ds := task.ProductMatching()
+	s, _ := NewAvgAccPV(ds, 3, []int{0}, 0.6, 1)
+	if err := s.SubmitAnswer("ghost", 0, task.Yes); err == nil {
+		t.Fatal("unknown worker should error")
+	}
+	// Worker inactive during qualification can resume.
+	tid, _ := s.RequestTask("w")
+	s.WorkerInactive("w")
+	tid2, ok := s.RequestTask("w")
+	if !ok || tid != tid2 {
+		t.Fatalf("resume = %d %v, want %d", tid2, ok, tid)
+	}
+}
+
+func TestStrategiesImplementInterface(t *testing.T) {
+	ds := task.ProductMatching()
+	mv, _ := NewRandomMV(ds, 3, nil, 1)
+	em, _ := NewRandomEM(ds, 3, nil, 1)
+	pv, _ := NewAvgAccPV(ds, 3, []int{0}, 0.6, 1)
+	for _, s := range []core.Strategy{mv, em, pv} {
+		if s.Done() {
+			t.Fatalf("%s done before any work", s.Name())
+		}
+	}
+}

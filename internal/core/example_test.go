@@ -1,0 +1,43 @@
+package core_test
+
+import (
+	"fmt"
+
+	"icrowd/internal/core"
+	"icrowd/internal/task"
+)
+
+// Example runs the full adaptive framework on the paper's Table-1
+// microtasks with a single perfect worker: warm-up qualification first,
+// then adaptive assignments until the worker has touched everything it can.
+func Example() {
+	ds := task.ProductMatching()
+	basis, err := core.BuildBasis(ds, "Jaccard", 0.5, 0, 1.0, 1)
+	if err != nil {
+		panic(err)
+	}
+	cfg := core.DefaultConfig()
+	cfg.Q = 3
+	ic, err := core.New(ds, basis, cfg)
+	if err != nil {
+		panic(err)
+	}
+	answered := 0
+	for {
+		tid, ok := ic.RequestTask("oracle")
+		if !ok {
+			break
+		}
+		if err := ic.SubmitAnswer("oracle", tid, ds.Tasks[tid].Truth); err != nil {
+			panic(err)
+		}
+		answered++
+	}
+	fmt.Printf("oracle answered %d microtasks\n", answered)
+	fmt.Printf("oracle qualified: %v\n", !ic.Rejected("oracle"))
+	fmt.Printf("oracle base accuracy: %.1f\n", ic.Estimator().Base("oracle"))
+	// Output:
+	// oracle answered 12 microtasks
+	// oracle qualified: true
+	// oracle base accuracy: 1.0
+}

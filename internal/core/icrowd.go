@@ -1,0 +1,506 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"icrowd/internal/assign"
+	"icrowd/internal/estimate"
+	"icrowd/internal/ppr"
+	"icrowd/internal/qualify"
+	"icrowd/internal/simgraph"
+	"icrowd/internal/task"
+)
+
+// Mode selects the assignment behaviour of the framework — the three
+// strategies compared in Section 6.3.2.
+type Mode string
+
+// Modes.
+const (
+	// ModeAdapt is full iCrowd: adaptive estimation plus optimal-greedy
+	// assignment with worker performance testing.
+	ModeAdapt Mode = "Adapt"
+	// ModeQFOnly freezes accuracy estimation after qualification.
+	ModeQFOnly Mode = "QF-Only"
+	// ModeBestEffort updates estimation adaptively but assigns each
+	// requesting worker their individually-best microtask.
+	ModeBestEffort Mode = "BestEffort"
+)
+
+// Config parameterizes the iCrowd framework.
+type Config struct {
+	// K is the assignment size per microtask (default 3, Section 6.1).
+	K int
+	// Q is the number of qualification microtasks (default 10, §6.3.1).
+	Q int
+	// Alpha balances graph smoothness and observation fit in Eq. (2)
+	// (default 1.0, Appendix D.2).
+	Alpha float64
+	// Lambda is the estimator's shrinkage toward the warm-up base accuracy.
+	Lambda float64
+	// QualStrategy picks qualification microtasks (default InfQF).
+	QualStrategy qualify.Strategy
+	// WarmupThreshold rejects workers whose qualification accuracy is
+	// below it (default 0.6).
+	WarmupThreshold float64
+	// MinAccuracy is the floor for top-worker-set membership (Definition
+	// 3): a worker whose estimated accuracy on a microtask is below the
+	// floor does not enter that task's top set and instead receives Step-3
+	// test microtasks ("w performs worse than others on all microtasks ...
+	// our framework needs to further test the quality of worker w",
+	// Section 5). Tasks with no above-floor candidates fall back to the
+	// unfiltered top set so the job always progresses. Default 0.55.
+	MinAccuracy float64
+	// Mode selects Adapt, QF-Only or BestEffort (default Adapt).
+	Mode Mode
+	// Seed drives the random choices (RandomQF selection).
+	Seed int64
+	// Eligible optionally restricts which (worker, task) assignments are
+	// permitted — e.g. in replay evaluation, a worker can only be assigned
+	// microtasks whose answer was collected from them (Section 6.1: "Based
+	// on the collected answers, we ran different approaches for task
+	// assignment"). nil permits everything. Qualification microtasks are
+	// exempt.
+	Eligible func(worker string, taskID int) bool
+}
+
+// DefaultConfig returns the paper's experimental defaults.
+func DefaultConfig() Config {
+	return Config{
+		K:               3,
+		Q:               10,
+		Alpha:           1.0,
+		Lambda:          estimate.DefaultLambda,
+		QualStrategy:    qualify.InfQF,
+		WarmupThreshold: qualify.DefaultThreshold,
+		MinAccuracy:     0.55,
+		Mode:            ModeAdapt,
+		Seed:            1,
+	}
+}
+
+// BuildBasis constructs the similarity graph for a dataset with the given
+// measure/threshold (Section 3.3) and precomputes the PPR basis (offline
+// phase of Algorithm 1). maxNeighbors caps node degrees (0 = unbounded).
+func BuildBasis(ds *task.Dataset, measure simgraph.MeasureKind, threshold float64, maxNeighbors int, alpha float64, seed int64) (*ppr.Basis, error) {
+	metric, err := simgraph.MetricFor(measure, ds, seed)
+	if err != nil {
+		return nil, err
+	}
+	g, err := simgraph.Build(ds.Len(), metric, threshold, maxNeighbors)
+	if err != nil {
+		return nil, err
+	}
+	opts := ppr.DefaultOptions()
+	if alpha > 0 {
+		opts.Alpha = alpha
+	}
+	return ppr.Precompute(g, opts)
+}
+
+// ICrowd is the adaptive crowdsourcing framework (Figure 1). It implements
+// Strategy.
+type ICrowd struct {
+	cfg  Config
+	ds   *task.Dataset
+	job  *Job
+	est  *estimate.Estimator
+	warm *qualify.WarmUp
+
+	workers map[string]*workerInfo
+	scheme  map[string]int // worker -> task from the last Algorithm-2 run
+	dirty   bool
+}
+
+type workerInfo struct {
+	qualIdx     int
+	pendingQual int // qualification task currently held, -1 none
+	qualAnswers map[int]task.Answer
+	qualified   bool
+	rejected    bool
+}
+
+// New builds the framework over a precomputed basis (share one basis across
+// runs that use the same dataset, measure and alpha). Qualification
+// microtasks are selected per cfg.QualStrategy.
+func New(ds *task.Dataset, basis *ppr.Basis, cfg Config) (*ICrowd, error) {
+	if basis.N() != ds.Len() {
+		return nil, errors.New("core: basis does not match dataset")
+	}
+	if cfg.Q < 1 {
+		return nil, errors.New("core: Q must be >= 1")
+	}
+	if cfg.QualStrategy == "" {
+		cfg.QualStrategy = qualify.InfQF
+	}
+	qual, err := qualify.Select(cfg.QualStrategy, basis, cfg.Q, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	return NewWithQual(ds, basis, cfg, qual)
+}
+
+// NewWithQual builds the framework with an explicit qualification set
+// (bypassing cfg.QualStrategy selection).
+func NewWithQual(ds *task.Dataset, basis *ppr.Basis, cfg Config, qual []int) (*ICrowd, error) {
+	if basis.N() != ds.Len() {
+		return nil, errors.New("core: basis does not match dataset")
+	}
+	if cfg.K < 1 {
+		return nil, errors.New("core: K must be >= 1")
+	}
+	switch cfg.Mode {
+	case ModeAdapt, ModeQFOnly, ModeBestEffort:
+	case "":
+		cfg.Mode = ModeAdapt
+	default:
+		return nil, fmt.Errorf("core: unknown mode %q", cfg.Mode)
+	}
+	warm, err := qualify.NewWarmUp(ds, qual, cfg.WarmupThreshold)
+	if err != nil {
+		return nil, err
+	}
+	job, err := NewJob(ds, cfg.K)
+	if err != nil {
+		return nil, err
+	}
+	ic := &ICrowd{
+		cfg:     cfg,
+		ds:      ds,
+		job:     job,
+		est:     estimate.New(basis, cfg.Lambda),
+		warm:    warm,
+		workers: map[string]*workerInfo{},
+		dirty:   true,
+	}
+	// Qualification microtasks carry requester ground truth: the paper
+	// treats them as globally completed from the start.
+	for _, t := range qual {
+		job.ForceComplete(t, ds.Tasks[t].Truth)
+	}
+	return ic, nil
+}
+
+// Name implements Strategy.
+func (ic *ICrowd) Name() string {
+	if ic.cfg.Mode == ModeAdapt {
+		return "iCrowd"
+	}
+	return string(ic.cfg.Mode)
+}
+
+// Job exposes the underlying bookkeeping (read-only use).
+func (ic *ICrowd) Job() *Job { return ic.job }
+
+// Estimator exposes the accuracy estimator (read-only use).
+func (ic *ICrowd) Estimator() *estimate.Estimator { return ic.est }
+
+// QualificationTasks returns the selected qualification microtask IDs.
+func (ic *ICrowd) QualificationTasks() []int { return ic.warm.Tasks() }
+
+// Rejected reports whether the warm-up rejected the worker.
+func (ic *ICrowd) Rejected(worker string) bool {
+	info, ok := ic.workers[worker]
+	return ok && info.rejected
+}
+
+// RequestTask implements Strategy. New workers first receive qualification
+// microtasks (Warm-Up); qualified workers are served from the adaptive
+// assignment scheme (Algorithm 2); workers the scheme skipped get a Step-3
+// performance test.
+func (ic *ICrowd) RequestTask(worker string) (int, bool) {
+	info, ok := ic.workers[worker]
+	if !ok {
+		info = &workerInfo{pendingQual: -1, qualAnswers: map[int]task.Answer{}}
+		ic.workers[worker] = info
+		ic.est.EnsureWorker(worker, estimate.DefaultBase)
+	}
+	if info.rejected {
+		return 0, false
+	}
+	// Warm-Up phase: serve qualification microtasks in order.
+	if qual := ic.warm.Tasks(); info.qualIdx < len(qual) {
+		if info.pendingQual >= 0 {
+			return info.pendingQual, true
+		}
+		info.pendingQual = qual[info.qualIdx]
+		return info.pendingQual, true
+	}
+	if ic.job.Done() {
+		return 0, false
+	}
+	if t, busy := ic.job.Pending(worker); busy {
+		return t, true // idempotent re-request of the held task
+	}
+	if ic.cfg.Mode == ModeBestEffort {
+		return ic.requestBestEffort(worker)
+	}
+	if ic.dirty {
+		ic.computeScheme()
+	}
+	if t, ok := ic.scheme[worker]; ok {
+		delete(ic.scheme, worker)
+		if _, done := ic.job.Completed(t); !done && !ic.job.Touched(worker, t) {
+			if err := ic.job.Assign(worker, t); err == nil {
+				return t, true
+			}
+		}
+	}
+	// Step 3: performance testing for workers the scheme left out.
+	return ic.performanceTest(worker)
+}
+
+// eligible reports whether the worker may be assigned the task under the
+// optional eligibility restriction.
+func (ic *ICrowd) eligible(worker string, taskID int) bool {
+	return ic.cfg.Eligible == nil || ic.cfg.Eligible(worker, taskID)
+}
+
+// requestBestEffort assigns the microtask with the worker's own highest
+// estimated accuracy (the BestEffort ablation of Section 6.3.2).
+func (ic *ICrowd) requestBestEffort(worker string) (int, bool) {
+	best, bestAcc := -1, -1.0
+	for _, t := range ic.job.Uncompleted() {
+		if ic.job.Capacity(t) == 0 || ic.job.Touched(worker, t) || !ic.eligible(worker, t) {
+			continue
+		}
+		if a := ic.est.Accuracy(worker, t); a > bestAcc {
+			best, bestAcc = t, a
+		}
+	}
+	if best < 0 {
+		return ic.performanceTest(worker)
+	}
+	if err := ic.job.Assign(worker, best); err != nil {
+		return 0, false
+	}
+	return best, true
+}
+
+// performanceTest implements Step 3 of Section 4.1: a worker the scheme
+// left out gets a *test* microtask. Globally completed microtasks are the
+// preferred targets — their consensus grades the answer immediately and the
+// extra vote never perturbs the k-vote consensus. If none is eligible the
+// framework falls back to a regular assignment so the job cannot stall.
+func (ic *ICrowd) performanceTest(worker string) (int, bool) {
+	info := ic.workers[worker]
+	var eligible []assign.TestTask
+	for t := 0; t < ic.ds.Len(); t++ {
+		if _, done := ic.job.Completed(t); !done {
+			continue
+		}
+		if ic.job.Touched(worker, t) || !ic.eligible(worker, t) {
+			continue
+		}
+		if _, wasQual := info.qualAnswers[t]; wasQual {
+			continue
+		}
+		var accs []float64
+		for _, v := range ic.job.Votes(t) {
+			accs = append(accs, ic.est.Accuracy(v.Worker, t))
+		}
+		eligible = append(eligible, assign.TestTask{Task: t, AssignedAccuracies: accs})
+	}
+	if t, ok := assign.PerformanceTest(ic.est, worker, eligible); ok {
+		if err := ic.job.AssignTest(worker, t); err == nil {
+			return t, true
+		}
+	}
+	// Fallback: no completed microtask to test with — hand out a regular
+	// assignment on an uncompleted microtask instead.
+	eligible = eligible[:0]
+	for _, t := range ic.job.Uncompleted() {
+		if ic.job.Touched(worker, t) || !ic.eligible(worker, t) {
+			continue
+		}
+		var accs []float64
+		for _, v := range ic.job.Votes(t) {
+			accs = append(accs, ic.est.Accuracy(v.Worker, t))
+		}
+		for _, w := range ic.job.PendingWorkers(t) {
+			accs = append(accs, ic.est.Accuracy(w, t))
+		}
+		eligible = append(eligible, assign.TestTask{Task: t, AssignedAccuracies: accs})
+	}
+	t, ok := assign.PerformanceTest(ic.est, worker, eligible)
+	if !ok {
+		return 0, false
+	}
+	if err := ic.job.Assign(worker, t); err != nil {
+		return 0, false
+	}
+	return t, true
+}
+
+// computeScheme runs Algorithm 2 steps 1-2: top worker sets for every
+// uncompleted microtask with spare capacity, then the greedy optimal
+// assignment, yielding a worker -> task scheme served on request.
+func (ic *ICrowd) computeScheme() {
+	ic.dirty = false
+	ic.scheme = map[string]int{}
+	var active []string
+	for id, info := range ic.workers {
+		if !info.qualified || info.rejected {
+			continue
+		}
+		if _, busy := ic.job.Pending(id); busy {
+			continue
+		}
+		active = append(active, id)
+	}
+	if len(active) == 0 {
+		return
+	}
+	ix := assign.NewIndex(ic.est, active)
+	var cands []assign.CandidateAssignment
+	for _, t := range ic.job.Uncompleted() {
+		kPrime := ic.job.Capacity(t)
+		if kPrime == 0 {
+			continue
+		}
+		tid := t
+		top := ix.TopWorkers(tid, kPrime, func(w string) bool {
+			return ic.job.Touched(w, tid) || !ic.eligible(w, tid)
+		})
+		if len(top) == 0 {
+			continue
+		}
+		// Definition-3 floor: drop below-floor workers from the top set;
+		// keep the unfiltered set when nobody clears the floor so the
+		// microtask still progresses.
+		if ic.cfg.MinAccuracy > 0 {
+			filtered := top[:0:len(top)]
+			for _, c := range top {
+				if c.Accuracy >= ic.cfg.MinAccuracy {
+					filtered = append(filtered, c)
+				}
+			}
+			if len(filtered) > 0 {
+				top = filtered
+			}
+		}
+		cands = append(cands, assign.CandidateAssignment{Task: tid, Workers: top})
+	}
+	for _, a := range assign.Greedy(cands) {
+		for _, c := range a.Workers {
+			ic.scheme[c.Worker] = a.Task
+		}
+	}
+}
+
+// SubmitAnswer implements Strategy. Qualification answers are graded
+// against ground truth; crowd answers feed the job bookkeeping, and when a
+// microtask reaches consensus the estimator observes every voter via
+// Eq. (5) (unless the mode is QF-Only).
+func (ic *ICrowd) SubmitAnswer(worker string, taskID int, ans task.Answer) error {
+	info, ok := ic.workers[worker]
+	if !ok {
+		return fmt.Errorf("core: unknown worker %s", worker)
+	}
+	if info.pendingQual == taskID && info.pendingQual >= 0 {
+		return ic.submitQualification(worker, info, taskID, ans)
+	}
+	if ic.job.PendingTest(worker, taskID) {
+		return ic.submitTest(worker, taskID, ans)
+	}
+	completedNow, consensus, err := ic.job.Submit(worker, taskID, ans)
+	if err != nil {
+		return err
+	}
+	if ic.cfg.Mode != ModeQFOnly {
+		// Observe (or re-observe) every voter against the consensus. Late
+		// votes on already-completed tasks — e.g. from Step-3 performance
+		// tests — refresh everyone's Eq. (5) observation with the larger
+		// vote set and the newest accuracy estimates.
+		if !completedNow {
+			consensus, _ = ic.job.Completed(taskID)
+		}
+		if consensus == task.Yes || consensus == task.No {
+			if err := ic.est.ObserveConsensus(taskID, ic.job.Votes(taskID), consensus); err != nil {
+				return err
+			}
+		}
+	}
+	ic.dirty = true
+	return nil
+}
+
+// submitTest grades a Step-3 test answer against the task's consensus: hard
+// 0/1 when the task was qualification-seeded (requester ground truth, no
+// crowd votes), Eq.-(5)-style soft otherwise.
+func (ic *ICrowd) submitTest(worker string, taskID int, ans task.Answer) error {
+	if _, _, err := ic.job.Submit(worker, taskID, ans); err != nil {
+		return err
+	}
+	if ic.cfg.Mode == ModeQFOnly {
+		return nil // estimation frozen after qualification
+	}
+	consensus, done := ic.job.Completed(taskID)
+	if !done {
+		return nil
+	}
+	votes := ic.job.Votes(taskID)
+	var q float64
+	if len(votes) == 0 {
+		if ans == consensus {
+			q = 1
+		}
+	} else {
+		var pAgree, pDisagree []float64
+		for _, v := range votes {
+			p := ic.est.Accuracy(v.Worker, taskID)
+			if v.Answer == consensus {
+				pAgree = append(pAgree, p)
+			} else {
+				pDisagree = append(pDisagree, p)
+			}
+		}
+		q = estimate.ObservedAccuracy(pAgree, pDisagree, ans == consensus)
+	}
+	if err := ic.est.Observe(worker, taskID, q); err != nil {
+		return err
+	}
+	ic.dirty = true
+	return nil
+}
+
+func (ic *ICrowd) submitQualification(worker string, info *workerInfo, taskID int, ans task.Answer) error {
+	correct, ok := ic.warm.Grade(taskID, ans)
+	if !ok {
+		return fmt.Errorf("core: task %d is not a qualification microtask", taskID)
+	}
+	info.qualAnswers[taskID] = ans
+	info.pendingQual = -1
+	info.qualIdx++
+	if err := ic.est.ObserveQualification(worker, taskID, correct); err != nil {
+		return err
+	}
+	if info.qualIdx >= len(ic.warm.Tasks()) {
+		avg, pass := ic.warm.Evaluate(info.qualAnswers)
+		ic.est.SetBase(worker, avg)
+		if pass {
+			info.qualified = true
+		} else {
+			info.rejected = true
+		}
+		ic.dirty = true
+	}
+	return nil
+}
+
+// WorkerInactive implements Strategy.
+func (ic *ICrowd) WorkerInactive(worker string) {
+	ic.job.Release(worker)
+	if info, ok := ic.workers[worker]; ok {
+		info.pendingQual = -1
+	}
+	delete(ic.scheme, worker)
+	ic.dirty = true
+}
+
+// Done implements Strategy.
+func (ic *ICrowd) Done() bool { return ic.job.Done() }
+
+// Results implements Strategy: majority-vote consensus (Section 2.1).
+func (ic *ICrowd) Results() map[int]task.Answer { return ic.job.MajorityResults() }

@@ -1,0 +1,336 @@
+// Package core implements the iCrowd framework of Figure 1: the Strategy
+// interface every approach (iCrowd and the baselines) exposes to the crowd
+// simulator and to the AMT-style platform, the shared crowdsourcing job
+// bookkeeping (assignments, votes, consensus), and the adaptive iCrowd
+// strategy itself wiring together the Warm-Up component (Section 5), the
+// Accuracy Estimator (Section 3) and the Microtask Assigner (Section 4).
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"icrowd/internal/aggregate"
+	"icrowd/internal/task"
+)
+
+// Strategy is the contract between an assignment approach and the crowd:
+// workers request tasks and submit answers one at a time, exactly like the
+// request/submit loop of the AMT ExternalQuestion integration (Appendix A).
+type Strategy interface {
+	// Name identifies the approach (e.g. "iCrowd", "RandomMV").
+	Name() string
+	// RequestTask picks the next microtask for the requesting worker.
+	// ok is false when the strategy has nothing for this worker (all tasks
+	// completed, worker rejected, or worker already holds a task).
+	RequestTask(worker string) (taskID int, ok bool)
+	// SubmitAnswer records the worker's answer to their pending task.
+	SubmitAnswer(worker string, taskID int, ans task.Answer) error
+	// WorkerInactive tells the strategy a worker left; any pending
+	// assignment is released so remaining tasks cannot deadlock.
+	WorkerInactive(worker string)
+	// Done reports whether every microtask is globally completed.
+	Done() bool
+	// Results returns the aggregated answer per task (the approach's own
+	// aggregation scheme: MV, EM, or probabilistic verification).
+	Results() map[int]task.Answer
+}
+
+// ErrNoPending reports a submission for a task the worker does not hold.
+var ErrNoPending = errors.New("core: worker has no pending assignment for task")
+
+// ErrBusy reports an assignment to a worker already holding a task.
+var ErrBusy = errors.New("core: worker already holds an assignment")
+
+// Job tracks the shared crowdsourcing state: who is assigned what, the votes
+// per microtask, and which tasks reached consensus. All strategies reuse it.
+type Job struct {
+	ds   *task.Dataset
+	k    int
+	need int // votes on one side required for consensus
+
+	votes     map[int][]aggregate.Vote
+	voted     map[int]map[string]bool
+	pendingW  map[string]int          // worker -> task they hold
+	pendingT  map[int]map[string]bool // task -> workers holding it
+	completed map[int]task.Answer
+
+	// Test assignments (Section 4.1 Step 3 / Section 5): answers collected
+	// purely to estimate a worker's accuracy. They never count toward the
+	// k-vote consensus, honoring the Step-2 constraint that a microtask is
+	// assigned to at most its available assignment size.
+	pendingTestW map[string]int
+	testVoted    map[int]map[string]bool
+}
+
+// NewJob creates bookkeeping for assigning ds with assignment size k.
+// The paper uses odd k so majority voting cannot tie; even k is accepted
+// and ties resolve to NO.
+func NewJob(ds *task.Dataset, k int) (*Job, error) {
+	if k < 1 {
+		return nil, errors.New("core: assignment size must be >= 1")
+	}
+	return &Job{
+		ds:           ds,
+		k:            k,
+		need:         k/2 + 1,
+		votes:        map[int][]aggregate.Vote{},
+		voted:        map[int]map[string]bool{},
+		pendingW:     map[string]int{},
+		pendingT:     map[int]map[string]bool{},
+		completed:    map[int]task.Answer{},
+		pendingTestW: map[string]int{},
+		testVoted:    map[int]map[string]bool{},
+	}, nil
+}
+
+// Dataset returns the job's dataset.
+func (j *Job) Dataset() *task.Dataset { return j.ds }
+
+// K returns the assignment size.
+func (j *Job) K() int { return j.k }
+
+// Capacity returns the number of additional workers taskID can take:
+// k minus collected votes minus outstanding assignments. Completed tasks
+// have zero capacity.
+func (j *Job) Capacity(taskID int) int {
+	if _, done := j.completed[taskID]; done {
+		return 0
+	}
+	c := j.k - len(j.votes[taskID]) - len(j.pendingT[taskID])
+	if c < 0 {
+		c = 0
+	}
+	return c
+}
+
+// Touched reports whether the worker has voted on, test-answered, or
+// currently holds taskID (i.e. is in the paper's W^d(t), extended with test
+// exposure so no worker ever sees the same microtask twice).
+func (j *Job) Touched(worker string, taskID int) bool {
+	if j.voted[taskID][worker] || j.testVoted[taskID][worker] {
+		return true
+	}
+	if t, ok := j.pendingTestW[worker]; ok && t == taskID {
+		return true
+	}
+	return j.pendingT[taskID][worker]
+}
+
+// Pending returns the task the worker currently holds (regular or test).
+func (j *Job) Pending(worker string) (int, bool) {
+	if t, ok := j.pendingW[worker]; ok {
+		return t, ok
+	}
+	t, ok := j.pendingTestW[worker]
+	return t, ok
+}
+
+// PendingTest reports whether the worker's pending assignment on taskID is
+// a test assignment.
+func (j *Job) PendingTest(worker string, taskID int) bool {
+	t, ok := j.pendingTestW[worker]
+	return ok && t == taskID
+}
+
+// PendingWorkers returns the workers currently holding taskID, sorted.
+func (j *Job) PendingWorkers(taskID int) []string {
+	out := make([]string, 0, len(j.pendingT[taskID]))
+	for w := range j.pendingT[taskID] {
+		out = append(out, w)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Assign hands taskID to the worker as a regular (consensus-counting)
+// assignment. It enforces the one-task-at-a-time rule and the no-repeat
+// rule; completed tasks cannot take regular assignments.
+func (j *Job) Assign(worker string, taskID int) error {
+	if taskID < 0 || taskID >= j.ds.Len() {
+		return fmt.Errorf("core: task %d out of range", taskID)
+	}
+	if j.busy(worker) {
+		return ErrBusy
+	}
+	if j.Touched(worker, taskID) {
+		return fmt.Errorf("core: worker %s already touched task %d", worker, taskID)
+	}
+	if _, done := j.completed[taskID]; done {
+		return fmt.Errorf("core: task %d already completed", taskID)
+	}
+	j.pendingW[worker] = taskID
+	set, ok := j.pendingT[taskID]
+	if !ok {
+		set = map[string]bool{}
+		j.pendingT[taskID] = set
+	}
+	set[worker] = true
+	return nil
+}
+
+// AssignTest hands taskID to the worker as a test assignment: the answer is
+// used only for accuracy estimation and never counts toward consensus.
+// Unlike Assign, completed tasks are allowed (they are the preferred test
+// targets — their consensus grades the answer immediately).
+func (j *Job) AssignTest(worker string, taskID int) error {
+	if taskID < 0 || taskID >= j.ds.Len() {
+		return fmt.Errorf("core: task %d out of range", taskID)
+	}
+	if j.busy(worker) {
+		return ErrBusy
+	}
+	if j.Touched(worker, taskID) {
+		return fmt.Errorf("core: worker %s already touched task %d", worker, taskID)
+	}
+	j.pendingTestW[worker] = taskID
+	return nil
+}
+
+func (j *Job) busy(worker string) bool {
+	if _, ok := j.pendingW[worker]; ok {
+		return true
+	}
+	_, ok := j.pendingTestW[worker]
+	return ok
+}
+
+// Release drops the worker's pending assignment (worker became inactive).
+func (j *Job) Release(worker string) {
+	if t, ok := j.pendingW[worker]; ok {
+		delete(j.pendingW, worker)
+		delete(j.pendingT[t], worker)
+	}
+	delete(j.pendingTestW, worker)
+}
+
+// Submit records the worker's answer for their pending task. It returns
+// whether the task just reached global completion and, if so, the consensus
+// answer.
+func (j *Job) Submit(worker string, taskID int, ans task.Answer) (completedNow bool, consensus task.Answer, err error) {
+	if ans != task.Yes && ans != task.No {
+		return false, task.None, errors.New("core: answer must be YES or NO")
+	}
+	// Test submissions: record exposure only; the vote never enters the
+	// consensus tally.
+	if t, ok := j.pendingTestW[worker]; ok && t == taskID {
+		delete(j.pendingTestW, worker)
+		set, ok := j.testVoted[taskID]
+		if !ok {
+			set = map[string]bool{}
+			j.testVoted[taskID] = set
+		}
+		set[worker] = true
+		return false, task.None, nil
+	}
+	if t, ok := j.pendingW[worker]; !ok || t != taskID {
+		return false, task.None, ErrNoPending
+	}
+	delete(j.pendingW, worker)
+	delete(j.pendingT[taskID], worker)
+	j.votes[taskID] = append(j.votes[taskID], aggregate.Vote{Worker: worker, Answer: ans})
+	set, ok := j.voted[taskID]
+	if !ok {
+		set = map[string]bool{}
+		j.voted[taskID] = set
+	}
+	set[worker] = true
+
+	if _, done := j.completed[taskID]; done {
+		// Late vote on an already-consensused task (possible when a test
+		// assignment was outstanding at completion time); keep the vote,
+		// no state change.
+		return false, task.None, nil
+	}
+	var yes, no int
+	for _, v := range j.votes[taskID] {
+		if v.Answer == task.Yes {
+			yes++
+		} else {
+			no++
+		}
+	}
+	switch {
+	case yes >= j.need:
+		j.completed[taskID] = task.Yes
+		return true, task.Yes, nil
+	case no >= j.need:
+		j.completed[taskID] = task.No
+		return true, task.No, nil
+	case yes+no >= j.k:
+		// Even k exact tie: resolve to NO deterministically.
+		j.completed[taskID] = task.No
+		return true, task.No, nil
+	}
+	return false, task.None, nil
+}
+
+// ForceComplete marks taskID globally completed with the given answer
+// without any votes. The framework uses it to seed qualification microtasks,
+// whose results come from requester ground truth (Section 5).
+func (j *Job) ForceComplete(taskID int, ans task.Answer) {
+	if taskID < 0 || taskID >= j.ds.Len() {
+		return
+	}
+	j.completed[taskID] = ans
+}
+
+// Votes returns the votes collected for taskID (shared slice; do not
+// mutate).
+func (j *Job) Votes(taskID int) []aggregate.Vote { return j.votes[taskID] }
+
+// AllVotes returns a copy of the vote table keyed by task.
+func (j *Job) AllVotes() map[int][]aggregate.Vote {
+	out := make(map[int][]aggregate.Vote, len(j.votes))
+	for t, vs := range j.votes {
+		out[t] = append([]aggregate.Vote(nil), vs...)
+	}
+	return out
+}
+
+// Completed returns the consensus answer of taskID, if reached.
+func (j *Job) Completed(taskID int) (task.Answer, bool) {
+	a, ok := j.completed[taskID]
+	return a, ok
+}
+
+// NumCompleted returns the number of globally completed tasks.
+func (j *Job) NumCompleted() int { return len(j.completed) }
+
+// Done reports whether every task reached consensus.
+func (j *Job) Done() bool { return len(j.completed) == j.ds.Len() }
+
+// Uncompleted returns the IDs of tasks without consensus, ascending.
+func (j *Job) Uncompleted() []int {
+	var out []int
+	for t := 0; t < j.ds.Len(); t++ {
+		if _, done := j.completed[t]; !done {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// MajorityResults aggregates every task by majority vote: the consensus for
+// completed tasks, the current leading answer otherwise (None if no votes
+// or tied).
+func (j *Job) MajorityResults() map[int]task.Answer {
+	out := make(map[int]task.Answer, j.ds.Len())
+	for t := 0; t < j.ds.Len(); t++ {
+		if a, done := j.completed[t]; done {
+			out[t] = a
+			continue
+		}
+		raw := make([]task.Answer, 0, len(j.votes[t]))
+		for _, v := range j.votes[t] {
+			raw = append(raw, v.Answer)
+		}
+		if a, ok := aggregate.MajorityVote(raw); ok {
+			out[t] = a
+		} else {
+			out[t] = task.None
+		}
+	}
+	return out
+}

@@ -1,0 +1,126 @@
+package core
+
+import (
+	"testing"
+
+	"icrowd/internal/task"
+)
+
+func TestAssignTestLifecycle(t *testing.T) {
+	ds := task.ProductMatching()
+	j, _ := NewJob(ds, 3)
+	// Complete task 0 with two agreeing votes.
+	_ = j.Assign("a", 0)
+	_, _, _ = j.Submit("a", 0, task.No)
+	_ = j.Assign("b", 0)
+	done, _, _ := j.Submit("b", 0, task.No)
+	if !done {
+		t.Fatal("setup: consensus expected")
+	}
+	// Test-assign the completed task to worker c.
+	if err := j.AssignTest("c", 0); err != nil {
+		t.Fatal(err)
+	}
+	if !j.Touched("c", 0) {
+		t.Fatal("pending test should count as touched")
+	}
+	if tid, ok := j.Pending("c"); !ok || tid != 0 {
+		t.Fatalf("Pending = %d %v", tid, ok)
+	}
+	if !j.PendingTest("c", 0) || j.PendingTest("c", 1) {
+		t.Fatal("PendingTest mismatch")
+	}
+	// One task at a time still enforced.
+	if err := j.Assign("c", 1); err != ErrBusy {
+		t.Fatalf("want ErrBusy, got %v", err)
+	}
+	if err := j.AssignTest("c", 1); err != ErrBusy {
+		t.Fatalf("want ErrBusy for second test, got %v", err)
+	}
+	// Submit the test answer: never counts toward consensus.
+	nVotes := len(j.Votes(0))
+	done, _, err := j.Submit("c", 0, task.Yes)
+	if err != nil || done {
+		t.Fatalf("test submit: done=%v err=%v", done, err)
+	}
+	if len(j.Votes(0)) != nVotes {
+		t.Fatal("test vote leaked into the consensus votes")
+	}
+	if !j.Touched("c", 0) {
+		t.Fatal("submitted test should stay touched")
+	}
+	// The worker cannot see the same task again.
+	if err := j.AssignTest("c", 0); err == nil {
+		t.Fatal("re-testing the same task should error")
+	}
+}
+
+func TestAssignTestValidation(t *testing.T) {
+	ds := task.ProductMatching()
+	j, _ := NewJob(ds, 3)
+	if err := j.AssignTest("a", -1); err == nil {
+		t.Fatal("negative task should error")
+	}
+	if err := j.AssignTest("a", 99); err == nil {
+		t.Fatal("out-of-range task should error")
+	}
+	// Test assignments on uncompleted tasks are allowed (the Step-3
+	// fallback uses regular assignments, but the Job API itself permits
+	// testing any untouched task).
+	if err := j.AssignTest("a", 1); err != nil {
+		t.Fatal(err)
+	}
+	// Voted task cannot be test-assigned.
+	_ = j.Assign("b", 2)
+	_, _, _ = j.Submit("b", 2, task.Yes)
+	if err := j.AssignTest("b", 2); err == nil {
+		t.Fatal("voted task should not be test-assignable")
+	}
+}
+
+func TestReleaseDropsTestAssignment(t *testing.T) {
+	ds := task.ProductMatching()
+	j, _ := NewJob(ds, 3)
+	_ = j.AssignTest("a", 0)
+	j.Release("a")
+	if _, ok := j.Pending("a"); ok {
+		t.Fatal("release should clear pending test")
+	}
+	// Releasing makes the worker assignable again, and the untouched task
+	// can be re-tested by them.
+	if err := j.AssignTest("a", 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestForceComplete(t *testing.T) {
+	ds := task.ProductMatching()
+	j, _ := NewJob(ds, 3)
+	j.ForceComplete(4, task.Yes)
+	if a, ok := j.Completed(4); !ok || a != task.Yes {
+		t.Fatal("ForceComplete did not stick")
+	}
+	if j.Capacity(4) != 0 {
+		t.Fatal("forced task should have no capacity")
+	}
+	// Out-of-range is ignored.
+	j.ForceComplete(-1, task.Yes)
+	j.ForceComplete(99, task.Yes)
+	if j.NumCompleted() != 1 {
+		t.Fatalf("NumCompleted = %d", j.NumCompleted())
+	}
+}
+
+func TestRegularAssignRejectsTestTouched(t *testing.T) {
+	ds := task.ProductMatching()
+	j, _ := NewJob(ds, 3)
+	_ = j.AssignTest("a", 1)
+	_, _, _ = j.Submit("a", 1, task.Yes)
+	if err := j.Assign("a", 1); err == nil {
+		t.Fatal("test-answered task must not be regularly assigned to the same worker")
+	}
+	// Other workers are unaffected.
+	if err := j.Assign("b", 1); err != nil {
+		t.Fatal(err)
+	}
+}

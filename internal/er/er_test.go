@@ -1,0 +1,241 @@
+package er
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"icrowd/internal/baseline"
+	"icrowd/internal/core"
+	"icrowd/internal/sim"
+	"icrowd/internal/task"
+)
+
+// productRecords builds a small catalog with known duplicates.
+func productRecords() []Record {
+	return []Record{
+		{ID: "r0", Text: "iphone 4 wifi 32gb", Entity: "iphone4"},
+		{ID: "r1", Text: "iphone four wifi 32gb", Entity: "iphone4"},
+		{ID: "r2", Text: "iphone 4 case black", Entity: "iphone4case"},
+		{ID: "r3", Text: "ipad 3 wifi 32gb", Entity: "ipad3"},
+		{ID: "r4", Text: "new ipad wifi 32gb", Entity: "ipad3"},
+		{ID: "r5", Text: "ipad retina display wifi", Entity: "ipad4"},
+		{ID: "r6", Text: "ipod touch 32gb wifi", Entity: "ipodtouch"},
+		{ID: "r7", Text: "ipod touch music player 32gb wifi", Entity: "ipodtouch"},
+	}
+}
+
+func TestNewJobBlocking(t *testing.T) {
+	job, err := NewJob(productRecords(), BlockingConfig{MinSim: 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := job.Dataset()
+	if err := ds.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if ds.Len() != len(job.Pairs()) {
+		t.Fatal("one microtask per pair expected")
+	}
+	// The true duplicate pairs must survive blocking.
+	want := map[[2]int]bool{{0, 1}: true, {3, 4}: true, {6, 7}: true}
+	found := 0
+	for _, p := range job.Pairs() {
+		if want[[2]int{p.I, p.J}] {
+			found++
+		}
+	}
+	if found != len(want) {
+		t.Fatalf("blocking kept %d of %d true pairs", found, len(want))
+	}
+	// Ground truth flows from entity labels.
+	for tid, p := range job.Pairs() {
+		same := job.Records()[p.I].Entity == job.Records()[p.J].Entity
+		truth := ds.Tasks[tid].Truth == task.Yes
+		if same != truth {
+			t.Fatalf("pair (%d,%d): truth mismatch", p.I, p.J)
+		}
+	}
+}
+
+func TestNewJobValidation(t *testing.T) {
+	if _, err := NewJob(nil, BlockingConfig{}); err == nil {
+		t.Fatal("empty records should error")
+	}
+	if _, err := NewJob([]Record{{ID: "a", Text: "x"}}, BlockingConfig{}); err == nil {
+		t.Fatal("single record should error")
+	}
+	recs := []Record{{ID: "a", Text: "alpha beta"}, {ID: "b", Text: "...."}}
+	if _, err := NewJob(recs, BlockingConfig{}); err == nil {
+		t.Fatal("tokenless record should error")
+	}
+	far := []Record{{ID: "a", Text: "alpha beta"}, {ID: "b", Text: "gamma delta"}}
+	if _, err := NewJob(far, BlockingConfig{MinSim: 0.9}); err == nil {
+		t.Fatal("no candidate pairs should error")
+	}
+	// MaxPairs caps the workload, keeping the most similar pairs.
+	job, err := NewJob(productRecords(), BlockingConfig{MinSim: 0.1, MaxPairs: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if job.Dataset().Len() != 4 {
+		t.Fatalf("MaxPairs ignored: %d tasks", job.Dataset().Len())
+	}
+	for i := 1; i < len(job.Pairs()); i++ {
+		if job.Pairs()[i-1].Sim < job.Pairs()[i].Sim {
+			t.Fatal("kept pairs not the most similar")
+		}
+	}
+}
+
+func TestResolveTransitiveClosure(t *testing.T) {
+	// Oracle strategy: answer every microtask with its ground truth.
+	job, err := NewJob(productRecords(), BlockingConfig{MinSim: 0.25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := job.Dataset()
+	st, err := baseline.NewRandomMV(ds, 1, nil, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for !st.Done() {
+		tid, ok := st.RequestTask("oracle")
+		if !ok {
+			break
+		}
+		if err := st.SubmitAnswer("oracle", tid, ds.Tasks[tid].Truth); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res := job.Resolve(st)
+	m := job.Evaluate(res)
+	if m.Precision != 1 || m.Recall != 1 || m.F1 != 1 {
+		t.Fatalf("oracle resolution not perfect: %s", m)
+	}
+	// Clusters: {0,1}, {2}, {3,4}, {5}, {6,7}.
+	if len(res.Clusters) != 5 {
+		t.Fatalf("clusters = %v", res.Clusters)
+	}
+	if !strings.Contains(m.String(), "f1=1.000") {
+		t.Fatalf("metrics string: %s", m)
+	}
+}
+
+func TestResolveWithNoisyCrowd(t *testing.T) {
+	// Full pipeline: ER job resolved by iCrowd over a simulated crowd.
+	job, err := NewJob(productRecords(), BlockingConfig{MinSim: 0.25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := job.Dataset()
+	basis, err := core.BuildBasis(ds, "Jaccard", 0.3, 0, 1.0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := core.DefaultConfig()
+	cfg.Q = 2
+	// With only two qualification microtasks the default 0.6 threshold
+	// demands a perfect score; relax it so a small honest crowd stays
+	// large enough to complete every pair.
+	cfg.WarmupThreshold = 0.45
+	ic, err := core.New(ds, basis, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A reliable crowd: the test verifies the pipeline, not crowd quality.
+	pool := make([]sim.Profile, 10)
+	for i := range pool {
+		accs := map[string]float64{}
+		for _, d := range ds.Domains {
+			accs[d] = 0.9
+		}
+		pool[i] = sim.Profile{ID: fmt.Sprintf("W%02d", i), DomainAcc: accs}
+	}
+	resRun, err := sim.Run(ic, ds, pool, sim.RunOptions{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resRun.Completed {
+		t.Fatal("crowd run did not complete")
+	}
+	res := job.Resolve(ic)
+	m := job.Evaluate(res)
+	if m.F1 < 0.4 {
+		t.Fatalf("noisy-crowd F1 %v implausibly low", m.F1)
+	}
+	// Every record appears in exactly one cluster.
+	seen := map[int]bool{}
+	for _, c := range res.Clusters {
+		for _, r := range c {
+			if seen[r] {
+				t.Fatal("record in two clusters")
+			}
+			seen[r] = true
+		}
+	}
+	if len(seen) != len(job.Records()) {
+		t.Fatal("clusters do not cover all records")
+	}
+}
+
+func TestEvaluateSkipsUnlabeled(t *testing.T) {
+	recs := []Record{
+		{ID: "a", Text: "acme anvil heavy", Entity: "anvil"},
+		{ID: "b", Text: "acme anvil heavy duty", Entity: "anvil"},
+		{ID: "c", Text: "acme anvil extra"}, // unlabeled
+	}
+	job, err := NewJob(recs, BlockingConfig{MinSim: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := job.Dataset()
+	st, _ := baseline.NewRandomMV(ds, 1, nil, 1)
+	for !st.Done() {
+		tid, ok := st.RequestTask("o")
+		if !ok {
+			break
+		}
+		_ = st.SubmitAnswer("o", tid, ds.Tasks[tid].Truth)
+	}
+	m := job.Evaluate(job.Resolve(st))
+	// Only the (a,b) labeled pair counts.
+	if m.TruePairs != 1 {
+		t.Fatalf("TruePairs = %d, want 1", m.TruePairs)
+	}
+}
+
+func TestBlockingScalesWithRandomCatalog(t *testing.T) {
+	// Property-ish: blocking never emits a pair below the threshold, and
+	// the pair list is deduplicated with I < J.
+	rng := rand.New(rand.NewSource(9))
+	words := []string{"alpha", "beta", "gamma", "delta", "epsilon", "zeta", "eta", "theta"}
+	var recs []Record
+	for i := 0; i < 40; i++ {
+		var sb strings.Builder
+		for w := 0; w < 4; w++ {
+			sb.WriteString(words[rng.Intn(len(words))])
+			sb.WriteByte(' ')
+		}
+		recs = append(recs, Record{ID: strings.Repeat("r", i+1), Text: sb.String()})
+	}
+	job, err := NewJob(recs, BlockingConfig{MinSim: 0.5})
+	if err != nil {
+		t.Skip("no pairs at this threshold for this seed")
+	}
+	seen := map[[2]int]bool{}
+	for _, p := range job.Pairs() {
+		if p.I >= p.J {
+			t.Fatal("pair not normalized")
+		}
+		if p.Sim < 0.5 {
+			t.Fatalf("pair below threshold: %v", p.Sim)
+		}
+		key := [2]int{p.I, p.J}
+		if seen[key] {
+			t.Fatal("duplicate pair")
+		}
+		seen[key] = true
+	}
+}

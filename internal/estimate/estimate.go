@@ -1,0 +1,322 @@
+// Package estimate implements Section 3 of the paper: the observed-accuracy
+// model of Eq. (5) and the graph-based similarity estimation of worker
+// accuracies (Algorithm 1).
+//
+// Per Lemma 3, the estimator combines precomputed personalized-PageRank
+// basis vectors p_{t_i} linearly with the observed accuracies q^w. On top of
+// the paper's raw combination this implementation normalizes by the total
+// observation mass reaching each task and shrinks toward the worker's
+// warm-up base accuracy:
+//
+//	p_i^w = (sum_j q_j p_{t_j}(i) + lambda * base_w) / (sum_j p_{t_j}(i) + lambda)
+//
+// The normalization keeps estimates interpretable as probabilities in [0, 1]
+// regardless of how many completed microtasks overlap a region, and the
+// shrinkage realizes the paper's rule that "when estimating q^w for the
+// first time, we use the average accuracy returned by the Warm-Up component
+// as an estimate" — with zero graph evidence, p_i^w is exactly base_w. Both
+// numerator and denominator are plain Lemma-3 linear combinations, so the
+// O(|completed| * nnz) online cost and the support/influence semantics of
+// Section 5 are unchanged. The raw combination remains available via
+// RawCombine for verification against the closed form.
+package estimate
+
+import (
+	"errors"
+	"sort"
+
+	"icrowd/internal/aggregate"
+	"icrowd/internal/ppr"
+	"icrowd/internal/stats"
+	"icrowd/internal/task"
+)
+
+// DefaultLambda is the shrinkage weight toward the warm-up base accuracy.
+const DefaultLambda = 0.5
+
+// DefaultBase is the accuracy prior for workers with no warm-up information.
+const DefaultBase = 0.5
+
+// Estimator tracks per-worker observations and produces accuracy estimates.
+type Estimator struct {
+	basis  *ppr.Basis
+	lambda float64
+	ws     map[string]*workerState
+	// support[taskID] = workers with nonzero observation mass on the task,
+	// the index behind instant top-worker computation (Section 4.1).
+	support map[int]map[string]bool
+}
+
+type workerState struct {
+	base     float64
+	observed map[int]float64 // task -> q_i^w
+	num      map[int]float64 // sum_j q_j p_{t_j}(i)
+	den      map[int]float64 // sum_j p_{t_j}(i)
+}
+
+// New creates an estimator over the precomputed basis. lambda <= 0 falls
+// back to DefaultLambda.
+func New(basis *ppr.Basis, lambda float64) *Estimator {
+	if lambda <= 0 {
+		lambda = DefaultLambda
+	}
+	return &Estimator{
+		basis:   basis,
+		lambda:  lambda,
+		ws:      make(map[string]*workerState),
+		support: make(map[int]map[string]bool),
+	}
+}
+
+// NumTasks returns the number of tasks covered by the basis.
+func (e *Estimator) NumTasks() int { return e.basis.N() }
+
+// EnsureWorker registers a worker with the given warm-up base accuracy if
+// unknown; it returns whether the worker was newly added.
+func (e *Estimator) EnsureWorker(id string, base float64) bool {
+	if _, ok := e.ws[id]; ok {
+		return false
+	}
+	e.ws[id] = &workerState{
+		base:     stats.Clamp01(base),
+		observed: map[int]float64{},
+		num:      map[int]float64{},
+		den:      map[int]float64{},
+	}
+	return true
+}
+
+// SetBase updates a worker's warm-up base accuracy.
+func (e *Estimator) SetBase(id string, base float64) {
+	e.EnsureWorker(id, base)
+	e.ws[id].base = stats.Clamp01(base)
+}
+
+// Base returns the worker's warm-up base accuracy (DefaultBase if unknown).
+func (e *Estimator) Base(id string) float64 {
+	if w, ok := e.ws[id]; ok {
+		return w.base
+	}
+	return DefaultBase
+}
+
+// Known reports whether the worker has been registered.
+func (e *Estimator) Known(id string) bool {
+	_, ok := e.ws[id]
+	return ok
+}
+
+// Workers returns all registered worker IDs, sorted.
+func (e *Estimator) Workers() []string {
+	out := make([]string, 0, len(e.ws))
+	for id := range e.ws {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Observe records observed accuracy q for worker id on a globally completed
+// microtask, updating the cached combination incrementally. Re-observing a
+// task replaces the previous value.
+func (e *Estimator) Observe(id string, taskID int, q float64) error {
+	if taskID < 0 || taskID >= e.basis.N() {
+		return errors.New("estimate: task out of range")
+	}
+	q = stats.Clamp01(q)
+	e.EnsureWorker(id, DefaultBase)
+	w := e.ws[id]
+	vec := e.basis.Vec(taskID)
+	if old, ok := w.observed[taskID]; ok {
+		delta := q - old
+		if delta != 0 {
+			for t, p := range vec {
+				w.num[t] += delta * p
+			}
+		}
+	} else {
+		for t, p := range vec {
+			w.num[t] += q * p
+			w.den[t] += p
+			set, ok := e.support[t]
+			if !ok {
+				set = map[string]bool{}
+				e.support[t] = set
+			}
+			set[id] = true
+		}
+	}
+	w.observed[taskID] = q
+	return nil
+}
+
+// ObserveQualification records a qualification outcome: q_i^w is 1 for a
+// correct answer and 0 otherwise (Section 3.2, trivial case).
+func (e *Estimator) ObserveQualification(id string, taskID int, correct bool) error {
+	q := 0.0
+	if correct {
+		q = 1.0
+	}
+	return e.Observe(id, taskID, q)
+}
+
+// ObservedAccuracy evaluates Eq. (5): the probability that a worker's answer
+// on a consensus-completed microtask is correct. pAgree are the current
+// accuracy estimates of the workers who voted with the consensus (W1),
+// pDisagree of those who voted against it (W2), and agrees tells whether the
+// worker in question voted with the consensus.
+func ObservedAccuracy(pAgree, pDisagree []float64, agrees bool) float64 {
+	p1, p1bar := productPair(pAgree)
+	p2, p2bar := productPair(pDisagree)
+	num := p1 * p2bar // consensus correct
+	alt := p1bar * p2 // consensus incorrect
+	den := num + alt
+	if den == 0 {
+		return 0.5
+	}
+	if agrees {
+		return num / den
+	}
+	return alt / den
+}
+
+func productPair(ps []float64) (prod, prodBar float64) {
+	prod, prodBar = 1, 1
+	for _, p := range ps {
+		// Clamp away from {0,1}: a single certain worker must not zero out
+		// the whole product (the paper's estimates never reach 0/1 either,
+		// as they come from the smoothed graph model).
+		const eps = 0.02
+		if p < eps {
+			p = eps
+		}
+		if p > 1-eps {
+			p = 1 - eps
+		}
+		prod *= p
+		prodBar *= 1 - p
+	}
+	return prod, prodBar
+}
+
+// ObserveConsensus applies Eq. (5) to every voter of a microtask that just
+// reached the consensus answer, recording each voter's observed accuracy.
+func (e *Estimator) ObserveConsensus(taskID int, votes []aggregate.Vote, consensus task.Answer) error {
+	if consensus != task.Yes && consensus != task.No {
+		return errors.New("estimate: consensus must be a binary answer")
+	}
+	var pAgree, pDisagree []float64
+	for _, v := range votes {
+		p := e.Accuracy(v.Worker, taskID)
+		if v.Answer == consensus {
+			pAgree = append(pAgree, p)
+		} else {
+			pDisagree = append(pDisagree, p)
+		}
+	}
+	for _, v := range votes {
+		q := ObservedAccuracy(pAgree, pDisagree, v.Answer == consensus)
+		if err := e.Observe(v.Worker, taskID, q); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Accuracy returns the estimated accuracy p_i^w of worker id on taskID.
+// Unregistered workers estimate at DefaultBase.
+func (e *Estimator) Accuracy(id string, taskID int) float64 {
+	w, ok := e.ws[id]
+	if !ok {
+		return DefaultBase
+	}
+	num := w.num[taskID]
+	den := w.den[taskID]
+	return stats.Clamp01((num + e.lambda*w.base) / (den + e.lambda))
+}
+
+// Mass returns the total observation mass sum_j p_{t_j}(taskID) that worker
+// id's completed microtasks project onto taskID — the graph-evidence weight
+// behind the estimate.
+func (e *Estimator) Mass(id string, taskID int) float64 {
+	if w, ok := e.ws[id]; ok {
+		return w.den[taskID]
+	}
+	return 0
+}
+
+// EffectiveCounts converts the observation mass on taskID into effective
+// correct/incorrect counts (N1, N0) for the Step-3 Beta-variance test. The
+// restart probability alpha/(1+alpha) is the mass one observation deposits
+// on itself, so dividing by it calibrates "one completed microtask at the
+// seed" to one effective count.
+func (e *Estimator) EffectiveCounts(id string, taskID int) (n1, n0 float64) {
+	w, ok := e.ws[id]
+	if !ok {
+		return 0, 0
+	}
+	o := e.basis.Options()
+	restart := o.Alpha / (1 + o.Alpha)
+	num := w.num[taskID] / restart
+	den := w.den[taskID] / restart
+	if num < 0 {
+		num = 0
+	}
+	if num > den {
+		num = den
+	}
+	return num, den - num
+}
+
+// Uncertainty returns the Step-3 estimation variance for worker id on
+// taskID: the variance of Beta(N1+1, N0+1) over the effective counts.
+func (e *Estimator) Uncertainty(id string, taskID int) float64 {
+	n1, n0 := e.EffectiveCounts(id, taskID)
+	return stats.UncertaintyVariance(n1, n0)
+}
+
+// Observed returns a copy of the worker's observed accuracies q^w.
+func (e *Estimator) Observed(id string) map[int]float64 {
+	w, ok := e.ws[id]
+	if !ok {
+		return nil
+	}
+	out := make(map[int]float64, len(w.observed))
+	for k, v := range w.observed {
+		out[k] = v
+	}
+	return out
+}
+
+// HasObserved reports whether worker id has an observation on taskID.
+func (e *Estimator) HasObserved(id string, taskID int) bool {
+	w, ok := e.ws[id]
+	if !ok {
+		return false
+	}
+	_, ok = w.observed[taskID]
+	return ok
+}
+
+// SupportWorkers returns the workers with nonzero observation mass on
+// taskID, sorted — the candidate set the top-worker index consults before
+// falling back to base-accuracy order.
+func (e *Estimator) SupportWorkers(taskID int) []string {
+	set := e.support[taskID]
+	out := make([]string, 0, len(set))
+	for id := range set {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// RawCombine returns the paper's unnormalized Lemma-3 combination
+// sum_j q_j p_{t_j} for worker id, for verification against ppr.DenseSolve.
+func (e *Estimator) RawCombine(id string) map[int]float64 {
+	w, ok := e.ws[id]
+	if !ok {
+		return nil
+	}
+	return e.basis.Combine(w.observed)
+}

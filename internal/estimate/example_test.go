@@ -1,0 +1,39 @@
+package estimate_test
+
+import (
+	"fmt"
+
+	"icrowd/internal/estimate"
+	"icrowd/internal/ppr"
+	"icrowd/internal/simgraph"
+	"icrowd/internal/task"
+)
+
+// Example reproduces the paper's Section-3 running example: a worker
+// answers t1 (iPhone) correctly and t2 (iPod), t3 (iPad) incorrectly, and
+// the graph-based estimator infers her accuracies on the remaining
+// microtasks.
+func Example() {
+	ds := task.ProductMatching()
+	g, err := simgraph.Build(ds.Len(), simgraph.JaccardMetric(ds), 0.5, 0)
+	if err != nil {
+		panic(err)
+	}
+	basis, err := ppr.Precompute(g, ppr.DefaultOptions())
+	if err != nil {
+		panic(err)
+	}
+	est := estimate.New(basis, estimate.DefaultLambda)
+	est.EnsureWorker("w", 0.6)
+	_ = est.ObserveQualification("w", 0, true)  // t1 correct
+	_ = est.ObserveQualification("w", 1, false) // t2 wrong
+	_ = est.ObserveQualification("w", 2, false) // t3 wrong
+
+	p4 := est.Accuracy("w", 3) // t4: iPhone, similar to t1
+	p8 := est.Accuracy("w", 7) // t8: iPod, similar to t2
+	fmt.Printf("iPhone task estimate above base: %v\n", p4 > 0.6)
+	fmt.Printf("iPod task estimate below base:   %v\n", p8 < 0.6)
+	// Output:
+	// iPhone task estimate above base: true
+	// iPod task estimate below base:   true
+}

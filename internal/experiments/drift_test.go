@@ -1,0 +1,24 @@
+package experiments
+
+import "testing"
+
+func TestExtDriftRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration experiment")
+	}
+	opt := fastOpt()
+	opt.Repeats = 2
+	res, err := ExtDrift(DatasetYahooQA, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, mode := range []string{"QF-Only", "Adapt"} {
+		a := res.Acc[mode]["ALL"]
+		if a <= 0.3 || a > 1 {
+			t.Fatalf("%s accuracy %v implausible", mode, a)
+		}
+	}
+	if len(res.Table.Rows) != 2 {
+		t.Fatalf("rows = %d", len(res.Table.Rows))
+	}
+}

@@ -1,0 +1,287 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// fastOpt keeps the integration experiments quick in go test.
+func fastOpt() Options {
+	return Options{Seed: 1, Repeats: 1}
+}
+
+func TestTableString(t *testing.T) {
+	tb := &Table{Title: "T", Header: []string{"a", "bb"}}
+	tb.AddRow("xxx", "y")
+	s := tb.String()
+	if !strings.Contains(s, "T\n") || !strings.Contains(s, "xxx") {
+		t.Fatalf("bad render:\n%s", s)
+	}
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	if len(lines) != 4 { // title, header, rule, row
+		t.Fatalf("expected 4 lines, got %d:\n%s", len(lines), s)
+	}
+}
+
+func TestLoadDataset(t *testing.T) {
+	for _, name := range Datasets {
+		ds, pool, err := LoadDataset(name, 1, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := ds.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		if name == DatasetYahooQA && len(pool) != 25 {
+			t.Fatalf("YahooQA pool = %d", len(pool))
+		}
+		if name == DatasetItemCompare {
+			if len(pool) != 53 {
+				t.Fatalf("ItemCompare pool = %d", len(pool))
+			}
+			for i := range pool {
+				if pool[i].DomainAcc["Auto"] > 0.76 {
+					t.Fatal("Auto cap not applied")
+				}
+			}
+		}
+	}
+	if _, _, err := LoadDataset("bogus", 1, 0); err == nil {
+		t.Fatal("unknown dataset should error")
+	}
+	// Worker override.
+	_, pool, _ := LoadDataset(DatasetYahooQA, 1, 7)
+	if len(pool) != 7 {
+		t.Fatalf("override pool = %d", len(pool))
+	}
+}
+
+func TestTable4(t *testing.T) {
+	tb := Table4(1)
+	if len(tb.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	if tb.Rows[0][1] != "110" || tb.Rows[1][1] != "360" {
+		t.Fatalf("task counts wrong: %v", tb.Rows)
+	}
+	if tb.Rows[0][2] != "6" || tb.Rows[1][2] != "4" {
+		t.Fatalf("domain counts wrong: %v", tb.Rows)
+	}
+}
+
+func TestFig6ShowsDiversity(t *testing.T) {
+	res, err := Fig6(DatasetItemCompare, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Acc) == 0 {
+		t.Fatal("no prolific workers found")
+	}
+	// At least one worker should show the paper's diversity: good in one
+	// domain, much weaker in another.
+	diverse := false
+	for _, domAcc := range res.Acc {
+		var hi, lo float64 = 0, 1
+		for _, a := range domAcc {
+			if a > hi {
+				hi = a
+			}
+			if a < lo {
+				lo = a
+			}
+		}
+		if hi >= 0.75 && hi-lo >= 0.25 {
+			diverse = true
+		}
+	}
+	if !diverse {
+		t.Fatal("no diverse worker in Figure 6 output")
+	}
+	if res.Table == nil || len(res.Table.Rows) != len(res.Acc) {
+		t.Fatal("table mismatch")
+	}
+}
+
+func TestFig7Runs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration experiment")
+	}
+	opt := fastOpt()
+	res, err := Fig7(DatasetYahooQA, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, qs := range []string{"RandomQF", "InfQF"} {
+		a := res.Acc[qs]["ALL"]
+		if a <= 0.3 || a > 1 {
+			t.Fatalf("%s ALL accuracy %v implausible", qs, a)
+		}
+	}
+	if len(res.Table.Rows) != 2 {
+		t.Fatalf("rows = %d", len(res.Table.Rows))
+	}
+}
+
+func TestFig8Ordering(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration experiment")
+	}
+	opt := fastOpt()
+	opt.Repeats = 2
+	res, err := Fig8(DatasetItemCompare, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	adapt := res.Acc["Adapt"]["ALL"]
+	qf := res.Acc["QF-Only"]["ALL"]
+	if adapt < qf-0.05 {
+		t.Fatalf("Adapt (%v) should not trail QF-Only (%v) badly", adapt, qf)
+	}
+	if len(res.Table.Rows) != 3 {
+		t.Fatalf("rows = %d", len(res.Table.Rows))
+	}
+}
+
+func TestFig9Ordering(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration experiment")
+	}
+	opt := fastOpt()
+	opt.Repeats = 2
+	res, err := Fig9(DatasetItemCompare, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ic := res.Acc["iCrowd"]["ALL"]
+	for _, b := range []string{"RandomMV", "RandomEM", "AvgAccPV"} {
+		if a := res.Acc[b]["ALL"]; a <= 0.3 || a > 1 {
+			t.Fatalf("%s accuracy %v implausible", b, a)
+		}
+	}
+	// The headline result: iCrowd at least matches the best baseline
+	// (allowing small slack for simulation noise at low repeat counts).
+	best := 0.0
+	for _, b := range []string{"RandomMV", "RandomEM", "AvgAccPV"} {
+		if a := res.Acc[b]["ALL"]; a > best {
+			best = a
+		}
+	}
+	if ic < best-0.03 {
+		t.Fatalf("iCrowd (%v) trails best baseline (%v)", ic, best)
+	}
+}
+
+func TestFig10Scales(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration experiment")
+	}
+	res, err := Fig10([]int{5000, 10000}, []int{10, 20}, 30, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range []int{10, 20} {
+		for _, n := range []int{5000, 10000} {
+			if res.Elapsed[m][n] <= 0 {
+				t.Fatalf("no elapsed time for m=%d n=%d", m, n)
+			}
+		}
+	}
+	if len(res.Table.Rows) != 2 {
+		t.Fatalf("rows = %d", len(res.Table.Rows))
+	}
+}
+
+func TestFig12Runs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration experiment")
+	}
+	opt := fastOpt()
+	res, err := Fig12([]float64{0.25, 0.6}, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Acc) != 3 {
+		t.Fatalf("measures = %d", len(res.Acc))
+	}
+	for m, vals := range res.Acc {
+		for th, a := range vals {
+			if a <= 0.3 || a > 1 {
+				t.Fatalf("%s %s accuracy %v implausible", m, th, a)
+			}
+		}
+	}
+}
+
+func TestFig13Runs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration experiment")
+	}
+	opt := fastOpt()
+	res, err := Fig13([]float64{0.1, 1, 100}, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Acc["Adapt"]) != 3 {
+		t.Fatalf("alphas = %d", len(res.Acc["Adapt"]))
+	}
+}
+
+func TestFig14Runs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration experiment")
+	}
+	opt := fastOpt()
+	res, err := Fig14([]int{1, 3}, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Redundancy helps: for the adaptive approach, k=3 should not be much
+	// worse than k=1.
+	if res.Acc["iCrowd"]["k=3"] < res.Acc["iCrowd"]["k=1"]-0.08 {
+		t.Fatalf("k=3 (%v) much worse than k=1 (%v)",
+			res.Acc["iCrowd"]["k=3"], res.Acc["iCrowd"]["k=1"])
+	}
+}
+
+func TestTable5SmallErrors(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration experiment")
+	}
+	opt := fastOpt()
+	opt.Repeats = 2
+	res, err := Table5([]int{3, 5, 7}, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for nw, e := range res.ErrorPct {
+		if e < 0 || e > 10 {
+			t.Fatalf("error for %d workers = %v%%, outside the near-optimal regime", nw, e)
+		}
+	}
+}
+
+func TestFig15TopHeavy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration experiment")
+	}
+	res, err := Fig15(fastOpt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Total <= 0 {
+		t.Fatal("no assignments")
+	}
+	if len(res.TopShare) == 0 {
+		t.Fatal("no top workers")
+	}
+	// Cumulative share is non-decreasing and ends high: the paper reports
+	// the top 15 workers completing 84% of all assignments.
+	for i := 1; i < len(res.TopShare); i++ {
+		if res.TopShare[i] < res.TopShare[i-1] {
+			t.Fatal("cumulative share decreased")
+		}
+	}
+	if last := res.TopShare[len(res.TopShare)-1]; last < 0.5 {
+		t.Fatalf("top-15 share %v suspiciously low", last)
+	}
+}

@@ -1,0 +1,43 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func sampleTable() *Table {
+	t := &Table{Title: "Sample", Header: []string{"name", "value"}}
+	t.AddRow("plain", "1")
+	t.AddRow(`with,comma`, `with"quote`)
+	return t
+}
+
+func TestTableCSV(t *testing.T) {
+	got := sampleTable().CSV()
+	want := "# Sample\nname,value\nplain,1\n\"with,comma\",\"with\"\"quote\"\n"
+	if got != want {
+		t.Fatalf("CSV:\n%q\nwant\n%q", got, want)
+	}
+}
+
+func TestTableMarkdown(t *testing.T) {
+	got := sampleTable().Markdown()
+	if !strings.HasPrefix(got, "### Sample\n\n| name | value |\n|---|---|\n") {
+		t.Fatalf("Markdown header wrong:\n%s", got)
+	}
+	if !strings.Contains(got, "| plain | 1 |") {
+		t.Fatalf("Markdown row missing:\n%s", got)
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tb := sampleTable()
+	for _, f := range []string{"", "text", "csv", "markdown", "md"} {
+		if _, err := tb.Render(f); err != nil {
+			t.Fatalf("format %q: %v", f, err)
+		}
+	}
+	if _, err := tb.Render("xml"); err == nil {
+		t.Fatal("unknown format should error")
+	}
+}

@@ -1,0 +1,198 @@
+// Package lda implements Latent Dirichlet Allocation via collapsed Gibbs
+// sampling. iCrowd uses LDA topic distributions to compute the Cos(topic)
+// microtask similarity that Appendix D.1 reports as the best-performing
+// similarity measure (threshold 0.8).
+package lda
+
+import (
+	"errors"
+	"math/rand"
+	"sort"
+
+	"icrowd/internal/textsim"
+)
+
+// Config holds LDA hyperparameters.
+type Config struct {
+	// Topics is the number of latent topics K (must be >= 1).
+	Topics int
+	// Alpha is the symmetric Dirichlet prior on document-topic mixtures.
+	Alpha float64
+	// Beta is the symmetric Dirichlet prior on topic-word distributions.
+	Beta float64
+	// Iterations is the number of Gibbs sweeps over the corpus.
+	Iterations int
+	// Seed drives the sampler; equal seeds give identical models.
+	Seed int64
+}
+
+// DefaultConfig returns sensible hyperparameters for microtask corpora
+// (hundreds of short documents): K topics, alpha = 50/K, beta = 0.01,
+// 200 sweeps.
+func DefaultConfig(topics int, seed int64) Config {
+	return Config{
+		Topics:     topics,
+		Alpha:      50.0 / float64(topics),
+		Beta:       0.01,
+		Iterations: 200,
+		Seed:       seed,
+	}
+}
+
+// Model is a trained LDA model.
+type Model struct {
+	cfg      Config
+	vocab    map[string]int
+	words    []string
+	theta    [][]float64 // per-document topic distribution
+	phi      [][]float64 // per-topic word distribution
+	numDocs  int
+	numWords int
+}
+
+// ErrBadConfig reports invalid hyperparameters or an empty corpus.
+var ErrBadConfig = errors.New("lda: invalid config or empty corpus")
+
+// Train runs collapsed Gibbs sampling over the tokenized corpus and returns
+// the fitted model. Documents may be empty; they receive the uniform topic
+// distribution.
+func Train(corpus [][]string, cfg Config) (*Model, error) {
+	if cfg.Topics < 1 || cfg.Alpha <= 0 || cfg.Beta <= 0 || cfg.Iterations < 1 || len(corpus) == 0 {
+		return nil, ErrBadConfig
+	}
+	m := &Model{cfg: cfg, vocab: map[string]int{}, numDocs: len(corpus)}
+	docs := make([][]int, len(corpus))
+	for d, doc := range corpus {
+		ids := make([]int, len(doc))
+		for i, w := range doc {
+			id, ok := m.vocab[w]
+			if !ok {
+				id = len(m.words)
+				m.vocab[w] = id
+				m.words = append(m.words, w)
+			}
+			ids[i] = id
+		}
+		docs[d] = ids
+	}
+	m.numWords = len(m.words)
+	if m.numWords == 0 {
+		return nil, ErrBadConfig
+	}
+
+	k := cfg.Topics
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	ndk := make([][]int, len(docs)) // doc-topic counts
+	nkw := make([][]int, k)         // topic-word counts
+	nk := make([]int, k)            // topic totals
+	z := make([][]int, len(docs))   // topic assignment per token
+	for t := 0; t < k; t++ {
+		nkw[t] = make([]int, m.numWords)
+	}
+	for d, doc := range docs {
+		ndk[d] = make([]int, k)
+		z[d] = make([]int, len(doc))
+		for i, w := range doc {
+			t := rng.Intn(k)
+			z[d][i] = t
+			ndk[d][t]++
+			nkw[t][w]++
+			nk[t]++
+		}
+	}
+
+	probs := make([]float64, k)
+	vBeta := float64(m.numWords) * cfg.Beta
+	for iter := 0; iter < cfg.Iterations; iter++ {
+		for d, doc := range docs {
+			for i, w := range doc {
+				old := z[d][i]
+				ndk[d][old]--
+				nkw[old][w]--
+				nk[old]--
+				var sum float64
+				for t := 0; t < k; t++ {
+					p := (float64(ndk[d][t]) + cfg.Alpha) *
+						(float64(nkw[t][w]) + cfg.Beta) /
+						(float64(nk[t]) + vBeta)
+					probs[t] = p
+					sum += p
+				}
+				u := rng.Float64() * sum
+				next := k - 1
+				var acc float64
+				for t := 0; t < k; t++ {
+					acc += probs[t]
+					if u < acc {
+						next = t
+						break
+					}
+				}
+				z[d][i] = next
+				ndk[d][next]++
+				nkw[next][w]++
+				nk[next]++
+			}
+		}
+	}
+
+	// Posterior means.
+	m.theta = make([][]float64, len(docs))
+	for d, doc := range docs {
+		m.theta[d] = make([]float64, k)
+		denom := float64(len(doc)) + float64(k)*cfg.Alpha
+		for t := 0; t < k; t++ {
+			m.theta[d][t] = (float64(ndk[d][t]) + cfg.Alpha) / denom
+		}
+	}
+	m.phi = make([][]float64, k)
+	for t := 0; t < k; t++ {
+		m.phi[t] = make([]float64, m.numWords)
+		denom := float64(nk[t]) + vBeta
+		for w := 0; w < m.numWords; w++ {
+			m.phi[t][w] = (float64(nkw[t][w]) + cfg.Beta) / denom
+		}
+	}
+	return m, nil
+}
+
+// Topics returns the number of topics K.
+func (m *Model) Topics() int { return m.cfg.Topics }
+
+// NumDocs returns the corpus size the model was trained on.
+func (m *Model) NumDocs() int { return m.numDocs }
+
+// Theta returns the topic distribution of document d.
+func (m *Model) Theta(d int) []float64 { return m.theta[d] }
+
+// Similarity returns the Cos(topic) similarity between documents i and j:
+// the cosine of their topic distributions (Appendix D.1).
+func (m *Model) Similarity(i, j int) float64 {
+	return textsim.CosineDense(m.theta[i], m.theta[j])
+}
+
+// TopWords returns the n highest-probability words of topic t.
+func (m *Model) TopWords(t, n int) []string {
+	type wp struct {
+		w string
+		p float64
+	}
+	ws := make([]wp, m.numWords)
+	for w := 0; w < m.numWords; w++ {
+		ws[w] = wp{m.words[w], m.phi[t][w]}
+	}
+	sort.Slice(ws, func(a, b int) bool {
+		if ws[a].p != ws[b].p {
+			return ws[a].p > ws[b].p
+		}
+		return ws[a].w < ws[b].w
+	})
+	if n > len(ws) {
+		n = len(ws)
+	}
+	out := make([]string, n)
+	for i := 0; i < n; i++ {
+		out[i] = ws[i].w
+	}
+	return out
+}

@@ -1,0 +1,156 @@
+package lda
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"icrowd/internal/task"
+)
+
+func corpusOf(ds *task.Dataset) [][]string {
+	out := make([][]string, ds.Len())
+	for i, t := range ds.Tasks {
+		out[i] = t.Tokens
+	}
+	return out
+}
+
+func TestTrainRejectsBadConfig(t *testing.T) {
+	corpus := [][]string{{"a", "b"}}
+	bad := []Config{
+		{Topics: 0, Alpha: 1, Beta: 1, Iterations: 10},
+		{Topics: 2, Alpha: 0, Beta: 1, Iterations: 10},
+		{Topics: 2, Alpha: 1, Beta: 0, Iterations: 10},
+		{Topics: 2, Alpha: 1, Beta: 1, Iterations: 0},
+	}
+	for i, cfg := range bad {
+		if _, err := Train(corpus, cfg); err == nil {
+			t.Fatalf("case %d: expected error", i)
+		}
+	}
+	if _, err := Train(nil, DefaultConfig(2, 1)); err == nil {
+		t.Fatal("empty corpus should error")
+	}
+	if _, err := Train([][]string{{}, {}}, DefaultConfig(2, 1)); err == nil {
+		t.Fatal("corpus with no words should error")
+	}
+}
+
+func TestThetaIsDistribution(t *testing.T) {
+	ds := task.ProductMatching()
+	m, err := Train(corpusOf(ds), DefaultConfig(3, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for d := 0; d < m.NumDocs(); d++ {
+		th := m.Theta(d)
+		if len(th) != 3 {
+			t.Fatalf("doc %d: theta has %d entries", d, len(th))
+		}
+		var sum float64
+		for _, p := range th {
+			if p < 0 || p > 1 {
+				t.Fatalf("doc %d: theta entry %v out of range", d, p)
+			}
+			sum += p
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("doc %d: theta sums to %v", d, sum)
+		}
+	}
+}
+
+func TestDeterministicForSeed(t *testing.T) {
+	ds := task.ProductMatching()
+	cfg := DefaultConfig(3, 7)
+	cfg.Iterations = 50
+	a, err := Train(corpusOf(ds), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := Train(corpusOf(ds), cfg)
+	for d := 0; d < a.NumDocs(); d++ {
+		if !reflect.DeepEqual(a.Theta(d), b.Theta(d)) {
+			t.Fatalf("doc %d: theta differs across identical seeds", d)
+		}
+	}
+}
+
+func TestSeparatesDomainsOnTable1(t *testing.T) {
+	// Cos(topic) should score same-domain Table-1 pairs above cross-domain
+	// pairs on average: the LDA topics should recover iPhone/iPod/iPad.
+	ds := task.ProductMatching()
+	cfg := DefaultConfig(3, 11)
+	cfg.Iterations = 400
+	m, err := Train(corpusOf(ds), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var intra, inter float64
+	var nIntra, nInter int
+	for i := 0; i < ds.Len(); i++ {
+		for j := i + 1; j < ds.Len(); j++ {
+			s := m.Similarity(i, j)
+			if ds.Tasks[i].Domain == ds.Tasks[j].Domain {
+				intra += s
+				nIntra++
+			} else {
+				inter += s
+				nInter++
+			}
+		}
+	}
+	if intra/float64(nIntra) <= inter/float64(nInter) {
+		t.Fatalf("LDA intra-domain similarity %v not above inter-domain %v",
+			intra/float64(nIntra), inter/float64(nInter))
+	}
+}
+
+func TestSimilaritySelfAndRange(t *testing.T) {
+	ds := task.GenerateUniform(30, []string{"A", "B"}, 3)
+	cfg := DefaultConfig(2, 5)
+	cfg.Iterations = 100
+	m, err := Train(corpusOf(ds), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < m.NumDocs(); i++ {
+		if s := m.Similarity(i, i); math.Abs(s-1) > 1e-9 {
+			t.Fatalf("self similarity = %v", s)
+		}
+		for j := i + 1; j < m.NumDocs(); j++ {
+			if s := m.Similarity(i, j); s < 0 || s > 1+1e-9 {
+				t.Fatalf("similarity out of range: %v", s)
+			}
+		}
+	}
+}
+
+func TestTopWords(t *testing.T) {
+	corpus := [][]string{
+		{"apple", "apple", "apple", "fruit"},
+		{"apple", "fruit", "fruit"},
+		{"rocket", "rocket", "space"},
+		{"space", "rocket", "launch"},
+	}
+	cfg := DefaultConfig(2, 2)
+	cfg.Iterations = 300
+	m, err := Train(corpus, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for topic := 0; topic < 2; topic++ {
+		tw := m.TopWords(topic, 3)
+		if len(tw) != 3 {
+			t.Fatalf("TopWords returned %d words", len(tw))
+		}
+	}
+	// Asking for more words than the vocabulary has must not panic.
+	if got := m.TopWords(0, 100); len(got) != 5 {
+		t.Fatalf("TopWords over-ask returned %d words, want vocab size 5", len(got))
+	}
+	if m.Topics() != 2 {
+		t.Fatalf("Topics = %d", m.Topics())
+	}
+}

@@ -1,0 +1,200 @@
+// Package matrix provides small dense linear algebra used to verify the
+// closed-form solution of the paper's Lemma 1,
+// p* = alpha/(1+alpha) (I - S'/(1+alpha))^{-1} q, against the iterative
+// personalized-PageRank solver. It is test/verification machinery, not a
+// performance-oriented BLAS.
+package matrix
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Dense is a row-major dense matrix.
+type Dense struct {
+	rows, cols int
+	data       []float64
+}
+
+// NewDense allocates a rows x cols zero matrix.
+func NewDense(rows, cols int) *Dense {
+	if rows <= 0 || cols <= 0 {
+		panic("matrix: non-positive dimensions")
+	}
+	return &Dense{rows: rows, cols: cols, data: make([]float64, rows*cols)}
+}
+
+// Identity returns the n x n identity matrix.
+func Identity(n int) *Dense {
+	m := NewDense(n, n)
+	for i := 0; i < n; i++ {
+		m.Set(i, i, 1)
+	}
+	return m
+}
+
+// FromRows builds a matrix from row slices; all rows must be equal length.
+func FromRows(rows [][]float64) (*Dense, error) {
+	if len(rows) == 0 || len(rows[0]) == 0 {
+		return nil, errors.New("matrix: empty input")
+	}
+	m := NewDense(len(rows), len(rows[0]))
+	for i, r := range rows {
+		if len(r) != m.cols {
+			return nil, fmt.Errorf("matrix: ragged row %d", i)
+		}
+		copy(m.data[i*m.cols:], r)
+	}
+	return m, nil
+}
+
+// Dims returns (rows, cols).
+func (m *Dense) Dims() (int, int) { return m.rows, m.cols }
+
+// At returns element (i, j).
+func (m *Dense) At(i, j int) float64 { return m.data[i*m.cols+j] }
+
+// Set assigns element (i, j).
+func (m *Dense) Set(i, j int, v float64) { m.data[i*m.cols+j] = v }
+
+// Clone returns a deep copy.
+func (m *Dense) Clone() *Dense {
+	c := NewDense(m.rows, m.cols)
+	copy(c.data, m.data)
+	return c
+}
+
+// Scale returns s * m as a new matrix.
+func (m *Dense) Scale(s float64) *Dense {
+	c := m.Clone()
+	for i := range c.data {
+		c.data[i] *= s
+	}
+	return c
+}
+
+// Sub returns m - b as a new matrix.
+func (m *Dense) Sub(b *Dense) (*Dense, error) {
+	if m.rows != b.rows || m.cols != b.cols {
+		return nil, errors.New("matrix: dimension mismatch in Sub")
+	}
+	c := m.Clone()
+	for i := range c.data {
+		c.data[i] -= b.data[i]
+	}
+	return c, nil
+}
+
+// Mul returns m * b as a new matrix.
+func (m *Dense) Mul(b *Dense) (*Dense, error) {
+	if m.cols != b.rows {
+		return nil, errors.New("matrix: dimension mismatch in Mul")
+	}
+	c := NewDense(m.rows, b.cols)
+	for i := 0; i < m.rows; i++ {
+		for k := 0; k < m.cols; k++ {
+			a := m.At(i, k)
+			if a == 0 {
+				continue
+			}
+			for j := 0; j < b.cols; j++ {
+				c.data[i*c.cols+j] += a * b.At(k, j)
+			}
+		}
+	}
+	return c, nil
+}
+
+// MulVec returns m * v as a new vector.
+func (m *Dense) MulVec(v []float64) ([]float64, error) {
+	if m.cols != len(v) {
+		return nil, errors.New("matrix: dimension mismatch in MulVec")
+	}
+	out := make([]float64, m.rows)
+	for i := 0; i < m.rows; i++ {
+		var s float64
+		row := m.data[i*m.cols : (i+1)*m.cols]
+		for j, x := range v {
+			s += row[j] * x
+		}
+		out[i] = s
+	}
+	return out, nil
+}
+
+// ErrSingular reports an attempt to invert a (numerically) singular matrix.
+var ErrSingular = errors.New("matrix: singular")
+
+// Inverse computes the inverse via Gauss-Jordan elimination with partial
+// pivoting. The receiver is unchanged.
+func (m *Dense) Inverse() (*Dense, error) {
+	if m.rows != m.cols {
+		return nil, errors.New("matrix: inverse of non-square matrix")
+	}
+	n := m.rows
+	a := m.Clone()
+	inv := Identity(n)
+	for col := 0; col < n; col++ {
+		// Partial pivot.
+		pivot := col
+		best := math.Abs(a.At(col, col))
+		for r := col + 1; r < n; r++ {
+			if v := math.Abs(a.At(r, col)); v > best {
+				best = v
+				pivot = r
+			}
+		}
+		if best < 1e-12 {
+			return nil, ErrSingular
+		}
+		if pivot != col {
+			a.swapRows(pivot, col)
+			inv.swapRows(pivot, col)
+		}
+		// Normalize pivot row.
+		p := a.At(col, col)
+		for j := 0; j < n; j++ {
+			a.Set(col, j, a.At(col, j)/p)
+			inv.Set(col, j, inv.At(col, j)/p)
+		}
+		// Eliminate other rows.
+		for r := 0; r < n; r++ {
+			if r == col {
+				continue
+			}
+			f := a.At(r, col)
+			if f == 0 {
+				continue
+			}
+			for j := 0; j < n; j++ {
+				a.Set(r, j, a.At(r, j)-f*a.At(col, j))
+				inv.Set(r, j, inv.At(r, j)-f*inv.At(col, j))
+			}
+		}
+	}
+	return inv, nil
+}
+
+func (m *Dense) swapRows(i, j int) {
+	ri := m.data[i*m.cols : (i+1)*m.cols]
+	rj := m.data[j*m.cols : (j+1)*m.cols]
+	for k := range ri {
+		ri[k], rj[k] = rj[k], ri[k]
+	}
+}
+
+// MaxAbsDiff returns the max absolute elementwise difference of a and b, or
+// +Inf on dimension mismatch.
+func MaxAbsDiff(a, b *Dense) float64 {
+	if a.rows != b.rows || a.cols != b.cols {
+		return math.Inf(1)
+	}
+	var m float64
+	for i := range a.data {
+		if d := math.Abs(a.data[i] - b.data[i]); d > m {
+			m = d
+		}
+	}
+	return m
+}

@@ -1,0 +1,171 @@
+package matrix
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestFromRowsAndDims(t *testing.T) {
+	m, err := FromRows([][]float64{{1, 2}, {3, 4}, {5, 6}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, c := m.Dims()
+	if r != 3 || c != 2 {
+		t.Fatalf("dims = %d,%d", r, c)
+	}
+	if m.At(2, 1) != 6 {
+		t.Fatalf("At(2,1)=%v", m.At(2, 1))
+	}
+	if _, err := FromRows([][]float64{{1}, {2, 3}}); err == nil {
+		t.Fatal("ragged rows should error")
+	}
+	if _, err := FromRows(nil); err == nil {
+		t.Fatal("empty input should error")
+	}
+}
+
+func TestMul(t *testing.T) {
+	a, _ := FromRows([][]float64{{1, 2}, {3, 4}})
+	b, _ := FromRows([][]float64{{5, 6}, {7, 8}})
+	c, err := a.Mul(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][]float64{{19, 22}, {43, 50}}
+	for i := range want {
+		for j := range want[i] {
+			if c.At(i, j) != want[i][j] {
+				t.Fatalf("Mul[%d][%d]=%v want %v", i, j, c.At(i, j), want[i][j])
+			}
+		}
+	}
+	bad, _ := FromRows([][]float64{{1, 2, 3}})
+	if _, err := bad.Mul(bad); err == nil {
+		t.Fatal("dimension mismatch should error")
+	}
+}
+
+func TestMulVec(t *testing.T) {
+	a, _ := FromRows([][]float64{{1, 2}, {3, 4}})
+	v, err := a.MulVec([]float64{1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v[0] != 3 || v[1] != 7 {
+		t.Fatalf("MulVec = %v", v)
+	}
+	if _, err := a.MulVec([]float64{1}); err == nil {
+		t.Fatal("length mismatch should error")
+	}
+}
+
+func TestSubScaleClone(t *testing.T) {
+	a, _ := FromRows([][]float64{{1, 2}, {3, 4}})
+	b := a.Scale(2)
+	if b.At(1, 1) != 8 || a.At(1, 1) != 4 {
+		t.Fatal("Scale should not mutate receiver")
+	}
+	d, err := b.Sub(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.At(0, 0) != 1 || d.At(1, 1) != 4 {
+		t.Fatalf("Sub wrong: %v %v", d.At(0, 0), d.At(1, 1))
+	}
+	e := a.Clone()
+	e.Set(0, 0, 99)
+	if a.At(0, 0) == 99 {
+		t.Fatal("Clone should be deep")
+	}
+	one, _ := FromRows([][]float64{{1}})
+	if _, err := a.Sub(one); err == nil {
+		t.Fatal("Sub dimension mismatch should error")
+	}
+}
+
+func TestInverseKnown(t *testing.T) {
+	a, _ := FromRows([][]float64{{4, 7}, {2, 6}})
+	inv, err := a.Inverse()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := FromRows([][]float64{{0.6, -0.7}, {-0.2, 0.4}})
+	if d := MaxAbsDiff(inv, want); d > 1e-12 {
+		t.Fatalf("inverse off by %v", d)
+	}
+}
+
+func TestInverseSingular(t *testing.T) {
+	a, _ := FromRows([][]float64{{1, 2}, {2, 4}})
+	if _, err := a.Inverse(); err != ErrSingular {
+		t.Fatalf("want ErrSingular, got %v", err)
+	}
+	b, _ := FromRows([][]float64{{1, 2, 3}})
+	if _, err := b.Inverse(); err == nil {
+		t.Fatal("non-square inverse should error")
+	}
+}
+
+func TestInverseNeedsPivoting(t *testing.T) {
+	// Zero on the diagonal forces a row swap.
+	a, _ := FromRows([][]float64{{0, 1}, {1, 0}})
+	inv, err := a.Inverse()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := MaxAbsDiff(inv, a); d > 1e-12 {
+		t.Fatal("permutation matrix should be its own inverse")
+	}
+}
+
+func TestInverseProperty(t *testing.T) {
+	// Property: for random diagonally-dominant matrices, A * A^{-1} = I.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(6)
+		a := NewDense(n, n)
+		for i := 0; i < n; i++ {
+			var row float64
+			for j := 0; j < n; j++ {
+				if i != j {
+					v := rng.Float64()*2 - 1
+					a.Set(i, j, v)
+					row += math.Abs(v)
+				}
+			}
+			a.Set(i, i, row+1) // strictly diagonally dominant => invertible
+		}
+		inv, err := a.Inverse()
+		if err != nil {
+			return false
+		}
+		prod, err := a.Mul(inv)
+		if err != nil {
+			return false
+		}
+		return MaxAbsDiff(prod, Identity(n)) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMaxAbsDiffMismatch(t *testing.T) {
+	a := Identity(2)
+	b := Identity(3)
+	if !math.IsInf(MaxAbsDiff(a, b), 1) {
+		t.Fatal("dimension mismatch should be +Inf")
+	}
+}
+
+func TestNewDensePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewDense(0,1) should panic")
+		}
+	}()
+	NewDense(0, 1)
+}

@@ -1,0 +1,234 @@
+package multichoice
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// EMResult is the output of multi-class Dawid–Skene EM.
+type EMResult struct {
+	// NumChoices is the answer arity m.
+	NumChoices int
+	// Labels is the MAP label per task.
+	Labels map[int]Choice
+	// Posterior[t][c] = P(truth(t) = c | votes).
+	Posterior map[int][]float64
+	// Confusion[w][truth][answer] is the worker's estimated confusion
+	// matrix.
+	Confusion map[string][][]float64
+	// Prior[c] is the estimated class prior.
+	Prior []float64
+	// Iterations executed.
+	Iterations int
+}
+
+// Accuracy returns a worker's prior-weighted diagonal confusion mass —
+// their average probability of answering correctly.
+func (r *EMResult) Accuracy(worker string) float64 {
+	cm, ok := r.Confusion[worker]
+	if !ok {
+		return 1 / float64(r.NumChoices)
+	}
+	var acc float64
+	for c := 0; c < r.NumChoices; c++ {
+		acc += r.Prior[c] * cm[c][c]
+	}
+	return acc
+}
+
+// DawidSkene runs multi-class EM over votes (task -> votes) with m choices.
+// It initializes posteriors from vote fractions, smooths confusion rows
+// with a diagonal-leaning Dirichlet prior, and stops when the max posterior
+// change falls below tol or after maxIter sweeps.
+func DawidSkene(votes map[int][]Vote, m, maxIter int, tol float64) (*EMResult, error) {
+	if len(votes) == 0 {
+		return nil, errors.New("multichoice: no votes")
+	}
+	if m < 2 {
+		return nil, errors.New("multichoice: need at least two choices")
+	}
+	if maxIter < 1 {
+		return nil, errors.New("multichoice: maxIter must be >= 1")
+	}
+	taskIDs := make([]int, 0, len(votes))
+	for id, vs := range votes {
+		for _, v := range vs {
+			if v.Choice < 0 || int(v.Choice) >= m {
+				return nil, errors.New("multichoice: vote outside choice range")
+			}
+		}
+		taskIDs = append(taskIDs, id)
+	}
+	sort.Ints(taskIDs)
+	workerSet := map[string]bool{}
+	for _, vs := range votes {
+		for _, v := range vs {
+			workerSet[v.Worker] = true
+		}
+	}
+	workers := make([]string, 0, len(workerSet))
+	for w := range workerSet {
+		workers = append(workers, w)
+	}
+	sort.Strings(workers)
+
+	// Init posteriors: smoothed vote fractions.
+	post := map[int][]float64{}
+	for _, id := range taskIDs {
+		p := make([]float64, m)
+		for i := range p {
+			p[i] = 0.5
+		}
+		for _, v := range votes[id] {
+			p[v.Choice]++
+		}
+		normalize(p)
+		post[id] = p
+	}
+
+	// Dirichlet smoothing: lean confusion rows toward "mostly correct".
+	const diagPrior, offPrior = 2.0, 0.5
+
+	confusion := map[string][][]float64{}
+	prior := make([]float64, m)
+	var iter int
+	for iter = 1; iter <= maxIter; iter++ {
+		// M-step.
+		for i := range prior {
+			prior[i] = 0
+		}
+		counts := map[string][][]float64{}
+		for _, w := range workers {
+			cm := make([][]float64, m)
+			for t := range cm {
+				cm[t] = make([]float64, m)
+			}
+			counts[w] = cm
+		}
+		for _, id := range taskIDs {
+			p := post[id]
+			for c, pc := range p {
+				prior[c] += pc
+			}
+			for _, v := range votes[id] {
+				cm := counts[v.Worker]
+				for truth := 0; truth < m; truth++ {
+					cm[truth][v.Choice] += p[truth]
+				}
+			}
+		}
+		normalize(prior)
+		for _, w := range workers {
+			cm := counts[w]
+			for truth := 0; truth < m; truth++ {
+				row := cm[truth]
+				var total float64
+				for ans := 0; ans < m; ans++ {
+					pr := offPrior
+					if ans == truth {
+						pr = diagPrior
+					}
+					row[ans] += pr
+					total += row[ans]
+				}
+				for ans := 0; ans < m; ans++ {
+					row[ans] /= total
+				}
+			}
+			confusion[w] = cm
+		}
+		// E-step.
+		var maxDelta float64
+		for _, id := range taskIDs {
+			logp := make([]float64, m)
+			for c := 0; c < m; c++ {
+				logp[c] = math.Log(clamp(prior[c]))
+			}
+			for _, v := range votes[id] {
+				cm := confusion[v.Worker]
+				for c := 0; c < m; c++ {
+					logp[c] += math.Log(clamp(cm[c][v.Choice]))
+				}
+			}
+			p := softmax(logp)
+			for c := 0; c < m; c++ {
+				if d := math.Abs(p[c] - post[id][c]); d > maxDelta {
+					maxDelta = d
+				}
+			}
+			post[id] = p
+		}
+		if maxDelta < tol {
+			break
+		}
+	}
+	if iter > maxIter {
+		iter = maxIter
+	}
+
+	res := &EMResult{
+		NumChoices: m,
+		Labels:     make(map[int]Choice, len(taskIDs)),
+		Posterior:  post,
+		Confusion:  confusion,
+		Prior:      prior,
+		Iterations: iter,
+	}
+	for _, id := range taskIDs {
+		best, bestP := Choice(0), post[id][0]
+		for c := 1; c < m; c++ {
+			if post[id][c] > bestP {
+				best, bestP = Choice(c), post[id][c]
+			}
+		}
+		res.Labels[id] = best
+	}
+	return res, nil
+}
+
+func normalize(p []float64) {
+	var s float64
+	for _, x := range p {
+		s += x
+	}
+	if s == 0 {
+		for i := range p {
+			p[i] = 1 / float64(len(p))
+		}
+		return
+	}
+	for i := range p {
+		p[i] /= s
+	}
+}
+
+func softmax(logp []float64) []float64 {
+	m := math.Inf(-1)
+	for _, x := range logp {
+		if x > m {
+			m = x
+		}
+	}
+	out := make([]float64, len(logp))
+	var s float64
+	for i, x := range logp {
+		out[i] = math.Exp(x - m)
+		s += out[i]
+	}
+	for i := range out {
+		out[i] /= s
+	}
+	return out
+}
+
+func clamp(p float64) float64 {
+	const eps = 1e-9
+	if p < eps {
+		return eps
+	}
+	if p > 1-eps {
+		return 1 - eps
+	}
+	return p
+}

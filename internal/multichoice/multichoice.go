@@ -1,0 +1,275 @@
+// Package multichoice extends the binary microtask model to tasks with an
+// arbitrary number of choices, as Section 2.1 sketches ("Note that our
+// techniques can be extended to microtasks with more than two choices").
+//
+// It generalizes the three pieces of quality machinery that are
+// binary-specific elsewhere in the repository:
+//
+//   - plurality voting with a configurable consensus quorum (the analogue
+//     of the (k+1)/2 majority rule),
+//   - the observed-accuracy model of Eq. (5), where the probability that
+//     the consensus answer is correct is computed under a symmetric-error
+//     worker model over m choices,
+//   - multi-class Dawid–Skene EM with full confusion matrices.
+//
+// The graph-based estimation of Section 3 is answer-arity agnostic (it
+// consumes observed accuracies q in [0, 1]), so these generalized observed
+// accuracies plug directly into estimate.Estimator.
+package multichoice
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Choice is a worker's answer to an m-ary microtask: an index in
+// [0, NumChoices). None marks "no answer".
+type Choice int
+
+// None marks an absent answer.
+const None Choice = -1
+
+// Vote is one worker's choice on a microtask.
+type Vote struct {
+	// Worker identifies the voter.
+	Worker string
+	// Choice is the selected option.
+	Choice Choice
+}
+
+// Plurality returns the choice with the most votes. ok is false for an
+// empty vote set or a tie for first place.
+func Plurality(votes []Choice) (Choice, bool) {
+	counts := map[Choice]int{}
+	for _, v := range votes {
+		if v >= 0 {
+			counts[v]++
+		}
+	}
+	best, bestN, tie := None, 0, false
+	// Deterministic iteration for the tie check.
+	keys := make([]Choice, 0, len(counts))
+	for c := range counts {
+		keys = append(keys, c)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	for _, c := range keys {
+		n := counts[c]
+		switch {
+		case n > bestN:
+			best, bestN, tie = c, n, false
+		case n == bestN && bestN > 0:
+			tie = true
+		}
+	}
+	if best == None || tie {
+		return None, false
+	}
+	return best, true
+}
+
+// Quorum returns the minimum agreeing votes that guarantee a choice cannot
+// be overtaken when k votes will be collected over m choices: the
+// generalization of the paper's (k+1)/2 rule. With the remaining votes all
+// going to a single rival, a choice with q votes is safe when
+// q > (k - q), i.e. q = floor(k/2) + 1 — arity does not weaken the bound
+// because a single rival class is the worst case.
+func Quorum(k int) int { return k/2 + 1 }
+
+// ObservedAccuracy generalizes Eq. (5) to m choices under the symmetric
+// worker-error model: worker w answers correctly with probability p_w and
+// otherwise picks uniformly among the m-1 wrong choices.
+//
+// votes are all votes on the completed microtask, consensus the plurality
+// answer, accuracy the current per-worker accuracy estimates (fallback is
+// used for missing workers), and m the number of choices. It returns the
+// probability that the given worker's answer is correct, i.e. the
+// probability mass of the true answer equalling the worker's choice.
+//
+// Derivation: condition on the true answer a. For each candidate a, the
+// likelihood of the observed votes is prod_w f(w, a) where f(w, a) = p_w if
+// the vote equals a and (1-p_w)/(m-1) otherwise. The posterior over a
+// (uniform prior) then gives the probability that a equals the worker's
+// vote.
+func ObservedAccuracy(votes []Vote, worker string, accuracy map[string]float64, fallback float64, m int) (float64, error) {
+	if m < 2 {
+		return 0, errors.New("multichoice: need at least two choices")
+	}
+	var workerChoice = None
+	for _, v := range votes {
+		if v.Worker == worker {
+			workerChoice = v.Choice
+		}
+	}
+	if workerChoice == None {
+		return 0, fmt.Errorf("multichoice: worker %s did not vote", worker)
+	}
+	// Posterior over the true answer; only voted-for choices plus "some
+	// unvoted choice" matter, and all unvoted choices have equal
+	// likelihood, so aggregate them.
+	voted := map[Choice]bool{}
+	for _, v := range votes {
+		voted[v.Choice] = true
+	}
+	accOf := func(w string) float64 {
+		p, ok := accuracy[w]
+		if !ok {
+			p = fallback
+		}
+		const eps = 0.02
+		if p < eps {
+			p = eps
+		}
+		if p > 1-eps {
+			p = 1 - eps
+		}
+		return p
+	}
+	likelihood := func(a Choice) float64 {
+		l := 1.0
+		for _, v := range votes {
+			p := accOf(v.Worker)
+			if v.Choice == a {
+				l *= p
+			} else {
+				l *= (1 - p) / float64(m-1)
+			}
+		}
+		return l
+	}
+	var total, workerMass float64
+	for c := range voted {
+		l := likelihood(c)
+		total += l
+		if c == workerChoice {
+			workerMass += l
+		}
+	}
+	// Unvoted choices: likelihood is identical for each; there are
+	// m - |voted| of them (never the worker's own choice).
+	if rest := m - len(voted); rest > 0 {
+		l := 1.0
+		for _, v := range votes {
+			l *= (1 - accOf(v.Worker)) / float64(m-1)
+		}
+		total += float64(rest) * l
+	}
+	if total == 0 {
+		return 1 / float64(m), nil
+	}
+	return workerMass / total, nil
+}
+
+// WorkerSetAccuracy computes the probability that plurality voting over the
+// worker set yields the correct answer, under the symmetric-error model
+// with m choices. It enumerates vote outcomes exactly for small sets (the
+// analogue of Eq. (1)); k is len(ps).
+//
+// Ties are counted as failures, matching the conservative reading that an
+// undecided microtask is not correctly resolved.
+func WorkerSetAccuracy(ps []float64, m int) (float64, error) {
+	k := len(ps)
+	if k == 0 {
+		return 0, errors.New("multichoice: empty worker set")
+	}
+	if m < 2 {
+		return 0, errors.New("multichoice: need at least two choices")
+	}
+	if k > 12 {
+		return 0, errors.New("multichoice: exact enumeration supports at most 12 workers")
+	}
+	for _, p := range ps {
+		if p < 0 || p > 1 {
+			return 0, errors.New("multichoice: probability outside [0,1]")
+		}
+	}
+	// Enumerate which workers answer correctly; incorrect workers spread
+	// uniformly over m-1 wrong choices. For the plurality to pick the true
+	// answer, the number of correct votes must strictly exceed the largest
+	// wrong-choice count. Enumerate wrong-choice multinomials exactly.
+	var total float64
+	for mask := 0; mask < 1<<uint(k); mask++ {
+		pMask := 1.0
+		correct := 0
+		var wrong []int
+		for i, p := range ps {
+			if mask&(1<<uint(i)) != 0 {
+				pMask *= p
+				correct++
+			} else {
+				pMask *= 1 - p
+				wrong = append(wrong, i)
+			}
+		}
+		if pMask == 0 {
+			continue
+		}
+		total += pMask * pluralityWinProb(correct, len(wrong), m)
+	}
+	if total > 1 {
+		total = 1
+	}
+	return total, nil
+}
+
+// pluralityWinProb returns the probability that `correct` votes for the
+// true answer beat every wrong-choice count when `wrong` votes spread
+// uniformly and independently over m-1 wrong choices.
+func pluralityWinProb(correct, wrong, m int) float64 {
+	if wrong == 0 {
+		if correct > 0 {
+			return 1
+		}
+		return 0
+	}
+	if correct == 0 {
+		return 0
+	}
+	// Enumerate assignments of wrong votes to m-1 classes via compositions;
+	// wrong <= 12 keeps this tiny. Count outcomes where max class count <
+	// correct, weighting each composition by the multinomial probability.
+	classes := m - 1
+	var rec func(remaining, classIdx, maxSoFar int, prob float64) float64
+	rec = func(remaining, classIdx, maxSoFar int, prob float64) float64 {
+		if maxSoFar >= correct {
+			return 0
+		}
+		if classIdx == classes-1 {
+			if remaining >= correct {
+				return 0
+			}
+			return prob
+		}
+		var sum float64
+		for n := 0; n <= remaining; n++ {
+			sum += rec(remaining-n, classIdx+1, max(maxSoFar, n),
+				prob*binomPMFExact(remaining, n, 1/float64(classes-classIdx)))
+		}
+		return sum
+	}
+	return rec(wrong, 0, 0, 1)
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func binomPMFExact(n, x int, p float64) float64 {
+	if p >= 1 {
+		if x == n {
+			return 1
+		}
+		return 0
+	}
+	lg := func(v int) float64 {
+		r, _ := math.Lgamma(float64(v + 1))
+		return r
+	}
+	return math.Exp(lg(n) - lg(x) - lg(n-x) +
+		float64(x)*math.Log(p) + float64(n-x)*math.Log(1-p))
+}

@@ -1,0 +1,291 @@
+package multichoice
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"icrowd/internal/stats"
+)
+
+func almost(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestPlurality(t *testing.T) {
+	if c, ok := Plurality([]Choice{0, 1, 1, 2}); !ok || c != 1 {
+		t.Fatalf("got %v %v", c, ok)
+	}
+	if _, ok := Plurality([]Choice{0, 1}); ok {
+		t.Fatal("tie should not be ok")
+	}
+	if _, ok := Plurality(nil); ok {
+		t.Fatal("empty should not be ok")
+	}
+	if c, ok := Plurality([]Choice{None, 2, 2}); !ok || c != 2 {
+		t.Fatalf("None should be ignored: %v %v", c, ok)
+	}
+	if _, ok := Plurality([]Choice{None}); ok {
+		t.Fatal("only-None should not be ok")
+	}
+}
+
+func TestQuorum(t *testing.T) {
+	// Binary analogue: (k+1)/2 for odd k.
+	if Quorum(3) != 2 || Quorum(5) != 3 || Quorum(1) != 1 || Quorum(4) != 3 {
+		t.Fatal("Quorum mismatch")
+	}
+}
+
+func TestObservedAccuracyReducesToBinaryEq5(t *testing.T) {
+	// With m=2, the generalized model must agree with the paper's Eq. (5).
+	votes := []Vote{
+		{"w1", 0}, {"w2", 1}, {"w5", 0},
+	}
+	acc := map[string]float64{"w1": 0.8, "w2": 0.6, "w5": 0.7}
+	got, err := ObservedAccuracy(votes, "w1", acc, 0.5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1, p2, p5 := 0.8, 0.6, 0.7
+	num := p1 * p5 * (1 - p2)
+	den := num + (1-p1)*(1-p5)*p2
+	if !almost(got, num/den, 1e-9) {
+		t.Fatalf("m=2 got %v, want Eq.(5) %v", got, num/den)
+	}
+	// Disagreeing worker gets the complement.
+	gotD, err := ObservedAccuracy(votes, "w2", acc, 0.5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(gotD, 1-num/den, 1e-9) {
+		t.Fatalf("disagree got %v, want %v", gotD, 1-num/den)
+	}
+}
+
+func TestObservedAccuracyMultiway(t *testing.T) {
+	// Three accurate workers agreeing on choice 2 of 4: the one asked about
+	// should be very likely correct.
+	votes := []Vote{{"a", 2}, {"b", 2}, {"c", 2}}
+	acc := map[string]float64{"a": 0.8, "b": 0.8, "c": 0.8}
+	got, err := ObservedAccuracy(votes, "a", acc, 0.5, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got < 0.95 {
+		t.Fatalf("unanimous multiway = %v, want high", got)
+	}
+	// A lone dissenter against two agreeing workers is likely wrong.
+	votes = []Vote{{"a", 0}, {"b", 1}, {"c", 1}}
+	got, err = ObservedAccuracy(votes, "a", acc, 0.5, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got > 0.3 {
+		t.Fatalf("dissenter = %v, want low", got)
+	}
+	// Errors.
+	if _, err := ObservedAccuracy(votes, "ghost", acc, 0.5, 4); err == nil {
+		t.Fatal("non-voter should error")
+	}
+	if _, err := ObservedAccuracy(votes, "a", acc, 0.5, 1); err == nil {
+		t.Fatal("m=1 should error")
+	}
+}
+
+func TestObservedAccuracyIsProbability(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := 2 + rng.Intn(4)
+		k := 1 + rng.Intn(5)
+		votes := make([]Vote, k)
+		acc := map[string]float64{}
+		for i := range votes {
+			w := string(rune('a' + i))
+			votes[i] = Vote{w, Choice(rng.Intn(m))}
+			acc[w] = rng.Float64()
+		}
+		got, err := ObservedAccuracy(votes, votes[0].Worker, acc, 0.5, m)
+		return err == nil && got >= 0 && got <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWorkerSetAccuracyReducesToBinary(t *testing.T) {
+	// m=2 must match the binary Eq.-(1) Poisson-binomial, except ties:
+	// use odd k so ties are impossible.
+	ps := []float64{0.9, 0.8, 0.7}
+	got, err := WorkerSetAccuracy(ps, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0.9*0.8*0.7 + 0.9*0.8*0.3 + 0.9*0.2*0.7 + 0.1*0.8*0.7
+	if !almost(got, want, 1e-9) {
+		t.Fatalf("binary reduction got %v, want %v", got, want)
+	}
+}
+
+func TestWorkerSetAccuracyMoreChoicesHelps(t *testing.T) {
+	// With wrong votes split over more choices, plurality is MORE likely
+	// to pick the true answer at fixed worker accuracy.
+	ps := []float64{0.6, 0.6, 0.6, 0.6, 0.6}
+	p2, err := WorkerSetAccuracy(ps, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p5, err := WorkerSetAccuracy(ps, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p5 <= p2 {
+		t.Fatalf("m=5 (%v) should beat m=2 (%v)", p5, p2)
+	}
+}
+
+func TestWorkerSetAccuracyValidation(t *testing.T) {
+	if _, err := WorkerSetAccuracy(nil, 3); err == nil {
+		t.Fatal("empty set should error")
+	}
+	if _, err := WorkerSetAccuracy([]float64{0.5}, 1); err == nil {
+		t.Fatal("m=1 should error")
+	}
+	if _, err := WorkerSetAccuracy([]float64{2}, 3); err == nil {
+		t.Fatal("bad probability should error")
+	}
+	if _, err := WorkerSetAccuracy(make([]float64, 13), 3); err == nil {
+		t.Fatal("too many workers should error")
+	}
+	// Single perfect worker always wins.
+	got, err := WorkerSetAccuracy([]float64{1}, 4)
+	if err != nil || !almost(got, 1, 1e-12) {
+		t.Fatalf("perfect single worker = %v (%v)", got, err)
+	}
+	// Single zero worker never wins.
+	got, _ = WorkerSetAccuracy([]float64{0}, 4)
+	if got != 0 {
+		t.Fatalf("zero single worker = %v", got)
+	}
+}
+
+func TestWorkerSetAccuracyMonotone(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := 2 + rng.Intn(3)
+		k := 1 + rng.Intn(5)
+		ps := make([]float64, k)
+		for i := range ps {
+			ps[i] = rng.Float64()
+		}
+		before, err := WorkerSetAccuracy(ps, m)
+		if err != nil {
+			return false
+		}
+		i := rng.Intn(k)
+		ps[i] += (1 - ps[i]) * rng.Float64()
+		after, err := WorkerSetAccuracy(ps, m)
+		if err != nil {
+			return false
+		}
+		return after >= before-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDawidSkeneMultiClass(t *testing.T) {
+	// 4-choice tasks, 3 good workers (0.85) + 2 spammers (uniform).
+	rng := rand.New(rand.NewSource(42))
+	const m = 4
+	nTasks := 200
+	truth := make([]Choice, nTasks)
+	for i := range truth {
+		truth[i] = Choice(rng.Intn(m))
+	}
+	accs := map[string]float64{"r1": 0.85, "r2": 0.85, "r3": 0.85, "s1": 0.25, "s2": 0.25}
+	votes := map[int][]Vote{}
+	for i := 0; i < nTasks; i++ {
+		for w, a := range accs {
+			c := truth[i]
+			if rng.Float64() > a {
+				c = Choice((int(c) + 1 + rng.Intn(m-1)) % m)
+			}
+			votes[i] = append(votes[i], Vote{w, c})
+		}
+	}
+	res, err := DawidSkene(votes, m, 100, 1e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	correct := 0
+	for i := 0; i < nTasks; i++ {
+		if res.Labels[i] == truth[i] {
+			correct++
+		}
+	}
+	if acc := float64(correct) / float64(nTasks); acc < 0.9 {
+		t.Fatalf("EM accuracy %v too low", acc)
+	}
+	if res.Accuracy("r1") <= res.Accuracy("s1") {
+		t.Fatalf("EM should rank reliable above spammer: %v vs %v",
+			res.Accuracy("r1"), res.Accuracy("s1"))
+	}
+	if res.Accuracy("ghost") != 0.25 {
+		t.Fatalf("unknown worker should be uniform: %v", res.Accuracy("ghost"))
+	}
+	// Posteriors are distributions.
+	for _, id := range []int{0, 1, 2} {
+		var s float64
+		for _, p := range res.Posterior[id] {
+			if p < 0 || p > 1 {
+				t.Fatal("posterior out of range")
+			}
+			s += p
+		}
+		if !almost(s, 1, 1e-9) {
+			t.Fatalf("posterior sums to %v", s)
+		}
+	}
+}
+
+func TestDawidSkeneValidation(t *testing.T) {
+	if _, err := DawidSkene(nil, 3, 10, 1e-6); err == nil {
+		t.Fatal("empty votes should error")
+	}
+	v := map[int][]Vote{0: {{"w", 0}}}
+	if _, err := DawidSkene(v, 1, 10, 1e-6); err == nil {
+		t.Fatal("m=1 should error")
+	}
+	if _, err := DawidSkene(v, 3, 0, 1e-6); err == nil {
+		t.Fatal("maxIter=0 should error")
+	}
+	bad := map[int][]Vote{0: {{"w", 5}}}
+	if _, err := DawidSkene(bad, 3, 10, 1e-6); err == nil {
+		t.Fatal("out-of-range vote should error")
+	}
+}
+
+func TestStatsCrossCheckBinary(t *testing.T) {
+	// Uniform accuracies at m=2 reduce WorkerSetAccuracy to a binomial tail
+	// (the same identity the binary aggregate package relies on).
+	for _, k := range []int{1, 3, 5} {
+		for _, p := range []float64{0.4, 0.6, 0.9} {
+			ps := make([]float64, k)
+			for i := range ps {
+				ps[i] = p
+			}
+			got, err := WorkerSetAccuracy(ps, 2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := stats.BinomialTail(k, k/2+1, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !almost(got, want, 1e-9) {
+				t.Fatalf("k=%d p=%v: %v vs %v", k, p, got, want)
+			}
+		}
+	}
+}

@@ -1,0 +1,97 @@
+package platform
+
+import "sync"
+
+// HITConfig models the Human Intelligence Task economics of Section 6.1:
+// microtasks are served in batches of BatchSize per HIT ("We put 10
+// microtasks as a batch in a HIT"), and each submitted assignment pays
+// Reward dollars ("we set the price of each assignment as $0.1").
+type HITConfig struct {
+	// BatchSize is the number of microtasks per HIT (default 10).
+	BatchSize int
+	// Reward is the payment per submitted assignment in dollars
+	// (default 0.10).
+	Reward float64
+}
+
+// DefaultHITConfig returns the paper's settings.
+func DefaultHITConfig() HITConfig {
+	return HITConfig{BatchSize: 10, Reward: 0.10}
+}
+
+// Accounting tracks HITs and payments across the job.
+type Accounting struct {
+	mu  sync.Mutex
+	cfg HITConfig
+	// remaining microtasks in each worker's current HIT.
+	remaining map[string]int
+	hits      int
+	submitted int
+}
+
+// NewAccounting creates the tracker; zero-valued cfg fields fall back to
+// the defaults.
+func NewAccounting(cfg HITConfig) *Accounting {
+	if cfg.BatchSize <= 0 {
+		cfg.BatchSize = DefaultHITConfig().BatchSize
+	}
+	if cfg.Reward <= 0 {
+		cfg.Reward = DefaultHITConfig().Reward
+	}
+	return &Accounting{cfg: cfg, remaining: map[string]int{}}
+}
+
+// Config returns the HIT configuration in effect.
+func (a *Accounting) Config() HITConfig { return a.cfg }
+
+// OnAssign records that a worker received a microtask, opening a new HIT
+// when their previous one is exhausted (or on first contact). It returns
+// the number of microtasks left in the worker's current HIT after this one.
+func (a *Accounting) OnAssign(worker string) (remainingAfter int) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	rem, ok := a.remaining[worker]
+	if !ok || rem <= 0 {
+		a.hits++
+		rem = a.cfg.BatchSize
+	}
+	rem--
+	a.remaining[worker] = rem
+	return rem
+}
+
+// OnSubmit records a paid submission.
+func (a *Accounting) OnSubmit() {
+	a.mu.Lock()
+	a.submitted++
+	a.mu.Unlock()
+}
+
+// OnInactive abandons the worker's current HIT: their next request opens a
+// fresh one.
+func (a *Accounting) OnInactive(worker string) {
+	a.mu.Lock()
+	delete(a.remaining, worker)
+	a.mu.Unlock()
+}
+
+// HITs returns the number of HITs opened so far.
+func (a *Accounting) HITs() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.hits
+}
+
+// Submitted returns the number of paid submissions.
+func (a *Accounting) Submitted() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.submitted
+}
+
+// CostUSD returns the total payment owed so far.
+func (a *Accounting) CostUSD() float64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return float64(a.submitted) * a.cfg.Reward
+}

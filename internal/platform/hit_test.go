@@ -1,0 +1,108 @@
+package platform
+
+import (
+	"math"
+	"net/http/httptest"
+	"testing"
+
+	"icrowd/internal/baseline"
+	"icrowd/internal/task"
+)
+
+func TestAccountingHITBatches(t *testing.T) {
+	a := NewAccounting(HITConfig{BatchSize: 3, Reward: 0.10})
+	if a.Config().BatchSize != 3 {
+		t.Fatal("config mismatch")
+	}
+	// First contact opens HIT #1 with 3 slots.
+	if rem := a.OnAssign("w"); rem != 2 {
+		t.Fatalf("remaining = %d, want 2", rem)
+	}
+	a.OnAssign("w")
+	if rem := a.OnAssign("w"); rem != 0 {
+		t.Fatalf("remaining = %d, want 0", rem)
+	}
+	if a.HITs() != 1 {
+		t.Fatalf("HITs = %d, want 1", a.HITs())
+	}
+	// Next assignment opens HIT #2.
+	if rem := a.OnAssign("w"); rem != 2 {
+		t.Fatalf("remaining = %d, want 2 in new HIT", rem)
+	}
+	if a.HITs() != 2 {
+		t.Fatalf("HITs = %d, want 2", a.HITs())
+	}
+	// Another worker gets their own HIT.
+	a.OnAssign("x")
+	if a.HITs() != 3 {
+		t.Fatalf("HITs = %d, want 3", a.HITs())
+	}
+	// Payments.
+	for i := 0; i < 5; i++ {
+		a.OnSubmit()
+	}
+	if got := a.CostUSD(); math.Abs(got-0.50) > 1e-9 {
+		t.Fatalf("cost = %v, want 0.50", got)
+	}
+	if a.Submitted() != 5 {
+		t.Fatalf("submitted = %d", a.Submitted())
+	}
+	// Inactive abandons the current HIT.
+	a.OnInactive("w")
+	a.OnAssign("w")
+	if a.HITs() != 4 {
+		t.Fatalf("HITs after abandon = %d, want 4", a.HITs())
+	}
+}
+
+func TestAccountingDefaults(t *testing.T) {
+	a := NewAccounting(HITConfig{})
+	if a.Config().BatchSize != 10 || a.Config().Reward != 0.10 {
+		t.Fatalf("defaults = %+v", a.Config())
+	}
+}
+
+func TestServerReportsHITEconomics(t *testing.T) {
+	ds := task.ProductMatching()
+	st, err := baseline.NewRandomMV(ds, 3, nil, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	so := NewServer(st, ds)
+	so.SetAccounting(NewAccounting(HITConfig{BatchSize: 2, Reward: 0.25}))
+	srv := httptest.NewServer(so.Handler())
+	defer srv.Close()
+
+	c := &Client{BaseURL: srv.URL}
+	res, err := c.Assign("alice")
+	if err != nil || !res.Assigned {
+		t.Fatalf("assign: %+v %v", res, err)
+	}
+	if res.HITRemaining != 1 {
+		t.Fatalf("HITRemaining = %d, want 1", res.HITRemaining)
+	}
+	if err := c.Submit("alice", res.TaskID, task.Yes); err != nil {
+		t.Fatal(err)
+	}
+	res, _ = c.Assign("alice")
+	if res.HITRemaining != 0 {
+		t.Fatalf("HITRemaining = %d, want 0 (batch of 2 exhausted)", res.HITRemaining)
+	}
+	_ = c.Submit("alice", res.TaskID, task.No)
+
+	st2, err := c.Status()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.HITs != 1 || st2.Submitted != 2 {
+		t.Fatalf("status economics = %+v", st2)
+	}
+	if math.Abs(st2.CostUSD-0.50) > 1e-9 {
+		t.Fatalf("cost = %v, want 0.50", st2.CostUSD)
+	}
+	// Third assignment opens HIT #2.
+	res, _ = c.Assign("alice")
+	if !res.Assigned || res.HITRemaining != 1 {
+		t.Fatalf("new HIT: %+v", res)
+	}
+}

@@ -1,0 +1,428 @@
+// Package platform implements the Appendix-A deployment architecture: AMT
+// has no targeted assignment, so iCrowd runs its own web server and AMT
+// HITs carry only an ExternalQuestion URL. When a worker accepts a HIT, AMT
+// calls the server with the worker's identity, the server picks the
+// microtask (taking full control of assignment), and the submitted answer
+// flows back to the server.
+//
+// The package provides that web server over any core.Strategy, a typed HTTP
+// client, and simulated AMT worker agents that drive the loop end-to-end.
+package platform
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"sync"
+
+	"icrowd/internal/core"
+	"icrowd/internal/sim"
+	"icrowd/internal/store"
+	"icrowd/internal/task"
+)
+
+// AssignResponse is returned by GET /assign.
+type AssignResponse struct {
+	// Done is true when the whole job is finished (no task assigned).
+	Done bool `json:"done"`
+	// Assigned is true when TaskID/Text are valid.
+	Assigned bool `json:"assigned"`
+	// TaskID is the assigned microtask.
+	TaskID int `json:"taskId"`
+	// Text is the microtask question shown in the HIT iframe.
+	Text string `json:"text"`
+	// HITRemaining is how many more microtasks remain in the worker's
+	// current HIT batch (only meaningful when the server tracks HITs).
+	HITRemaining int `json:"hitRemaining,omitempty"`
+}
+
+// SubmitRequest is the body of POST /submit.
+type SubmitRequest struct {
+	WorkerID string `json:"workerId"`
+	TaskID   int    `json:"taskId"`
+	// Answer is "YES" or "NO".
+	Answer string `json:"answer"`
+}
+
+// SubmitResponse is returned by POST /submit.
+type SubmitResponse struct {
+	Accepted bool `json:"accepted"`
+}
+
+// StatusResponse is returned by GET /status.
+type StatusResponse struct {
+	Strategy  string `json:"strategy"`
+	Total     int    `json:"total"`
+	Completed int    `json:"completed"`
+	Done      bool   `json:"done"`
+	// HITs / Submitted / CostUSD report the HIT economics when the server
+	// tracks them (Section 6.1: batches of 10 at $0.10 per assignment).
+	HITs      int     `json:"hits,omitempty"`
+	Submitted int     `json:"submitted,omitempty"`
+	CostUSD   float64 `json:"costUsd,omitempty"`
+}
+
+// ResultsResponse is returned by GET /results.
+type ResultsResponse struct {
+	// Results maps task ID -> "YES"/"NO"/"NONE".
+	Results map[int]string `json:"results"`
+}
+
+// Server exposes a core.Strategy over HTTP. All strategy access is
+// serialized: the strategies themselves are single-threaded state machines,
+// exactly like the paper's single web server instance.
+type Server struct {
+	mu   sync.Mutex
+	st   core.Strategy
+	ds   *task.Dataset
+	log  *store.Log
+	acct *Accounting
+}
+
+// NewServer wraps the strategy and its dataset.
+func NewServer(st core.Strategy, ds *task.Dataset) *Server {
+	return &Server{st: st, ds: ds}
+}
+
+// SetLog attaches a durable event log: every assignment, submission and
+// worker departure is appended, so a restarted server can rebuild its
+// state with store.Replay over a fresh strategy.
+func (s *Server) SetLog(l *store.Log) {
+	s.mu.Lock()
+	s.log = l
+	s.mu.Unlock()
+}
+
+// SetAccounting enables HIT batching and payment tracking (Section 6.1).
+func (s *Server) SetAccounting(a *Accounting) {
+	s.mu.Lock()
+	s.acct = a
+	s.mu.Unlock()
+}
+
+// Handler returns the HTTP routes.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/assign", s.handleAssign)
+	mux.HandleFunc("/submit", s.handleSubmit)
+	mux.HandleFunc("/inactive", s.handleInactive)
+	mux.HandleFunc("/status", s.handleStatus)
+	mux.HandleFunc("/results", s.handleResults)
+	return mux
+}
+
+func (s *Server) handleAssign(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	worker := r.URL.Query().Get("workerId")
+	if worker == "" {
+		http.Error(w, "workerId required", http.StatusBadRequest)
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.st.Done() {
+		writeJSON(w, AssignResponse{Done: true})
+		return
+	}
+	tid, ok := s.st.RequestTask(worker)
+	if !ok {
+		writeJSON(w, AssignResponse{Done: s.st.Done()})
+		return
+	}
+	if s.log != nil {
+		if err := s.log.AppendAssign(worker, tid); err != nil {
+			http.Error(w, "log write failed: "+err.Error(), http.StatusInternalServerError)
+			return
+		}
+	}
+	resp := AssignResponse{Assigned: true, TaskID: tid, Text: s.ds.Tasks[tid].Text}
+	if s.acct != nil {
+		resp.HITRemaining = s.acct.OnAssign(worker)
+	}
+	writeJSON(w, resp)
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	var req SubmitRequest
+	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&req); err != nil {
+		http.Error(w, "bad json: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	ans, err := parseAnswer(req.Answer)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if req.WorkerID == "" {
+		http.Error(w, "workerId required", http.StatusBadRequest)
+		return
+	}
+	s.mu.Lock()
+	err = s.st.SubmitAnswer(req.WorkerID, req.TaskID, ans)
+	if err == nil && s.log != nil {
+		err = s.log.AppendSubmit(req.WorkerID, req.TaskID, ans)
+	}
+	if err == nil && s.acct != nil {
+		s.acct.OnSubmit()
+	}
+	s.mu.Unlock()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusConflict)
+		return
+	}
+	writeJSON(w, SubmitResponse{Accepted: true})
+}
+
+// handleInactive implements POST /inactive: AMT signals that a worker
+// returned or abandoned their HIT; the strategy releases the assignment.
+func (s *Server) handleInactive(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	worker := r.URL.Query().Get("workerId")
+	if worker == "" {
+		http.Error(w, "workerId required", http.StatusBadRequest)
+		return
+	}
+	s.mu.Lock()
+	s.st.WorkerInactive(worker)
+	var err error
+	if s.log != nil {
+		err = s.log.AppendInactive(worker)
+	}
+	if s.acct != nil {
+		s.acct.OnInactive(worker)
+	}
+	s.mu.Unlock()
+	if err != nil {
+		http.Error(w, "log write failed: "+err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	completed := 0
+	for _, a := range s.st.Results() {
+		if a != task.None {
+			completed++
+		}
+	}
+	resp := StatusResponse{
+		Strategy:  s.st.Name(),
+		Total:     s.ds.Len(),
+		Completed: completed,
+		Done:      s.st.Done(),
+	}
+	if s.acct != nil {
+		resp.HITs = s.acct.HITs()
+		resp.Submitted = s.acct.Submitted()
+		resp.CostUSD = s.acct.CostUSD()
+	}
+	writeJSON(w, resp)
+}
+
+func (s *Server) handleResults(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	s.mu.Lock()
+	res := s.st.Results()
+	s.mu.Unlock()
+	out := ResultsResponse{Results: make(map[int]string, len(res))}
+	for t, a := range res {
+		out.Results[t] = a.String()
+	}
+	writeJSON(w, out)
+}
+
+func writeJSON(w http.ResponseWriter, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func parseAnswer(s string) (task.Answer, error) {
+	switch s {
+	case "YES":
+		return task.Yes, nil
+	case "NO":
+		return task.No, nil
+	default:
+		return task.None, fmt.Errorf("platform: answer must be YES or NO, got %q", s)
+	}
+}
+
+// Client is a typed HTTP client for the server (what the AMT iframe glue
+// would call).
+type Client struct {
+	// BaseURL is the server root, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// HTTPClient defaults to http.DefaultClient.
+	HTTPClient *http.Client
+}
+
+func (c *Client) hc() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
+	}
+	return http.DefaultClient
+}
+
+// Assign requests a task for the worker.
+func (c *Client) Assign(workerID string) (AssignResponse, error) {
+	var out AssignResponse
+	resp, err := c.hc().Get(c.BaseURL + "/assign?workerId=" + workerID)
+	if err != nil {
+		return out, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return out, httpError(resp)
+	}
+	return out, json.NewDecoder(resp.Body).Decode(&out)
+}
+
+// Submit posts an answer.
+func (c *Client) Submit(workerID string, taskID int, ans task.Answer) error {
+	body, err := json.Marshal(SubmitRequest{WorkerID: workerID, TaskID: taskID, Answer: ans.String()})
+	if err != nil {
+		return err
+	}
+	resp, err := c.hc().Post(c.BaseURL+"/submit", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return httpError(resp)
+	}
+	return nil
+}
+
+// Status fetches job progress.
+func (c *Client) Status() (StatusResponse, error) {
+	var out StatusResponse
+	resp, err := c.hc().Get(c.BaseURL + "/status")
+	if err != nil {
+		return out, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return out, httpError(resp)
+	}
+	return out, json.NewDecoder(resp.Body).Decode(&out)
+}
+
+// Results fetches the aggregated answers.
+func (c *Client) Results() (map[int]string, error) {
+	resp, err := c.hc().Get(c.BaseURL + "/results")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, httpError(resp)
+	}
+	var out ResultsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, err
+	}
+	return out.Results, nil
+}
+
+func httpError(resp *http.Response) error {
+	b, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+	return fmt.Errorf("platform: HTTP %d: %s", resp.StatusCode, bytes.TrimSpace(b))
+}
+
+// WorkerAgent simulates one AMT worker hammering the server: request,
+// answer from the latent profile, submit, repeat.
+type WorkerAgent struct {
+	Client  *Client
+	Profile *sim.Profile
+	Dataset *task.Dataset
+	Rng     *rand.Rand
+}
+
+// Step performs one request/submit round. It returns false when the server
+// had nothing for this worker (job done or worker rejected).
+func (a *WorkerAgent) Step() (bool, error) {
+	res, err := a.Client.Assign(a.Profile.ID)
+	if err != nil {
+		return false, err
+	}
+	if !res.Assigned {
+		return false, nil
+	}
+	if res.TaskID < 0 || res.TaskID >= a.Dataset.Len() {
+		return false, errors.New("platform: server assigned unknown task")
+	}
+	ans := sim.Answer(a.Profile, &a.Dataset.Tasks[res.TaskID], a.Rng)
+	if err := a.Client.Submit(a.Profile.ID, res.TaskID, ans); err != nil {
+		return false, err
+	}
+	return true, nil
+}
+
+// RunWorkers drives the pool against baseURL until the job is done or every
+// worker has performed maxSteps rounds. Workers run concurrently, one
+// goroutine each, mirroring independent humans on AMT.
+func RunWorkers(baseURL string, ds *task.Dataset, pool []sim.Profile, maxSteps int, seed int64) error {
+	var wg sync.WaitGroup
+	errCh := make(chan error, len(pool))
+	for i := range pool {
+		wg.Add(1)
+		go func(p *sim.Profile, workerSeed int64) {
+			defer wg.Done()
+			agent := &WorkerAgent{
+				Client:  &Client{BaseURL: baseURL},
+				Profile: p,
+				Dataset: ds,
+				Rng:     rand.New(rand.NewSource(workerSeed)),
+			}
+			idle := 0
+			for step := 0; step < maxSteps; step++ {
+				ok, err := agent.Step()
+				if err != nil {
+					errCh <- err
+					return
+				}
+				if !ok {
+					idle++
+					if idle >= 3 {
+						return // job done or nothing for this worker
+					}
+					continue
+				}
+				idle = 0
+			}
+		}(&pool[i], seed+int64(i))
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,153 @@
+package platform
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"testing"
+
+	"icrowd/internal/baseline"
+	"icrowd/internal/sim"
+	"icrowd/internal/store"
+	"icrowd/internal/task"
+)
+
+func TestServerLogsAndRecovers(t *testing.T) {
+	ds := task.ProductMatching()
+	path := filepath.Join(t.TempDir(), "events.jsonl")
+
+	// Phase 1: serve with a log, do some work, then "crash".
+	st1, err := baseline.NewRandomMV(ds, 3, nil, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := store.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv1obj := NewServer(st1, ds)
+	srv1obj.SetLog(l)
+	srv1 := httptest.NewServer(srv1obj.Handler())
+	c := &Client{BaseURL: srv1.URL}
+	var did []int
+	for i := 0; i < 5; i++ {
+		res, err := c.Assign("alice")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Assigned {
+			break
+		}
+		if err := c.Submit("alice", res.TaskID, task.Yes); err != nil {
+			t.Fatal(err)
+		}
+		did = append(did, res.TaskID)
+	}
+	// A worker goes inactive via the endpoint.
+	res, err := c.Assign("bob")
+	if err != nil || !res.Assigned {
+		t.Fatalf("bob assign: %+v %v", res, err)
+	}
+	resp, err := http.Post(srv1.URL+"/inactive?workerId=bob", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("inactive status %d", resp.StatusCode)
+	}
+	srv1.Close()
+	_ = l.Close()
+
+	// Phase 2: fresh strategy, recover from the log, keep serving.
+	st2, err := baseline.NewRandomMV(ds, 3, nil, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := store.RecoverFile(path, st2); err != nil {
+		t.Fatal(err)
+	}
+	for _, tid := range did {
+		found := false
+		for _, v := range st2.Job().Votes(tid) {
+			if v.Worker == "alice" {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("recovered state missing alice's vote on %d", tid)
+		}
+	}
+	if _, busy := st2.Job().Pending("bob"); busy {
+		t.Fatal("bob's released assignment survived recovery")
+	}
+	// The recovered server keeps working.
+	srv2 := httptest.NewServer(NewServer(st2, ds).Handler())
+	defer srv2.Close()
+	c2 := &Client{BaseURL: srv2.URL}
+	res, err = c2.Assign("alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Assigned {
+		for _, tid := range did {
+			if res.TaskID == tid {
+				t.Fatal("recovered strategy re-assigned a completed task to alice")
+			}
+		}
+	}
+}
+
+func TestInactiveEndpointValidation(t *testing.T) {
+	ds := task.ProductMatching()
+	st, _ := baseline.NewRandomMV(ds, 3, nil, 1)
+	srv := httptest.NewServer(NewServer(st, ds).Handler())
+	defer srv.Close()
+	resp, _ := http.Get(srv.URL + "/inactive?workerId=x")
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /inactive: %d", resp.StatusCode)
+	}
+	resp, _ = http.Post(srv.URL+"/inactive", "", nil)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("missing workerId: %d", resp.StatusCode)
+	}
+}
+
+func TestEndToEndWithLogMatchesWithout(t *testing.T) {
+	// Logging must not perturb the strategy's behaviour.
+	ds := task.ProductMatching()
+	pool := sim.GeneratePool(ds, 5, sim.PoolOptions{Generalists: 1}, 3)
+
+	run := func(withLog bool) map[int]string {
+		st, _ := baseline.NewRandomMV(ds, 3, nil, 7)
+		so := NewServer(st, ds)
+		if withLog {
+			l, err := store.Open(filepath.Join(t.TempDir(), "ev.jsonl"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer l.Close()
+			so.SetLog(l)
+		}
+		srv := httptest.NewServer(so.Handler())
+		defer srv.Close()
+		// Single worker agent stream keeps request order deterministic.
+		if err := RunWorkers(srv.URL, ds, pool[:1], 100, 5); err != nil {
+			t.Fatal(err)
+		}
+		c := &Client{BaseURL: srv.URL}
+		res, err := c.Results()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(false), run(true)
+	for k, v := range a {
+		if b[k] != v {
+			t.Fatalf("task %d differs with logging: %v vs %v", k, v, b[k])
+		}
+	}
+}

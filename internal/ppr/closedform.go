@@ -1,0 +1,45 @@
+package ppr
+
+import (
+	"errors"
+
+	"icrowd/internal/matrix"
+	"icrowd/internal/simgraph"
+)
+
+// ClosedForm evaluates Lemma 1 directly:
+//
+//	p* = alpha/(1+alpha) * (I - S'/(1+alpha))^{-1} q
+//
+// by dense matrix inversion. It is O(N^3) and intended for verifying the
+// iterative solvers on small graphs, mirroring how the paper derives the
+// iterative algorithm from the analytic solution.
+func ClosedForm(g *simgraph.Graph, q []float64, alpha float64) ([]float64, error) {
+	if alpha <= 0 {
+		return nil, errors.New("ppr: alpha must be positive")
+	}
+	n := g.N()
+	if len(q) != n {
+		return nil, errors.New("ppr: q length mismatch")
+	}
+	c := 1 / (1 + alpha)
+	m := matrix.Identity(n)
+	for i := 0; i < n; i++ {
+		g.Neighbors(i, func(j int, _, norm float64) {
+			m.Set(i, j, m.At(i, j)-c*norm)
+		})
+	}
+	inv, err := m.Inverse()
+	if err != nil {
+		return nil, err
+	}
+	p, err := inv.MulVec(q)
+	if err != nil {
+		return nil, err
+	}
+	restart := alpha / (1 + alpha)
+	for i := range p {
+		p[i] *= restart
+	}
+	return p, nil
+}

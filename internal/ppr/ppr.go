@@ -1,0 +1,271 @@
+// Package ppr implements the personalized-PageRank machinery of Section 3.1:
+// the iterative solver for Eq. (4),
+//
+//	p = 1/(1+alpha) * S' p + alpha/(1+alpha) * q,
+//
+// whose fixed point is the closed form of Lemma 1, a sparse localized solver
+// used to precompute the per-task basis vectors p_{t_i}, and the linearity
+// combination of Lemma 3 that makes online estimation O(|completed|·nnz).
+package ppr
+
+import (
+	"errors"
+	"runtime"
+	"sort"
+	"sync"
+
+	"icrowd/internal/simgraph"
+)
+
+// Options tunes the solvers.
+type Options struct {
+	// Alpha is the balance parameter of Eq. (2); must be > 0.
+	Alpha float64
+	// Tol is the L1 convergence tolerance of the iterative solvers.
+	Tol float64
+	// MaxIter caps the number of iterations.
+	MaxIter int
+	// DropTol truncates sparse-solver entries below this magnitude to keep
+	// the basis vectors local; 0 keeps everything the iteration touches.
+	DropTol float64
+}
+
+// DefaultOptions returns the solver configuration used across experiments:
+// the paper's default alpha = 1.0 (Appendix D.2) with tight tolerances.
+func DefaultOptions() Options {
+	return Options{Alpha: 1.0, Tol: 1e-9, MaxIter: 200, DropTol: 1e-7}
+}
+
+func (o Options) validate() error {
+	if o.Alpha <= 0 {
+		return errors.New("ppr: alpha must be positive")
+	}
+	if o.MaxIter < 1 {
+		return errors.New("ppr: MaxIter must be >= 1")
+	}
+	if o.Tol < 0 || o.DropTol < 0 {
+		return errors.New("ppr: negative tolerance")
+	}
+	return nil
+}
+
+// DenseSolve iterates Eq. (4) to convergence for an arbitrary observed
+// vector q (length g.N()) and returns the estimated accuracy vector p.
+func DenseSolve(g *simgraph.Graph, q []float64, o Options) ([]float64, error) {
+	if err := o.validate(); err != nil {
+		return nil, err
+	}
+	if len(q) != g.N() {
+		return nil, errors.New("ppr: q length mismatch")
+	}
+	c := 1 / (1 + o.Alpha)
+	restart := o.Alpha / (1 + o.Alpha)
+	p := make([]float64, g.N())
+	copy(p, q) // paper: "we set vector p as the observed one q initially"
+	next := make([]float64, g.N())
+	for iter := 0; iter < o.MaxIter; iter++ {
+		var delta float64
+		for i := 0; i < g.N(); i++ {
+			var acc float64
+			g.Neighbors(i, func(j int, _, norm float64) {
+				acc += norm * p[j]
+			})
+			v := c*acc + restart*q[i]
+			d := v - p[i]
+			if d < 0 {
+				d = -d
+			}
+			delta += d
+			next[i] = v
+		}
+		p, next = next, p
+		if delta <= o.Tol {
+			break
+		}
+	}
+	return p, nil
+}
+
+// SparseSolve computes the basis vector p_{t_seed}: the fixed point of
+// Eq. (4) when q = e_seed. It expands the truncated Neumann series
+// restart * sum_k (c S')^k e_seed with a sparse frontier, so the cost is
+// proportional to the seed's graph neighborhood rather than to N.
+func SparseSolve(g *simgraph.Graph, seed int, o Options) (map[int]float64, error) {
+	if err := o.validate(); err != nil {
+		return nil, err
+	}
+	if seed < 0 || seed >= g.N() {
+		return nil, errors.New("ppr: seed out of range")
+	}
+	c := 1 / (1 + o.Alpha)
+	restart := o.Alpha / (1 + o.Alpha)
+
+	p := map[int]float64{seed: restart}
+	frontier := map[int]float64{seed: restart}
+	for iter := 0; iter < o.MaxIter && len(frontier) > 0; iter++ {
+		next := make(map[int]float64, len(frontier)*2)
+		for i, x := range frontier {
+			g.Neighbors(i, func(j int, _, norm float64) {
+				next[j] += c * norm * x
+			})
+		}
+		var mass float64
+		for j, x := range next {
+			if x < o.DropTol && -x < o.DropTol {
+				delete(next, j)
+				continue
+			}
+			p[j] += x
+			if x < 0 {
+				mass -= x
+			} else {
+				mass += x
+			}
+		}
+		if mass <= o.Tol {
+			break
+		}
+		frontier = next
+	}
+	return p, nil
+}
+
+// Basis holds the precomputed vectors p_{t_i} for every task (the offline
+// phase of Algorithm 1).
+type Basis struct {
+	opts Options
+	vecs []map[int]float64
+}
+
+// Precompute runs SparseSolve for every task in parallel (offline step of
+// Algorithm 1 / Algorithm 4 line 2-3).
+func Precompute(g *simgraph.Graph, o Options) (*Basis, error) {
+	if err := o.validate(); err != nil {
+		return nil, err
+	}
+	b := &Basis{opts: o, vecs: make([]map[int]float64, g.N())}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > g.N() {
+		workers = g.N()
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var firstErr error
+	ch := make(chan int, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range ch {
+				v, err := SparseSolve(g, i, o)
+				if err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+					continue
+				}
+				b.vecs[i] = v
+			}
+		}()
+	}
+	for i := 0; i < g.N(); i++ {
+		ch <- i
+	}
+	close(ch)
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return b, nil
+}
+
+// PrecomputePartial computes basis vectors only for the given seed tasks
+// (others stay nil). The Figure-10 scalability experiment uses it: online
+// estimation and assignment only ever read the vectors of *observed* tasks,
+// so precomputing all N vectors of a million-task graph is unnecessary.
+func PrecomputePartial(g *simgraph.Graph, o Options, seeds []int) (*Basis, error) {
+	if err := o.validate(); err != nil {
+		return nil, err
+	}
+	b := &Basis{opts: o, vecs: make([]map[int]float64, g.N())}
+	for _, s := range seeds {
+		if s < 0 || s >= g.N() {
+			return nil, errors.New("ppr: seed out of range")
+		}
+		if b.vecs[s] != nil {
+			continue
+		}
+		v, err := SparseSolve(g, s, o)
+		if err != nil {
+			return nil, err
+		}
+		b.vecs[s] = v
+	}
+	return b, nil
+}
+
+// N returns the number of tasks the basis covers.
+func (b *Basis) N() int { return len(b.vecs) }
+
+// Options returns the solver options the basis was built with.
+func (b *Basis) Options() Options { return b.opts }
+
+// Vec returns the basis vector p_{t_i} as a sparse map. Callers must not
+// mutate it.
+func (b *Basis) Vec(i int) map[int]float64 { return b.vecs[i] }
+
+// NNZ returns the number of stored nonzeros across all basis vectors.
+func (b *Basis) NNZ() int {
+	var n int
+	for _, v := range b.vecs {
+		n += len(v)
+	}
+	return n
+}
+
+// Combine applies Lemma 3: given sparse observed accuracies q (task -> q_i),
+// it returns p* = sum_i q_i * p_{t_i} as a sparse map.
+func (b *Basis) Combine(q map[int]float64) map[int]float64 {
+	out := make(map[int]float64, 4*len(q))
+	for i, qi := range q {
+		if qi == 0 {
+			continue
+		}
+		for j, pj := range b.vecs[i] {
+			out[j] += qi * pj
+		}
+	}
+	return out
+}
+
+// CombineInto is Combine writing into a caller-provided map (cleared first),
+// avoiding per-call allocation on the assignment hot path.
+func (b *Basis) CombineInto(q map[int]float64, out map[int]float64) {
+	for k := range out {
+		delete(out, k)
+	}
+	for i, qi := range q {
+		if qi == 0 {
+			continue
+		}
+		for j, pj := range b.vecs[i] {
+			out[j] += qi * pj
+		}
+	}
+}
+
+// Support returns the sorted task IDs reachable (nonzero) from seed i's
+// basis vector. Used by the qualification influence function (Section 5).
+func (b *Basis) Support(i int) []int {
+	out := make([]int, 0, len(b.vecs[i]))
+	for j := range b.vecs[i] {
+		out = append(out, j)
+	}
+	sort.Ints(out)
+	return out
+}

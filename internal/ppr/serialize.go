@@ -1,0 +1,78 @@
+package ppr
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+)
+
+// basisWire is the stable gob representation of a Basis.
+type basisWire struct {
+	Version int
+	Opts    Options
+	Vecs    []map[int]float64
+}
+
+// wireVersion guards against format drift between builds.
+const wireVersion = 1
+
+// Save serializes the basis (the offline artifact of Algorithm 1) so a
+// server restart or a different process can skip the precomputation.
+func (b *Basis) Save(w io.Writer) error {
+	return gob.NewEncoder(w).Encode(basisWire{
+		Version: wireVersion,
+		Opts:    b.opts,
+		Vecs:    b.vecs,
+	})
+}
+
+// SaveFile writes the basis to a file.
+func (b *Basis) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return b.Save(f)
+}
+
+// Load deserializes a basis written by Save.
+func Load(r io.Reader) (*Basis, error) {
+	var wire basisWire
+	if err := gob.NewDecoder(r).Decode(&wire); err != nil {
+		return nil, fmt.Errorf("ppr: decoding basis: %w", err)
+	}
+	if wire.Version != wireVersion {
+		return nil, fmt.Errorf("ppr: basis format version %d, want %d", wire.Version, wireVersion)
+	}
+	if err := wire.Opts.validate(); err != nil {
+		return nil, err
+	}
+	if len(wire.Vecs) == 0 {
+		return nil, errors.New("ppr: basis has no vectors")
+	}
+	n := len(wire.Vecs)
+	for i, v := range wire.Vecs {
+		for j, x := range v {
+			if j < 0 || j >= n {
+				return nil, fmt.Errorf("ppr: basis vector %d references task %d of %d", i, j, n)
+			}
+			if x < 0 || x > 1 {
+				return nil, fmt.Errorf("ppr: basis vector %d entry %d out of range: %v", i, j, x)
+			}
+		}
+	}
+	return &Basis{opts: wire.Opts, vecs: wire.Vecs}, nil
+}
+
+// LoadFile reads a basis from a file.
+func LoadFile(path string) (*Basis, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Load(f)
+}

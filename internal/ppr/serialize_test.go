@@ -1,0 +1,89 @@
+package ppr
+
+import (
+	"bytes"
+	"math"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestBasisSaveLoadRoundTrip(t *testing.T) {
+	g := table1Graph(t)
+	orig, err := Precompute(g, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := orig.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.N() != orig.N() || got.NNZ() != orig.NNZ() {
+		t.Fatalf("shape mismatch: %d/%d vs %d/%d", got.N(), got.NNZ(), orig.N(), orig.NNZ())
+	}
+	if got.Options() != orig.Options() {
+		t.Fatal("options mismatch")
+	}
+	for i := 0; i < orig.N(); i++ {
+		ov, gv := orig.Vec(i), got.Vec(i)
+		if len(ov) != len(gv) {
+			t.Fatalf("vector %d nnz mismatch", i)
+		}
+		for j, x := range ov {
+			if math.Abs(gv[j]-x) > 0 {
+				t.Fatalf("vector %d entry %d differs", i, j)
+			}
+		}
+	}
+	// Combination results are identical.
+	q := map[int]float64{0: 1, 5: 0.5}
+	a, b := orig.Combine(q), got.Combine(q)
+	for k, v := range a {
+		if b[k] != v {
+			t.Fatal("combine differs after round trip")
+		}
+	}
+}
+
+func TestBasisSaveLoadFile(t *testing.T) {
+	g := table1Graph(t)
+	orig, err := Precompute(g, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "basis.gob")
+	if err := orig.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.N() != orig.N() {
+		t.Fatal("file round trip changed the basis")
+	}
+	if _, err := LoadFile(filepath.Join(t.TempDir(), "missing.gob")); err == nil {
+		t.Fatal("missing file should error")
+	}
+}
+
+func TestLoadRejectsCorruption(t *testing.T) {
+	if _, err := Load(strings.NewReader("not gob at all")); err == nil {
+		t.Fatal("garbage should error")
+	}
+	// Wrong version.
+	var buf bytes.Buffer
+	g := table1Graph(t)
+	b, _ := Precompute(g, DefaultOptions())
+	_ = b.Save(&buf)
+	// Flip the version by writing a fresh wire with version 99 via the
+	// exported API is not possible; corrupt by truncation instead.
+	raw := buf.Bytes()
+	if _, err := Load(bytes.NewReader(raw[:len(raw)/2])); err == nil {
+		t.Fatal("truncated stream should error")
+	}
+}

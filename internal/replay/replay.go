@@ -1,0 +1,274 @@
+// Package replay implements the paper's evaluation methodology (Section
+// 6.1): first collect a fixed pool of redundant answers from the crowd
+// ("we set the Number of Assignments per HIT to a large number (10) to
+// collect enough answers"), then run every task-assignment approach over
+// the *same* collected answers — an approach may only assign a microtask to
+// a worker whose answer for it was collected, and the submitted answer is
+// that collected one.
+//
+// Replay is what gives assignment strategies their bite: with only ~10
+// eligible workers per microtask, choosing *which* k of them to use is a
+// real decision, and the comparison across approaches is free of answer-
+// sampling noise because everyone consumes the same answer pool.
+package replay
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"icrowd/internal/core"
+	"icrowd/internal/sim"
+	"icrowd/internal/task"
+)
+
+// Pool is a fixed collection of worker answers, perTask answers for every
+// microtask.
+type Pool struct {
+	ds      *task.Dataset
+	perTask int
+	// answers[taskID][workerID] = collected answer.
+	answers []map[string]task.Answer
+	// byWorker[workerID] = sorted tasks the worker answered.
+	byWorker map[string][]int
+	profiles map[string]*sim.Profile
+}
+
+// Collect gathers perTask answers for every microtask from the simulated
+// crowd. Workers are drawn per task without replacement, weighted by their
+// request rates (busy workers answer more HITs, matching the Figure-15
+// distribution). Every answer is a Bernoulli draw from the worker's latent
+// domain accuracy.
+func Collect(ds *task.Dataset, profiles []sim.Profile, perTask int, seed int64) (*Pool, error) {
+	if perTask < 1 {
+		return nil, errors.New("replay: perTask must be >= 1")
+	}
+	if perTask > len(profiles) {
+		perTask = len(profiles)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	p := &Pool{
+		ds:       ds,
+		perTask:  perTask,
+		answers:  make([]map[string]task.Answer, ds.Len()),
+		byWorker: map[string][]int{},
+		profiles: map[string]*sim.Profile{},
+	}
+	for i := range profiles {
+		p.profiles[profiles[i].ID] = &profiles[i]
+	}
+	for tid := 0; tid < ds.Len(); tid++ {
+		chosen := weightedSampleWithoutReplacement(profiles, perTask, rng)
+		row := make(map[string]task.Answer, perTask)
+		for _, prof := range chosen {
+			row[prof.ID] = sim.Answer(prof, &ds.Tasks[tid], rng)
+			p.byWorker[prof.ID] = append(p.byWorker[prof.ID], tid)
+		}
+		p.answers[tid] = row
+	}
+	for _, tasks := range p.byWorker {
+		sort.Ints(tasks)
+	}
+	return p, nil
+}
+
+// weightedSampleWithoutReplacement draws n distinct profiles with
+// probability proportional to request rate.
+func weightedSampleWithoutReplacement(profiles []sim.Profile, n int, rng *rand.Rand) []*sim.Profile {
+	type cand struct {
+		p *sim.Profile
+		w float64
+	}
+	cands := make([]cand, len(profiles))
+	var total float64
+	for i := range profiles {
+		w := profiles[i].RequestRate
+		if w <= 0 {
+			w = 1
+		}
+		cands[i] = cand{&profiles[i], w}
+		total += w
+	}
+	out := make([]*sim.Profile, 0, n)
+	for len(out) < n && len(cands) > 0 {
+		pick := rng.Float64() * total
+		idx := len(cands) - 1
+		for i, c := range cands {
+			pick -= c.w
+			if pick < 0 {
+				idx = i
+				break
+			}
+		}
+		out = append(out, cands[idx].p)
+		total -= cands[idx].w
+		cands = append(cands[:idx], cands[idx+1:]...)
+	}
+	return out
+}
+
+// Dataset returns the pool's dataset.
+func (p *Pool) Dataset() *task.Dataset { return p.ds }
+
+// PerTask returns the number of collected answers per microtask.
+func (p *Pool) PerTask() int { return p.perTask }
+
+// Has reports whether the worker's answer for taskID was collected.
+func (p *Pool) Has(worker string, taskID int) bool {
+	if taskID < 0 || taskID >= len(p.answers) {
+		return false
+	}
+	_, ok := p.answers[taskID][worker]
+	return ok
+}
+
+// Answer returns the collected answer of worker on taskID.
+func (p *Pool) Answer(worker string, taskID int) (task.Answer, bool) {
+	if taskID < 0 || taskID >= len(p.answers) {
+		return task.None, false
+	}
+	a, ok := p.answers[taskID][worker]
+	return a, ok
+}
+
+// Workers returns the IDs of workers with at least one collected answer,
+// sorted.
+func (p *Pool) Workers() []string {
+	out := make([]string, 0, len(p.byWorker))
+	for id := range p.byWorker {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// TasksOf returns the tasks the worker answered during collection.
+func (p *Pool) TasksOf(worker string) []int {
+	return append([]int(nil), p.byWorker[worker]...)
+}
+
+// Eligible returns the eligibility predicate replayed strategies must obey.
+func (p *Pool) Eligible() func(worker string, taskID int) bool {
+	return p.Has
+}
+
+// Run replays a strategy over the pool: workers request in rate-weighted
+// random order; the strategy assigns microtasks; submitted answers come
+// from the pool (qualification microtasks fall back to a fresh draw from
+// the worker's latent profile when no answer was collected — the warm-up
+// assigns them to every new worker regardless of the HITs they accepted).
+// Run scores the strategy's aggregated results over all microtasks.
+func Run(s core.Strategy, p *Pool, opts sim.RunOptions) (*sim.Result, error) {
+	if opts.MaxSteps <= 0 {
+		opts.MaxSteps = 200 * p.ds.Len()
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+	workers := p.Workers()
+	if len(workers) == 0 {
+		return nil, errors.New("replay: empty pool")
+	}
+	res := &sim.Result{
+		Strategy:     s.Name(),
+		Assignments:  map[string]int{},
+		WorkerDomain: map[string]map[string]sim.DomainStat{},
+	}
+	excluded := make(map[int]bool, len(opts.ExcludeTasks))
+	for _, t := range opts.ExcludeTasks {
+		excluded[t] = true
+	}
+	// retired[w] counts consecutive empty requests; workers past the limit
+	// stop requesting (their pool is exhausted or they were rejected).
+	retired := map[string]int{}
+	const retireAfter = 3
+	step := 0
+	for ; step < opts.MaxSteps && !s.Done(); step++ {
+		var active []string
+		var totalRate float64
+		for _, id := range workers {
+			if retired[id] >= retireAfter {
+				continue
+			}
+			active = append(active, id)
+			totalRate += rate(p.profiles[id])
+		}
+		if len(active) == 0 {
+			break
+		}
+		pick := rng.Float64() * totalRate
+		w := active[len(active)-1]
+		for _, id := range active {
+			pick -= rate(p.profiles[id])
+			if pick < 0 {
+				w = id
+				break
+			}
+		}
+		tid, ok := s.RequestTask(w)
+		if !ok {
+			retired[w]++
+			continue
+		}
+		retired[w] = 0
+		ans, collected := p.Answer(w, tid)
+		if !collected {
+			// Qualification microtasks are assigned outside the collected
+			// HITs; draw the answer fresh from the latent profile.
+			ans = sim.Answer(p.profiles[w], &p.ds.Tasks[tid], rng)
+		}
+		if err := s.SubmitAnswer(w, tid, ans); err != nil {
+			return nil, fmt.Errorf("replay: submit by %s on %d: %w", w, tid, err)
+		}
+		if !excluded[tid] {
+			res.Assignments[w]++
+			wd, ok := res.WorkerDomain[w]
+			if !ok {
+				wd = map[string]sim.DomainStat{}
+				res.WorkerDomain[w] = wd
+			}
+			dom := p.ds.Tasks[tid].Domain
+			st := wd[dom]
+			st.Total++
+			if ans == p.ds.Tasks[tid].Truth {
+				st.Correct++
+			}
+			wd[dom] = st
+		}
+	}
+	res.Steps = step
+	res.Completed = s.Done()
+
+	results := s.Results()
+	correct, scored := 0, 0
+	domCorrect := map[string]int{}
+	domTotal := map[string]int{}
+	for i := range p.ds.Tasks {
+		if excluded[i] {
+			continue
+		}
+		scored++
+		tk := &p.ds.Tasks[i]
+		domTotal[tk.Domain]++
+		if results[i] == tk.Truth {
+			correct++
+			domCorrect[tk.Domain]++
+		}
+	}
+	if scored > 0 {
+		res.Accuracy = float64(correct) / float64(scored)
+	}
+	res.PerDomain = map[string]float64{}
+	for _, dom := range p.ds.Domains {
+		if domTotal[dom] > 0 {
+			res.PerDomain[dom] = float64(domCorrect[dom]) / float64(domTotal[dom])
+		}
+	}
+	return res, nil
+}
+
+func rate(p *sim.Profile) float64 {
+	if p == nil || p.RequestRate <= 0 {
+		return 1
+	}
+	return p.RequestRate
+}

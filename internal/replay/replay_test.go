@@ -1,0 +1,208 @@
+package replay
+
+import (
+	"testing"
+
+	"icrowd/internal/baseline"
+	"icrowd/internal/core"
+	"icrowd/internal/sim"
+	"icrowd/internal/task"
+)
+
+func testPool(t *testing.T) (*task.Dataset, []sim.Profile, *Pool) {
+	t.Helper()
+	ds := task.GenerateUniform(40, []string{"A", "B"}, 1)
+	profiles := sim.GeneratePool(ds, 12, sim.DefaultPoolOptions(), 2)
+	p, err := Collect(ds, profiles, 5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds, profiles, p
+}
+
+func TestCollectShape(t *testing.T) {
+	ds, profiles, p := testPool(t)
+	if p.Dataset() != ds || p.PerTask() != 5 {
+		t.Fatal("accessors mismatch")
+	}
+	// Every task has exactly perTask distinct answers.
+	for tid := 0; tid < ds.Len(); tid++ {
+		n := 0
+		for i := range profiles {
+			if p.Has(profiles[i].ID, tid) {
+				n++
+			}
+		}
+		if n != 5 {
+			t.Fatalf("task %d has %d answers, want 5", tid, n)
+		}
+	}
+	// byWorker inverse is consistent.
+	total := 0
+	for _, w := range p.Workers() {
+		for _, tid := range p.TasksOf(w) {
+			if !p.Has(w, tid) {
+				t.Fatal("TasksOf inconsistent with Has")
+			}
+			total++
+		}
+	}
+	if total != 5*ds.Len() {
+		t.Fatalf("total answers %d, want %d", total, 5*ds.Len())
+	}
+	// Out-of-range queries are safe.
+	if p.Has("x", -1) || p.Has("x", 9999) {
+		t.Fatal("out-of-range Has should be false")
+	}
+	if _, ok := p.Answer("x", -1); ok {
+		t.Fatal("out-of-range Answer should not be ok")
+	}
+}
+
+func TestCollectValidation(t *testing.T) {
+	ds := task.GenerateUniform(10, nil, 1)
+	profiles := sim.GeneratePool(ds, 4, sim.DefaultPoolOptions(), 2)
+	if _, err := Collect(ds, profiles, 0, 1); err == nil {
+		t.Fatal("perTask=0 should error")
+	}
+	// perTask above pool size clamps.
+	p, err := Collect(ds, profiles, 99, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.PerTask() != 4 {
+		t.Fatalf("clamped perTask = %d", p.PerTask())
+	}
+}
+
+func TestCollectDeterministic(t *testing.T) {
+	ds := task.GenerateUniform(20, nil, 1)
+	profiles := sim.GeneratePool(ds, 6, sim.DefaultPoolOptions(), 2)
+	a, _ := Collect(ds, profiles, 3, 9)
+	b, _ := Collect(ds, profiles, 3, 9)
+	for tid := 0; tid < ds.Len(); tid++ {
+		for i := range profiles {
+			av, aok := a.Answer(profiles[i].ID, tid)
+			bv, bok := b.Answer(profiles[i].ID, tid)
+			if aok != bok || av != bv {
+				t.Fatal("Collect not deterministic")
+			}
+		}
+	}
+}
+
+func TestRateSkewShowsUpInCollection(t *testing.T) {
+	ds := task.GenerateUniform(100, nil, 1)
+	profiles := sim.GeneratePool(ds, 20, sim.DefaultPoolOptions(), 2)
+	p, err := Collect(ds, profiles, 5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The highest-rate worker should answer far more tasks than the lowest.
+	var hiW, loW string
+	var hiR, loR float64 = 0, 2
+	for i := range profiles {
+		if r := profiles[i].RequestRate; r > hiR {
+			hiR, hiW = r, profiles[i].ID
+		} else if r < loR {
+			loR, loW = r, profiles[i].ID
+		}
+	}
+	if len(p.TasksOf(hiW)) <= len(p.TasksOf(loW)) {
+		t.Fatalf("rate skew not reflected: %s=%d vs %s=%d",
+			hiW, len(p.TasksOf(hiW)), loW, len(p.TasksOf(loW)))
+	}
+}
+
+func TestReplayRandomMVConsumesOnlyPoolAnswers(t *testing.T) {
+	ds, _, p := testPool(t)
+	st, err := baseline.NewRandomMV(ds, 3, nil, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.SetEligible(p.Eligible())
+	res, err := Run(st, p, sim.RunOptions{Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Completed {
+		t.Fatalf("replay did not complete (steps %d)", res.Steps)
+	}
+	// Every recorded vote must match the collected answer.
+	for tid, votes := range st.Job().AllVotes() {
+		for _, v := range votes {
+			collected, ok := p.Answer(v.Worker, tid)
+			if !ok {
+				t.Fatalf("vote by %s on %d was never collected", v.Worker, tid)
+			}
+			if collected != v.Answer {
+				t.Fatalf("vote differs from collected answer")
+			}
+		}
+	}
+}
+
+func TestReplayICrowdEndToEnd(t *testing.T) {
+	ds, _, p := testPool(t)
+	basis, err := core.BuildBasis(ds, "Jaccard", 0.25, 0, 1.0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := core.DefaultConfig()
+	cfg.Q = 4
+	cfg.Eligible = p.Eligible()
+	ic, err := core.New(ds, basis, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(ic, p, sim.RunOptions{Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Accuracy <= 0.3 {
+		t.Fatalf("replay accuracy %v implausible", res.Accuracy)
+	}
+	// Non-qualification votes must respect eligibility.
+	qual := map[int]bool{}
+	for _, q := range ic.QualificationTasks() {
+		qual[q] = true
+	}
+	for tid, votes := range ic.Job().AllVotes() {
+		if qual[tid] {
+			continue
+		}
+		for _, v := range votes {
+			if !p.Has(v.Worker, tid) {
+				t.Fatalf("ineligible vote by %s on %d", v.Worker, tid)
+			}
+		}
+	}
+}
+
+func TestReplayEmptyPool(t *testing.T) {
+	ds := task.GenerateUniform(5, nil, 1)
+	st, _ := baseline.NewRandomMV(ds, 3, nil, 1)
+	if _, err := Run(st, &Pool{ds: ds, answers: make([]map[string]task.Answer, 5)}, sim.RunOptions{}); err == nil {
+		t.Fatal("empty pool should error")
+	}
+}
+
+func TestReplayRetiresExhaustedWorkers(t *testing.T) {
+	// A tiny pool where workers run out of eligible tasks: Run must
+	// terminate without MaxSteps babysitting.
+	ds := task.GenerateUniform(6, nil, 1)
+	profiles := sim.GeneratePool(ds, 3, sim.PoolOptions{Generalists: 1}, 2)
+	p, err := Collect(ds, profiles, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, _ := baseline.NewRandomMV(ds, 3, nil, 1)
+	st.SetEligible(p.Eligible())
+	res, err := Run(st, p, sim.RunOptions{Seed: 4, MaxSteps: 100000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Steps >= 100000 {
+		t.Fatal("replay failed to terminate early")
+	}
+}

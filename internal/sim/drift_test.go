@@ -1,0 +1,64 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"icrowd/internal/task"
+)
+
+func TestAccuracyAtDrift(t *testing.T) {
+	p := Profile{
+		DomainAcc:  map[string]float64{"A": 0.9, "B": 0.6},
+		DriftTo:    map[string]float64{"A": 0.4},
+		DriftSteps: 100,
+	}
+	if got := p.AccuracyAt("A", 0); math.Abs(got-0.9) > 1e-12 {
+		t.Fatalf("step 0 = %v", got)
+	}
+	if got := p.AccuracyAt("A", 50); math.Abs(got-0.65) > 1e-12 {
+		t.Fatalf("midpoint = %v", got)
+	}
+	if got := p.AccuracyAt("A", 100); math.Abs(got-0.4) > 1e-12 {
+		t.Fatalf("endpoint = %v", got)
+	}
+	// Past the horizon the accuracy clamps at the target.
+	if got := p.AccuracyAt("A", 1000); math.Abs(got-0.4) > 1e-12 {
+		t.Fatalf("past horizon = %v", got)
+	}
+	// Negative steps clamp at the start.
+	if got := p.AccuracyAt("A", -5); math.Abs(got-0.9) > 1e-12 {
+		t.Fatalf("negative step = %v", got)
+	}
+	// Non-drifting domains stay fixed.
+	if got := p.AccuracyAt("B", 50); math.Abs(got-0.6) > 1e-12 {
+		t.Fatalf("non-drifting domain = %v", got)
+	}
+	// Stationary profiles ignore step entirely.
+	q := Profile{DomainAcc: map[string]float64{"A": 0.7}}
+	if q.AccuracyAt("A", 12345) != 0.7 {
+		t.Fatal("stationary profile drifted")
+	}
+}
+
+func TestAnswerAtUsesDriftedAccuracy(t *testing.T) {
+	// A worker that ends at accuracy 0: answers at the horizon are always
+	// wrong, answers at step 0 always right (accuracy 1).
+	p := Profile{
+		DomainAcc:  map[string]float64{"D0": 1},
+		DriftTo:    map[string]float64{"D0": 0},
+		DriftSteps: 10,
+	}
+	ds := task.GenerateUniform(4, nil, 1)
+	tk := &ds.Tasks[0]
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 20; i++ {
+		if AnswerAt(&p, tk, 0, rng) != tk.Truth {
+			t.Fatal("step-0 answer should be correct")
+		}
+		if AnswerAt(&p, tk, 10, rng) == tk.Truth {
+			t.Fatal("horizon answer should be wrong")
+		}
+	}
+}

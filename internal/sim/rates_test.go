@@ -1,0 +1,79 @@
+package sim
+
+import (
+	"testing"
+
+	"icrowd/internal/baseline"
+	"icrowd/internal/task"
+)
+
+func TestRequestRateSkewGenerated(t *testing.T) {
+	ds := task.GenerateItemCompare(1)
+	pool := GeneratePool(ds, 53, DefaultPoolOptions(), 7)
+	var hi, lo float64 = 0, 2
+	for i := range pool {
+		r := pool[i].RequestRate
+		if r <= 0 {
+			t.Fatalf("worker %s has non-positive rate %v", pool[i].ID, r)
+		}
+		if r > hi {
+			hi = r
+		}
+		if r < lo {
+			lo = r
+		}
+	}
+	if hi/lo < 10 {
+		t.Fatalf("rate skew too flat: max/min = %v", hi/lo)
+	}
+	// UniformRates disables the skew.
+	opts := DefaultPoolOptions()
+	opts.UniformRates = true
+	flat := GeneratePool(ds, 10, opts, 7)
+	for i := range flat {
+		if flat[i].RequestRate != 0 {
+			t.Fatal("UniformRates should leave RequestRate unset")
+		}
+	}
+}
+
+func TestHighRateWorkersDominateAssignments(t *testing.T) {
+	// With zipf rates, the busiest workers should complete the bulk of the
+	// job — the Figure-15 shape.
+	ds := task.GenerateItemCompare(1)
+	pool := GeneratePool(ds, 53, DefaultPoolOptions(), 7)
+	st, err := baseline.NewRandomMV(ds, 3, nil, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(st, ds, pool, RunOptions{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Completed {
+		t.Fatal("run did not complete")
+	}
+	tops := res.TopWorkers()
+	if len(tops) > 15 {
+		tops = tops[:15]
+	}
+	var topSum int
+	for _, w := range tops {
+		topSum += res.Assignments[w]
+	}
+	share := float64(topSum) / float64(res.TotalAssignments())
+	if share < 0.6 {
+		t.Fatalf("top-15 share %v too flat for a zipf crowd", share)
+	}
+}
+
+func TestProfileRateDefault(t *testing.T) {
+	p := Profile{}
+	if p.rate() != 1 {
+		t.Fatalf("unset rate = %v, want 1", p.rate())
+	}
+	p.RequestRate = 0.25
+	if p.rate() != 0.25 {
+		t.Fatalf("rate = %v", p.rate())
+	}
+}

@@ -1,0 +1,405 @@
+// Package sim provides the crowd simulator that stands in for Amazon
+// Mechanical Turk. Synthetic workers carry latent per-domain accuracies
+// calibrated to the paper's Figure-6 observations (domain experts, decent
+// generalists, and spammers), arrive and depart dynamically, and drive any
+// core.Strategy through the request/answer/submit loop until every
+// microtask is globally completed.
+//
+// The paper's algorithms observe only (worker, task, answer) triples and
+// worker activity, so a simulator producing answer streams with genuine
+// accuracy diversity across domains exercises exactly the code paths the
+// AMT deployment did (see DESIGN.md, substitution table).
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"icrowd/internal/core"
+	"icrowd/internal/task"
+)
+
+// Profile is a simulated worker: a latent accuracy per domain plus an
+// activity window.
+type Profile struct {
+	// ID is the worker identifier.
+	ID string
+	// DomainAcc maps domain -> P(correct answer) for tasks in that domain.
+	DomainAcc map[string]float64
+	// Archetype records how the profile was generated ("specialist",
+	// "generalist", "spammer") for reporting.
+	Archetype string
+	// Arrive is the simulation step at which the worker becomes active.
+	Arrive int
+	// Depart is the step at which the worker leaves (0 = never).
+	Depart int
+	// RequestRate is the worker's relative request frequency (default 1).
+	// Real AMT crowds are top-heavy — the paper's Figure 15 shows the top
+	// worker alone completing >13% of all assignments — and that skew is
+	// what feeds the adaptive estimator enough evidence per worker.
+	RequestRate float64
+	// DriftTo optionally makes the worker non-stationary: their accuracy
+	// in each listed domain interpolates linearly from DomainAcc to
+	// DriftTo over DriftSteps simulation steps (fatigue, learning, or a
+	// worker handing the account to someone else). Domains absent from
+	// DriftTo stay fixed.
+	DriftTo map[string]float64
+	// DriftSteps is the interpolation horizon (0 disables drift).
+	DriftSteps int
+}
+
+// rate returns the effective request rate (1 when unset).
+func (p *Profile) rate() float64 {
+	if p.RequestRate <= 0 {
+		return 1
+	}
+	return p.RequestRate
+}
+
+// AccuracyOn returns the worker's latent accuracy on a domain (0.5 when the
+// domain is unknown to the profile), before any drift.
+func (p *Profile) AccuracyOn(domain string) float64 {
+	if a, ok := p.DomainAcc[domain]; ok {
+		return a
+	}
+	return 0.5
+}
+
+// AccuracyAt returns the worker's latent accuracy on a domain at the given
+// simulation step, applying the drift schedule when configured.
+func (p *Profile) AccuracyAt(domain string, step int) float64 {
+	base := p.AccuracyOn(domain)
+	if p.DriftSteps <= 0 || p.DriftTo == nil {
+		return base
+	}
+	target, ok := p.DriftTo[domain]
+	if !ok {
+		return base
+	}
+	frac := float64(step) / float64(p.DriftSteps)
+	if frac > 1 {
+		frac = 1
+	}
+	if frac < 0 {
+		frac = 0
+	}
+	return base + (target-base)*frac
+}
+
+// ActiveAt reports whether the worker is active at the given step.
+func (p *Profile) ActiveAt(step int) bool {
+	if step < p.Arrive {
+		return false
+	}
+	if p.Depart > 0 && step >= p.Depart {
+		return false
+	}
+	return true
+}
+
+// PoolOptions controls synthetic worker-pool generation.
+type PoolOptions struct {
+	// Specialists, Generalists, Spammers are archetype fractions; they are
+	// normalized if they do not sum to 1.
+	Specialists, Generalists, Spammers float64
+	// DomainCaps optionally caps accuracy per domain (the paper observes
+	// the best Auto worker at only 0.76).
+	DomainCaps map[string]float64
+	// ChurnFraction of workers get a random arrival and departure window
+	// within [0, Horizon) rather than being present throughout.
+	ChurnFraction float64
+	// Horizon is the step range used to place churn windows.
+	Horizon int
+	// UniformRates disables the default zipf-like request-rate skew.
+	UniformRates bool
+	// RateExponent shapes the zipf skew (default 1.1): worker at shuffled
+	// rank r requests proportionally to 1/r^RateExponent.
+	RateExponent float64
+}
+
+// DefaultPoolOptions mirrors the Figure-6 crowd: roughly half specialists,
+// a fifth generalists, the rest spammers; no churn.
+func DefaultPoolOptions() PoolOptions {
+	return PoolOptions{Specialists: 0.5, Generalists: 0.2, Spammers: 0.3}
+}
+
+// GeneratePool builds n worker profiles over the dataset's domains.
+func GeneratePool(ds *task.Dataset, n int, opts PoolOptions, seed int64) []Profile {
+	rng := rand.New(rand.NewSource(seed))
+	total := opts.Specialists + opts.Generalists + opts.Spammers
+	if total <= 0 {
+		opts = DefaultPoolOptions()
+		total = 1
+	}
+	pSpec := opts.Specialists / total
+	pGen := opts.Generalists / total
+
+	cap01 := func(domain string, a float64) float64 {
+		if c, ok := opts.DomainCaps[domain]; ok && a > c {
+			a = c
+		}
+		if a > 0.99 {
+			a = 0.99
+		}
+		if a < 0.01 {
+			a = 0.01
+		}
+		return a
+	}
+
+	pool := make([]Profile, n)
+	for i := range pool {
+		p := Profile{
+			ID:        fmt.Sprintf("W%03d", i),
+			DomainAcc: map[string]float64{},
+		}
+		u := rng.Float64()
+		switch {
+		case u < pSpec:
+			p.Archetype = "specialist"
+			// Expert in 1-2 domains, mediocre elsewhere.
+			nExpert := 1 + rng.Intn(2)
+			if nExpert > len(ds.Domains) {
+				nExpert = len(ds.Domains)
+			}
+			perm := rng.Perm(len(ds.Domains))
+			expert := map[string]bool{}
+			for _, di := range perm[:nExpert] {
+				expert[ds.Domains[di]] = true
+			}
+			for _, dom := range ds.Domains {
+				if expert[dom] {
+					p.DomainAcc[dom] = cap01(dom, 0.85+0.1*rng.Float64())
+				} else {
+					p.DomainAcc[dom] = cap01(dom, 0.45+0.17*rng.Float64())
+				}
+			}
+		case u < pSpec+pGen:
+			p.Archetype = "generalist"
+			for _, dom := range ds.Domains {
+				p.DomainAcc[dom] = cap01(dom, 0.7+0.1*rng.Float64())
+			}
+		default:
+			p.Archetype = "spammer"
+			for _, dom := range ds.Domains {
+				p.DomainAcc[dom] = cap01(dom, 0.45+0.1*rng.Float64())
+			}
+		}
+		if opts.ChurnFraction > 0 && rng.Float64() < opts.ChurnFraction && opts.Horizon > 0 {
+			a := rng.Intn(opts.Horizon / 2)
+			d := a + opts.Horizon/4 + rng.Intn(opts.Horizon/2)
+			p.Arrive, p.Depart = a, d
+		}
+		pool[i] = p
+	}
+	// Zipf-like request rates over a random rank order, independent of
+	// archetype: some workers hammer the HITs, most drop by occasionally.
+	if !opts.UniformRates {
+		exp := opts.RateExponent
+		if exp <= 0 {
+			exp = 1.1
+		}
+		for rank, i := range rng.Perm(n) {
+			pool[i].RequestRate = 1 / math.Pow(float64(rank+1), exp)
+		}
+	}
+	return pool
+}
+
+// Answer samples the worker's response to a task: the truth with
+// probability of their latent domain accuracy, flipped otherwise.
+func Answer(p *Profile, tk *task.Task, rng *rand.Rand) task.Answer {
+	return AnswerAt(p, tk, 0, rng)
+}
+
+// AnswerAt is Answer at a specific simulation step, honoring drift.
+func AnswerAt(p *Profile, tk *task.Task, step int, rng *rand.Rand) task.Answer {
+	if rng.Float64() <= p.AccuracyAt(tk.Domain, step) {
+		return tk.Truth
+	}
+	return tk.Truth.Flip()
+}
+
+// RunOptions configures a simulation run.
+type RunOptions struct {
+	// Seed drives worker scheduling and answer noise.
+	Seed int64
+	// MaxSteps bounds the request loop (a step is one worker request).
+	MaxSteps int
+	// ExcludeTasks are task IDs left out of accuracy scoring (typically
+	// the shared qualification microtasks).
+	ExcludeTasks []int
+}
+
+// DomainStat counts a worker's correct/total answers in one domain.
+type DomainStat struct {
+	Correct int
+	Total   int
+}
+
+// Accuracy returns Correct/Total (0 when empty).
+func (d DomainStat) Accuracy() float64 {
+	if d.Total == 0 {
+		return 0
+	}
+	return float64(d.Correct) / float64(d.Total)
+}
+
+// Result summarizes a simulation run.
+type Result struct {
+	// Strategy is the approach's name.
+	Strategy string
+	// Completed reports whether every microtask reached consensus within
+	// MaxSteps.
+	Completed bool
+	// Steps is the number of request iterations executed.
+	Steps int
+	// Accuracy is the fraction of scored tasks whose aggregated result
+	// matches ground truth.
+	Accuracy float64
+	// PerDomain is the accuracy per dataset domain (over scored tasks).
+	PerDomain map[string]float64
+	// Assignments counts completed (submitted) crowd assignments per
+	// worker, excluding qualification answers.
+	Assignments map[string]int
+	// WorkerDomain tallies each worker's correct/total crowd answers per
+	// domain — the raw material of Figure 6.
+	WorkerDomain map[string]map[string]DomainStat
+}
+
+// Run drives the strategy with the worker pool until every task completes
+// or MaxSteps elapses, then scores the strategy's aggregated results.
+func Run(s core.Strategy, ds *task.Dataset, pool []Profile, opts RunOptions) (*Result, error) {
+	if len(pool) == 0 {
+		return nil, errors.New("sim: empty worker pool")
+	}
+	if opts.MaxSteps <= 0 {
+		opts.MaxSteps = 200 * ds.Len()
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+	excluded := make(map[int]bool, len(opts.ExcludeTasks))
+	for _, t := range opts.ExcludeTasks {
+		excluded[t] = true
+	}
+
+	res := &Result{
+		Strategy:     s.Name(),
+		Assignments:  map[string]int{},
+		WorkerDomain: map[string]map[string]DomainStat{},
+	}
+	departed := map[string]bool{}
+	step := 0
+	for ; step < opts.MaxSteps && !s.Done(); step++ {
+		// Handle departures.
+		for i := range pool {
+			p := &pool[i]
+			if p.Depart > 0 && step == p.Depart && !departed[p.ID] {
+				departed[p.ID] = true
+				s.WorkerInactive(p.ID)
+			}
+		}
+		// Pick an active worker with probability proportional to their
+		// request rate.
+		var active []*Profile
+		var totalRate float64
+		for i := range pool {
+			if pool[i].ActiveAt(step) {
+				active = append(active, &pool[i])
+				totalRate += pool[i].rate()
+			}
+		}
+		if len(active) == 0 {
+			continue
+		}
+		pick := rng.Float64() * totalRate
+		p := active[len(active)-1]
+		for _, cand := range active {
+			pick -= cand.rate()
+			if pick < 0 {
+				p = cand
+				break
+			}
+		}
+		tid, ok := s.RequestTask(p.ID)
+		if !ok {
+			continue
+		}
+		tk := &ds.Tasks[tid]
+		ans := AnswerAt(p, tk, step, rng)
+		if err := s.SubmitAnswer(p.ID, tid, ans); err != nil {
+			return nil, fmt.Errorf("sim: submit by %s on %d: %w", p.ID, tid, err)
+		}
+		if !excluded[tid] {
+			res.Assignments[p.ID]++
+			wd, ok := res.WorkerDomain[p.ID]
+			if !ok {
+				wd = map[string]DomainStat{}
+				res.WorkerDomain[p.ID] = wd
+			}
+			st := wd[tk.Domain]
+			st.Total++
+			if ans == tk.Truth {
+				st.Correct++
+			}
+			wd[tk.Domain] = st
+		}
+	}
+	res.Steps = step
+	res.Completed = s.Done()
+
+	// Score.
+	results := s.Results()
+	correct, scored := 0, 0
+	domCorrect := map[string]int{}
+	domTotal := map[string]int{}
+	for i, tk := range ds.Tasks {
+		if excluded[i] {
+			continue
+		}
+		scored++
+		domTotal[tk.Domain]++
+		if results[i] == tk.Truth {
+			correct++
+			domCorrect[tk.Domain]++
+		}
+	}
+	if scored > 0 {
+		res.Accuracy = float64(correct) / float64(scored)
+	}
+	res.PerDomain = map[string]float64{}
+	for _, dom := range ds.Domains {
+		if domTotal[dom] > 0 {
+			res.PerDomain[dom] = float64(domCorrect[dom]) / float64(domTotal[dom])
+		}
+	}
+	return res, nil
+}
+
+// TopWorkers returns the worker IDs sorted by descending completed
+// assignments (ties by ID), for the Figure-15 distribution.
+func (r *Result) TopWorkers() []string {
+	ids := make([]string, 0, len(r.Assignments))
+	for id := range r.Assignments {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool {
+		ai, aj := r.Assignments[ids[i]], r.Assignments[ids[j]]
+		if ai != aj {
+			return ai > aj
+		}
+		return ids[i] < ids[j]
+	})
+	return ids
+}
+
+// TotalAssignments returns the total number of scored crowd assignments.
+func (r *Result) TotalAssignments() int {
+	var n int
+	for _, c := range r.Assignments {
+		n += c
+	}
+	return n
+}

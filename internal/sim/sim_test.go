@@ -1,0 +1,264 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+
+	"icrowd/internal/baseline"
+	"icrowd/internal/core"
+	"icrowd/internal/task"
+)
+
+func TestProfileAccuracyAndActivity(t *testing.T) {
+	p := Profile{ID: "w", DomainAcc: map[string]float64{"NBA": 0.9}}
+	if p.AccuracyOn("NBA") != 0.9 {
+		t.Fatal("known domain accuracy wrong")
+	}
+	if p.AccuracyOn("Food") != 0.5 {
+		t.Fatal("unknown domain should default to 0.5")
+	}
+	if !p.ActiveAt(0) {
+		t.Fatal("no-window profile should always be active")
+	}
+	q := Profile{Arrive: 10, Depart: 20}
+	if q.ActiveAt(9) || !q.ActiveAt(10) || !q.ActiveAt(19) || q.ActiveAt(20) {
+		t.Fatal("activity window wrong")
+	}
+}
+
+func TestGeneratePoolShapes(t *testing.T) {
+	ds := task.GenerateItemCompare(1)
+	pool := GeneratePool(ds, 53, DefaultPoolOptions(), 7)
+	if len(pool) != 53 {
+		t.Fatalf("pool size %d", len(pool))
+	}
+	arche := map[string]int{}
+	for i := range pool {
+		p := &pool[i]
+		arche[p.Archetype]++
+		if len(p.DomainAcc) != len(ds.Domains) {
+			t.Fatalf("worker %s covers %d domains", p.ID, len(p.DomainAcc))
+		}
+		for dom, a := range p.DomainAcc {
+			if a < 0.01 || a > 0.99 {
+				t.Fatalf("worker %s accuracy %v on %s out of range", p.ID, a, dom)
+			}
+		}
+	}
+	for _, k := range []string{"specialist", "generalist", "spammer"} {
+		if arche[k] == 0 {
+			t.Fatalf("no %s generated: %v", k, arche)
+		}
+	}
+	// Specialists must actually be diverse: expert domains well above their
+	// weak domains.
+	foundDiverse := false
+	for i := range pool {
+		if pool[i].Archetype != "specialist" {
+			continue
+		}
+		var hi, lo float64 = 0, 1
+		for _, a := range pool[i].DomainAcc {
+			if a > hi {
+				hi = a
+			}
+			if a < lo {
+				lo = a
+			}
+		}
+		if hi-lo > 0.25 {
+			foundDiverse = true
+		}
+	}
+	if !foundDiverse {
+		t.Fatal("no diverse specialist found")
+	}
+}
+
+func TestGeneratePoolDomainCaps(t *testing.T) {
+	ds := task.GenerateItemCompare(1)
+	opts := DefaultPoolOptions()
+	opts.DomainCaps = map[string]float64{"Auto": 0.76}
+	pool := GeneratePool(ds, 53, opts, 7)
+	for i := range pool {
+		if a := pool[i].DomainAcc["Auto"]; a > 0.76 {
+			t.Fatalf("worker %s exceeds Auto cap: %v", pool[i].ID, a)
+		}
+	}
+}
+
+func TestGeneratePoolChurnAndDeterminism(t *testing.T) {
+	ds := task.GenerateItemCompare(1)
+	opts := DefaultPoolOptions()
+	opts.ChurnFraction = 0.5
+	opts.Horizon = 1000
+	pool := GeneratePool(ds, 40, opts, 3)
+	churned := 0
+	for i := range pool {
+		if pool[i].Depart > 0 {
+			churned++
+			if pool[i].Depart <= pool[i].Arrive {
+				t.Fatal("empty activity window")
+			}
+		}
+	}
+	if churned == 0 {
+		t.Fatal("no churn generated")
+	}
+	again := GeneratePool(ds, 40, opts, 3)
+	for i := range pool {
+		if pool[i].ID != again[i].ID || pool[i].Arrive != again[i].Arrive {
+			t.Fatal("GeneratePool not deterministic")
+		}
+	}
+	// Zero/garbage fractions fall back to defaults.
+	fallback := GeneratePool(ds, 10, PoolOptions{}, 3)
+	if len(fallback) != 10 {
+		t.Fatal("fallback pool wrong size")
+	}
+}
+
+func TestAnswerRespectsAccuracy(t *testing.T) {
+	ds := task.GenerateItemCompare(1)
+	rng := rand.New(rand.NewSource(1))
+	perfect := Profile{DomainAcc: map[string]float64{"Food": 1}}
+	awful := Profile{DomainAcc: map[string]float64{"Food": 0}}
+	tk := &ds.Tasks[ds.ByDomain("Food")[0]]
+	for i := 0; i < 50; i++ {
+		if Answer(&perfect, tk, rng) != tk.Truth {
+			t.Fatal("perfect worker answered wrong")
+		}
+		if Answer(&awful, tk, rng) == tk.Truth {
+			t.Fatal("zero-accuracy worker answered right")
+		}
+	}
+}
+
+func TestRunRandomMVEndToEnd(t *testing.T) {
+	ds := task.ProductMatching()
+	s, err := baseline.NewRandomMV(ds, 3, []int{0, 1, 2}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := []Profile{
+		{ID: "a", DomainAcc: map[string]float64{"iPhone": 0.9, "iPod": 0.9, "iPad": 0.9}},
+		{ID: "b", DomainAcc: map[string]float64{"iPhone": 0.85, "iPod": 0.85, "iPad": 0.85}},
+		{ID: "c", DomainAcc: map[string]float64{"iPhone": 0.8, "iPod": 0.8, "iPad": 0.8}},
+		{ID: "d", DomainAcc: map[string]float64{"iPhone": 0.8, "iPod": 0.8, "iPad": 0.8}},
+	}
+	res, err := Run(s, ds, pool, RunOptions{Seed: 2, ExcludeTasks: []int{0, 1, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Completed {
+		t.Fatal("run did not complete")
+	}
+	if res.Accuracy < 0.5 {
+		t.Fatalf("accuracy %v suspiciously low", res.Accuracy)
+	}
+	if res.Strategy != "RandomMV" {
+		t.Fatalf("strategy name %s", res.Strategy)
+	}
+	// Excluded tasks must not be scored or counted.
+	total := 0
+	for _, st := range res.WorkerDomain {
+		for _, d := range st {
+			total += d.Total
+		}
+	}
+	if total != res.TotalAssignments() {
+		t.Fatalf("stats total %d != assignments %d", total, res.TotalAssignments())
+	}
+	// 9 scored tasks, k=3: consensus needs 2 agreeing votes, so each task
+	// collects between 2 and 3 votes.
+	if got := res.TotalAssignments(); got < 18 || got > 27 {
+		t.Fatalf("total assignments = %d, want within [18, 27]", got)
+	}
+	if len(res.PerDomain) != 3 {
+		t.Fatalf("per-domain accuracy missing: %v", res.PerDomain)
+	}
+	tops := res.TopWorkers()
+	if len(tops) == 0 {
+		t.Fatal("no top workers")
+	}
+	for i := 1; i < len(tops); i++ {
+		if res.Assignments[tops[i-1]] < res.Assignments[tops[i]] {
+			t.Fatal("TopWorkers not sorted")
+		}
+	}
+}
+
+func TestRunHonorsMaxSteps(t *testing.T) {
+	ds := task.GenerateItemCompare(1)
+	s, _ := baseline.NewRandomMV(ds, 3, nil, 1)
+	pool := GeneratePool(ds, 10, DefaultPoolOptions(), 1)
+	res, err := Run(s, ds, pool, RunOptions{Seed: 1, MaxSteps: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed {
+		t.Fatal("50 steps cannot complete 360 tasks")
+	}
+	if res.Steps != 50 {
+		t.Fatalf("steps = %d", res.Steps)
+	}
+}
+
+func TestRunEmptyPool(t *testing.T) {
+	ds := task.ProductMatching()
+	s, _ := baseline.NewRandomMV(ds, 3, nil, 1)
+	if _, err := Run(s, ds, nil, RunOptions{}); err == nil {
+		t.Fatal("empty pool should error")
+	}
+}
+
+func TestRunWithChurnReleasesWorkers(t *testing.T) {
+	ds := task.ProductMatching()
+	s, _ := baseline.NewRandomMV(ds, 3, nil, 1)
+	pool := []Profile{
+		{ID: "early", DomainAcc: map[string]float64{"iPhone": 0.9, "iPod": 0.9, "iPad": 0.9}, Depart: 5},
+		{ID: "late", DomainAcc: map[string]float64{"iPhone": 0.9, "iPod": 0.9, "iPad": 0.9}, Arrive: 3},
+		{ID: "stable", DomainAcc: map[string]float64{"iPhone": 0.9, "iPod": 0.9, "iPad": 0.9}},
+		{ID: "stable2", DomainAcc: map[string]float64{"iPhone": 0.9, "iPod": 0.9, "iPad": 0.9}},
+	}
+	res, err := Run(s, ds, pool, RunOptions{Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Completed {
+		t.Fatal("churn run did not complete")
+	}
+}
+
+func TestRunICrowdWithDiverseCrowd(t *testing.T) {
+	// Integration: iCrowd on Table-1 tasks with domain specialists should
+	// complete and score well, because it routes tasks to the specialists.
+	dds := task.ProductMatching()
+	basis, err := core.BuildBasis(dds, "Jaccard", 0.5, 0, 1.0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := core.DefaultConfig()
+	cfg.Q = 3
+	ic, err := core.New(dds, basis, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := []Profile{
+		{ID: "phone", DomainAcc: map[string]float64{"iPhone": 0.95, "iPod": 0.55, "iPad": 0.55}},
+		{ID: "pod", DomainAcc: map[string]float64{"iPhone": 0.55, "iPod": 0.95, "iPad": 0.55}},
+		{ID: "pad", DomainAcc: map[string]float64{"iPhone": 0.55, "iPod": 0.55, "iPad": 0.95}},
+		{ID: "gen1", DomainAcc: map[string]float64{"iPhone": 0.75, "iPod": 0.75, "iPad": 0.75}},
+		{ID: "gen2", DomainAcc: map[string]float64{"iPhone": 0.75, "iPod": 0.75, "iPad": 0.75}},
+	}
+	res, err := Run(ic, dds, pool, RunOptions{Seed: 9, ExcludeTasks: ic.QualificationTasks()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Completed {
+		t.Fatal("iCrowd run did not complete")
+	}
+	if res.Accuracy < 0.5 {
+		t.Fatalf("iCrowd accuracy %v too low", res.Accuracy)
+	}
+}

@@ -1,0 +1,185 @@
+// Package stats provides small statistical helpers used across the iCrowd
+// reproduction: Beta-distribution moments for the worker performance test
+// (Section 4.1, Step 3), binomial tail probabilities for worker-set accuracy,
+// and summary statistics for the experiment harness.
+package stats
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// BetaVariance returns the variance of a Beta(a, b) distribution.
+//
+// The paper models the uncertainty of a worker's accuracy on a region of the
+// similarity graph as the variance of Beta(N1+1, N0+1) where N1/N0 count
+// correct/incorrect completions: (N1+1)(N0+1) / ((N1+N0+2)^2 (N1+N0+3)).
+func BetaVariance(a, b float64) float64 {
+	if a <= 0 || b <= 0 {
+		return math.NaN()
+	}
+	s := a + b
+	return a * b / (s * s * (s + 1))
+}
+
+// BetaMean returns the mean a/(a+b) of a Beta(a, b) distribution.
+func BetaMean(a, b float64) float64 {
+	if a <= 0 || b <= 0 {
+		return math.NaN()
+	}
+	return a / (a + b)
+}
+
+// UncertaintyVariance is the paper's Step-3 uncertainty for a worker who has
+// completed n1 estimated-correct and n0 estimated-incorrect microtasks in a
+// graph region: the variance of Beta(n1+1, n0+1).
+func UncertaintyVariance(n1, n0 float64) float64 {
+	return BetaVariance(n1+1, n0+1)
+}
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Variance returns the population variance of xs, or 0 when len(xs) < 2.
+func Variance(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	var s float64
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return s / float64(len(xs))
+}
+
+// StdDev returns the population standard deviation of xs.
+func StdDev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
+
+// Median returns the median of xs, or 0 for an empty slice.
+func Median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	cp := append([]float64(nil), xs...)
+	sort.Float64s(cp)
+	n := len(cp)
+	if n%2 == 1 {
+		return cp[n/2]
+	}
+	return (cp[n/2-1] + cp[n/2]) / 2
+}
+
+// Min returns the minimum of xs, or +Inf for an empty slice.
+func Min(xs []float64) float64 {
+	m := math.Inf(1)
+	for _, x := range xs {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Max returns the maximum of xs, or -Inf for an empty slice.
+func Max(xs []float64) float64 {
+	m := math.Inf(-1)
+	for _, x := range xs {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// ErrBadProbability reports a probability argument outside [0, 1].
+var ErrBadProbability = errors.New("stats: probability outside [0, 1]")
+
+// BinomialTail returns P[X >= k] for X ~ Binomial(n, p).
+//
+// It is used to sanity-check Eq. (1) in tests: when all workers in a set
+// share accuracy p, the worker-set accuracy reduces to a binomial tail.
+func BinomialTail(n, k int, p float64) (float64, error) {
+	if p < 0 || p > 1 {
+		return 0, ErrBadProbability
+	}
+	if k <= 0 {
+		return 1, nil
+	}
+	if k > n {
+		return 0, nil
+	}
+	var total float64
+	for x := k; x <= n; x++ {
+		total += binomPMF(n, x, p)
+	}
+	if total > 1 {
+		total = 1
+	}
+	return total, nil
+}
+
+func binomPMF(n, x int, p float64) float64 {
+	if p == 0 {
+		if x == 0 {
+			return 1
+		}
+		return 0
+	}
+	if p == 1 {
+		if x == n {
+			return 1
+		}
+		return 0
+	}
+	logC := logChoose(n, x)
+	return math.Exp(logC + float64(x)*math.Log(p) + float64(n-x)*math.Log(1-p))
+}
+
+func logChoose(n, k int) float64 {
+	if k < 0 || k > n {
+		return math.Inf(-1)
+	}
+	lg, _ := math.Lgamma(float64(n + 1))
+	lk, _ := math.Lgamma(float64(k + 1))
+	lnk, _ := math.Lgamma(float64(n - k + 1))
+	return lg - lk - lnk
+}
+
+// Clamp01 clamps x into [0, 1]. Estimated accuracies are probabilities; the
+// iterative solvers can drift a hair outside the interval from rounding.
+func Clamp01(x float64) float64 {
+	switch {
+	case x < 0:
+		return 0
+	case x > 1:
+		return 1
+	default:
+		return x
+	}
+}
+
+// LogOdds returns log(p / (1-p)) with p clamped away from {0, 1} so that a
+// perfectly-scored qualification worker does not produce an infinite vote
+// weight in probabilistic-verification aggregation.
+func LogOdds(p float64) float64 {
+	const eps = 1e-6
+	if p < eps {
+		p = eps
+	}
+	if p > 1-eps {
+		p = 1 - eps
+	}
+	return math.Log(p / (1 - p))
+}

@@ -1,0 +1,168 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestBetaVariance(t *testing.T) {
+	// Beta(1,1) is Uniform(0,1) with variance 1/12.
+	if got := BetaVariance(1, 1); !almostEqual(got, 1.0/12, 1e-12) {
+		t.Fatalf("BetaVariance(1,1) = %v, want 1/12", got)
+	}
+	// Symmetry.
+	if BetaVariance(3, 7) != BetaVariance(7, 3) {
+		t.Fatal("BetaVariance not symmetric")
+	}
+	// Paper's formula for N1=2 correct, N0=1 incorrect:
+	// (3*2)/((5^2)*6) = 6/150 = 0.04.
+	if got := UncertaintyVariance(2, 1); !almostEqual(got, 0.04, 1e-12) {
+		t.Fatalf("UncertaintyVariance(2,1) = %v, want 0.04", got)
+	}
+	if !math.IsNaN(BetaVariance(0, 1)) {
+		t.Fatal("BetaVariance(0,1) should be NaN")
+	}
+}
+
+func TestBetaVarianceShrinksWithEvidence(t *testing.T) {
+	// More completed microtasks at the same ratio must reduce uncertainty:
+	// this monotonicity is what makes Step 3 prefer untested regions.
+	prev := math.Inf(1)
+	for n := 1; n <= 200; n *= 2 {
+		v := UncertaintyVariance(float64(n), float64(n))
+		if v >= prev {
+			t.Fatalf("variance did not shrink at n=%d: %v >= %v", n, v, prev)
+		}
+		prev = v
+	}
+}
+
+func TestBetaMean(t *testing.T) {
+	if got := BetaMean(3, 1); !almostEqual(got, 0.75, 1e-12) {
+		t.Fatalf("BetaMean(3,1) = %v, want 0.75", got)
+	}
+	if !math.IsNaN(BetaMean(-1, 1)) {
+		t.Fatal("BetaMean(-1,1) should be NaN")
+	}
+}
+
+func TestSummaries(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := Mean(xs); !almostEqual(got, 5, 1e-12) {
+		t.Fatalf("Mean = %v, want 5", got)
+	}
+	if got := StdDev(xs); !almostEqual(got, 2, 1e-12) {
+		t.Fatalf("StdDev = %v, want 2", got)
+	}
+	if got := Median(xs); !almostEqual(got, 4.5, 1e-12) {
+		t.Fatalf("Median = %v, want 4.5", got)
+	}
+	if got := Median([]float64{3, 1, 2}); !almostEqual(got, 2, 1e-12) {
+		t.Fatalf("odd Median = %v, want 2", got)
+	}
+	if got := Min(xs); got != 2 {
+		t.Fatalf("Min = %v, want 2", got)
+	}
+	if got := Max(xs); got != 9 {
+		t.Fatalf("Max = %v, want 9", got)
+	}
+	if Mean(nil) != 0 || Variance([]float64{1}) != 0 || Median(nil) != 0 {
+		t.Fatal("empty-input summaries should be 0")
+	}
+}
+
+func TestMedianDoesNotMutateInput(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Median(xs)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Fatalf("Median mutated its input: %v", xs)
+	}
+}
+
+func TestBinomialTail(t *testing.T) {
+	// P[X >= 2] for Binomial(3, 0.5) = (3 + 1) / 8 = 0.5.
+	got, err := BinomialTail(3, 2, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(got, 0.5, 1e-12) {
+		t.Fatalf("BinomialTail(3,2,0.5) = %v, want 0.5", got)
+	}
+	// Degenerate cases.
+	if got, _ := BinomialTail(5, 0, 0.3); got != 1 {
+		t.Fatalf("k=0 tail = %v, want 1", got)
+	}
+	if got, _ := BinomialTail(5, 6, 0.3); got != 0 {
+		t.Fatalf("k>n tail = %v, want 0", got)
+	}
+	if got, _ := BinomialTail(4, 4, 1); !almostEqual(got, 1, 1e-12) {
+		t.Fatalf("p=1 tail = %v, want 1", got)
+	}
+	if got, _ := BinomialTail(4, 1, 0); got != 0 {
+		t.Fatalf("p=0 tail = %v, want 0", got)
+	}
+	if _, err := BinomialTail(4, 1, 1.5); err == nil {
+		t.Fatal("expected error for p > 1")
+	}
+}
+
+func TestBinomialTailMonotoneInP(t *testing.T) {
+	// Property: the tail P[X >= k] is non-decreasing in p.
+	prev := -1.0
+	for p := 0.0; p <= 1.0001; p += 0.05 {
+		pp := math.Min(p, 1)
+		got, err := BinomialTail(7, 4, pp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got < prev-1e-12 {
+			t.Fatalf("tail decreased at p=%v: %v < %v", pp, got, prev)
+		}
+		prev = got
+	}
+}
+
+func TestClamp01(t *testing.T) {
+	cases := []struct{ in, want float64 }{
+		{-0.5, 0}, {0, 0}, {0.3, 0.3}, {1, 1}, {1.7, 1},
+	}
+	for _, c := range cases {
+		if got := Clamp01(c.in); got != c.want {
+			t.Fatalf("Clamp01(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestClamp01Property(t *testing.T) {
+	f := func(x float64) bool {
+		y := Clamp01(x)
+		return y >= 0 && y <= 1 && (x < 0 || x > 1 || y == x)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLogOdds(t *testing.T) {
+	if got := LogOdds(0.5); !almostEqual(got, 0, 1e-12) {
+		t.Fatalf("LogOdds(0.5) = %v, want 0", got)
+	}
+	if got := LogOdds(0.75); !almostEqual(got, math.Log(3), 1e-12) {
+		t.Fatalf("LogOdds(0.75) = %v, want ln 3", got)
+	}
+	// Extremes stay finite.
+	for _, p := range []float64{0, 1, -2, 3} {
+		if v := LogOdds(p); math.IsInf(v, 0) || math.IsNaN(v) {
+			t.Fatalf("LogOdds(%v) = %v, want finite", p, v)
+		}
+	}
+	// Antisymmetry: LogOdds(p) = -LogOdds(1-p).
+	for _, p := range []float64{0.1, 0.25, 0.4, 0.49} {
+		if got, want := LogOdds(p), -LogOdds(1-p); !almostEqual(got, want, 1e-9) {
+			t.Fatalf("antisymmetry violated at p=%v: %v vs %v", p, got, want)
+		}
+	}
+}

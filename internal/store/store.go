@@ -1,0 +1,231 @@
+// Package store provides durable event logging for the Appendix-A
+// deployment: every assignment-relevant event (a worker's submitted answer,
+// a worker leaving) is appended to a JSON-lines log, and a crashed or
+// restarted server rebuilds its strategy state by replaying the log through
+// a fresh strategy instance.
+//
+// Strategies in this repository are deterministic state machines over the
+// sequence of (RequestTask, SubmitAnswer, WorkerInactive) calls, which is
+// what makes event-sourcing sufficient: replaying the recorded submissions
+// in order reproduces the assignments, the consensus bookkeeping and the
+// accuracy estimates.
+package store
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+
+	"icrowd/internal/core"
+	"icrowd/internal/task"
+)
+
+// EventKind discriminates log entries.
+type EventKind string
+
+// Event kinds.
+const (
+	// EventAssign records a microtask being assigned to a worker. It must
+	// be logged for every successful RequestTask: whether a worker holds an
+	// assignment influences the scheme computed for everyone else, so the
+	// log is only a faithful state recording when assignments appear in it
+	// in their original order.
+	EventAssign EventKind = "assign"
+	// EventSubmit records a worker's answer to an assigned microtask.
+	EventSubmit EventKind = "submit"
+	// EventInactive records a worker leaving (releasing their assignment).
+	EventInactive EventKind = "inactive"
+)
+
+// Event is one log entry.
+type Event struct {
+	// Seq is the 1-based sequence number assigned at append time.
+	Seq int64 `json:"seq"`
+	// Kind discriminates the payload.
+	Kind EventKind `json:"kind"`
+	// Worker is the worker the event concerns.
+	Worker string `json:"worker"`
+	// Task is the microtask (submit events only).
+	Task int `json:"task,omitempty"`
+	// Answer is "YES" or "NO" (submit events only).
+	Answer string `json:"answer,omitempty"`
+}
+
+// Log is an append-only JSON-lines event log.
+type Log struct {
+	mu   sync.Mutex
+	w    io.Writer
+	f    *os.File // owned file when opened via Open
+	next int64
+}
+
+// Open creates or appends to the log file at path.
+func Open(path string) (*Log, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	// Determine the next sequence number by scanning the existing log.
+	n, err := countEvents(path)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &Log{w: f, f: f, next: n + 1}, nil
+}
+
+// NewWriter wraps an arbitrary writer (for tests and in-memory use).
+func NewWriter(w io.Writer) *Log { return &Log{w: w, next: 1} }
+
+func countEvents(path string) (int64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	var n int64
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	for sc.Scan() {
+		if len(sc.Bytes()) > 0 {
+			n++
+		}
+	}
+	return n, sc.Err()
+}
+
+// Close closes the underlying file if the log owns one.
+func (l *Log) Close() error {
+	if l.f != nil {
+		return l.f.Close()
+	}
+	return nil
+}
+
+// AppendAssign records a successful task assignment.
+func (l *Log) AppendAssign(worker string, taskID int) error {
+	return l.append(Event{Kind: EventAssign, Worker: worker, Task: taskID})
+}
+
+// AppendSubmit records a submitted answer.
+func (l *Log) AppendSubmit(worker string, taskID int, ans task.Answer) error {
+	if ans != task.Yes && ans != task.No {
+		return errors.New("store: answer must be YES or NO")
+	}
+	return l.append(Event{Kind: EventSubmit, Worker: worker, Task: taskID, Answer: ans.String()})
+}
+
+// AppendInactive records a worker leaving.
+func (l *Log) AppendInactive(worker string) error {
+	return l.append(Event{Kind: EventInactive, Worker: worker})
+}
+
+func (l *Log) append(e Event) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	e.Seq = l.next
+	b, err := json.Marshal(e)
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	if _, err := l.w.Write(b); err != nil {
+		return err
+	}
+	l.next++
+	return nil
+}
+
+// Read parses all events from r, validating sequence continuity.
+func Read(r io.Reader) ([]Event, error) {
+	var events []Event
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		var e Event
+		if err := json.Unmarshal(raw, &e); err != nil {
+			return nil, fmt.Errorf("store: line %d: %w", line, err)
+		}
+		if e.Seq != int64(len(events)+1) {
+			return nil, fmt.Errorf("store: line %d: sequence %d, want %d", line, e.Seq, len(events)+1)
+		}
+		switch e.Kind {
+		case EventAssign, EventSubmit, EventInactive:
+		default:
+			return nil, fmt.Errorf("store: line %d: unknown kind %q", line, e.Kind)
+		}
+		events = append(events, e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return events, nil
+}
+
+// ReadFile parses all events from the log at path.
+func ReadFile(path string) ([]Event, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Read(f)
+}
+
+// Replay feeds the events through a fresh strategy, reconstructing its
+// state. Assign events re-issue RequestTask — strategies are deterministic,
+// so the same event order yields the same assignments the original run
+// made — and the replay verifies each assignment matches the log before
+// proceeding.
+func Replay(events []Event, s core.Strategy) error {
+	for _, e := range events {
+		switch e.Kind {
+		case EventInactive:
+			s.WorkerInactive(e.Worker)
+		case EventAssign:
+			tid, ok := s.RequestTask(e.Worker)
+			if !ok {
+				return fmt.Errorf("store: replay seq %d: strategy had no task for %s", e.Seq, e.Worker)
+			}
+			if tid != e.Task {
+				return fmt.Errorf("store: replay seq %d: strategy assigned %d, log has %d (non-deterministic strategy or mismatched configuration)",
+					e.Seq, tid, e.Task)
+			}
+		case EventSubmit:
+			var ans task.Answer
+			switch e.Answer {
+			case "YES":
+				ans = task.Yes
+			case "NO":
+				ans = task.No
+			default:
+				return fmt.Errorf("store: replay seq %d: bad answer %q", e.Seq, e.Answer)
+			}
+			if err := s.SubmitAnswer(e.Worker, e.Task, ans); err != nil {
+				return fmt.Errorf("store: replay seq %d: %w", e.Seq, err)
+			}
+		default:
+			return fmt.Errorf("store: replay seq %d: unknown kind %q", e.Seq, e.Kind)
+		}
+	}
+	return nil
+}
+
+// RecoverFile reads the log at path and replays it through the strategy.
+func RecoverFile(path string, s core.Strategy) error {
+	events, err := ReadFile(path)
+	if err != nil {
+		return err
+	}
+	return Replay(events, s)
+}

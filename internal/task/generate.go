@@ -1,0 +1,210 @@
+package task
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// Paper dataset shapes (Table 4).
+const (
+	// YahooQATasks is the number of microtasks in the YahooQA dataset.
+	YahooQATasks = 110
+	// ItemCompareTasks is the number of microtasks in ItemCompare.
+	ItemCompareTasks = 360
+	// ItemComparePerDomain is the number of tasks per ItemCompare domain.
+	ItemComparePerDomain = 90
+)
+
+// YahooQA domain codes as used in the paper's figures.
+var yahooDomains = []string{"BA", "DF", "FF", "HS", "HT", "PH"}
+
+// YahooQADomainNames maps the paper's two-letter YahooQA domain codes to
+// their long names.
+var YahooQADomainNames = map[string]string{
+	"FF": "2006 FIFA World Cup",
+	"BA": "Books & Authors",
+	"DF": "Diet & Fitness",
+	"HS": "Home Schooling",
+	"HT": "Hunting",
+	"PH": "Philosophy",
+}
+
+var yahooVocab = map[string][]string{
+	"FF": {"fifa", "worldcup", "2006", "goal", "match", "germany", "italy",
+		"france", "zidane", "penalty", "striker", "referee", "group",
+		"final", "keeper", "offside", "brazil", "ronaldo", "stadium", "coach"},
+	"BA": {"book", "author", "novel", "writer", "fiction", "chapter",
+		"publisher", "poetry", "character", "plot", "literature", "edition",
+		"paperback", "bestseller", "memoir", "series", "trilogy", "prose",
+		"essay", "biography"},
+	"DF": {"diet", "fitness", "calories", "protein", "workout", "weight",
+		"exercise", "carbs", "muscle", "cardio", "nutrition", "vitamin",
+		"metabolism", "fat", "gym", "yoga", "running", "meal", "sugar",
+		"hydration"},
+	"HS": {"homeschool", "curriculum", "teaching", "children", "lesson",
+		"grade", "parent", "math", "reading", "schedule", "textbook",
+		"education", "learning", "tutor", "subject", "exam", "worksheet",
+		"kindergarten", "socialization", "science"},
+	"HT": {"hunting", "deer", "rifle", "season", "bow", "camouflage",
+		"tracking", "blind", "scope", "ammo", "turkey", "elk", "duck",
+		"license", "stand", "scent", "caliber", "shotgun", "trail", "decoy"},
+	"PH": {"philosophy", "ethics", "kant", "plato", "metaphysics", "logic",
+		"existence", "socrates", "morality", "epistemology", "nietzsche",
+		"reason", "truth", "consciousness", "aristotle", "virtue", "dualism",
+		"stoicism", "free", "will"},
+}
+
+// ItemCompare domains.
+var itemDomains = []string{"Auto", "Country", "Food", "NBA"}
+
+var itemVocab = map[string][]string{
+	"Food": {"food", "calories", "chocolate", "honey", "cheese", "butter",
+		"bread", "rice", "pasta", "apple", "banana", "sugar", "almond",
+		"yogurt", "beef", "chicken", "salmon", "avocado", "potato", "oats"},
+	"NBA": {"nba", "team", "champions", "lakers", "celtics", "bucks",
+		"bulls", "spurs", "warriors", "pistons", "rockets", "heat", "knicks",
+		"jazz", "suns", "nets", "sixers", "mavericks", "clippers", "title"},
+	"Auto": {"car", "fuel", "efficient", "toyota", "camry", "lexus", "honda",
+		"accord", "civic", "sedan", "hybrid", "mpg", "ford", "fusion",
+		"nissan", "altima", "engine", "mazda", "subaru", "chevrolet"},
+	"Country": {"country", "area", "brazil", "canada", "russia", "china",
+		"india", "australia", "argentina", "kazakhstan", "algeria",
+		"population", "territory", "border", "mexico", "indonesia", "sudan",
+		"libya", "iran", "mongolia"},
+}
+
+var sharedVocab = []string{"which", "more", "better", "compare", "verify",
+	"question", "answer", "best", "two", "one"}
+
+// GenerateYahooQA builds a synthetic dataset with the shape of the paper's
+// YahooQA dataset: 110 question-answer evaluation microtasks over six
+// domains (Table 4). Determinism: identical seeds produce identical
+// datasets.
+func GenerateYahooQA(seed int64) *Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	perDomain := map[string]int{}
+	base := YahooQATasks / len(yahooDomains)
+	rem := YahooQATasks % len(yahooDomains)
+	for i, dom := range yahooDomains {
+		perDomain[dom] = base
+		if i < rem {
+			perDomain[dom]++
+		}
+	}
+	ds := synthesize("YahooQA", yahooVocab, sharedVocab, perDomain, 8, 2, rng)
+	return ds
+}
+
+// GenerateItemCompare builds a synthetic dataset with the shape of the
+// paper's ItemCompare dataset: 360 comparison microtasks, 90 in each of the
+// Food, NBA, Auto and Country domains (Table 4).
+func GenerateItemCompare(seed int64) *Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	perDomain := map[string]int{}
+	for _, dom := range itemDomains {
+		perDomain[dom] = ItemComparePerDomain
+	}
+	return synthesize("ItemCompare", itemVocab, sharedVocab, perDomain, 8, 2, rng)
+}
+
+// ProductMatching returns the twelve entity-resolution microtasks of the
+// paper's Table 1, with their exact token sets. Ground truths follow the
+// paper's narrative: "iphone 4" = "iphone four" (t6), "ipad 4" = "ipad with
+// retina display" (t11), and "new ipad" = "ipad 3" (t12); all other pairs
+// are distinct products.
+func ProductMatching() *Dataset {
+	rows := []struct {
+		text   string
+		domain string
+		truth  Answer
+	}{
+		{"iphone 4 wifi 32gb four 3g black", "iPhone", No},          // t1
+		{"ipod touch 32gb wifi headphone", "iPod", No},              // t2
+		{"ipad 3 wifi 32gb black new cover white", "iPad", No},      // t3
+		{"iphone four wifi 16gb 3g", "iPhone", No},                  // t4
+		{"iphone 4 case black wifi 32gb", "iPhone", No},             // t5
+		{"iphone 4 wifi 32gb four", "iPhone", Yes},                  // t6
+		{"ipod touch 32gb wifi case black", "iPod", No},             // t7
+		{"ipod touch nano headphone", "iPod", No},                   // t8
+		{"ipod touch wifi nano headphone", "iPod", No},              // t9
+		{"ipad 3 wifi 32gb black iphone 4 cover white", "iPad", No}, // t10
+		{"ipad 4 wifi 16gb retina display", "iPad", Yes},            // t11
+		{"ipad 3 cover white new", "iPad", Yes},                     // t12
+	}
+	ds := &Dataset{Name: "ProductMatching", Domains: []string{"iPad", "iPhone", "iPod"}}
+	for i, r := range rows {
+		toks := tokenize(r.text)
+		ds.Tasks = append(ds.Tasks, Task{
+			ID:     i,
+			Domain: r.domain,
+			Text:   fmt.Sprintf("t%d: are these the same product? {%s}", i+1, r.text),
+			Tokens: toks,
+			Truth:  r.truth,
+		})
+	}
+	return ds
+}
+
+// GeneratePOI builds a dataset of place-name verification microtasks whose
+// similarity is geometric (Section 3.3 case 2): each task carries a 2-D
+// coordinate, and tasks cluster around per-domain city centers.
+func GeneratePOI(nPerCity int, seed int64) *Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	centers := []struct {
+		name string
+		x, y float64
+	}{
+		{"Downtown", 0, 0},
+		{"Harbor", 10, 0},
+		{"Uptown", 0, 10},
+		{"Airport", 10, 10},
+	}
+	ds := &Dataset{Name: "POI"}
+	for _, c := range centers {
+		ds.Domains = append(ds.Domains, c.name)
+		for i := 0; i < nPerCity; i++ {
+			x := c.x + rng.NormFloat64()
+			y := c.y + rng.NormFloat64()
+			truth := No
+			if rng.Float64() < 0.5 {
+				truth = Yes
+			}
+			name := fmt.Sprintf("%s poi %d", strings.ToLower(c.name), i)
+			ds.Tasks = append(ds.Tasks, Task{
+				ID:       len(ds.Tasks),
+				Domain:   c.name,
+				Text:     "verify place name for " + name,
+				Tokens:   tokenize(name),
+				Features: []float64{x, y},
+				Truth:    truth,
+			})
+		}
+	}
+	return ds
+}
+
+// GenerateUniform builds n tasks spread round-robin over the given domains
+// with small per-domain vocabularies. It is used by scalability experiments
+// and property tests that need arbitrary sizes.
+func GenerateUniform(n int, domains []string, seed int64) *Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	if len(domains) == 0 {
+		domains = []string{"D0"}
+	}
+	vocab := map[string][]string{}
+	for d, dom := range domains {
+		words := make([]string, 12)
+		for i := range words {
+			words[i] = fmt.Sprintf("%s_w%d", strings.ToLower(dom), i)
+		}
+		_ = d
+		vocab[dom] = words
+	}
+	perDomain := map[string]int{}
+	for i := 0; i < n; i++ {
+		perDomain[domains[i%len(domains)]]++
+	}
+	ds := synthesize(fmt.Sprintf("Uniform-%d", n), vocab, sharedVocab, perDomain, 6, 1, rng)
+	return ds
+}

@@ -1,0 +1,117 @@
+package task
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+)
+
+// jsonDataset is the stable on-disk representation of a Dataset.
+type jsonDataset struct {
+	Name    string     `json:"name"`
+	Domains []string   `json:"domains"`
+	Tasks   []jsonTask `json:"tasks"`
+}
+
+type jsonTask struct {
+	ID       int       `json:"id"`
+	Domain   string    `json:"domain"`
+	Text     string    `json:"text"`
+	Tokens   []string  `json:"tokens,omitempty"`
+	Features []float64 `json:"features,omitempty"`
+	// Truth is "YES" or "NO".
+	Truth string `json:"truth"`
+}
+
+// WriteJSON serializes the dataset as indented JSON.
+func (d *Dataset) WriteJSON(w io.Writer) error {
+	out := jsonDataset{Name: d.Name, Domains: d.Domains}
+	for _, t := range d.Tasks {
+		out.Tasks = append(out.Tasks, jsonTask{
+			ID:       t.ID,
+			Domain:   t.Domain,
+			Text:     t.Text,
+			Tokens:   t.Tokens,
+			Features: t.Features,
+			Truth:    t.Truth.String(),
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// SaveJSON writes the dataset to a file.
+func (d *Dataset) SaveJSON(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return d.WriteJSON(f)
+}
+
+// ReadJSON parses a dataset from JSON. Tasks without explicit tokens get
+// them derived from the text (lowercased whitespace split); the dataset is
+// validated before returning.
+func ReadJSON(r io.Reader) (*Dataset, error) {
+	var in jsonDataset
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&in); err != nil {
+		return nil, fmt.Errorf("task: parsing dataset: %w", err)
+	}
+	if in.Name == "" {
+		return nil, errors.New("task: dataset has no name")
+	}
+	ds := &Dataset{Name: in.Name, Domains: in.Domains}
+	for _, jt := range in.Tasks {
+		var truth Answer
+		switch jt.Truth {
+		case "YES":
+			truth = Yes
+		case "NO":
+			truth = No
+		default:
+			return nil, fmt.Errorf("task: task %d has truth %q, want YES or NO", jt.ID, jt.Truth)
+		}
+		tokens := jt.Tokens
+		if len(tokens) == 0 && jt.Text != "" {
+			tokens = tokenize(jt.Text)
+		}
+		ds.Tasks = append(ds.Tasks, Task{
+			ID:       jt.ID,
+			Domain:   jt.Domain,
+			Text:     jt.Text,
+			Tokens:   tokens,
+			Features: jt.Features,
+			Truth:    truth,
+		})
+	}
+	// Accept datasets that omit the domain list by deriving it.
+	if len(ds.Domains) == 0 {
+		seen := map[string]bool{}
+		for _, t := range ds.Tasks {
+			if !seen[t.Domain] {
+				seen[t.Domain] = true
+				ds.Domains = append(ds.Domains, t.Domain)
+			}
+		}
+	}
+	if err := ds.Validate(); err != nil {
+		return nil, err
+	}
+	return ds, nil
+}
+
+// LoadJSON reads a dataset from a file.
+func LoadJSON(path string) (*Dataset, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadJSON(f)
+}

@@ -1,0 +1,96 @@
+package task
+
+import (
+	"bytes"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestJSONRoundTrip(t *testing.T) {
+	orig := GenerateItemCompare(3)
+	var buf bytes.Buffer
+	if err := orig.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(orig, got) {
+		t.Fatal("round trip changed the dataset")
+	}
+}
+
+func TestJSONRoundTripWithFeatures(t *testing.T) {
+	orig := GeneratePOI(3, 1)
+	var buf bytes.Buffer
+	if err := orig.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(orig, got) {
+		t.Fatal("round trip changed the POI dataset")
+	}
+}
+
+func TestSaveLoadJSONFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ds.json")
+	orig := ProductMatching()
+	if err := orig.SaveJSON(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadJSON(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(orig, got) {
+		t.Fatal("file round trip changed the dataset")
+	}
+	if _, err := LoadJSON(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Fatal("missing file should error")
+	}
+}
+
+func TestReadJSONDerivesTokensAndDomains(t *testing.T) {
+	in := `{
+		"name": "custom",
+		"tasks": [
+			{"id": 0, "domain": "A", "text": "Compare Apples And Oranges", "truth": "YES"},
+			{"id": 1, "domain": "B", "text": "compare cars", "truth": "NO"}
+		]
+	}`
+	ds, err := ReadJSON(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(ds.Tasks[0].Tokens, []string{"compare", "apples", "and", "oranges"}) {
+		t.Fatalf("derived tokens = %v", ds.Tasks[0].Tokens)
+	}
+	if !reflect.DeepEqual(ds.Domains, []string{"A", "B"}) {
+		t.Fatalf("derived domains = %v", ds.Domains)
+	}
+}
+
+func TestReadJSONErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+	}{
+		{"bad json", `{`},
+		{"no name", `{"tasks":[{"id":0,"domain":"A","text":"x","truth":"YES"}]}`},
+		{"bad truth", `{"name":"x","tasks":[{"id":0,"domain":"A","text":"x","truth":"MAYBE"}]}`},
+		{"unknown field", `{"name":"x","bogus":1,"tasks":[]}`},
+		{"non-dense ids", `{"name":"x","tasks":[{"id":5,"domain":"A","text":"x","truth":"YES"}]}`},
+		{"no tokens or features", `{"name":"x","tasks":[{"id":0,"domain":"A","truth":"YES"}]}`},
+	}
+	for _, c := range cases {
+		if _, err := ReadJSON(strings.NewReader(c.in)); err == nil {
+			t.Fatalf("%s: expected error", c.name)
+		}
+	}
+}

@@ -1,0 +1,233 @@
+// Package task defines the microtask model of the iCrowd reproduction and
+// the synthetic dataset generators that stand in for the paper's two AMT
+// datasets (YahooQA and ItemCompare) and for the Table-1 entity-resolution
+// example.
+//
+// A microtask is a binary YES/NO question (Section 2.1). Tasks carry a text
+// (token) representation used to build the microtask similarity graph of
+// Section 3, an optional feature vector for Euclidean similarity (Section
+// 3.3 case 2), a domain label used only by dataset generators and by the
+// evaluation harness (the algorithms themselves never see domains), and a
+// ground-truth answer used for qualification microtasks and for scoring.
+package task
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+)
+
+// Answer is a worker's (or the aggregated) response to a binary microtask.
+type Answer int8
+
+// Answer values. None marks "no answer yet".
+const (
+	None Answer = -1
+	No   Answer = 0
+	Yes  Answer = 1
+)
+
+// String implements fmt.Stringer.
+func (a Answer) String() string {
+	switch a {
+	case Yes:
+		return "YES"
+	case No:
+		return "NO"
+	default:
+		return "NONE"
+	}
+}
+
+// Flip returns the opposite binary answer; None flips to None.
+func (a Answer) Flip() Answer {
+	switch a {
+	case Yes:
+		return No
+	case No:
+		return Yes
+	default:
+		return None
+	}
+}
+
+// Task is one binary microtask.
+type Task struct {
+	// ID is the task's index in its Dataset; Dataset generators guarantee
+	// IDs are dense in [0, len(Tasks)).
+	ID int
+	// Domain is the topical domain the task belongs to (e.g. "NBA").
+	Domain string
+	// Text is the human-readable question.
+	Text string
+	// Tokens is the tokenized, stop-word-free representation used for
+	// textual similarity.
+	Tokens []string
+	// Features is an optional numeric representation (e.g. POI coordinates)
+	// for Euclidean similarity.
+	Features []float64
+	// Truth is the ground-truth answer. The adaptive framework may only
+	// look at Truth for designated qualification microtasks; the evaluation
+	// harness uses it to score final results.
+	Truth Answer
+}
+
+// Dataset is a named collection of microtasks over a set of domains.
+type Dataset struct {
+	// Name identifies the dataset (e.g. "YahooQA").
+	Name string
+	// Tasks holds all microtasks; Tasks[i].ID == i.
+	Tasks []Task
+	// Domains lists the distinct domains in stable order.
+	Domains []string
+}
+
+// Len returns the number of microtasks.
+func (d *Dataset) Len() int { return len(d.Tasks) }
+
+// ByDomain returns the IDs of the tasks in the given domain, ascending.
+func (d *Dataset) ByDomain(domain string) []int {
+	var ids []int
+	for _, t := range d.Tasks {
+		if t.Domain == domain {
+			ids = append(ids, t.ID)
+		}
+	}
+	return ids
+}
+
+// DomainOf returns the domain of task id, or "" when id is out of range.
+func (d *Dataset) DomainOf(id int) string {
+	if id < 0 || id >= len(d.Tasks) {
+		return ""
+	}
+	return d.Tasks[id].Domain
+}
+
+// Truths returns the ground-truth vector indexed by task ID.
+func (d *Dataset) Truths() []Answer {
+	out := make([]Answer, len(d.Tasks))
+	for i, t := range d.Tasks {
+		out[i] = t.Truth
+	}
+	return out
+}
+
+// Validate checks the dataset invariants the rest of the system relies on:
+// dense IDs, non-empty tokens, known domains, and binary truths.
+func (d *Dataset) Validate() error {
+	seen := make(map[string]bool, len(d.Domains))
+	for _, dom := range d.Domains {
+		if seen[dom] {
+			return fmt.Errorf("task: dataset %q lists domain %q twice", d.Name, dom)
+		}
+		seen[dom] = true
+	}
+	for i, t := range d.Tasks {
+		if t.ID != i {
+			return fmt.Errorf("task: dataset %q task at index %d has ID %d", d.Name, i, t.ID)
+		}
+		if len(t.Tokens) == 0 && len(t.Features) == 0 {
+			return fmt.Errorf("task: dataset %q task %d has neither tokens nor features", d.Name, i)
+		}
+		if !seen[t.Domain] {
+			return fmt.Errorf("task: dataset %q task %d has unlisted domain %q", d.Name, i, t.Domain)
+		}
+		if t.Truth != Yes && t.Truth != No {
+			return fmt.Errorf("task: dataset %q task %d has non-binary truth %d", d.Name, i, t.Truth)
+		}
+	}
+	return nil
+}
+
+// Stats summarizes a dataset for the Table-4 experiment.
+type Stats struct {
+	Name      string
+	Tasks     int
+	Domains   int
+	PerDomain map[string]int
+}
+
+// Summarize computes dataset statistics (Table 4 rows).
+func (d *Dataset) Summarize() Stats {
+	s := Stats{Name: d.Name, Tasks: len(d.Tasks), Domains: len(d.Domains), PerDomain: map[string]int{}}
+	for _, t := range d.Tasks {
+		s.PerDomain[t.Domain]++
+	}
+	return s
+}
+
+// tokenize lowercases and splits on whitespace; generator-side convenience.
+func tokenize(text string) []string {
+	return strings.Fields(strings.ToLower(text))
+}
+
+// dedupe returns tokens with duplicates removed, preserving first occurrence.
+func dedupe(tokens []string) []string {
+	seen := make(map[string]bool, len(tokens))
+	out := tokens[:0:0]
+	for _, tok := range tokens {
+		if !seen[tok] {
+			seen[tok] = true
+			out = append(out, tok)
+		}
+	}
+	return out
+}
+
+// sortedDomains returns the keys of m in sorted order.
+func sortedDomains(m map[string][]string) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// synthesize builds a dataset from per-domain vocabularies. Each task draws
+// tokensPerTask tokens from its domain vocabulary (Zipf-ish: earlier
+// vocabulary words are more likely, so domains develop high-frequency
+// "anchor" terms exactly like "iphone"/"ipod"/"ipad" anchor the Table-1
+// clusters) plus up to sharedPerTask tokens from a global shared vocabulary.
+func synthesize(name string, vocab map[string][]string, shared []string, perDomain map[string]int, tokensPerTask, sharedPerTask int, rng *rand.Rand) *Dataset {
+	domains := sortedDomains(vocab)
+	ds := &Dataset{Name: name, Domains: domains}
+	for _, dom := range domains {
+		words := vocab[dom]
+		for i := 0; i < perDomain[dom]; i++ {
+			toks := make([]string, 0, tokensPerTask+sharedPerTask)
+			// Domain anchor word always present so intra-domain Jaccard
+			// similarity has a floor.
+			toks = append(toks, words[0])
+			for len(toks) < tokensPerTask {
+				// Zipf-ish pick: square the uniform to favor early words.
+				u := rng.Float64()
+				idx := int(u * u * float64(len(words)))
+				if idx >= len(words) {
+					idx = len(words) - 1
+				}
+				toks = append(toks, words[idx])
+			}
+			for j := 0; j < sharedPerTask; j++ {
+				if rng.Float64() < 0.5 {
+					toks = append(toks, shared[rng.Intn(len(shared))])
+				}
+			}
+			toks = dedupe(toks)
+			truth := No
+			if rng.Float64() < 0.5 {
+				truth = Yes
+			}
+			ds.Tasks = append(ds.Tasks, Task{
+				ID:     len(ds.Tasks),
+				Domain: dom,
+				Text:   strings.Join(toks, " "),
+				Tokens: toks,
+				Truth:  truth,
+			})
+		}
+	}
+	return ds
+}

@@ -1,0 +1,254 @@
+package task
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestAnswerString(t *testing.T) {
+	if Yes.String() != "YES" || No.String() != "NO" || None.String() != "NONE" {
+		t.Fatalf("Answer.String mismatch: %v %v %v", Yes, No, None)
+	}
+}
+
+func TestAnswerFlip(t *testing.T) {
+	if Yes.Flip() != No || No.Flip() != Yes || None.Flip() != None {
+		t.Fatal("Flip mismatch")
+	}
+	// Property: flipping twice is the identity.
+	f := func(raw int8) bool {
+		a := Answer(raw % 2) // Yes or No
+		if a < 0 {
+			a = -a
+		}
+		return a.Flip().Flip() == a
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGenerateYahooQAShape(t *testing.T) {
+	ds := GenerateYahooQA(1)
+	if err := ds.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if ds.Len() != YahooQATasks {
+		t.Fatalf("YahooQA has %d tasks, want %d", ds.Len(), YahooQATasks)
+	}
+	if len(ds.Domains) != 6 {
+		t.Fatalf("YahooQA has %d domains, want 6", len(ds.Domains))
+	}
+	st := ds.Summarize()
+	total := 0
+	for dom, n := range st.PerDomain {
+		if n < 18 {
+			t.Fatalf("domain %s has only %d tasks", dom, n)
+		}
+		total += n
+	}
+	if total != YahooQATasks {
+		t.Fatalf("per-domain sums to %d, want %d", total, YahooQATasks)
+	}
+	for code := range st.PerDomain {
+		if _, ok := YahooQADomainNames[code]; !ok {
+			t.Fatalf("unknown domain code %q", code)
+		}
+	}
+}
+
+func TestGenerateItemCompareShape(t *testing.T) {
+	ds := GenerateItemCompare(1)
+	if err := ds.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if ds.Len() != ItemCompareTasks {
+		t.Fatalf("ItemCompare has %d tasks, want %d", ds.Len(), ItemCompareTasks)
+	}
+	st := ds.Summarize()
+	if st.Domains != 4 {
+		t.Fatalf("ItemCompare has %d domains, want 4", st.Domains)
+	}
+	for dom, n := range st.PerDomain {
+		if n != ItemComparePerDomain {
+			t.Fatalf("domain %s has %d tasks, want %d", dom, n, ItemComparePerDomain)
+		}
+	}
+}
+
+func TestGeneratorsDeterministic(t *testing.T) {
+	a, b := GenerateYahooQA(42), GenerateYahooQA(42)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("GenerateYahooQA not deterministic for equal seeds")
+	}
+	c := GenerateYahooQA(43)
+	same := true
+	for i := range a.Tasks {
+		if a.Tasks[i].Text != c.Tasks[i].Text {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical task texts")
+	}
+}
+
+func TestProductMatching(t *testing.T) {
+	ds := ProductMatching()
+	if err := ds.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if ds.Len() != 12 {
+		t.Fatalf("Table 1 has 12 microtasks, got %d", ds.Len())
+	}
+	// Spot-check the paper's token sets.
+	t2 := ds.Tasks[1].Tokens
+	want := []string{"ipod", "touch", "32gb", "wifi", "headphone"}
+	if !reflect.DeepEqual(t2, want) {
+		t.Fatalf("t2 tokens = %v, want %v", t2, want)
+	}
+	// The three matching pairs per the paper's narrative.
+	for _, id := range []int{5, 10, 11} {
+		if ds.Tasks[id].Truth != Yes {
+			t.Fatalf("t%d should be a match", id+1)
+		}
+	}
+	if ds.Tasks[0].Truth != No {
+		t.Fatal("t1 should not be a match")
+	}
+}
+
+func TestByDomainAndDomainOf(t *testing.T) {
+	ds := ProductMatching()
+	ids := ds.ByDomain("iPod")
+	if !reflect.DeepEqual(ids, []int{1, 6, 7, 8}) {
+		t.Fatalf("iPod tasks = %v", ids)
+	}
+	if ds.DomainOf(0) != "iPhone" || ds.DomainOf(2) != "iPad" {
+		t.Fatal("DomainOf mismatch")
+	}
+	if ds.DomainOf(-1) != "" || ds.DomainOf(99) != "" {
+		t.Fatal("DomainOf out of range should be empty")
+	}
+}
+
+func TestTruths(t *testing.T) {
+	ds := ProductMatching()
+	tr := ds.Truths()
+	if len(tr) != ds.Len() {
+		t.Fatalf("Truths length %d, want %d", len(tr), ds.Len())
+	}
+	for i, a := range tr {
+		if a != ds.Tasks[i].Truth {
+			t.Fatalf("Truths[%d] mismatch", i)
+		}
+	}
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	fresh := func() *Dataset { return ProductMatching() }
+
+	ds := fresh()
+	ds.Tasks[3].ID = 7
+	if ds.Validate() == nil {
+		t.Fatal("Validate missed non-dense ID")
+	}
+
+	ds = fresh()
+	ds.Tasks[0].Tokens = nil
+	if ds.Validate() == nil {
+		t.Fatal("Validate missed empty tokens")
+	}
+
+	ds = fresh()
+	ds.Tasks[0].Domain = "Zune"
+	if ds.Validate() == nil {
+		t.Fatal("Validate missed unlisted domain")
+	}
+
+	ds = fresh()
+	ds.Tasks[0].Truth = None
+	if ds.Validate() == nil {
+		t.Fatal("Validate missed non-binary truth")
+	}
+
+	ds = fresh()
+	ds.Domains = append(ds.Domains, "iPad")
+	if ds.Validate() == nil {
+		t.Fatal("Validate missed duplicate domain")
+	}
+}
+
+func TestGeneratePOI(t *testing.T) {
+	ds := GeneratePOI(5, 7)
+	if err := ds.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if ds.Len() != 20 {
+		t.Fatalf("POI has %d tasks, want 20", ds.Len())
+	}
+	for _, tk := range ds.Tasks {
+		if len(tk.Features) != 2 {
+			t.Fatalf("task %d has %d features, want 2", tk.ID, len(tk.Features))
+		}
+	}
+}
+
+func TestGenerateUniform(t *testing.T) {
+	ds := GenerateUniform(25, []string{"A", "B", "C"}, 3)
+	if err := ds.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if ds.Len() != 25 {
+		t.Fatalf("Uniform has %d tasks, want 25", ds.Len())
+	}
+	st := ds.Summarize()
+	if st.PerDomain["A"] != 9 || st.PerDomain["B"] != 8 || st.PerDomain["C"] != 8 {
+		t.Fatalf("round-robin split wrong: %v", st.PerDomain)
+	}
+	// Empty domain list falls back to a single default domain.
+	ds0 := GenerateUniform(4, nil, 3)
+	if err := ds0.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(ds0.Domains) != 1 {
+		t.Fatalf("fallback should have 1 domain, got %d", len(ds0.Domains))
+	}
+}
+
+func TestTokensStayInsideDomainVocabulary(t *testing.T) {
+	// Property: every non-shared token of a YahooQA task belongs to its own
+	// domain vocabulary — domains are topically separated, which is what
+	// makes the similarity graph cluster (Section 3).
+	ds := GenerateYahooQA(9)
+	shared := map[string]bool{}
+	for _, w := range sharedVocab {
+		shared[w] = true
+	}
+	vocabSet := map[string]map[string]bool{}
+	for dom, words := range yahooVocab {
+		vocabSet[dom] = map[string]bool{}
+		for _, w := range words {
+			vocabSet[dom][w] = true
+		}
+	}
+	for _, tk := range ds.Tasks {
+		for _, tok := range tk.Tokens {
+			if shared[tok] {
+				continue
+			}
+			if !vocabSet[tk.Domain][tok] {
+				t.Fatalf("task %d (domain %s) has foreign token %q", tk.ID, tk.Domain, tok)
+			}
+		}
+	}
+}
+
+func TestDedupe(t *testing.T) {
+	got := dedupe([]string{"a", "b", "a", "c", "b"})
+	if !reflect.DeepEqual(got, []string{"a", "b", "c"}) {
+		t.Fatalf("dedupe = %v", got)
+	}
+}

@@ -1,0 +1,253 @@
+// Package textsim implements the similarity measures of Section 3.3 and
+// Appendix D.1: Jaccard over token sets, cosine over TF-IDF vectors, edit
+// distance, and Euclidean similarity over feature vectors. The package also
+// provides the tokenizer/stop-word pipeline the paper applies before
+// computing textual similarity.
+package textsim
+
+import (
+	"math"
+	"strings"
+	"unicode"
+)
+
+// stopwords is a compact English stop-word list; Appendix D.1 removes
+// stop-words before measuring similarity.
+var stopwords = map[string]bool{
+	"a": true, "an": true, "and": true, "are": true, "as": true, "at": true,
+	"be": true, "by": true, "can": true, "did": true, "do": true, "does": true,
+	"for": true, "from": true, "had": true, "has": true, "have": true,
+	"he": true, "her": true, "his": true, "how": true, "i": true, "if": true,
+	"in": true, "is": true, "it": true, "its": true, "of": true, "on": true,
+	"or": true, "she": true, "that": true, "the": true, "their": true,
+	"them": true, "there": true, "they": true, "this": true, "to": true,
+	"was": true, "we": true, "were": true, "what": true, "when": true,
+	"where": true, "which": true, "who": true, "why": true, "will": true,
+	"with": true, "you": true, "your": true,
+}
+
+// IsStopword reports whether the lowercase token is a stop-word.
+func IsStopword(tok string) bool { return stopwords[tok] }
+
+// Tokenize lowercases text, splits it on non-alphanumeric runes, and drops
+// stop-words and empty tokens.
+func Tokenize(text string) []string {
+	fields := strings.FieldsFunc(strings.ToLower(text), func(r rune) bool {
+		return !unicode.IsLetter(r) && !unicode.IsDigit(r)
+	})
+	out := fields[:0]
+	for _, f := range fields {
+		if f != "" && !stopwords[f] {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// Jaccard returns |A ∩ B| / |A ∪ B| over the two token multisets treated as
+// sets. Two empty sets have similarity 0.
+func Jaccard(a, b []string) float64 {
+	if len(a) == 0 && len(b) == 0 {
+		return 0
+	}
+	setA := make(map[string]bool, len(a))
+	for _, t := range a {
+		setA[t] = true
+	}
+	setB := make(map[string]bool, len(b))
+	for _, t := range b {
+		setB[t] = true
+	}
+	inter := 0
+	for t := range setA {
+		if setB[t] {
+			inter++
+		}
+	}
+	union := len(setA) + len(setB) - inter
+	if union == 0 {
+		return 0
+	}
+	return float64(inter) / float64(union)
+}
+
+// EditDistance returns the Levenshtein distance between two strings
+// (unit insert/delete/substitute costs).
+func EditDistance(a, b string) int {
+	ra, rb := []rune(a), []rune(b)
+	if len(ra) == 0 {
+		return len(rb)
+	}
+	if len(rb) == 0 {
+		return len(ra)
+	}
+	prev := make([]int, len(rb)+1)
+	cur := make([]int, len(rb)+1)
+	for j := range prev {
+		prev[j] = j
+	}
+	for i := 1; i <= len(ra); i++ {
+		cur[0] = i
+		for j := 1; j <= len(rb); j++ {
+			cost := 1
+			if ra[i-1] == rb[j-1] {
+				cost = 0
+			}
+			cur[j] = min3(prev[j]+1, cur[j-1]+1, prev[j-1]+cost)
+		}
+		prev, cur = cur, prev
+	}
+	return prev[len(rb)]
+}
+
+// EditSimilarity normalizes edit distance to a similarity in [0, 1]:
+// 1 - dist / max(len(a), len(b)). Two empty strings are fully similar.
+func EditSimilarity(a, b string) float64 {
+	la, lb := len([]rune(a)), len([]rune(b))
+	if la == 0 && lb == 0 {
+		return 1
+	}
+	m := la
+	if lb > m {
+		m = lb
+	}
+	return 1 - float64(EditDistance(a, b))/float64(m)
+}
+
+func min3(a, b, c int) int {
+	if b < a {
+		a = b
+	}
+	if c < a {
+		a = c
+	}
+	return a
+}
+
+// Euclidean returns the Euclidean distance between two equal-length feature
+// vectors; it returns +Inf for mismatched lengths.
+func Euclidean(x, y []float64) float64 {
+	if len(x) != len(y) {
+		return math.Inf(1)
+	}
+	var s float64
+	for i := range x {
+		d := x[i] - y[i]
+		s += d * d
+	}
+	return math.Sqrt(s)
+}
+
+// EuclideanSimilarity normalizes Euclidean distance into a [0, 1] similarity
+// as 1 - dist/maxDist (Section 3.3 case 2), clamping at 0. maxDist must be
+// positive.
+func EuclideanSimilarity(x, y []float64, maxDist float64) float64 {
+	if maxDist <= 0 {
+		return 0
+	}
+	d := Euclidean(x, y)
+	if math.IsInf(d, 1) {
+		return 0
+	}
+	sim := 1 - d/maxDist
+	if sim < 0 {
+		return 0
+	}
+	return sim
+}
+
+// Cosine returns the cosine similarity of two sparse vectors keyed by term.
+// A zero vector has similarity 0 with everything.
+func Cosine(a, b map[string]float64) float64 {
+	if len(a) > len(b) {
+		a, b = b, a
+	}
+	var dot float64
+	for t, va := range a {
+		if vb, ok := b[t]; ok {
+			dot += va * vb
+		}
+	}
+	if dot == 0 {
+		return 0
+	}
+	return dot / (norm(a) * norm(b))
+}
+
+func norm(v map[string]float64) float64 {
+	var s float64
+	for _, x := range v {
+		s += x * x
+	}
+	return math.Sqrt(s)
+}
+
+// CosineDense returns the cosine similarity of two equal-length dense
+// vectors (used for LDA topic distributions); 0 for mismatched lengths or
+// zero vectors.
+func CosineDense(a, b []float64) float64 {
+	if len(a) != len(b) {
+		return 0
+	}
+	var dot, na, nb float64
+	for i := range a {
+		dot += a[i] * b[i]
+		na += a[i] * a[i]
+		nb += b[i] * b[i]
+	}
+	if na == 0 || nb == 0 {
+		return 0
+	}
+	return dot / (math.Sqrt(na) * math.Sqrt(nb))
+}
+
+// TFIDF builds a TF-IDF vector per document from the given token lists.
+// TF is raw count; IDF is ln(N / df). Terms present in every document get
+// IDF 0 and therefore vanish — exactly the behaviour wanted for the shared
+// filler words in comparison microtasks ("which", "more", ...).
+type TFIDF struct {
+	idf  map[string]float64
+	docs []map[string]float64
+}
+
+// NewTFIDF computes the model over a corpus of tokenized documents.
+func NewTFIDF(corpus [][]string) *TFIDF {
+	df := map[string]int{}
+	for _, doc := range corpus {
+		seen := map[string]bool{}
+		for _, t := range doc {
+			if !seen[t] {
+				seen[t] = true
+				df[t]++
+			}
+		}
+	}
+	n := float64(len(corpus))
+	m := &TFIDF{idf: make(map[string]float64, len(df))}
+	for t, d := range df {
+		m.idf[t] = math.Log(n / float64(d))
+	}
+	m.docs = make([]map[string]float64, len(corpus))
+	for i, doc := range corpus {
+		v := map[string]float64{}
+		for _, t := range doc {
+			v[t] += m.idf[t]
+		}
+		for t, x := range v {
+			if x == 0 {
+				delete(v, t)
+			}
+		}
+		m.docs[i] = v
+	}
+	return m
+}
+
+// Vector returns the TF-IDF vector of corpus document i.
+func (m *TFIDF) Vector(i int) map[string]float64 { return m.docs[i] }
+
+// IDF returns the inverse document frequency of a term (0 if unseen).
+func (m *TFIDF) IDF(term string) float64 { return m.idf[term] }
+
+// Similarity returns the cosine TF-IDF similarity of corpus documents i, j.
+func (m *TFIDF) Similarity(i, j int) float64 { return Cosine(m.docs[i], m.docs[j]) }

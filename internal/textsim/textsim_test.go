@@ -1,0 +1,261 @@
+package textsim
+
+import (
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"icrowd/internal/task"
+)
+
+func almost(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestTokenize(t *testing.T) {
+	got := Tokenize("Who first proposed Heliocentrism? The answer!")
+	want := []string{"first", "proposed", "heliocentrism", "answer"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Tokenize = %v, want %v", got, want)
+	}
+	if len(Tokenize("the a an of")) != 0 {
+		t.Fatal("stop-words should be removed")
+	}
+	if len(Tokenize("")) != 0 {
+		t.Fatal("empty text should yield no tokens")
+	}
+	got = Tokenize("iPhone-4 WiFi/32GB")
+	want = []string{"iphone", "4", "wifi", "32gb"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Tokenize punctuation = %v, want %v", got, want)
+	}
+}
+
+func TestJaccardPaperExample(t *testing.T) {
+	// The paper computes sim(t2, t7) = 4/7 from Table 1 token sets.
+	ds := task.ProductMatching()
+	got := Jaccard(ds.Tasks[1].Tokens, ds.Tasks[6].Tokens)
+	if !almost(got, 4.0/7, 1e-12) {
+		t.Fatalf("Jaccard(t2,t7) = %v, want 4/7", got)
+	}
+}
+
+func TestJaccardBasics(t *testing.T) {
+	a := []string{"x", "y", "z"}
+	if got := Jaccard(a, a); got != 1 {
+		t.Fatalf("self Jaccard = %v, want 1", got)
+	}
+	if got := Jaccard(a, []string{"q"}); got != 0 {
+		t.Fatalf("disjoint Jaccard = %v, want 0", got)
+	}
+	if got := Jaccard(nil, nil); got != 0 {
+		t.Fatalf("empty Jaccard = %v, want 0", got)
+	}
+	// Duplicates are set semantics.
+	if got := Jaccard([]string{"x", "x", "y"}, []string{"x", "y", "y"}); got != 1 {
+		t.Fatalf("multiset Jaccard = %v, want 1", got)
+	}
+}
+
+func TestJaccardProperties(t *testing.T) {
+	f := func(a, b []string) bool {
+		s := Jaccard(a, b)
+		if s < 0 || s > 1 {
+			return false
+		}
+		return almost(s, Jaccard(b, a), 1e-12) // symmetry
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEditDistance(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want int
+	}{
+		{"kitten", "sitting", 3},
+		{"", "abc", 3},
+		{"abc", "", 3},
+		{"same", "same", 0},
+		{"flaw", "lawn", 2},
+	}
+	for _, c := range cases {
+		if got := EditDistance(c.a, c.b); got != c.want {
+			t.Fatalf("EditDistance(%q,%q) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestEditDistanceProperties(t *testing.T) {
+	f := func(a, b string) bool {
+		d := EditDistance(a, b)
+		if d != EditDistance(b, a) { // symmetry
+			return false
+		}
+		la, lb := len([]rune(a)), len([]rune(b))
+		lo := la - lb
+		if lo < 0 {
+			lo = -lo
+		}
+		hi := la
+		if lb > hi {
+			hi = lb
+		}
+		return d >= lo && d <= hi // standard Levenshtein bounds
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEditSimilarity(t *testing.T) {
+	if got := EditSimilarity("", ""); got != 1 {
+		t.Fatalf("empty EditSimilarity = %v, want 1", got)
+	}
+	if got := EditSimilarity("abc", "abc"); got != 1 {
+		t.Fatalf("equal EditSimilarity = %v, want 1", got)
+	}
+	if got := EditSimilarity("abc", "xyz"); got != 0 {
+		t.Fatalf("disjoint EditSimilarity = %v, want 0", got)
+	}
+}
+
+func TestEuclidean(t *testing.T) {
+	if got := Euclidean([]float64{0, 0}, []float64{3, 4}); !almost(got, 5, 1e-12) {
+		t.Fatalf("Euclidean = %v, want 5", got)
+	}
+	if !math.IsInf(Euclidean([]float64{1}, []float64{1, 2}), 1) {
+		t.Fatal("mismatched lengths should be +Inf")
+	}
+}
+
+func TestEuclideanSimilarity(t *testing.T) {
+	x, y := []float64{0, 0}, []float64{3, 4}
+	if got := EuclideanSimilarity(x, y, 10); !almost(got, 0.5, 1e-12) {
+		t.Fatalf("EuclideanSimilarity = %v, want 0.5", got)
+	}
+	if got := EuclideanSimilarity(x, y, 2); got != 0 {
+		t.Fatal("similarity beyond maxDist should clamp at 0")
+	}
+	if got := EuclideanSimilarity(x, y, 0); got != 0 {
+		t.Fatal("non-positive maxDist should yield 0")
+	}
+	if got := EuclideanSimilarity([]float64{1}, []float64{1, 2}, 5); got != 0 {
+		t.Fatal("mismatched lengths should yield 0")
+	}
+}
+
+func TestCosine(t *testing.T) {
+	a := map[string]float64{"x": 1, "y": 1}
+	b := map[string]float64{"x": 1, "y": 1}
+	if got := Cosine(a, b); !almost(got, 1, 1e-12) {
+		t.Fatalf("identical Cosine = %v, want 1", got)
+	}
+	c := map[string]float64{"z": 2}
+	if got := Cosine(a, c); got != 0 {
+		t.Fatalf("orthogonal Cosine = %v, want 0", got)
+	}
+	if got := Cosine(nil, a); got != 0 {
+		t.Fatal("zero-vector Cosine should be 0")
+	}
+	d := map[string]float64{"x": 1}
+	if got := Cosine(a, d); !almost(got, 1/math.Sqrt2, 1e-12) {
+		t.Fatalf("Cosine = %v, want 1/sqrt2", got)
+	}
+}
+
+func TestCosineDense(t *testing.T) {
+	if got := CosineDense([]float64{1, 0}, []float64{0, 1}); got != 0 {
+		t.Fatalf("orthogonal dense = %v, want 0", got)
+	}
+	if got := CosineDense([]float64{2, 2}, []float64{1, 1}); !almost(got, 1, 1e-12) {
+		t.Fatalf("parallel dense = %v, want 1", got)
+	}
+	if got := CosineDense([]float64{1}, []float64{1, 2}); got != 0 {
+		t.Fatal("length mismatch should be 0")
+	}
+	if got := CosineDense([]float64{0, 0}, []float64{1, 2}); got != 0 {
+		t.Fatal("zero vector should be 0")
+	}
+}
+
+func TestTFIDF(t *testing.T) {
+	corpus := [][]string{
+		{"iphone", "wifi", "common"},
+		{"ipod", "touch", "common"},
+		{"iphone", "case", "common"},
+	}
+	m := NewTFIDF(corpus)
+	// "common" appears in every document: IDF 0, vanishes from vectors.
+	if m.IDF("common") != 0 {
+		t.Fatalf("IDF(common) = %v, want 0", m.IDF("common"))
+	}
+	if _, ok := m.Vector(0)["common"]; ok {
+		t.Fatal("ubiquitous term should vanish from TF-IDF vectors")
+	}
+	// Docs 0 and 2 share "iphone"; docs 0 and 1 share nothing weighted.
+	if m.Similarity(0, 1) != 0 {
+		t.Fatalf("sim(0,1) = %v, want 0", m.Similarity(0, 1))
+	}
+	if m.Similarity(0, 2) <= 0 {
+		t.Fatalf("sim(0,2) = %v, want > 0", m.Similarity(0, 2))
+	}
+	if !almost(m.Similarity(0, 0), 1, 1e-12) {
+		t.Fatalf("self sim = %v, want 1", m.Similarity(0, 0))
+	}
+	if m.IDF("unseen") != 0 {
+		t.Fatal("unseen term should have IDF 0")
+	}
+}
+
+func TestTFIDFSeparatesDomains(t *testing.T) {
+	// On the synthetic ItemCompare corpus, average intra-domain TF-IDF
+	// similarity must exceed inter-domain similarity — this is the property
+	// the whole similarity-graph approach rests on.
+	ds := task.GenerateItemCompare(5)
+	corpus := make([][]string, ds.Len())
+	for i, tk := range ds.Tasks {
+		corpus[i] = tk.Tokens
+	}
+	m := NewTFIDF(corpus)
+	var intra, inter float64
+	var nIntra, nInter int
+	for i := 0; i < ds.Len(); i += 7 {
+		for j := i + 1; j < ds.Len(); j += 7 {
+			s := m.Similarity(i, j)
+			if ds.Tasks[i].Domain == ds.Tasks[j].Domain {
+				intra += s
+				nIntra++
+			} else {
+				inter += s
+				nInter++
+			}
+		}
+	}
+	if nIntra == 0 || nInter == 0 {
+		t.Fatal("sampling produced no pairs")
+	}
+	if intra/float64(nIntra) <= inter/float64(nInter) {
+		t.Fatalf("intra-domain sim %v not above inter-domain %v",
+			intra/float64(nIntra), inter/float64(nInter))
+	}
+}
+
+func TestIsStopword(t *testing.T) {
+	if !IsStopword("the") || IsStopword("iphone") {
+		t.Fatal("IsStopword mismatch")
+	}
+}
+
+func TestTokenizeIdempotent(t *testing.T) {
+	f := func(s string) bool {
+		once := Tokenize(s)
+		twice := Tokenize(strings.Join(once, " "))
+		return reflect.DeepEqual(once, twice)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
