@@ -1,0 +1,28 @@
+GO ?= go
+
+.PHONY: all build test check vet race bench clean
+
+all: build
+
+build:
+	$(GO) build ./...
+
+# Quick loop: skips the chaos soak test (gated on -short).
+test:
+	$(GO) test -short ./...
+
+vet:
+	$(GO) vet ./...
+
+# Full suite under the race detector, soak test included.
+race:
+	$(GO) test -race ./...
+
+# The gate a PR must pass.
+check: vet race
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+clean:
+	$(GO) clean ./...

@@ -22,6 +22,8 @@ import (
 	"log"
 	"net/http"
 	"os"
+	"strconv"
+	"time"
 
 	"icrowd/internal/baseline"
 	"icrowd/internal/core"
@@ -45,8 +47,16 @@ func main() {
 		threshold = flag.Float64("threshold", 0.25, "similarity threshold")
 		logPath   = flag.String("log", "", "event-log file; replayed on startup for crash recovery")
 		basisPath = flag.String("basis", "", "basis cache file: loaded if present, else computed and saved (skips the offline PPR phase on restart)")
+		lease     = flag.Duration("lease", 0, "assignment lease: reclaim tasks from workers silent this long (0 disables)")
+		fsync     = flag.String("fsync", "never", "event-log fsync policy: never, always, or an integer N (fsync every N appends)")
+		snapEvery = flag.Int("snapshot-every", 0, "snapshot+compact the event log every N appends (0 disables; requires -log)")
 	)
 	flag.Parse()
+
+	syncEvery, err := parseFsync(*fsync)
+	if err != nil {
+		fail(err)
+	}
 
 	ds, _, err := experiments.LoadDataset(*dataset, *seed, 0)
 	if err != nil {
@@ -109,25 +119,66 @@ func main() {
 	}
 
 	srv := platform.NewServer(st, ds)
+	if *lease > 0 {
+		srv.SetLease(*lease)
+	}
+	if *snapEvery > 0 && *logPath == "" {
+		fail(fmt.Errorf("-snapshot-every requires -log"))
+	}
 	if *logPath != "" {
-		if events, err := store.ReadFile(*logPath); err == nil && len(events) > 0 {
-			if err := store.Replay(events, st); err != nil {
-				fail(fmt.Errorf("recovering from %s: %w", *logPath, err))
-			}
-			log.Printf("icrowd-server: recovered %d events from %s", len(events), *logPath)
+		opts := store.Options{SyncEvery: syncEvery}
+		if *snapEvery > 0 {
+			opts.SnapshotPath = *logPath + ".snap"
+			opts.SnapshotEvery = *snapEvery
 		}
-		l, err := store.Open(*logPath)
+		l, info, err := store.OpenWithOptions(*logPath, opts)
 		if err != nil {
 			fail(err)
 		}
 		defer l.Close()
+		if info.Tail != nil {
+			log.Printf("icrowd-server: repaired damaged log tail at %s (bytes preserved in %s.corrupt)", info.Tail, *logPath)
+		}
+		if len(info.Events) > 0 {
+			if err := store.Replay(info.Events, st); err != nil {
+				fail(fmt.Errorf("recovering from %s: %w", *logPath, err))
+			}
+			srv.Restore(info.Events)
+			log.Printf("icrowd-server: recovered %d events (%d from snapshot) from %s",
+				len(info.Events), info.FromSnapshot, *logPath)
+		}
 		srv.SetLog(l)
+	}
+	if *lease > 0 {
+		interval := *lease / 4
+		if interval < time.Second {
+			interval = time.Second
+		}
+		stop := srv.StartSweeper(interval)
+		defer stop()
+		log.Printf("icrowd-server: assignment leases %s, sweeping every %s", *lease, interval)
 	}
 	log.Printf("icrowd-server: %s over %s (%d tasks) listening on %s",
 		st.Name(), ds.Name, ds.Len(), *addr)
 	if err := http.ListenAndServe(*addr, srv.Handler()); err != nil {
 		fail(err)
 	}
+}
+
+// parseFsync maps the -fsync flag to Options.SyncEvery: "never" -> 0,
+// "always" -> 1, "N" -> every N appends.
+func parseFsync(s string) (int, error) {
+	switch s {
+	case "never", "":
+		return 0, nil
+	case "always":
+		return 1, nil
+	}
+	n, err := strconv.Atoi(s)
+	if err != nil || n < 0 {
+		return 0, fmt.Errorf("-fsync must be never, always, or a non-negative integer, got %q", s)
+	}
+	return n, nil
 }
 
 func fail(err error) {

@@ -1,0 +1,229 @@
+package platform
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"sync"
+	"time"
+
+	"icrowd/internal/sim"
+)
+
+// FaultConfig parameterizes the chaos transport. All probabilities are
+// per-request and independent; zero values inject nothing.
+type FaultConfig struct {
+	// DropRequest is the probability the request is dropped before it
+	// reaches the server (the client sees a transport error, the server
+	// sees nothing).
+	DropRequest float64
+	// DropResponse is the probability the request reaches the server and
+	// is fully processed, but the response is lost (the client sees a
+	// transport error — the dangerous half of at-most-once delivery, and
+	// the reason submits must be idempotent).
+	DropResponse float64
+	// Duplicate is the probability the request is delivered twice
+	// back-to-back (the response of the second delivery is returned).
+	Duplicate float64
+	// DelayProb is the probability the request is delayed by a uniform
+	// draw from (0, MaxDelay] before delivery.
+	DelayProb float64
+	// MaxDelay bounds injected delays (default 5ms).
+	MaxDelay time.Duration
+	// Seed drives the fault rolls.
+	Seed int64
+}
+
+// FaultStats counts what a FaultTransport actually injected.
+type FaultStats struct {
+	Requests, DroppedRequests, DroppedResponses, Duplicated, Delayed int
+}
+
+// FaultTransport is a fault-injecting http.RoundTripper: it wraps a real
+// transport and probabilistically drops, duplicates, and delays requests,
+// simulating the network between AMT workers and the platform server.
+type FaultTransport struct {
+	base  http.RoundTripper
+	cfg   FaultConfig
+	sleep func(time.Duration)
+
+	mu    sync.Mutex
+	rng   *rand.Rand
+	stats FaultStats
+}
+
+// errInjected marks transport errors produced by fault injection (so tests
+// can tell them from real network failures).
+var errInjected = errors.New("chaos: injected fault")
+
+// IsInjectedFault reports whether err originated from a FaultTransport.
+func IsInjectedFault(err error) bool { return errors.Is(err, errInjected) }
+
+// NewFaultTransport wraps base (nil means http.DefaultTransport).
+func NewFaultTransport(base http.RoundTripper, cfg FaultConfig) *FaultTransport {
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	if cfg.MaxDelay <= 0 {
+		cfg.MaxDelay = 5 * time.Millisecond
+	}
+	return &FaultTransport{base: base, cfg: cfg, sleep: time.Sleep, rng: rand.New(rand.NewSource(cfg.Seed))}
+}
+
+// Stats returns a snapshot of the injected-fault counters.
+func (t *FaultTransport) Stats() FaultStats {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.stats
+}
+
+// roll draws the fault plan for one request under the lock.
+func (t *FaultTransport) roll() (dropReq, dropResp, dup bool, delay time.Duration) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.stats.Requests++
+	if t.rng.Float64() < t.cfg.DelayProb {
+		delay = time.Duration(t.rng.Int63n(int64(t.cfg.MaxDelay))) + 1
+		t.stats.Delayed++
+	}
+	switch {
+	case t.rng.Float64() < t.cfg.DropRequest:
+		dropReq = true
+		t.stats.DroppedRequests++
+	case t.rng.Float64() < t.cfg.DropResponse:
+		dropResp = true
+		t.stats.DroppedResponses++
+	case t.rng.Float64() < t.cfg.Duplicate:
+		dup = true
+		t.stats.Duplicated++
+	}
+	return
+}
+
+// RoundTrip implements http.RoundTripper.
+func (t *FaultTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	// Buffer the body so the request can be re-issued (duplication) after
+	// the base transport consumed it.
+	var body []byte
+	if req.Body != nil {
+		b, err := io.ReadAll(req.Body)
+		req.Body.Close()
+		if err != nil {
+			return nil, err
+		}
+		body = b
+	}
+	redo := func() *http.Request {
+		r := req.Clone(req.Context())
+		if body != nil {
+			r.Body = io.NopCloser(bytes.NewReader(body))
+			r.ContentLength = int64(len(body))
+		}
+		return r
+	}
+	dropReq, dropResp, dup, delay := t.roll()
+	if delay > 0 {
+		t.sleep(delay)
+	}
+	if dropReq {
+		return nil, fmt.Errorf("%w: request dropped before delivery", errInjected)
+	}
+	resp, err := t.base.RoundTrip(redo())
+	if err != nil {
+		return nil, err
+	}
+	if dropResp {
+		// The server processed the request; the client never learns.
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return nil, fmt.Errorf("%w: response dropped after delivery", errInjected)
+	}
+	if dup {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		resp2, err := t.base.RoundTrip(redo())
+		if err != nil {
+			return nil, fmt.Errorf("%w: duplicate delivery failed: %v", errInjected, err)
+		}
+		return resp2, nil
+	}
+	return resp, nil
+}
+
+// ErrAbandoned reports that a FaultyWorker crashed mid-HIT: it took an
+// assignment and will never submit it nor signal /inactive. Only the
+// server's lease sweeper can free the task.
+var ErrAbandoned = errors.New("platform: worker abandoned mid-HIT")
+
+// FaultyWorker wraps a WorkerAgent with misbehaviours real crowds exhibit:
+// silently abandoning an accepted HIT and double-submitting answers.
+type FaultyWorker struct {
+	// Agent performs the well-behaved part of the loop.
+	Agent *WorkerAgent
+	// AbandonProb is the per-assignment probability the worker takes the
+	// task and vanishes (Step returns ErrAbandoned; the worker is dead).
+	AbandonProb float64
+	// DoubleSubmitProb is the per-submit probability the worker submits
+	// the same answer again (exercising submit idempotency).
+	DoubleSubmitProb float64
+
+	// JobDone is set once the server reports the whole job finished.
+	JobDone bool
+	// Duplicates counts double-submits acknowledged by the server.
+	Duplicates int
+
+	abandoned bool
+}
+
+// Step performs one request/submit round with fault behaviour. It returns
+// ErrAbandoned forever once the worker has crashed. A submit rejected
+// because the lease was swept mid-flight is not an error: the worker
+// simply lost the task and moves on.
+func (f *FaultyWorker) Step() (bool, error) {
+	if f.abandoned {
+		return false, ErrAbandoned
+	}
+	res, err := f.Agent.Client.Assign(f.Agent.Profile.ID)
+	if err != nil {
+		return false, err
+	}
+	if res.Done {
+		f.JobDone = true
+		return false, nil
+	}
+	if !res.Assigned {
+		return false, nil
+	}
+	if res.TaskID < 0 || res.TaskID >= f.Agent.Dataset.Len() {
+		return false, errors.New("platform: server assigned unknown task")
+	}
+	if f.AbandonProb > 0 && f.Agent.Rng.Float64() < f.AbandonProb {
+		f.abandoned = true
+		return false, ErrAbandoned
+	}
+	ans := sim.Answer(f.Agent.Profile, &f.Agent.Dataset.Tasks[res.TaskID], f.Agent.Rng)
+	sr, err := f.Agent.Client.SubmitR(f.Agent.Profile.ID, res.TaskID, ans)
+	if err != nil {
+		if IsNoPending(err) {
+			return true, nil // lease swept mid-flight; task went to someone else
+		}
+		return false, err
+	}
+	if sr.Duplicate {
+		f.Duplicates++
+	}
+	if f.DoubleSubmitProb > 0 && f.Agent.Rng.Float64() < f.DoubleSubmitProb {
+		sr2, err := f.Agent.Client.SubmitR(f.Agent.Profile.ID, res.TaskID, ans)
+		if err != nil {
+			if !IsNoPending(err) {
+				return false, err
+			}
+		} else if sr2.Duplicate {
+			f.Duplicates++
+		}
+	}
+	return true, nil
+}

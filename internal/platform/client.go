@@ -1,0 +1,233 @@
+package platform
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"time"
+
+	"icrowd/internal/task"
+)
+
+// RetryPolicy configures transparent client retries with exponential
+// backoff and full jitter. Retrying is safe because every server operation
+// is idempotent: /assign redelivers the held task, duplicate /submit is
+// acknowledged without double-counting, and the reads are pure.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of tries (default 4).
+	MaxAttempts int
+	// BaseDelay is the backoff before the first retry (default 50ms).
+	BaseDelay time.Duration
+	// MaxDelay caps the exponential backoff (default 2s).
+	MaxDelay time.Duration
+}
+
+// DefaultRetryPolicy returns conservative defaults suitable for a flaky
+// network path: 4 attempts, 50ms..2s full-jitter backoff.
+func DefaultRetryPolicy() RetryPolicy {
+	return RetryPolicy{MaxAttempts: 4, BaseDelay: 50 * time.Millisecond, MaxDelay: 2 * time.Second}
+}
+
+func (p RetryPolicy) attempts() int {
+	if p.MaxAttempts <= 0 {
+		return DefaultRetryPolicy().MaxAttempts
+	}
+	return p.MaxAttempts
+}
+
+// backoff returns the sleep before retry number retry (0-based): a full
+// jitter draw from (0, min(MaxDelay, BaseDelay<<retry)].
+func (p RetryPolicy) backoff(retry int, rng func(int64) int64) time.Duration {
+	base := p.BaseDelay
+	if base <= 0 {
+		base = DefaultRetryPolicy().BaseDelay
+	}
+	max := p.MaxDelay
+	if max <= 0 {
+		max = DefaultRetryPolicy().MaxDelay
+	}
+	d := base << uint(retry)
+	if d <= 0 || d > max {
+		d = max
+	}
+	return time.Duration(rng(int64(d))) + 1
+}
+
+// Client is a typed HTTP client for the server (what the AMT iframe glue
+// would call).
+type Client struct {
+	// BaseURL is the server root, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// HTTPClient defaults to http.DefaultClient.
+	HTTPClient *http.Client
+	// Retry, when non-nil, retries transport errors and 5xx responses with
+	// exponential backoff and jitter. Nil means single-shot (the seed
+	// behaviour).
+	Retry *RetryPolicy
+	// sleep and jitter are test hooks (default time.Sleep / rand.Int63n).
+	sleep  func(time.Duration)
+	jitter func(int64) int64
+}
+
+func (c *Client) hc() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
+	}
+	return http.DefaultClient
+}
+
+func (c *Client) doSleep(d time.Duration) {
+	if c.sleep != nil {
+		c.sleep(d)
+		return
+	}
+	time.Sleep(d)
+}
+
+func (c *Client) doJitter(n int64) int64 {
+	if c.jitter != nil {
+		return c.jitter(n)
+	}
+	return rand.Int63n(n)
+}
+
+// do issues method+url (with optional JSON body), applying the retry
+// policy: transport errors and 5xx responses are retried, anything else is
+// returned as-is. The caller owns the returned body.
+func (c *Client) do(method, url string, body []byte) (*http.Response, error) {
+	attempts := 1
+	if c.Retry != nil {
+		attempts = c.Retry.attempts()
+	}
+	var lastErr error
+	for i := 0; i < attempts; i++ {
+		if i > 0 {
+			c.doSleep(c.Retry.backoff(i-1, c.doJitter))
+		}
+		var rd io.Reader
+		if body != nil {
+			rd = bytes.NewReader(body)
+		}
+		req, err := http.NewRequest(method, url, rd)
+		if err != nil {
+			return nil, err
+		}
+		if body != nil {
+			req.Header.Set("Content-Type", "application/json")
+		}
+		resp, err := c.hc().Do(req)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if resp.StatusCode >= 500 && i+1 < attempts {
+			lastErr = httpError(resp) // drains and interprets the body
+			resp.Body.Close()
+			continue
+		}
+		return resp, nil
+	}
+	return nil, fmt.Errorf("platform: request failed after %d attempt(s): %w", attempts, lastErr)
+}
+
+// Assign requests a task for the worker.
+func (c *Client) Assign(workerID string) (AssignResponse, error) {
+	var out AssignResponse
+	resp, err := c.do(http.MethodGet, c.BaseURL+"/assign?workerId="+workerID, nil)
+	if err != nil {
+		return out, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return out, httpError(resp)
+	}
+	return out, json.NewDecoder(resp.Body).Decode(&out)
+}
+
+// Submit posts an answer. Duplicate submissions are acknowledged by the
+// server without double-counting, so Submit is safe to retry.
+func (c *Client) Submit(workerID string, taskID int, ans task.Answer) error {
+	_, err := c.SubmitR(workerID, taskID, ans)
+	return err
+}
+
+// SubmitR is Submit exposing the full response (e.g. the Duplicate flag).
+func (c *Client) SubmitR(workerID string, taskID int, ans task.Answer) (SubmitResponse, error) {
+	var out SubmitResponse
+	body, err := json.Marshal(SubmitRequest{WorkerID: workerID, TaskID: taskID, Answer: ans.String()})
+	if err != nil {
+		return out, err
+	}
+	resp, err := c.do(http.MethodPost, c.BaseURL+"/submit", body)
+	if err != nil {
+		return out, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return out, httpError(resp)
+	}
+	return out, json.NewDecoder(resp.Body).Decode(&out)
+}
+
+// Inactive signals that the worker returned or abandoned their HIT.
+func (c *Client) Inactive(workerID string) error {
+	body, err := json.Marshal(InactiveRequest{WorkerID: workerID})
+	if err != nil {
+		return err
+	}
+	resp, err := c.do(http.MethodPost, c.BaseURL+"/inactive", body)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent && resp.StatusCode != http.StatusOK {
+		return httpError(resp)
+	}
+	return nil
+}
+
+// Status fetches job progress.
+func (c *Client) Status() (StatusResponse, error) {
+	var out StatusResponse
+	resp, err := c.do(http.MethodGet, c.BaseURL+"/status", nil)
+	if err != nil {
+		return out, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return out, httpError(resp)
+	}
+	return out, json.NewDecoder(resp.Body).Decode(&out)
+}
+
+// Results fetches the aggregated answers.
+func (c *Client) Results() (map[int]string, error) {
+	resp, err := c.do(http.MethodGet, c.BaseURL+"/results", nil)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, httpError(resp)
+	}
+	var out ResultsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, err
+	}
+	return out.Results, nil
+}
+
+// httpError turns a non-2xx response into a typed *APIError, decoding the
+// server's ErrorResponse body when present.
+func httpError(resp *http.Response) error {
+	b, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+	b = bytes.TrimSpace(b)
+	var er ErrorResponse
+	if err := json.Unmarshal(b, &er); err == nil && er.Code != "" {
+		return &APIError{StatusCode: resp.StatusCode, Code: er.Code, Message: er.Message}
+	}
+	return &APIError{StatusCode: resp.StatusCode, Message: string(b)}
+}

@@ -1,0 +1,78 @@
+package platform
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+)
+
+// Machine-readable error codes carried in ErrorResponse.Code. Clients
+// branch on these rather than parsing messages.
+const (
+	// CodeBadRequest reports a malformed or incomplete request.
+	CodeBadRequest = "bad_request"
+	// CodeUnknownWorker reports an operation on a worker the server has
+	// never assigned a task to.
+	CodeUnknownWorker = "unknown_worker"
+	// CodeNoPending reports a submit for a task the worker does not hold —
+	// either it was never assigned, or the assignment lease expired and a
+	// sweeper reclaimed it.
+	CodeNoPending = "no_pending"
+	// CodeLogWrite reports that the durable event log could not be
+	// appended; the request was not applied and should be retried once
+	// durability is restored (HTTP 503).
+	CodeLogWrite = "log_write_failed"
+	// CodeConflict reports a submission the strategy rejected.
+	CodeConflict = "conflict"
+	// CodeInternal reports an invariant violation inside the server.
+	CodeInternal = "internal"
+)
+
+// ErrorResponse is the JSON body of every non-2xx response the server
+// produces itself (proxies may still emit plain text).
+type ErrorResponse struct {
+	// Code is one of the Code* constants.
+	Code string `json:"code"`
+	// Message is a human-readable description.
+	Message string `json:"message"`
+}
+
+// APIError is the typed client-side view of a non-2xx response.
+type APIError struct {
+	// StatusCode is the HTTP status.
+	StatusCode int
+	// Code is the machine-readable error code ("" when the body was not an
+	// ErrorResponse).
+	Code string
+	// Message is the server's description (or the raw body).
+	Message string
+}
+
+func (e *APIError) Error() string {
+	if e.Code != "" {
+		return fmt.Sprintf("platform: HTTP %d [%s]: %s", e.StatusCode, e.Code, e.Message)
+	}
+	return fmt.Sprintf("platform: HTTP %d: %s", e.StatusCode, e.Message)
+}
+
+// IsNoPending reports whether err is the typed rejection of a submit for a
+// task the worker does not hold (lease expired or never assigned).
+func IsNoPending(err error) bool {
+	var ae *APIError
+	return errors.As(err, &ae) && ae.Code == CodeNoPending
+}
+
+// IsUnknownWorker reports whether err is the typed rejection of an
+// operation naming a worker the server has never seen.
+func IsUnknownWorker(err error) bool {
+	var ae *APIError
+	return errors.As(err, &ae) && ae.Code == CodeUnknownWorker
+}
+
+// writeError emits a typed JSON error response.
+func writeError(w http.ResponseWriter, status int, code, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(ErrorResponse{Code: code, Message: msg})
+}

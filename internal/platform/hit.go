@@ -60,6 +60,14 @@ func (a *Accounting) OnAssign(worker string) (remainingAfter int) {
 	return rem
 }
 
+// Remaining reports how many microtasks are left in the worker's current
+// HIT without opening a new one (used for idempotent redelivery).
+func (a *Accounting) Remaining(worker string) int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.remaining[worker]
+}
+
 // OnSubmit records a paid submission.
 func (a *Accounting) OnSubmit() {
 	a.mu.Lock()

@@ -1,0 +1,117 @@
+package platform
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"icrowd/internal/store"
+)
+
+// SetLease enables assignment leases: every assignment (and every
+// idempotent redelivery) stamps the worker with a deadline d from now, and
+// SweepExpired reclaims assignments whose deadline passed — the crowd
+// equivalent of an AMT HIT expiring when a worker silently abandons it.
+// d <= 0 disables leases (assignments are held until /submit or
+// /inactive, the seed behaviour).
+func (s *Server) SetLease(d time.Duration) {
+	s.mu.Lock()
+	s.lease = d
+	s.mu.Unlock()
+}
+
+// SetClock overrides the server's wall clock (tests drive lease expiry
+// deterministically with a fake clock).
+func (s *Server) SetClock(now func() time.Time) {
+	s.mu.Lock()
+	s.now = now
+	s.mu.Unlock()
+}
+
+// deadlineLocked stamps a new lease deadline (zero when leases are off).
+func (s *Server) deadlineLocked() time.Time {
+	if s.lease <= 0 {
+		return time.Time{}
+	}
+	return s.now().Add(s.lease)
+}
+
+// SweepExpired reclaims every assignment whose lease deadline has passed:
+// the departure is logged (write-ahead), the strategy releases the task via
+// WorkerInactive, and the worker's HIT accounting is abandoned. It returns
+// the reclaimed workers, sorted. Workers whose log append fails are left
+// held and retried on the next sweep.
+func (s *Server) SweepExpired() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.lease <= 0 {
+		return nil
+	}
+	now := s.now()
+	var expired []string
+	for w, h := range s.held {
+		if !h.Deadline.IsZero() && now.After(h.Deadline) {
+			expired = append(expired, w)
+		}
+	}
+	sort.Strings(expired)
+	reclaimed := expired[:0]
+	for _, w := range expired {
+		if s.log != nil {
+			if err := s.log.AppendInactive(w); err != nil {
+				continue // durability lost: keep the lease, retry next sweep
+			}
+		}
+		s.st.WorkerInactive(w)
+		delete(s.held, w)
+		if s.acct != nil {
+			s.acct.OnInactive(w)
+		}
+		reclaimed = append(reclaimed, w)
+	}
+	return reclaimed
+}
+
+// StartSweeper runs SweepExpired every interval in a background goroutine
+// until the returned stop function is called.
+func (s *Server) StartSweeper(interval time.Duration) (stop func()) {
+	done := make(chan struct{})
+	go func() {
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-t.C:
+				s.SweepExpired()
+			}
+		}
+	}()
+	var once sync.Once
+	return func() { once.Do(func() { close(done) }) }
+}
+
+// Restore rebuilds the server's fault-tolerance bookkeeping (held
+// assignments, known workers, and the submit idempotency index) from a
+// replayed event history. Call it after store.Replay has rebuilt the
+// strategy, with the same events. Outstanding assignments get a fresh
+// lease from now.
+func (s *Server) Restore(events []store.Event) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, e := range events {
+		switch e.Kind {
+		case store.EventAssign:
+			s.seen[e.Worker] = true
+			s.held[e.Worker] = heldTask{Task: e.Task, Deadline: s.deadlineLocked()}
+		case store.EventSubmit:
+			s.seen[e.Worker] = true
+			delete(s.held, e.Worker)
+			s.markAcceptedLocked(e.Worker, e.Task, e.Answer)
+		case store.EventInactive:
+			s.seen[e.Worker] = true
+			delete(s.held, e.Worker)
+		}
+	}
+}

@@ -6,18 +6,31 @@
 // flows back to the server.
 //
 // The package provides that web server over any core.Strategy, a typed HTTP
-// client, and simulated AMT worker agents that drive the loop end-to-end.
+// client with retry, and simulated AMT worker agents (well-behaved and
+// faulty) that drive the loop end-to-end.
+//
+// # Failure model
+//
+// Real crowd traffic is not well-behaved, so the server is defensive on
+// three fronts. Assignments carry leases: a worker who vanishes without
+// signalling /inactive has their assignment reclaimed by a sweeper once the
+// lease expires, so no microtask is pinned forever. Submits are idempotent:
+// the idempotency key is (worker, task), a duplicate /submit is
+// acknowledged without double-counting, and /assign redelivers the worker's
+// current task instead of failing when a response was lost in flight.
+// Log appends are write-ahead where possible and surfaced as 503 (typed
+// code "log_write_failed") when durability is compromised, never silently
+// dropped.
 package platform
 
 import (
-	"bytes"
 	"encoding/json"
 	"errors"
-	"fmt"
 	"io"
 	"math/rand"
 	"net/http"
 	"sync"
+	"time"
 
 	"icrowd/internal/core"
 	"icrowd/internal/sim"
@@ -35,6 +48,10 @@ type AssignResponse struct {
 	TaskID int `json:"taskId"`
 	// Text is the microtask question shown in the HIT iframe.
 	Text string `json:"text"`
+	// Redelivered is true when the worker already held this task (e.g. the
+	// original /assign response was lost and the client retried); no new
+	// assignment was made.
+	Redelivered bool `json:"redelivered,omitempty"`
 	// HITRemaining is how many more microtasks remain in the worker's
 	// current HIT batch (only meaningful when the server tracks HITs).
 	HITRemaining int `json:"hitRemaining,omitempty"`
@@ -51,6 +68,16 @@ type SubmitRequest struct {
 // SubmitResponse is returned by POST /submit.
 type SubmitResponse struct {
 	Accepted bool `json:"accepted"`
+	// Duplicate is true when this (worker, task) pair had already been
+	// accepted: the submit is acknowledged idempotently and nothing was
+	// double-counted.
+	Duplicate bool `json:"duplicate,omitempty"`
+}
+
+// InactiveRequest is the optional JSON body of POST /inactive (the worker
+// may equally be named via the workerId query parameter).
+type InactiveRequest struct {
+	WorkerID string `json:"workerId"`
 }
 
 // StatusResponse is returned by GET /status.
@@ -59,6 +86,8 @@ type StatusResponse struct {
 	Total     int    `json:"total"`
 	Completed int    `json:"completed"`
 	Done      bool   `json:"done"`
+	// Pending is the number of workers currently holding an assignment.
+	Pending int `json:"pending"`
 	// HITs / Submitted / CostUSD report the HIT economics when the server
 	// tracks them (Section 6.1: batches of 10 at $0.10 per assignment).
 	HITs      int     `json:"hits,omitempty"`
@@ -72,6 +101,13 @@ type ResultsResponse struct {
 	Results map[int]string `json:"results"`
 }
 
+// heldTask is a worker's outstanding assignment as the server tracks it
+// (mirroring the strategy's pending state, plus the lease deadline).
+type heldTask struct {
+	Task     int
+	Deadline time.Time // zero when leases are disabled
+}
+
 // Server exposes a core.Strategy over HTTP. All strategy access is
 // serialized: the strategies themselves are single-threaded state machines,
 // exactly like the paper's single web server instance.
@@ -81,11 +117,29 @@ type Server struct {
 	ds   *task.Dataset
 	log  *store.Log
 	acct *Accounting
+
+	lease time.Duration
+	now   func() time.Time
+	// held mirrors the strategy's pending assignments so the server can
+	// redeliver idempotently, validate submits cheaply, and sweep leases.
+	held map[string]heldTask
+	// seen records every worker that has ever been assigned a task.
+	seen map[string]bool
+	// accepted records acknowledged submits per worker and task (the
+	// idempotency index): worker -> task -> answer.
+	accepted map[string]map[int]string
 }
 
 // NewServer wraps the strategy and its dataset.
 func NewServer(st core.Strategy, ds *task.Dataset) *Server {
-	return &Server{st: st, ds: ds}
+	return &Server{
+		st:       st,
+		ds:       ds,
+		now:      time.Now,
+		held:     map[string]heldTask{},
+		seen:     map[string]bool{},
+		accepted: map[string]map[int]string{},
+	}
 }
 
 // SetLog attaches a durable event log: every assignment, submission and
@@ -117,16 +171,29 @@ func (s *Server) Handler() http.Handler {
 
 func (s *Server) handleAssign(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
-		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		writeError(w, http.StatusMethodNotAllowed, CodeBadRequest, "method not allowed")
 		return
 	}
 	worker := r.URL.Query().Get("workerId")
 	if worker == "" {
-		http.Error(w, "workerId required", http.StatusBadRequest)
+		writeError(w, http.StatusBadRequest, CodeBadRequest, "workerId required")
 		return
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if h, ok := s.held[worker]; ok {
+		// Idempotent redelivery: the worker already holds a task (their
+		// original /assign response may have been lost). Renew the lease,
+		// return the same task, log nothing.
+		h.Deadline = s.deadlineLocked()
+		s.held[worker] = h
+		resp := AssignResponse{Assigned: true, TaskID: h.Task, Text: s.ds.Tasks[h.Task].Text, Redelivered: true}
+		if s.acct != nil {
+			resp.HITRemaining = s.acct.Remaining(worker)
+		}
+		writeJSON(w, resp)
+		return
+	}
 	if s.st.Done() {
 		writeJSON(w, AssignResponse{Done: true})
 		return
@@ -138,10 +205,15 @@ func (s *Server) handleAssign(w http.ResponseWriter, r *http.Request) {
 	}
 	if s.log != nil {
 		if err := s.log.AppendAssign(worker, tid); err != nil {
-			http.Error(w, "log write failed: "+err.Error(), http.StatusInternalServerError)
+			// Roll the uncommitted assignment back so the strategy and the
+			// log stay consistent, then report lost durability.
+			s.st.WorkerInactive(worker)
+			writeError(w, http.StatusServiceUnavailable, CodeLogWrite, err.Error())
 			return
 		}
 	}
+	s.seen[worker] = true
+	s.held[worker] = heldTask{Task: tid, Deadline: s.deadlineLocked()}
 	resp := AssignResponse{Assigned: true, TaskID: tid, Text: s.ds.Tasks[tid].Text}
 	if s.acct != nil {
 		resp.HITRemaining = s.acct.OnAssign(worker)
@@ -151,71 +223,114 @@ func (s *Server) handleAssign(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
-		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		writeError(w, http.StatusMethodNotAllowed, CodeBadRequest, "method not allowed")
 		return
 	}
 	var req SubmitRequest
 	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&req); err != nil {
-		http.Error(w, "bad json: "+err.Error(), http.StatusBadRequest)
+		writeError(w, http.StatusBadRequest, CodeBadRequest, "bad json: "+err.Error())
 		return
 	}
 	ans, err := parseAnswer(req.Answer)
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
+		writeError(w, http.StatusBadRequest, CodeBadRequest, err.Error())
 		return
 	}
 	if req.WorkerID == "" {
-		http.Error(w, "workerId required", http.StatusBadRequest)
+		writeError(w, http.StatusBadRequest, CodeBadRequest, "workerId required")
 		return
 	}
 	s.mu.Lock()
-	err = s.st.SubmitAnswer(req.WorkerID, req.TaskID, ans)
-	if err == nil && s.log != nil {
-		err = s.log.AppendSubmit(req.WorkerID, req.TaskID, ans)
-	}
-	if err == nil && s.acct != nil {
-		s.acct.OnSubmit()
-	}
-	s.mu.Unlock()
-	if err != nil {
-		http.Error(w, err.Error(), http.StatusConflict)
+	defer s.mu.Unlock()
+	if _, dup := s.accepted[req.WorkerID][req.TaskID]; dup {
+		// Idempotent acknowledgement: this (worker, task) was already
+		// counted; a retried submit must not double-count into consensus
+		// or accuracy estimates.
+		writeJSON(w, SubmitResponse{Accepted: true, Duplicate: true})
 		return
+	}
+	h, holds := s.held[req.WorkerID]
+	if !holds || h.Task != req.TaskID {
+		writeError(w, http.StatusConflict, CodeNoPending,
+			"worker does not hold this task (never assigned, or the lease expired)")
+		return
+	}
+	// Write-ahead: the submit is durable before it mutates the strategy,
+	// so a replayed log never contains an un-applied suffix.
+	if s.log != nil {
+		if err := s.log.AppendSubmit(req.WorkerID, req.TaskID, ans); err != nil {
+			writeError(w, http.StatusServiceUnavailable, CodeLogWrite, err.Error())
+			return
+		}
+	}
+	if err := s.st.SubmitAnswer(req.WorkerID, req.TaskID, ans); err != nil {
+		// held mirrors the strategy's pending state, so this indicates a
+		// server bug (the event is already logged).
+		writeError(w, http.StatusInternalServerError, CodeInternal, err.Error())
+		return
+	}
+	delete(s.held, req.WorkerID)
+	s.markAcceptedLocked(req.WorkerID, req.TaskID, ans.String())
+	if s.acct != nil {
+		s.acct.OnSubmit()
 	}
 	writeJSON(w, SubmitResponse{Accepted: true})
 }
 
+func (s *Server) markAcceptedLocked(worker string, taskID int, answer string) {
+	m, ok := s.accepted[worker]
+	if !ok {
+		m = map[int]string{}
+		s.accepted[worker] = m
+	}
+	m[taskID] = answer
+}
+
 // handleInactive implements POST /inactive: AMT signals that a worker
 // returned or abandoned their HIT; the strategy releases the assignment.
+// The worker may be named via the workerId query parameter or a JSON body.
 func (s *Server) handleInactive(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
-		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		writeError(w, http.StatusMethodNotAllowed, CodeBadRequest, "method not allowed")
 		return
 	}
 	worker := r.URL.Query().Get("workerId")
 	if worker == "" {
-		http.Error(w, "workerId required", http.StatusBadRequest)
+		var req InactiveRequest
+		if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&req); err == nil {
+			worker = req.WorkerID
+		}
+	}
+	if worker == "" {
+		writeError(w, http.StatusBadRequest, CodeBadRequest,
+			"workerId required (query parameter or JSON body)")
 		return
 	}
 	s.mu.Lock()
-	s.st.WorkerInactive(worker)
-	var err error
-	if s.log != nil {
-		err = s.log.AppendInactive(worker)
+	defer s.mu.Unlock()
+	if !s.seen[worker] {
+		writeError(w, http.StatusBadRequest, CodeUnknownWorker,
+			"worker "+worker+" has never been assigned a task")
+		return
 	}
+	// Write-ahead, as in handleSubmit.
+	if s.log != nil {
+		if err := s.log.AppendInactive(worker); err != nil {
+			writeError(w, http.StatusServiceUnavailable, CodeLogWrite, err.Error())
+			return
+		}
+	}
+	s.st.WorkerInactive(worker)
+	delete(s.held, worker)
 	if s.acct != nil {
 		s.acct.OnInactive(worker)
-	}
-	s.mu.Unlock()
-	if err != nil {
-		http.Error(w, "log write failed: "+err.Error(), http.StatusInternalServerError)
-		return
 	}
 	w.WriteHeader(http.StatusNoContent)
 }
 
 func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
-		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		writeError(w, http.StatusMethodNotAllowed, CodeBadRequest, "method not allowed")
 		return
 	}
 	s.mu.Lock()
@@ -231,6 +346,7 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 		Total:     s.ds.Len(),
 		Completed: completed,
 		Done:      s.st.Done(),
+		Pending:   len(s.held),
 	}
 	if s.acct != nil {
 		resp.HITs = s.acct.HITs()
@@ -242,7 +358,7 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleResults(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
-		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		writeError(w, http.StatusMethodNotAllowed, CodeBadRequest, "method not allowed")
 		return
 	}
 	s.mu.Lock()
@@ -267,91 +383,8 @@ func parseAnswer(s string) (task.Answer, error) {
 	case "NO":
 		return task.No, nil
 	default:
-		return task.None, fmt.Errorf("platform: answer must be YES or NO, got %q", s)
+		return task.None, errors.New("platform: answer must be YES or NO, got " + s)
 	}
-}
-
-// Client is a typed HTTP client for the server (what the AMT iframe glue
-// would call).
-type Client struct {
-	// BaseURL is the server root, e.g. "http://127.0.0.1:8080".
-	BaseURL string
-	// HTTPClient defaults to http.DefaultClient.
-	HTTPClient *http.Client
-}
-
-func (c *Client) hc() *http.Client {
-	if c.HTTPClient != nil {
-		return c.HTTPClient
-	}
-	return http.DefaultClient
-}
-
-// Assign requests a task for the worker.
-func (c *Client) Assign(workerID string) (AssignResponse, error) {
-	var out AssignResponse
-	resp, err := c.hc().Get(c.BaseURL + "/assign?workerId=" + workerID)
-	if err != nil {
-		return out, err
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return out, httpError(resp)
-	}
-	return out, json.NewDecoder(resp.Body).Decode(&out)
-}
-
-// Submit posts an answer.
-func (c *Client) Submit(workerID string, taskID int, ans task.Answer) error {
-	body, err := json.Marshal(SubmitRequest{WorkerID: workerID, TaskID: taskID, Answer: ans.String()})
-	if err != nil {
-		return err
-	}
-	resp, err := c.hc().Post(c.BaseURL+"/submit", "application/json", bytes.NewReader(body))
-	if err != nil {
-		return err
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return httpError(resp)
-	}
-	return nil
-}
-
-// Status fetches job progress.
-func (c *Client) Status() (StatusResponse, error) {
-	var out StatusResponse
-	resp, err := c.hc().Get(c.BaseURL + "/status")
-	if err != nil {
-		return out, err
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return out, httpError(resp)
-	}
-	return out, json.NewDecoder(resp.Body).Decode(&out)
-}
-
-// Results fetches the aggregated answers.
-func (c *Client) Results() (map[int]string, error) {
-	resp, err := c.hc().Get(c.BaseURL + "/results")
-	if err != nil {
-		return nil, err
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return nil, httpError(resp)
-	}
-	var out ResultsResponse
-	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
-		return nil, err
-	}
-	return out.Results, nil
-}
-
-func httpError(resp *http.Response) error {
-	b, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
-	return fmt.Errorf("platform: HTTP %d: %s", resp.StatusCode, bytes.TrimSpace(b))
 }
 
 // WorkerAgent simulates one AMT worker hammering the server: request,

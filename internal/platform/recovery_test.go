@@ -1,9 +1,12 @@
 package platform
 
 import (
+	"encoding/json"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"icrowd/internal/baseline"
@@ -108,10 +111,50 @@ func TestInactiveEndpointValidation(t *testing.T) {
 	if resp.StatusCode != http.StatusMethodNotAllowed {
 		t.Fatalf("GET /inactive: %d", resp.StatusCode)
 	}
-	resp, _ = http.Post(srv.URL+"/inactive", "", nil)
-	resp.Body.Close()
-	if resp.StatusCode != http.StatusBadRequest {
-		t.Fatalf("missing workerId: %d", resp.StatusCode)
+
+	post := func(url, body string) (int, ErrorResponse) {
+		t.Helper()
+		var rd io.Reader
+		if body != "" {
+			rd = strings.NewReader(body)
+		}
+		resp, err := http.Post(url, "application/json", rd)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var er ErrorResponse
+		_ = json.NewDecoder(resp.Body).Decode(&er)
+		return resp.StatusCode, er
+	}
+
+	// Missing worker ID everywhere: 400 with a typed code, not a no-op.
+	if code, er := post(srv.URL+"/inactive", ""); code != http.StatusBadRequest || er.Code != CodeBadRequest {
+		t.Fatalf("missing workerId: %d %+v", code, er)
+	}
+	// A worker the server has never seen: 400 unknown_worker.
+	if code, er := post(srv.URL+"/inactive?workerId=nobody", ""); code != http.StatusBadRequest || er.Code != CodeUnknownWorker {
+		t.Fatalf("unknown worker: %d %+v", code, er)
+	}
+
+	// Register a worker, then both spellings must work: query param...
+	c := &Client{BaseURL: srv.URL}
+	if _, err := c.Assign("x"); err != nil {
+		t.Fatal(err)
+	}
+	if code, er := post(srv.URL+"/inactive?workerId=x", ""); code != http.StatusNoContent {
+		t.Fatalf("query-param inactive: %d %+v", code, er)
+	}
+	// ...and JSON body.
+	if _, err := c.Assign("y"); err != nil {
+		t.Fatal(err)
+	}
+	if code, er := post(srv.URL+"/inactive", `{"workerId":"y"}`); code != http.StatusNoContent {
+		t.Fatalf("json-body inactive: %d %+v", code, er)
+	}
+	// Malformed JSON body with no query param is a bad request.
+	if code, er := post(srv.URL+"/inactive", `{"workerId":`); code != http.StatusBadRequest || er.Code != CodeBadRequest {
+		t.Fatalf("malformed body: %d %+v", code, er)
 	}
 }
 

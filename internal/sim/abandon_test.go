@@ -1,0 +1,84 @@
+package sim
+
+import (
+	"testing"
+
+	"icrowd/internal/baseline"
+	"icrowd/internal/task"
+)
+
+// TestAbandonedAssignmentsAreReclaimed simulates a crowd with workers who
+// take tasks and vanish. Without reclaim the abandoned assignments pin
+// their tasks forever; with ReclaimAfter the run completes.
+func TestAbandonedAssignmentsAreReclaimed(t *testing.T) {
+	ds := task.ProductMatching()
+	pool := GeneratePool(ds, 6, PoolOptions{Generalists: 2}, 11)
+	// Half the crowd abandons aggressively.
+	for i := 3; i < 6; i++ {
+		pool[i].AbandonProb = 0.5
+	}
+
+	run := func(reclaimAfter int) *Result {
+		st, err := baseline.NewRandomMV(ds, 3, nil, 11)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Run(st, ds, pool, RunOptions{
+			Seed: 11, MaxSteps: 4000, ReclaimAfter: reclaimAfter,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+
+	with := run(10)
+	if !with.Completed {
+		t.Fatalf("run with reclaim did not complete in %d steps", with.Steps)
+	}
+	if with.Reclaimed == 0 {
+		t.Fatal("expected some abandoned assignments to be reclaimed")
+	}
+	var abandoned int
+	for _, n := range with.Abandoned {
+		abandoned += n
+	}
+	if abandoned == 0 {
+		t.Fatal("expected abandonments with AbandonProb=0.5")
+	}
+	// Reclaims never exceed abandonments.
+	if with.Reclaimed > abandoned {
+		t.Fatalf("reclaimed %d > abandoned %d", with.Reclaimed, abandoned)
+	}
+}
+
+// TestAbandonWithoutReclaimCanStall documents why leases exist: three
+// workers who always abandon plus k=3 leaves tasks pinned with no reclaim.
+func TestAbandonWithoutReclaimCanStall(t *testing.T) {
+	ds := task.ProductMatching()
+	pool := GeneratePool(ds, 3, PoolOptions{Generalists: 3}, 5)
+	for i := range pool {
+		pool[i].AbandonProb = 1 // every accepted task is dropped
+	}
+	st, err := baseline.NewRandomMV(ds, 3, nil, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(st, ds, pool, RunOptions{Seed: 5, MaxSteps: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed {
+		t.Fatal("job completed although every assignment was abandoned")
+	}
+	// The same crowd with reclaim also never completes (nobody ever
+	// submits), but the tasks keep circulating instead of staying pinned.
+	st2, _ := baseline.NewRandomMV(ds, 3, nil, 5)
+	res2, err := Run(st2, ds, pool, RunOptions{Seed: 5, MaxSteps: 500, ReclaimAfter: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Reclaimed == 0 {
+		t.Fatal("reclaim pass never fired")
+	}
+}

@@ -49,6 +49,11 @@ type Profile struct {
 	DriftTo map[string]float64
 	// DriftSteps is the interpolation horizon (0 disables drift).
 	DriftSteps int
+	// AbandonProb is the per-assignment probability the worker takes a
+	// task and never submits it (nor signals inactivity) — the silent HIT
+	// abandonment real crowds exhibit. Pair it with a positive
+	// RunOptions.ReclaimAfter, or abandoned tasks stay pinned.
+	AbandonProb float64
 }
 
 // rate returns the effective request rate (1 when unset).
@@ -232,6 +237,10 @@ type RunOptions struct {
 	// ExcludeTasks are task IDs left out of accuracy scoring (typically
 	// the shared qualification microtasks).
 	ExcludeTasks []int
+	// ReclaimAfter releases an abandoned assignment after this many steps
+	// by driving WorkerInactive — the simulator's stand-in for the
+	// platform layer's lease sweeper (0 = never reclaim).
+	ReclaimAfter int
 }
 
 // DomainStat counts a worker's correct/total answers in one domain.
@@ -265,6 +274,10 @@ type Result struct {
 	// Assignments counts completed (submitted) crowd assignments per
 	// worker, excluding qualification answers.
 	Assignments map[string]int
+	// Abandoned counts assignments taken and never submitted, per worker.
+	Abandoned map[string]int
+	// Reclaimed counts abandoned assignments released via ReclaimAfter.
+	Reclaimed int
 	// WorkerDomain tallies each worker's correct/total crowd answers per
 	// domain — the raw material of Figure 6.
 	WorkerDomain map[string]map[string]DomainStat
@@ -288,9 +301,13 @@ func Run(s core.Strategy, ds *task.Dataset, pool []Profile, opts RunOptions) (*R
 	res := &Result{
 		Strategy:     s.Name(),
 		Assignments:  map[string]int{},
+		Abandoned:    map[string]int{},
 		WorkerDomain: map[string]map[string]DomainStat{},
 	}
 	departed := map[string]bool{}
+	// abandoned tracks assignments taken and silently dropped: worker ->
+	// step at which they took the task.
+	abandoned := map[string]int{}
 	step := 0
 	for ; step < opts.MaxSteps && !s.Done(); step++ {
 		// Handle departures.
@@ -299,6 +316,17 @@ func Run(s core.Strategy, ds *task.Dataset, pool []Profile, opts RunOptions) (*R
 			if p.Depart > 0 && step == p.Depart && !departed[p.ID] {
 				departed[p.ID] = true
 				s.WorkerInactive(p.ID)
+				delete(abandoned, p.ID)
+			}
+		}
+		// Reclaim abandoned assignments past the lease horizon.
+		if opts.ReclaimAfter > 0 {
+			for w, since := range abandoned {
+				if step-since >= opts.ReclaimAfter {
+					s.WorkerInactive(w)
+					delete(abandoned, w)
+					res.Reclaimed++
+				}
 			}
 		}
 		// Pick an active worker with probability proportional to their
@@ -325,6 +353,13 @@ func Run(s core.Strategy, ds *task.Dataset, pool []Profile, opts RunOptions) (*R
 		}
 		tid, ok := s.RequestTask(p.ID)
 		if !ok {
+			continue
+		}
+		if p.AbandonProb > 0 && rng.Float64() < p.AbandonProb {
+			// The worker took the task and walked away; only the reclaim
+			// pass (or their departure) frees it.
+			abandoned[p.ID] = step
+			res.Abandoned[p.ID]++
 			continue
 		}
 		tk := &ds.Tasks[tid]

@@ -1,21 +1,38 @@
 // Package store provides durable event logging for the Appendix-A
-// deployment: every assignment-relevant event (a worker's submitted answer,
-// a worker leaving) is appended to a JSON-lines log, and a crashed or
-// restarted server rebuilds its strategy state by replaying the log through
-// a fresh strategy instance.
+// deployment: every assignment-relevant event (a task assignment, a worker's
+// submitted answer, a worker leaving) is appended to a checksummed
+// JSON-lines log, and a crashed or restarted server rebuilds its strategy
+// state by replaying the log through a fresh strategy instance.
 //
 // Strategies in this repository are deterministic state machines over the
 // sequence of (RequestTask, SubmitAnswer, WorkerInactive) calls, which is
 // what makes event-sourcing sufficient: replaying the recorded submissions
 // in order reproduces the assignments, the consensus bookkeeping and the
 // accuracy estimates.
+//
+// # Durability model
+//
+// Each log line is framed as "crc32c<SP>json": an 8-hex-digit CRC-32
+// (Castagnoli) over the JSON payload, catching torn or bit-flipped records
+// that still parse as JSON. Unframed plain-JSON lines from older logs are
+// accepted without checksum verification. Open repairs a torn tail — a
+// final record cut short by a crash — by truncating the file back to its
+// longest valid prefix (the discarded bytes are preserved next to the log
+// in a ".corrupt" file). Fsync frequency is configurable via
+// Options.SyncEvery, and Options.SnapshotPath enables periodic
+// snapshot+compaction so the live log stays short: the full event history
+// is atomically written to one checksummed snapshot file and the log is
+// truncated, making recovery read a single bulk blob plus a bounded tail
+// instead of an ever-growing line-by-line scan.
 package store
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"os"
 	"sync"
@@ -55,55 +72,251 @@ type Event struct {
 	Answer string `json:"answer,omitempty"`
 }
 
-// Log is an append-only JSON-lines event log.
-type Log struct {
-	mu   sync.Mutex
-	w    io.Writer
-	f    *os.File // owned file when opened via Open
-	next int64
+// WriteError is the typed error returned when appending to the log fails.
+// It wraps the underlying I/O error; servers should treat it as a signal
+// that durability is compromised (e.g. respond 503, not 500).
+type WriteError struct {
+	// Op is the failing operation ("append", "sync", "marshal").
+	Op string
+	// Path is the log file path ("" for in-memory logs).
+	Path string
+	// Err is the underlying error.
+	Err error
 }
 
-// Open creates or appends to the log file at path.
-func Open(path string) (*Log, error) {
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
-	if err != nil {
-		return nil, err
+func (e *WriteError) Error() string {
+	if e.Path == "" {
+		return fmt.Sprintf("store: log %s: %v", e.Op, e.Err)
 	}
-	// Determine the next sequence number by scanning the existing log.
-	n, err := countEvents(path)
+	return fmt.Sprintf("store: log %s %s: %v", e.Op, e.Path, e.Err)
+}
+
+// Unwrap returns the underlying I/O error.
+func (e *WriteError) Unwrap() error { return e.Err }
+
+// Tail describes the unreplayable suffix found at the end of a damaged
+// log: everything from the first bad record (torn write, CRC mismatch,
+// sequence gap) onward.
+type Tail struct {
+	// Line is the 1-based line number of the first bad record.
+	Line int
+	// Offset is the byte offset where the valid prefix ends.
+	Offset int64
+	// Reason describes why the record was rejected.
+	Reason string
+	// TrailingLines counts the discarded lines (the bad record and
+	// everything after it).
+	TrailingLines int
+}
+
+func (t *Tail) String() string {
+	return fmt.Sprintf("line %d (offset %d, %d line(s) dropped): %s",
+		t.Line, t.Offset, t.TrailingLines, t.Reason)
+}
+
+// Options configures durability behaviour for OpenWithOptions.
+type Options struct {
+	// SyncEvery controls fsync frequency: 0 never fsyncs (the OS decides),
+	// 1 fsyncs after every append, N fsyncs after every N appends.
+	SyncEvery int
+	// SnapshotPath, when non-empty, enables snapshot+compaction: the full
+	// event history is periodically written to this file (atomically, via
+	// rename) and the live log is truncated to empty.
+	SnapshotPath string
+	// SnapshotEvery is the number of appends between automatic snapshots
+	// (default 1024 when SnapshotPath is set).
+	SnapshotEvery int
+}
+
+// RecoverInfo reports what OpenWithOptions or Load reconstructed.
+type RecoverInfo struct {
+	// Events is the full replayable history (snapshot + log prefix).
+	Events []Event
+	// FromSnapshot is how many of Events came from the snapshot file.
+	FromSnapshot int
+	// Tail is non-nil when the log ended in a torn or corrupt suffix that
+	// was dropped (and, under Open, truncated away after being preserved
+	// in a ".corrupt" file).
+	Tail *Tail
+}
+
+// Log is an append-only JSON-lines event log with per-record checksums.
+type Log struct {
+	mu        sync.Mutex
+	w         io.Writer
+	f         *os.File // owned file when opened via Open
+	path      string
+	next      int64
+	opts      Options
+	sinceSync int
+	sinceSnap int
+	retained  []Event // full history, kept only when snapshotting
+	snapErr   error   // last best-effort snapshot failure
+}
+
+// Open creates or appends to the log file at path with default options
+// (no fsync, no snapshotting). A torn tail is repaired as described in the
+// package comment.
+func Open(path string) (*Log, error) {
+	l, _, err := OpenWithOptions(path, Options{})
+	return l, err
+}
+
+// OpenWithOptions opens the log at path, loads the snapshot (when
+// configured and present), scans and repairs the log, and returns the
+// combined replayable history. The returned RecoverInfo is valid even when
+// the log existed: pass RecoverInfo.Events to Replay to rebuild state.
+func OpenWithOptions(path string, opts Options) (*Log, *RecoverInfo, error) {
+	if opts.SnapshotPath != "" && opts.SnapshotEvery <= 0 {
+		opts.SnapshotEvery = 1024
+	}
+	info := &RecoverInfo{}
+	var snap []Event
+	if opts.SnapshotPath != "" {
+		s, err := ReadSnapshot(opts.SnapshotPath)
+		if err != nil && !errors.Is(err, os.ErrNotExist) {
+			return nil, nil, err
+		}
+		snap = s
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, nil, err
+	}
+	logEvents, tail, err := scanFile(path)
 	if err != nil {
 		f.Close()
+		return nil, nil, err
+	}
+	merged, err := mergeHistory(snap, logEvents, path, opts.SnapshotPath)
+	if err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	if tail != nil {
+		// Repair: preserve the damaged suffix, then truncate it away so
+		// future appends extend the valid prefix.
+		if err := preserveCorrupt(path, tail.Offset); err != nil {
+			f.Close()
+			return nil, nil, err
+		}
+		if err := f.Truncate(tail.Offset); err != nil {
+			f.Close()
+			return nil, nil, err
+		}
+	}
+	info.Events = merged
+	info.FromSnapshot = len(snap)
+	info.Tail = tail
+	var next int64 = 1
+	if n := len(merged); n > 0 {
+		next = merged[n-1].Seq + 1
+	}
+	l := &Log{w: f, f: f, path: path, next: next, opts: opts}
+	if opts.SnapshotPath != "" {
+		l.retained = append(l.retained, merged...)
+		l.sinceSnap = len(logEvents)
+	}
+	return l, info, nil
+}
+
+// Load reads the replayable history (snapshot + log) without opening the
+// log for appending. snapshotPath may be empty when snapshotting is not in
+// use. Unlike Open, Load never modifies the files.
+func Load(logPath, snapshotPath string) (*RecoverInfo, error) {
+	var snap []Event
+	if snapshotPath != "" {
+		s, err := ReadSnapshot(snapshotPath)
+		if err != nil && !errors.Is(err, os.ErrNotExist) {
+			return nil, err
+		}
+		snap = s
+	}
+	logEvents, tail, err := scanFile(logPath)
+	if err != nil {
 		return nil, err
 	}
-	return &Log{w: f, f: f, next: n + 1}, nil
+	merged, err := mergeHistory(snap, logEvents, logPath, snapshotPath)
+	if err != nil {
+		return nil, err
+	}
+	return &RecoverInfo{Events: merged, FromSnapshot: len(snap), Tail: tail}, nil
+}
+
+// mergeHistory combines snapshot events with the live log's events,
+// tolerating the overlap left by a crash between snapshot write and log
+// truncation, and refusing gaps (a compacted log opened without its
+// snapshot would otherwise silently lose its prefix).
+func mergeHistory(snap, logEvents []Event, logPath, snapPath string) ([]Event, error) {
+	var lastSnap int64
+	if n := len(snap); n > 0 {
+		lastSnap = snap[n-1].Seq
+	}
+	merged := append([]Event(nil), snap...)
+	want := lastSnap + 1
+	for _, e := range logEvents {
+		if e.Seq <= lastSnap {
+			continue // crash between snapshot and compaction: already snapshotted
+		}
+		if e.Seq != want {
+			if snapPath == "" {
+				return nil, fmt.Errorf("store: log %s starts at seq %d, want %d (compacted log without its snapshot?)", logPath, e.Seq, want)
+			}
+			return nil, fmt.Errorf("store: log %s has seq %d after snapshot %s ending at %d (missing events)", logPath, e.Seq, snapPath, lastSnap)
+		}
+		merged = append(merged, e)
+		want++
+	}
+	return merged, nil
+}
+
+// preserveCorrupt copies the bytes from offset to EOF into path+".corrupt"
+// so a repair never silently destroys data.
+func preserveCorrupt(path string, offset int64) error {
+	src, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer src.Close()
+	if _, err := src.Seek(offset, io.SeekStart); err != nil {
+		return err
+	}
+	dst, err := os.Create(path + ".corrupt")
+	if err != nil {
+		return err
+	}
+	defer dst.Close()
+	_, err = io.Copy(dst, src)
+	return err
+}
+
+func scanFile(path string) ([]Event, *Tail, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return nil, nil, nil
+		}
+		return nil, nil, err
+	}
+	defer f.Close()
+	return ReadTolerant(f)
 }
 
 // NewWriter wraps an arbitrary writer (for tests and in-memory use).
 func NewWriter(w io.Writer) *Log { return &Log{w: w, next: 1} }
 
-func countEvents(path string) (int64, error) {
-	f, err := os.Open(path)
-	if err != nil {
-		return 0, err
-	}
-	defer f.Close()
-	var n int64
-	sc := bufio.NewScanner(f)
-	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
-	for sc.Scan() {
-		if len(sc.Bytes()) > 0 {
-			n++
-		}
-	}
-	return n, sc.Err()
-}
-
-// Close closes the underlying file if the log owns one.
+// Close fsyncs (when a sync policy is configured) and closes the
+// underlying file if the log owns one.
 func (l *Log) Close() error {
-	if l.f != nil {
-		return l.f.Close()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.f == nil {
+		return nil
 	}
-	return nil
+	if l.opts.SyncEvery > 0 && l.sinceSync > 0 {
+		_ = l.f.Sync()
+	}
+	return l.f.Close()
 }
 
 // AppendAssign records a successful task assignment.
@@ -124,55 +337,201 @@ func (l *Log) AppendInactive(worker string) error {
 	return l.append(Event{Kind: EventInactive, Worker: worker})
 }
 
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// checksum is the per-record CRC-32 (Castagnoli) over a JSON payload.
+func checksum(b []byte) uint32 { return crc32.Checksum(b, crcTable) }
+
+// frameLine wraps the marshalled event in the "crc32c<SP>json\n" format.
+func frameLine(b []byte) []byte {
+	out := make([]byte, 0, len(b)+10)
+	out = fmt.Appendf(out, "%08x ", checksum(b))
+	out = append(out, b...)
+	return append(out, '\n')
+}
+
 func (l *Log) append(e Event) error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	e.Seq = l.next
 	b, err := json.Marshal(e)
 	if err != nil {
-		return err
+		return &WriteError{Op: "marshal", Path: l.path, Err: err}
 	}
-	b = append(b, '\n')
-	if _, err := l.w.Write(b); err != nil {
-		return err
+	if _, err := l.w.Write(frameLine(b)); err != nil {
+		return &WriteError{Op: "append", Path: l.path, Err: err}
 	}
 	l.next++
+	if l.opts.SyncEvery > 0 && l.f != nil {
+		l.sinceSync++
+		if l.sinceSync >= l.opts.SyncEvery {
+			if err := l.f.Sync(); err != nil {
+				return &WriteError{Op: "sync", Path: l.path, Err: err}
+			}
+			l.sinceSync = 0
+		}
+	}
+	if l.opts.SnapshotPath != "" {
+		l.retained = append(l.retained, e)
+		l.sinceSnap++
+		if l.sinceSnap >= l.opts.SnapshotEvery {
+			l.snapshotLocked()
+		}
+	}
 	return nil
 }
 
-// Read parses all events from r, validating sequence continuity.
-func Read(r io.Reader) ([]Event, error) {
-	var events []Event
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
-	line := 0
-	for sc.Scan() {
-		line++
-		raw := sc.Bytes()
-		if len(raw) == 0 {
-			continue
-		}
-		var e Event
-		if err := json.Unmarshal(raw, &e); err != nil {
-			return nil, fmt.Errorf("store: line %d: %w", line, err)
-		}
-		if e.Seq != int64(len(events)+1) {
-			return nil, fmt.Errorf("store: line %d: sequence %d, want %d", line, e.Seq, len(events)+1)
-		}
-		switch e.Kind {
-		case EventAssign, EventSubmit, EventInactive:
-		default:
-			return nil, fmt.Errorf("store: line %d: unknown kind %q", line, e.Kind)
-		}
-		events = append(events, e)
+// Snapshot forces an immediate snapshot+compaction (no-op unless
+// Options.SnapshotPath was configured). The returned error is also
+// remembered and available via SnapshotErr.
+func (l *Log) Snapshot() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.opts.SnapshotPath == "" || l.f == nil {
+		return nil
 	}
-	if err := sc.Err(); err != nil {
+	l.snapshotLocked()
+	return l.snapErr
+}
+
+// SnapshotErr returns the error from the most recent automatic snapshot
+// attempt (nil when the last attempt succeeded). Snapshot failures never
+// fail the triggering append: the log simply keeps growing until a later
+// snapshot succeeds.
+func (l *Log) SnapshotErr() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.snapErr
+}
+
+func (l *Log) snapshotLocked() {
+	if err := WriteSnapshot(l.opts.SnapshotPath, l.retained); err != nil {
+		l.snapErr = err
+		return
+	}
+	if err := l.f.Truncate(0); err != nil {
+		// The snapshot landed but compaction failed: recovery still works
+		// (merge dedupes by seq); retry truncation at the next snapshot.
+		l.snapErr = err
+		return
+	}
+	l.sinceSnap = 0
+	l.snapErr = nil
+}
+
+// parseLine decodes one log line in either the checksummed "crc32c json"
+// format or the legacy plain-JSON format, and validates the event kind.
+func parseLine(raw []byte) (Event, error) {
+	body := raw
+	if len(raw) > 9 && raw[8] == ' ' && isHex8(raw[:8]) {
+		var want uint32
+		if _, err := fmt.Sscanf(string(raw[:8]), "%08x", &want); err != nil {
+			return Event{}, fmt.Errorf("bad checksum field: %w", err)
+		}
+		body = raw[9:]
+		if got := crc32.Checksum(body, crcTable); got != want {
+			return Event{}, fmt.Errorf("checksum mismatch: record %08x, computed %08x", want, got)
+		}
+	}
+	var e Event
+	if err := json.Unmarshal(body, &e); err != nil {
+		return Event{}, err
+	}
+	switch e.Kind {
+	case EventAssign, EventSubmit, EventInactive:
+	default:
+		return Event{}, fmt.Errorf("unknown kind %q", e.Kind)
+	}
+	return e, nil
+}
+
+func isHex8(b []byte) bool {
+	for _, c := range b {
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// ReadTolerant parses events from r, stopping at the first damaged record
+// (parse failure, checksum mismatch, or sequence discontinuity) instead of
+// failing: it returns the valid prefix plus a Tail describing what was
+// dropped. The sequence chain may start at any number (a compacted log
+// starts where its snapshot ended); the error is non-nil only for I/O
+// failures on r itself.
+func ReadTolerant(r io.Reader) ([]Event, *Tail, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	var events []Event
+	var offset int64
+	var want int64 // 0 = accept any first seq
+	line := 0
+	for {
+		raw, rerr := br.ReadBytes('\n')
+		if rerr != nil && rerr != io.EOF {
+			return nil, nil, rerr
+		}
+		if len(raw) > 0 {
+			line++
+			trimmed := bytes.TrimRight(raw, "\r\n")
+			if len(trimmed) > 0 {
+				e, perr := parseLine(trimmed)
+				if perr == nil && rerr == io.EOF && raw[len(raw)-1] != '\n' {
+					// A final record without its newline may itself be a
+					// prefix of a longer torn record; only a clean line
+					// boundary proves the write completed.
+					perr = errors.New("final record missing newline (torn write)")
+				}
+				if perr == nil && want != 0 && e.Seq != want {
+					perr = fmt.Errorf("sequence %d, want %d", e.Seq, want)
+				}
+				if perr != nil {
+					tail := &Tail{Line: line, Offset: offset, Reason: perr.Error(), TrailingLines: 1}
+					tail.TrailingLines += countLines(br)
+					return events, tail, nil
+				}
+				events = append(events, e)
+				want = e.Seq + 1
+			}
+			offset += int64(len(raw))
+		}
+		if rerr == io.EOF {
+			return events, nil, nil
+		}
+	}
+}
+
+func countLines(br *bufio.Reader) int {
+	n := 0
+	for {
+		raw, err := br.ReadBytes('\n')
+		if len(bytes.TrimSpace(raw)) > 0 {
+			n++
+		}
+		if err != nil {
+			return n
+		}
+	}
+}
+
+// Read parses all events from r strictly: any damaged record or sequence
+// gap is an error, and the sequence must start at 1. Use ReadTolerant (or
+// Open/Load, which repair and report) for crash recovery.
+func Read(r io.Reader) ([]Event, error) {
+	events, tail, err := ReadTolerant(r)
+	if err != nil {
 		return nil, err
+	}
+	if tail != nil {
+		return nil, fmt.Errorf("store: line %d: %s", tail.Line, tail.Reason)
+	}
+	if len(events) > 0 && events[0].Seq != 1 {
+		return nil, fmt.Errorf("store: line 1: sequence %d, want 1", events[0].Seq)
 	}
 	return events, nil
 }
 
-// ReadFile parses all events from the log at path.
+// ReadFile parses all events from the log at path (strict, see Read).
 func ReadFile(path string) ([]Event, error) {
 	f, err := os.Open(path)
 	if err != nil {
@@ -221,7 +580,9 @@ func Replay(events []Event, s core.Strategy) error {
 	return nil
 }
 
-// RecoverFile reads the log at path and replays it through the strategy.
+// RecoverFile reads the log at path and replays it through the strategy
+// (strict read; no snapshot). Servers using snapshots or wanting torn-tail
+// tolerance should use Load or OpenWithOptions and call Replay themselves.
 func RecoverFile(path string, s core.Strategy) error {
 	events, err := ReadFile(path)
 	if err != nil {
