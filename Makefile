@@ -1,15 +1,15 @@
 GO ?= go
 
-.PHONY: all build test check vet race bench clean
+.PHONY: all build test check vet race parity bench bench-all clean
 
 all: build
-
-build:
-	$(GO) build ./...
 
 # Quick loop: skips the chaos soak test (gated on -short).
 test:
 	$(GO) test -short ./...
+
+build:
+	$(GO) build ./...
 
 vet:
 	$(GO) vet ./...
@@ -18,10 +18,23 @@ vet:
 race:
 	$(GO) test -race ./...
 
-# The gate a PR must pass.
-check: vet race
+# Determinism contracts on their own: parallel precompute and the cached
+# scheme are bit-identical to the sequential paths, and the /v1 API is
+# byte-identical to the legacy mount. (Also covered by `race`, but this
+# target names the invariants and runs in seconds.)
+parity:
+	$(GO) test -run 'Parity|Golden|Deterministic' ./internal/ppr ./internal/core ./internal/platform
 
+# The gate a PR must pass.
+check: vet parity race
+
+# Hot-path benchmarks -> BENCH_hotpath.json (sequential vs parallel
+# precompute, incremental scheme recompute, /assign read throughput).
 bench:
+	$(GO) run ./cmd/icrowd-bench -out BENCH_hotpath.json
+
+# Every benchmark in the repo, including the paper's tables and figures.
+bench-all:
 	$(GO) test -bench=. -benchmem ./...
 
 clean:

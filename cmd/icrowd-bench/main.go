@@ -1,0 +1,116 @@
+// Command icrowd-bench measures the estimation/assignment hot path and
+// writes a machine-readable report, BENCH_hotpath.json by default. It runs
+// the same benchmark bodies as Benchmark{Precompute,ComputeScheme,
+// AssignThroughput} (internal/hotbench) via testing.Benchmark, then
+// records per-benchmark timings plus the headline figure: the speedup of
+// the 8-way parallel PPR precompute over the sequential baseline. The
+// parallel and sequential variants produce bit-identical bases, so the
+// speedup is free of accuracy trade-offs.
+//
+// Usage:
+//
+//	icrowd-bench                 # writes BENCH_hotpath.json
+//	icrowd-bench -out -          # report on stdout
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+
+	"icrowd/internal/hotbench"
+)
+
+type benchRecord struct {
+	Name        string             `json:"name"`
+	Iterations  int                `json:"iterations"`
+	NsPerOp     int64              `json:"ns_per_op"`
+	BytesPerOp  int64              `json:"bytes_per_op"`
+	AllocsPerOp int64              `json:"allocs_per_op"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+type report struct {
+	GeneratedBy       string        `json:"generated_by"`
+	GoVersion         string        `json:"go_version"`
+	GOOS              string        `json:"goos"`
+	GOARCH            string        `json:"goarch"`
+	NumCPU            int           `json:"num_cpu"`
+	GOMAXPROCS        int           `json:"gomaxprocs"`
+	ParallelWorkers   int           `json:"parallel_workers"`
+	Benchmarks        []benchRecord `json:"benchmarks"`
+	PrecomputeSpeedup float64       `json:"precompute_speedup"`
+	SpeedupTarget     float64       `json:"speedup_target"`
+	Note              string        `json:"note,omitempty"`
+}
+
+func run(name string, fn func(*testing.B)) benchRecord {
+	r := testing.Benchmark(fn)
+	if r.N == 0 {
+		fmt.Fprintf(os.Stderr, "icrowd-bench: %s failed to run\n", name)
+		os.Exit(1)
+	}
+	rec := benchRecord{
+		Name:        name,
+		Iterations:  r.N,
+		NsPerOp:     r.NsPerOp(),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+		AllocsPerOp: r.AllocsPerOp(),
+	}
+	if len(r.Extra) > 0 {
+		rec.Metrics = r.Extra
+	}
+	fmt.Fprintf(os.Stderr, "%-40s %10d iter %12d ns/op\n", name, r.N, r.NsPerOp())
+	return rec
+}
+
+func main() {
+	out := flag.String("out", "BENCH_hotpath.json", "report file path (- for stdout)")
+	flag.Parse()
+
+	pw := hotbench.ParallelWorkers
+	seq := run("BenchmarkPrecompute/workers=1", hotbench.Precompute(1))
+	par := run(fmt.Sprintf("BenchmarkPrecompute/workers=%d", pw), hotbench.Precompute(pw))
+	rep := report{
+		GeneratedBy:     "icrowd-bench",
+		GoVersion:       runtime.Version(),
+		GOOS:            runtime.GOOS,
+		GOARCH:          runtime.GOARCH,
+		NumCPU:          runtime.NumCPU(),
+		GOMAXPROCS:      runtime.GOMAXPROCS(0),
+		ParallelWorkers: pw,
+		Benchmarks: []benchRecord{
+			seq,
+			par,
+			run("BenchmarkComputeScheme/concurrency=1", hotbench.ComputeScheme(1)),
+			run(fmt.Sprintf("BenchmarkComputeScheme/concurrency=%d", pw), hotbench.ComputeScheme(pw)),
+			run(fmt.Sprintf("BenchmarkAssignThroughput/workers=%d", pw), hotbench.AssignThroughput(pw)),
+		},
+		PrecomputeSpeedup: float64(seq.NsPerOp) / float64(par.NsPerOp),
+		SpeedupTarget:     2.0,
+	}
+	if rep.NumCPU < pw {
+		rep.Note = fmt.Sprintf("measured on %d core(s); the >=%.0fx precompute speedup target assumes >=%d cores backing the %d-way solver pool",
+			rep.NumCPU, rep.SpeedupTarget, pw, pw)
+	}
+
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "icrowd-bench:", err)
+		os.Exit(1)
+	}
+	buf = append(buf, '\n')
+	if *out == "-" {
+		os.Stdout.Write(buf)
+		return
+	}
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "icrowd-bench:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "icrowd-bench: wrote %s (precompute speedup %.2fx on %d CPU)\n",
+		*out, rep.PrecomputeSpeedup, rep.NumCPU)
+}

@@ -50,6 +50,7 @@ func main() {
 		lease     = flag.Duration("lease", 0, "assignment lease: reclaim tasks from workers silent this long (0 disables)")
 		fsync     = flag.String("fsync", "never", "event-log fsync policy: never, always, or an integer N (fsync every N appends)")
 		snapEvery = flag.Int("snapshot-every", 0, "snapshot+compact the event log every N appends (0 disables; requires -log)")
+		conc      = flag.Int("concurrency", 0, "estimation/assignment fan-out (0 = GOMAXPROCS, 1 = sequential)")
 	)
 	flag.Parse()
 
@@ -74,7 +75,12 @@ func main() {
 		}
 	}
 	if basis == nil {
-		basis, err = core.BuildBasis(ds, simgraph.MeasureKind(*measure), *threshold, 0, 1.0, *seed)
+		bc := core.DefaultBasisConfig()
+		bc.Measure = simgraph.MeasureKind(*measure)
+		bc.Threshold = *threshold
+		bc.Seed = *seed
+		bc.Workers = *conc
+		basis, err = core.BuildBasis(ds, bc)
 		if err != nil {
 			fail(err)
 		}
@@ -96,6 +102,7 @@ func main() {
 		cfg.Q = *q
 		cfg.Mode = mode
 		cfg.Seed = *seed
+		cfg.Concurrency = *conc
 		st, err = core.New(ds, basis, cfg)
 	} else {
 		var qual []int

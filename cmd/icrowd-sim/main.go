@@ -33,6 +33,7 @@ func main() {
 		threshold = flag.Float64("threshold", 0.25, "similarity threshold")
 		alpha     = flag.Float64("alpha", 1.0, "estimation balance parameter")
 		workers   = flag.Int("workers", 0, "worker-pool size (0 = paper default)")
+		conc      = flag.Int("concurrency", 0, "estimation/assignment fan-out (0 = GOMAXPROCS, 1 = sequential)")
 		top       = flag.Int("top", 10, "how many top workers to list")
 	)
 	flag.Parse()
@@ -41,7 +42,13 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
-	basis, err := core.BuildBasis(ds, simgraph.MeasureKind(*measure), *threshold, 0, *alpha, *seed)
+	bc := core.DefaultBasisConfig()
+	bc.Measure = simgraph.MeasureKind(*measure)
+	bc.Threshold = *threshold
+	bc.Alpha = *alpha
+	bc.Seed = *seed
+	bc.Workers = *conc
+	basis, err := core.BuildBasis(ds, bc)
 	if err != nil {
 		fail(err)
 	}
@@ -58,6 +65,7 @@ func main() {
 		cfg.Alpha = *alpha
 		cfg.Mode = mode
 		cfg.Seed = *seed
+		cfg.Concurrency = *conc
 		ic, err := core.New(ds, basis, cfg)
 		if err != nil {
 			fail(err)

@@ -15,9 +15,9 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
-	"net/http"
 	"os"
 	"strings"
 
@@ -39,7 +39,7 @@ func main() {
 	in := bufio.NewScanner(os.Stdin)
 	answered := 0
 	for {
-		res, err := client.Assign(*worker)
+		res, err := client.Assign(context.Background(), *worker)
 		if err != nil {
 			fail(err)
 		}
@@ -58,16 +58,16 @@ func main() {
 		fmt.Printf("\n  %s\n", res.Text)
 		ans, quit := readAnswer(in)
 		if quit {
-			markInactive(client, *server, *worker)
+			markInactive(client, *worker)
 			fmt.Printf("\nYou answered %d microtasks. Bye!\n", answered)
 			return
 		}
 		if ans == task.None {
-			markInactive(client, *server, *worker)
+			markInactive(client, *worker)
 			fmt.Println("  (skipped — assignment released)")
 			continue
 		}
-		if err := client.Submit(*worker, res.TaskID, ans); err != nil {
+		if err := client.Submit(context.Background(), *worker, res.TaskID, ans); err != nil {
 			fail(err)
 		}
 		answered++
@@ -98,12 +98,10 @@ func readAnswer(in *bufio.Scanner) (ans task.Answer, quit bool) {
 	}
 }
 
-func markInactive(c *platform.Client, server, worker string) {
-	resp, err := http.Post(server+"/inactive?workerId="+worker, "", nil)
-	if err == nil {
-		resp.Body.Close()
-	}
-	_ = c
+func markInactive(c *platform.Client, worker string) {
+	// Best-effort: quitting before ever being assigned yields a typed
+	// unknown_worker error, which is fine to ignore here.
+	_ = c.Inactive(context.Background(), worker)
 }
 
 func fail(err error) {

@@ -42,7 +42,9 @@ func main() {
 	fmt.Printf("catalog: %d records -> %d candidate pairs after blocking\n",
 		len(records), ds.Len())
 
-	basis, err := core.BuildBasis(ds, "Jaccard", 0.3, 0, 1.0, 1)
+	bc := core.DefaultBasisConfig()
+	bc.Threshold = 0.3
+	basis, err := core.BuildBasis(ds, bc)
 	if err != nil {
 		log.Fatal(err)
 	}

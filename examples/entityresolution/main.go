@@ -33,7 +33,9 @@ func main() {
 	}
 
 	// iCrowd: Figure-3 graph (Jaccard >= 0.5), 3 qualification microtasks.
-	basis, err := core.BuildBasis(ds, "Jaccard", 0.5, 0, 1.0, 1)
+	bc := core.DefaultBasisConfig()
+	bc.Threshold = 0.5
+	basis, err := core.BuildBasis(ds, bc)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"net/http"
@@ -24,7 +25,9 @@ func main() {
 		log.Fatal(err)
 	}
 
-	basis, err := core.BuildBasis(ds, "Jaccard", 0.25, 0, 1.0, seed)
+	bc := core.DefaultBasisConfig()
+	bc.Seed = seed
+	basis, err := core.BuildBasis(ds, bc)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -45,19 +48,19 @@ func main() {
 
 	// 12 concurrent worker agents hammer the server, exactly like AMT
 	// workers accepting HITs.
-	if err := platform.RunWorkers(srv.URL, ds, pool, 600, seed); err != nil {
+	if err := platform.RunWorkers(context.Background(), srv.URL, ds, pool, 600, seed); err != nil {
 		log.Fatal(err)
 	}
 
 	client := &platform.Client{BaseURL: srv.URL, HTTPClient: http.DefaultClient}
-	status, err := client.Status()
+	status, err := client.Status(context.Background())
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("job status: %d/%d tasks answered, done=%v\n",
 		status.Completed, status.Total, status.Done)
 
-	results, err := client.Results()
+	results, err := client.Results(context.Background())
 	if err != nil {
 		log.Fatal(err)
 	}

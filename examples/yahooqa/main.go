@@ -32,7 +32,9 @@ func main() {
 		fmt.Printf("  %s = %s (%d tasks)\n", d, domainName(d), len(ds.ByDomain(d)))
 	}
 
-	basis, err := core.BuildBasis(ds, "Jaccard", 0.25, 0, 1.0, seed)
+	bc := core.DefaultBasisConfig()
+	bc.Seed = seed
+	basis, err := core.BuildBasis(ds, bc)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -55,7 +57,7 @@ func main() {
 		{"iCrowd", func() (core.Strategy, error) {
 			cfg := core.DefaultConfig()
 			cfg.Seed = seed
-			return core.NewWithQual(ds, basis, cfg, qual)
+			return core.New(ds, basis, cfg, core.WithQualification(qual))
 		}},
 	}
 	for _, a := range approaches {

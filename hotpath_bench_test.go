@@ -1,0 +1,37 @@
+// Benchmarks for the estimation/assignment hot path, backing the
+// BENCH_hotpath.json report (`make bench`, cmd/icrowd-bench). The bodies
+// live in internal/hotbench so the report and these benchmarks can never
+// drift apart.
+package icrowd
+
+import (
+	"fmt"
+	"testing"
+
+	"icrowd/internal/hotbench"
+)
+
+// BenchmarkPrecompute measures the offline PPR basis precomputation,
+// sequential vs the 8-way solver pool (the two produce bit-identical
+// bases; see ppr.TestPrecomputeParallelParity).
+func BenchmarkPrecompute(b *testing.B) {
+	for _, w := range []int{1, hotbench.ParallelWorkers} {
+		b.Run(fmt.Sprintf("workers=%d", w), hotbench.Precompute(w))
+	}
+}
+
+// BenchmarkComputeScheme measures one adaptive round mid-job: a submitted
+// answer dirties the worker's top-set entries and the following request
+// forces the incremental scheme recomputation.
+func BenchmarkComputeScheme(b *testing.B) {
+	for _, c := range []int{1, hotbench.ParallelWorkers} {
+		b.Run(fmt.Sprintf("concurrency=%d", c), hotbench.ComputeScheme(c))
+	}
+}
+
+// BenchmarkAssignThroughput measures the /assign fast path: concurrent
+// idempotent redelivery reads served under the framework's read lock.
+func BenchmarkAssignThroughput(b *testing.B) {
+	b.Run(fmt.Sprintf("workers=%d", hotbench.ParallelWorkers),
+		hotbench.AssignThroughput(hotbench.ParallelWorkers))
+}

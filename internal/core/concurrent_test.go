@@ -1,0 +1,188 @@
+package core
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sync"
+	"testing"
+
+	"icrowd/internal/task"
+)
+
+// parityWorkers builds a deterministic crowd: worker w answers task t
+// correctly with probability acc(w), decided by a hash of (w, t) so the
+// same (worker, task) pair always answers the same way regardless of
+// request order.
+func parityWorkers(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("w%02d", i)
+	}
+	return out
+}
+
+func parityAnswer(ds *task.Dataset, worker string, tid int, accPct uint32) task.Answer {
+	h := fnv.New32a()
+	fmt.Fprintf(h, "%s/%d", worker, tid)
+	truth := ds.Tasks[tid].Truth
+	if h.Sum32()%100 < accPct {
+		return truth
+	}
+	if truth == task.Yes {
+		return task.No
+	}
+	return task.Yes
+}
+
+func parityAcc(i int) uint32 { return uint32(70 + (i*7)%28) } // 70..97
+
+func parityBasis(t *testing.T) (*task.Dataset, *ICrowd, *ICrowd) {
+	t.Helper()
+	ds := task.GenerateYahooQA(3)
+	basis, err := BuildBasis(ds, DefaultBasisConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cached, err := New(ds, basis, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := New(ds, basis, cfg, WithSchemeCache(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds, cached, fresh
+}
+
+// TestSchemeCacheParity drives two identically-configured frameworks — one
+// with the incremental scheme cache, one recomputing every top worker set
+// from scratch — through the same deterministic request/submit sequence and
+// asserts they hand out identical assignments at every step and reach
+// identical results. This is the conservative-invalidation guarantee of the
+// scheduler: incremental == fresh, always.
+func TestSchemeCacheParity(t *testing.T) {
+	ds, cached, fresh := parityBasis(t)
+	workers := parityWorkers(10)
+
+	maxSteps := 400 * ds.Len()
+	for step := 0; step < maxSteps; step++ {
+		if cached.Done() {
+			break
+		}
+		w := workers[step%len(workers)]
+		ct, cok := cached.RequestTask(w)
+		ft, fok := fresh.RequestTask(w)
+		if ct != ft || cok != fok {
+			t.Fatalf("step %d worker %s: cached (%d,%v) != fresh (%d,%v)",
+				step, w, ct, cok, ft, fok)
+		}
+		if !cok {
+			continue
+		}
+		ans := parityAnswer(ds, w, ct, parityAcc(step%len(workers)))
+		if err := cached.SubmitAnswer(w, ct, ans); err != nil {
+			t.Fatalf("cached submit: %v", err)
+		}
+		if err := fresh.SubmitAnswer(w, ct, ans); err != nil {
+			t.Fatalf("fresh submit: %v", err)
+		}
+		// Periodic churn: a worker leaves and their held task is released,
+		// exercising the active-set diff invalidation.
+		if step%97 == 96 {
+			leaver := workers[(step/97)%len(workers)]
+			cached.WorkerInactive(leaver)
+			fresh.WorkerInactive(leaver)
+		}
+	}
+	if !cached.Done() || !fresh.Done() {
+		t.Fatalf("parity run did not complete: cached=%v fresh=%v", cached.Done(), fresh.Done())
+	}
+	cres, fres := cached.Results(), fresh.Results()
+	for tid, a := range cres {
+		if fres[tid] != a {
+			t.Fatalf("task %d: cached result %v != fresh %v", tid, a, fres[tid])
+		}
+	}
+}
+
+// TestConcurrentWorkers hammers one framework from many goroutines — the
+// access pattern of the HTTP platform — and checks the job completes. Run
+// under -race this is the lock-architecture soak for the sharded ICrowd.
+func TestConcurrentWorkers(t *testing.T) {
+	ds := task.GenerateYahooQA(5)
+	basis, err := BuildBasis(ds, DefaultBasisConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	ic, err := New(ds, basis, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const nWorkers = 16
+	var wg sync.WaitGroup
+	for i := 0; i < nWorkers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			w := fmt.Sprintf("w%02d", i)
+			acc := uint32(80 + (i*5)%18)
+			for step := 0; step < 200*ds.Len(); step++ {
+				tid, ok := ic.RequestTask(w)
+				if !ok {
+					if ic.Done() || ic.Rejected(w) {
+						return
+					}
+					continue
+				}
+				if err := ic.SubmitAnswer(w, tid, parityAnswer(ds, w, tid, acc)); err != nil {
+					t.Errorf("worker %s submit(%d): %v", w, tid, err)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	if !ic.Done() {
+		t.Fatalf("concurrent run did not complete: %d/%d tasks", ic.Job().NumCompleted(), ds.Len())
+	}
+	// Post-run sanity on the Strategy surface.
+	if got := len(ic.Results()); got != ds.Len() {
+		t.Fatalf("results cover %d tasks, want %d", got, ds.Len())
+	}
+}
+
+// TestConcurrencyValidation rejects a negative fan-out knob.
+func TestConcurrencyValidation(t *testing.T) {
+	ds := task.ProductMatching()
+	basis, err := BuildBasis(ds, DefaultBasisConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.Concurrency = -1
+	if _, err := New(ds, basis, cfg); err == nil {
+		t.Fatal("expected Concurrency validation error")
+	}
+}
+
+// TestConcurrencySafeMarker pins the marker the platform server keys its
+// locking strategy on.
+func TestConcurrencySafeMarker(t *testing.T) {
+	ds := task.ProductMatching()
+	basis, err := BuildBasis(ds, DefaultBasisConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ic, err := New(ds, basis, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st Strategy = ic
+	cs, ok := st.(interface{ ConcurrencySafe() bool })
+	if !ok || !cs.ConcurrencySafe() {
+		t.Fatal("ICrowd must advertise ConcurrencySafe() == true")
+	}
+}

@@ -12,7 +12,9 @@ import (
 // then adaptive assignments until the worker has touched everything it can.
 func Example() {
 	ds := task.ProductMatching()
-	basis, err := core.BuildBasis(ds, "Jaccard", 0.5, 0, 1.0, 1)
+	bc := core.DefaultBasisConfig()
+	bc.Threshold = 0.5
+	basis, err := core.BuildBasis(ds, bc)
 	if err != nil {
 		panic(err)
 	}

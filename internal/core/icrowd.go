@@ -3,12 +3,14 @@ package core
 import (
 	"errors"
 	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
 
 	"icrowd/internal/assign"
 	"icrowd/internal/estimate"
 	"icrowd/internal/ppr"
 	"icrowd/internal/qualify"
-	"icrowd/internal/simgraph"
 	"icrowd/internal/task"
 )
 
@@ -28,79 +30,18 @@ const (
 	ModeBestEffort Mode = "BestEffort"
 )
 
-// Config parameterizes the iCrowd framework.
-type Config struct {
-	// K is the assignment size per microtask (default 3, Section 6.1).
-	K int
-	// Q is the number of qualification microtasks (default 10, §6.3.1).
-	Q int
-	// Alpha balances graph smoothness and observation fit in Eq. (2)
-	// (default 1.0, Appendix D.2).
-	Alpha float64
-	// Lambda is the estimator's shrinkage toward the warm-up base accuracy.
-	Lambda float64
-	// QualStrategy picks qualification microtasks (default InfQF).
-	QualStrategy qualify.Strategy
-	// WarmupThreshold rejects workers whose qualification accuracy is
-	// below it (default 0.6).
-	WarmupThreshold float64
-	// MinAccuracy is the floor for top-worker-set membership (Definition
-	// 3): a worker whose estimated accuracy on a microtask is below the
-	// floor does not enter that task's top set and instead receives Step-3
-	// test microtasks ("w performs worse than others on all microtasks ...
-	// our framework needs to further test the quality of worker w",
-	// Section 5). Tasks with no above-floor candidates fall back to the
-	// unfiltered top set so the job always progresses. Default 0.55.
-	MinAccuracy float64
-	// Mode selects Adapt, QF-Only or BestEffort (default Adapt).
-	Mode Mode
-	// Seed drives the random choices (RandomQF selection).
-	Seed int64
-	// Eligible optionally restricts which (worker, task) assignments are
-	// permitted — e.g. in replay evaluation, a worker can only be assigned
-	// microtasks whose answer was collected from them (Section 6.1: "Based
-	// on the collected answers, we ran different approaches for task
-	// assignment"). nil permits everything. Qualification microtasks are
-	// exempt.
-	Eligible func(worker string, taskID int) bool
-}
-
-// DefaultConfig returns the paper's experimental defaults.
-func DefaultConfig() Config {
-	return Config{
-		K:               3,
-		Q:               10,
-		Alpha:           1.0,
-		Lambda:          estimate.DefaultLambda,
-		QualStrategy:    qualify.InfQF,
-		WarmupThreshold: qualify.DefaultThreshold,
-		MinAccuracy:     0.55,
-		Mode:            ModeAdapt,
-		Seed:            1,
-	}
-}
-
-// BuildBasis constructs the similarity graph for a dataset with the given
-// measure/threshold (Section 3.3) and precomputes the PPR basis (offline
-// phase of Algorithm 1). maxNeighbors caps node degrees (0 = unbounded).
-func BuildBasis(ds *task.Dataset, measure simgraph.MeasureKind, threshold float64, maxNeighbors int, alpha float64, seed int64) (*ppr.Basis, error) {
-	metric, err := simgraph.MetricFor(measure, ds, seed)
-	if err != nil {
-		return nil, err
-	}
-	g, err := simgraph.Build(ds.Len(), metric, threshold, maxNeighbors)
-	if err != nil {
-		return nil, err
-	}
-	opts := ppr.DefaultOptions()
-	if alpha > 0 {
-		opts.Alpha = alpha
-	}
-	return ppr.Precompute(g, opts)
-}
-
 // ICrowd is the adaptive crowdsourcing framework (Figure 1). It implements
-// Strategy.
+// Strategy and is safe for concurrent use: RequestTask, SubmitAnswer,
+// WorkerInactive, Done, Results and Rejected may be called from any number
+// of goroutines.
+//
+// Locking. Worker warm-up state lives behind each workerInfo's own mutex;
+// the shared job/estimator state behind ic.mu; the published assignment
+// scheme behind schemeMu. Scheme recomputation is serialized by recomputeMu
+// and runs against ic.mu's read side, so request-path reads (pending checks,
+// Done, Results) proceed while Algorithm 2 rebuilds stale top worker sets.
+// Lock order: recomputeMu, then workerInfo.mu, then ic.mu, then schemeMu;
+// wmu and the event log are leaves never held across another acquisition.
 type ICrowd struct {
 	cfg  Config
 	ds   *task.Dataset
@@ -108,47 +49,47 @@ type ICrowd struct {
 	est  *estimate.Estimator
 	warm *qualify.WarmUp
 
+	wmu     sync.Mutex // guards the workers map (not the infos)
 	workers map[string]*workerInfo
-	scheme  map[string]int // worker -> task from the last Algorithm-2 run
-	dirty   bool
+
+	mu sync.RWMutex // guards job and est
+
+	schemeMu sync.RWMutex
+	scheme   map[string]int // worker -> task from the last Algorithm-2 run
+
+	schemeDirty atomic.Bool
+	recomputeMu sync.Mutex // serializes scheme recomputation
+	events      eventLog
+	sched       *scheduler
 }
 
 type workerInfo struct {
+	mu          sync.Mutex // guards the warm-up fields below
 	qualIdx     int
 	pendingQual int // qualification task currently held, -1 none
 	qualAnswers map[int]task.Answer
-	qualified   bool
-	rejected    bool
+
+	qualified atomic.Bool
+	rejected  atomic.Bool
 }
 
 // New builds the framework over a precomputed basis (share one basis across
-// runs that use the same dataset, measure and alpha). Qualification
-// microtasks are selected per cfg.QualStrategy.
-func New(ds *task.Dataset, basis *ppr.Basis, cfg Config) (*ICrowd, error) {
-	if basis.N() != ds.Len() {
-		return nil, errors.New("core: basis does not match dataset")
+// runs that use the same dataset, measure and alpha). By default
+// qualification microtasks are selected per cfg.QualStrategy; pass
+// WithQualification to supply an explicit set instead.
+func New(ds *task.Dataset, basis *ppr.Basis, cfg Config, opts ...Option) (*ICrowd, error) {
+	no := newOptions{schemeCache: true}
+	for _, o := range opts {
+		o(&no)
 	}
-	if cfg.Q < 1 {
-		return nil, errors.New("core: Q must be >= 1")
-	}
-	if cfg.QualStrategy == "" {
-		cfg.QualStrategy = qualify.InfQF
-	}
-	qual, err := qualify.Select(cfg.QualStrategy, basis, cfg.Q, cfg.Seed)
-	if err != nil {
-		return nil, err
-	}
-	return NewWithQual(ds, basis, cfg, qual)
-}
-
-// NewWithQual builds the framework with an explicit qualification set
-// (bypassing cfg.QualStrategy selection).
-func NewWithQual(ds *task.Dataset, basis *ppr.Basis, cfg Config, qual []int) (*ICrowd, error) {
 	if basis.N() != ds.Len() {
 		return nil, errors.New("core: basis does not match dataset")
 	}
 	if cfg.K < 1 {
 		return nil, errors.New("core: K must be >= 1")
+	}
+	if cfg.Concurrency < 0 {
+		return nil, errors.New("core: Concurrency must be >= 0")
 	}
 	switch cfg.Mode {
 	case ModeAdapt, ModeQFOnly, ModeBestEffort:
@@ -156,6 +97,20 @@ func NewWithQual(ds *task.Dataset, basis *ppr.Basis, cfg Config, qual []int) (*I
 		cfg.Mode = ModeAdapt
 	default:
 		return nil, fmt.Errorf("core: unknown mode %q", cfg.Mode)
+	}
+	qual := no.qual
+	if !no.qualSet {
+		if cfg.Q < 1 {
+			return nil, errors.New("core: Q must be >= 1")
+		}
+		if cfg.QualStrategy == "" {
+			cfg.QualStrategy = qualify.InfQF
+		}
+		var err error
+		qual, err = qualify.Select(cfg.QualStrategy, basis, cfg.Q, cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
 	}
 	warm, err := qualify.NewWarmUp(ds, qual, cfg.WarmupThreshold)
 	if err != nil {
@@ -172,8 +127,10 @@ func NewWithQual(ds *task.Dataset, basis *ppr.Basis, cfg Config, qual []int) (*I
 		est:     estimate.New(basis, cfg.Lambda),
 		warm:    warm,
 		workers: map[string]*workerInfo{},
-		dirty:   true,
+		scheme:  map[string]int{},
+		sched:   newScheduler(no.schemeCache, cfg.Concurrency),
 	}
+	ic.schemeDirty.Store(true)
 	// Qualification microtasks carry requester ground truth: the paper
 	// treats them as globally completed from the start.
 	for _, t := range qual {
@@ -190,10 +147,16 @@ func (ic *ICrowd) Name() string {
 	return string(ic.cfg.Mode)
 }
 
-// Job exposes the underlying bookkeeping (read-only use).
+// ConcurrencySafe reports that the framework's Strategy methods may be
+// called concurrently without external locking.
+func (ic *ICrowd) ConcurrencySafe() bool { return true }
+
+// Job exposes the underlying bookkeeping. Read-only use, and only while no
+// Strategy call is in flight.
 func (ic *ICrowd) Job() *Job { return ic.job }
 
-// Estimator exposes the accuracy estimator (read-only use).
+// Estimator exposes the accuracy estimator. Read-only use, and only while
+// no Strategy call is in flight.
 func (ic *ICrowd) Estimator() *estimate.Estimator { return ic.est }
 
 // QualificationTasks returns the selected qualification microtask IDs.
@@ -201,8 +164,21 @@ func (ic *ICrowd) QualificationTasks() []int { return ic.warm.Tasks() }
 
 // Rejected reports whether the warm-up rejected the worker.
 func (ic *ICrowd) Rejected(worker string) bool {
-	info, ok := ic.workers[worker]
-	return ok && info.rejected
+	info, ok := ic.worker(worker, false)
+	return ok && info.rejected.Load()
+}
+
+// worker returns the info record for id, creating it when create is set.
+// The boolean reports whether the record already existed.
+func (ic *ICrowd) worker(id string, create bool) (*workerInfo, bool) {
+	ic.wmu.Lock()
+	defer ic.wmu.Unlock()
+	info, ok := ic.workers[id]
+	if !ok && create {
+		info = &workerInfo{pendingQual: -1, qualAnswers: map[int]task.Answer{}}
+		ic.workers[id] = info
+	}
+	return info, ok
 }
 
 // RequestTask implements Strategy. New workers first receive qualification
@@ -210,45 +186,112 @@ func (ic *ICrowd) Rejected(worker string) bool {
 // assignment scheme (Algorithm 2); workers the scheme skipped get a Step-3
 // performance test.
 func (ic *ICrowd) RequestTask(worker string) (int, bool) {
-	info, ok := ic.workers[worker]
-	if !ok {
-		info = &workerInfo{pendingQual: -1, qualAnswers: map[int]task.Answer{}}
-		ic.workers[worker] = info
+	info, existed := ic.worker(worker, true)
+	if !existed {
+		ic.mu.Lock()
 		ic.est.EnsureWorker(worker, estimate.DefaultBase)
+		ic.mu.Unlock()
 	}
-	if info.rejected {
+	if info.rejected.Load() {
 		return 0, false
 	}
-	// Warm-Up phase: serve qualification microtasks in order.
-	if qual := ic.warm.Tasks(); info.qualIdx < len(qual) {
-		if info.pendingQual >= 0 {
-			return info.pendingQual, true
-		}
-		info.pendingQual = qual[info.qualIdx]
-		return info.pendingQual, true
+	if t, ok, served := ic.serveQualification(info); served {
+		return t, ok
 	}
-	if ic.job.Done() {
+	ic.mu.RLock()
+	done := ic.job.Done()
+	pending, busy := ic.job.Pending(worker)
+	ic.mu.RUnlock()
+	if done {
 		return 0, false
 	}
-	if t, busy := ic.job.Pending(worker); busy {
-		return t, true // idempotent re-request of the held task
+	if busy {
+		return pending, true // idempotent re-request of the held task
 	}
 	if ic.cfg.Mode == ModeBestEffort {
-		return ic.requestBestEffort(worker)
+		return ic.requestBestEffort(worker, info)
 	}
-	if ic.dirty {
-		ic.computeScheme()
+	if ic.schemeDirty.Load() {
+		ic.recomputeScheme()
 	}
-	if t, ok := ic.scheme[worker]; ok {
-		delete(ic.scheme, worker)
-		if _, done := ic.job.Completed(t); !done && !ic.job.Touched(worker, t) {
+	if t, ok := ic.takeSchemeEntry(worker); ok {
+		ic.mu.Lock()
+		_, completed := ic.job.Completed(t)
+		if !completed && !ic.job.Touched(worker, t) {
 			if err := ic.job.Assign(worker, t); err == nil {
+				ic.events.note(t)
+				ic.mu.Unlock()
 				return t, true
 			}
 		}
+		ic.mu.Unlock()
 	}
 	// Step 3: performance testing for workers the scheme left out.
-	return ic.performanceTest(worker)
+	return ic.performanceTest(worker, info)
+}
+
+// serveQualification hands out the worker's next qualification microtask.
+// served is false once the warm-up phase is over.
+func (ic *ICrowd) serveQualification(info *workerInfo) (taskID int, ok, served bool) {
+	qual := ic.warm.Tasks()
+	info.mu.Lock()
+	defer info.mu.Unlock()
+	if info.qualIdx >= len(qual) {
+		return 0, false, false
+	}
+	if info.pendingQual < 0 {
+		info.pendingQual = qual[info.qualIdx]
+	}
+	return info.pendingQual, true, true
+}
+
+// takeSchemeEntry pops the worker's entry from the published scheme.
+func (ic *ICrowd) takeSchemeEntry(worker string) (int, bool) {
+	ic.schemeMu.Lock()
+	defer ic.schemeMu.Unlock()
+	t, ok := ic.scheme[worker]
+	if ok {
+		delete(ic.scheme, worker)
+	}
+	return t, ok
+}
+
+// recomputeScheme rebuilds and publishes the assignment scheme if it is
+// stale. Only one recomputation runs at a time; the dirty flag is cleared
+// before reading state so a concurrent mutation re-marks it rather than
+// being lost.
+func (ic *ICrowd) recomputeScheme() {
+	ic.recomputeMu.Lock()
+	defer ic.recomputeMu.Unlock()
+	if !ic.schemeDirty.Swap(false) {
+		return // an earlier holder already recomputed
+	}
+
+	ic.wmu.Lock()
+	snapshot := make(map[string]*workerInfo, len(ic.workers))
+	for id, info := range ic.workers {
+		snapshot[id] = info
+	}
+	ic.wmu.Unlock()
+
+	ic.mu.RLock()
+	var active []string
+	for id, info := range snapshot {
+		if !info.qualified.Load() || info.rejected.Load() {
+			continue
+		}
+		if _, busy := ic.job.Pending(id); busy {
+			continue
+		}
+		active = append(active, id)
+	}
+	sort.Strings(active)
+	scheme := ic.sched.compute(ic, active, ic.events.drain())
+	ic.mu.RUnlock()
+
+	ic.schemeMu.Lock()
+	ic.scheme = scheme
+	ic.schemeMu.Unlock()
 }
 
 // eligible reports whether the worker may be assigned the task under the
@@ -259,7 +302,8 @@ func (ic *ICrowd) eligible(worker string, taskID int) bool {
 
 // requestBestEffort assigns the microtask with the worker's own highest
 // estimated accuracy (the BestEffort ablation of Section 6.3.2).
-func (ic *ICrowd) requestBestEffort(worker string) (int, bool) {
+func (ic *ICrowd) requestBestEffort(worker string, info *workerInfo) (int, bool) {
+	ic.mu.Lock()
 	best, bestAcc := -1, -1.0
 	for _, t := range ic.job.Uncompleted() {
 		if ic.job.Capacity(t) == 0 || ic.job.Touched(worker, t) || !ic.eligible(worker, t) {
@@ -269,13 +313,19 @@ func (ic *ICrowd) requestBestEffort(worker string) (int, bool) {
 			best, bestAcc = t, a
 		}
 	}
-	if best < 0 {
-		return ic.performanceTest(worker)
+	if best >= 0 {
+		err := ic.job.Assign(worker, best)
+		if err == nil {
+			ic.events.note(best)
+		}
+		ic.mu.Unlock()
+		if err != nil {
+			return 0, false
+		}
+		return best, true
 	}
-	if err := ic.job.Assign(worker, best); err != nil {
-		return 0, false
-	}
-	return best, true
+	ic.mu.Unlock()
+	return ic.performanceTest(worker, info)
 }
 
 // performanceTest implements Step 3 of Section 4.1: a worker the scheme
@@ -283,8 +333,16 @@ func (ic *ICrowd) requestBestEffort(worker string) (int, bool) {
 // preferred targets — their consensus grades the answer immediately and the
 // extra vote never perturbs the k-vote consensus. If none is eligible the
 // framework falls back to a regular assignment so the job cannot stall.
-func (ic *ICrowd) performanceTest(worker string) (int, bool) {
-	info := ic.workers[worker]
+func (ic *ICrowd) performanceTest(worker string, info *workerInfo) (int, bool) {
+	info.mu.Lock()
+	wasQual := make(map[int]bool, len(info.qualAnswers))
+	for t := range info.qualAnswers {
+		wasQual[t] = true
+	}
+	info.mu.Unlock()
+
+	ic.mu.Lock()
+	defer ic.mu.Unlock()
 	var eligible []assign.TestTask
 	for t := 0; t < ic.ds.Len(); t++ {
 		if _, done := ic.job.Completed(t); !done {
@@ -293,7 +351,7 @@ func (ic *ICrowd) performanceTest(worker string) (int, bool) {
 		if ic.job.Touched(worker, t) || !ic.eligible(worker, t) {
 			continue
 		}
-		if _, wasQual := info.qualAnswers[t]; wasQual {
+		if wasQual[t] {
 			continue
 		}
 		var accs []float64
@@ -304,6 +362,7 @@ func (ic *ICrowd) performanceTest(worker string) (int, bool) {
 	}
 	if t, ok := assign.PerformanceTest(ic.est, worker, eligible); ok {
 		if err := ic.job.AssignTest(worker, t); err == nil {
+			ic.events.note(t)
 			return t, true
 		}
 	}
@@ -330,63 +389,8 @@ func (ic *ICrowd) performanceTest(worker string) (int, bool) {
 	if err := ic.job.Assign(worker, t); err != nil {
 		return 0, false
 	}
+	ic.events.note(t)
 	return t, true
-}
-
-// computeScheme runs Algorithm 2 steps 1-2: top worker sets for every
-// uncompleted microtask with spare capacity, then the greedy optimal
-// assignment, yielding a worker -> task scheme served on request.
-func (ic *ICrowd) computeScheme() {
-	ic.dirty = false
-	ic.scheme = map[string]int{}
-	var active []string
-	for id, info := range ic.workers {
-		if !info.qualified || info.rejected {
-			continue
-		}
-		if _, busy := ic.job.Pending(id); busy {
-			continue
-		}
-		active = append(active, id)
-	}
-	if len(active) == 0 {
-		return
-	}
-	ix := assign.NewIndex(ic.est, active)
-	var cands []assign.CandidateAssignment
-	for _, t := range ic.job.Uncompleted() {
-		kPrime := ic.job.Capacity(t)
-		if kPrime == 0 {
-			continue
-		}
-		tid := t
-		top := ix.TopWorkers(tid, kPrime, func(w string) bool {
-			return ic.job.Touched(w, tid) || !ic.eligible(w, tid)
-		})
-		if len(top) == 0 {
-			continue
-		}
-		// Definition-3 floor: drop below-floor workers from the top set;
-		// keep the unfiltered set when nobody clears the floor so the
-		// microtask still progresses.
-		if ic.cfg.MinAccuracy > 0 {
-			filtered := top[:0:len(top)]
-			for _, c := range top {
-				if c.Accuracy >= ic.cfg.MinAccuracy {
-					filtered = append(filtered, c)
-				}
-			}
-			if len(filtered) > 0 {
-				top = filtered
-			}
-		}
-		cands = append(cands, assign.CandidateAssignment{Task: tid, Workers: top})
-	}
-	for _, a := range assign.Greedy(cands) {
-		for _, c := range a.Workers {
-			ic.scheme[c.Worker] = a.Task
-		}
-	}
 }
 
 // SubmitAnswer implements Strategy. Qualification answers are graded
@@ -394,13 +398,20 @@ func (ic *ICrowd) computeScheme() {
 // microtask reaches consensus the estimator observes every voter via
 // Eq. (5) (unless the mode is QF-Only).
 func (ic *ICrowd) SubmitAnswer(worker string, taskID int, ans task.Answer) error {
-	info, ok := ic.workers[worker]
+	info, ok := ic.worker(worker, false)
 	if !ok {
 		return fmt.Errorf("core: unknown worker %s", worker)
 	}
+	info.mu.Lock()
 	if info.pendingQual == taskID && info.pendingQual >= 0 {
-		return ic.submitQualification(worker, info, taskID, ans)
+		err := ic.submitQualification(worker, info, taskID, ans)
+		info.mu.Unlock()
+		return err
 	}
+	info.mu.Unlock()
+
+	ic.mu.Lock()
+	defer ic.mu.Unlock()
 	if ic.job.PendingTest(worker, taskID) {
 		return ic.submitTest(worker, taskID, ans)
 	}
@@ -408,6 +419,7 @@ func (ic *ICrowd) SubmitAnswer(worker string, taskID int, ans task.Answer) error
 	if err != nil {
 		return err
 	}
+	ic.events.note(taskID)
 	if ic.cfg.Mode != ModeQFOnly {
 		// Observe (or re-observe) every voter against the consensus. Late
 		// votes on already-completed tasks — e.g. from Step-3 performance
@@ -422,17 +434,18 @@ func (ic *ICrowd) SubmitAnswer(worker string, taskID int, ans task.Answer) error
 			}
 		}
 	}
-	ic.dirty = true
+	ic.schemeDirty.Store(true)
 	return nil
 }
 
 // submitTest grades a Step-3 test answer against the task's consensus: hard
 // 0/1 when the task was qualification-seeded (requester ground truth, no
-// crowd votes), Eq.-(5)-style soft otherwise.
+// crowd votes), Eq.-(5)-style soft otherwise. Caller holds ic.mu.
 func (ic *ICrowd) submitTest(worker string, taskID int, ans task.Answer) error {
 	if _, _, err := ic.job.Submit(worker, taskID, ans); err != nil {
 		return err
 	}
+	ic.events.note(taskID)
 	if ic.cfg.Mode == ModeQFOnly {
 		return nil // estimation frozen after qualification
 	}
@@ -461,10 +474,12 @@ func (ic *ICrowd) submitTest(worker string, taskID int, ans task.Answer) error {
 	if err := ic.est.Observe(worker, taskID, q); err != nil {
 		return err
 	}
-	ic.dirty = true
+	ic.schemeDirty.Store(true)
 	return nil
 }
 
+// submitQualification grades a warm-up answer. Caller holds info.mu; ic.mu
+// is acquired inside (lock order: workerInfo.mu before ic.mu).
 func (ic *ICrowd) submitQualification(worker string, info *workerInfo, taskID int, ans task.Answer) error {
 	correct, ok := ic.warm.Grade(taskID, ans)
 	if !ok {
@@ -473,6 +488,8 @@ func (ic *ICrowd) submitQualification(worker string, info *workerInfo, taskID in
 	info.qualAnswers[taskID] = ans
 	info.pendingQual = -1
 	info.qualIdx++
+	ic.mu.Lock()
+	defer ic.mu.Unlock()
 	if err := ic.est.ObserveQualification(worker, taskID, correct); err != nil {
 		return err
 	}
@@ -480,27 +497,45 @@ func (ic *ICrowd) submitQualification(worker string, info *workerInfo, taskID in
 		avg, pass := ic.warm.Evaluate(info.qualAnswers)
 		ic.est.SetBase(worker, avg)
 		if pass {
-			info.qualified = true
+			info.qualified.Store(true)
 		} else {
-			info.rejected = true
+			info.rejected.Store(true)
 		}
-		ic.dirty = true
+		ic.schemeDirty.Store(true)
 	}
 	return nil
 }
 
 // WorkerInactive implements Strategy.
 func (ic *ICrowd) WorkerInactive(worker string) {
-	ic.job.Release(worker)
-	if info, ok := ic.workers[worker]; ok {
-		info.pendingQual = -1
+	info, ok := ic.worker(worker, false)
+	ic.mu.Lock()
+	if t, busy := ic.job.Pending(worker); busy {
+		ic.events.note(t)
 	}
+	ic.job.Release(worker)
+	ic.mu.Unlock()
+	if ok {
+		info.mu.Lock()
+		info.pendingQual = -1
+		info.mu.Unlock()
+	}
+	ic.schemeMu.Lock()
 	delete(ic.scheme, worker)
-	ic.dirty = true
+	ic.schemeMu.Unlock()
+	ic.schemeDirty.Store(true)
 }
 
 // Done implements Strategy.
-func (ic *ICrowd) Done() bool { return ic.job.Done() }
+func (ic *ICrowd) Done() bool {
+	ic.mu.RLock()
+	defer ic.mu.RUnlock()
+	return ic.job.Done()
+}
 
 // Results implements Strategy: majority-vote consensus (Section 2.1).
-func (ic *ICrowd) Results() map[int]task.Answer { return ic.job.MajorityResults() }
+func (ic *ICrowd) Results() map[int]task.Answer {
+	ic.mu.RLock()
+	defer ic.mu.RUnlock()
+	return ic.job.MajorityResults()
+}

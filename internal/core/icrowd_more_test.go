@@ -160,12 +160,12 @@ func TestAdaptRunWithChurnAndManyWorkers(t *testing.T) {
 	}
 }
 
-func TestNewWithQualExplicitSet(t *testing.T) {
+func TestNewWithQualificationOption(t *testing.T) {
 	ds, b := table1Basis(t)
 	cfg := DefaultConfig()
-	cfg.Q = 99 // ignored by NewWithQual
+	cfg.Q = 99 // ignored when WithQualification supplies the set
 	qual := []int{0, 5, 10}
-	ic, err := NewWithQual(ds, b, cfg, qual)
+	ic, err := New(ds, b, cfg, WithQualification(qual))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -174,7 +174,7 @@ func TestNewWithQualExplicitSet(t *testing.T) {
 		t.Fatalf("qual = %v", got)
 	}
 	// Explicit empty set errors (warm-up needs at least one task).
-	if _, err := NewWithQual(ds, b, cfg, nil); err == nil {
+	if _, err := New(ds, b, cfg, WithQualification(nil)); err == nil {
 		t.Fatal("empty qualification should error")
 	}
 }

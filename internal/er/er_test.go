@@ -130,7 +130,9 @@ func TestResolveWithNoisyCrowd(t *testing.T) {
 		t.Fatal(err)
 	}
 	ds := job.Dataset()
-	basis, err := core.BuildBasis(ds, "Jaccard", 0.3, 0, 1.0, 1)
+	bc := core.DefaultBasisConfig()
+	bc.Threshold = 0.3
+	basis, err := core.BuildBasis(ds, bc)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -38,6 +38,11 @@ const DefaultLambda = 0.5
 const DefaultBase = 0.5
 
 // Estimator tracks per-worker observations and produces accuracy estimates.
+//
+// The estimator also tracks which workers' answer sets changed since the
+// last DirtyReset — the change feed the scheme scheduler (core) uses to
+// recombine accuracy vectors only for workers that actually moved, instead
+// of recomputing every top worker set per event.
 type Estimator struct {
 	basis  *ppr.Basis
 	lambda float64
@@ -45,6 +50,15 @@ type Estimator struct {
 	// support[taskID] = workers with nonzero observation mass on the task,
 	// the index behind instant top-worker computation (Section 4.1).
 	support map[int]map[string]bool
+
+	// dirtyW are workers whose observations changed since the last reset;
+	// dirtyT are the tasks on which some worker's estimate changed (the
+	// union of the basis supports of the newly observed tasks). dirtyAll is
+	// set by base-accuracy changes, which move a worker's estimate on every
+	// task at once.
+	dirtyW   map[string]bool
+	dirtyT   map[int]bool
+	dirtyAll bool
 }
 
 type workerState struct {
@@ -65,6 +79,8 @@ func New(basis *ppr.Basis, lambda float64) *Estimator {
 		lambda:  lambda,
 		ws:      make(map[string]*workerState),
 		support: make(map[int]map[string]bool),
+		dirtyW:  make(map[string]bool),
+		dirtyT:  make(map[int]bool),
 	}
 }
 
@@ -83,13 +99,23 @@ func (e *Estimator) EnsureWorker(id string, base float64) bool {
 		num:      map[int]float64{},
 		den:      map[int]float64{},
 	}
+	e.dirtyW[id] = true
 	return true
 }
 
-// SetBase updates a worker's warm-up base accuracy.
+// SetBase updates a worker's warm-up base accuracy. A base change moves the
+// worker's estimate on every task, so it marks the whole estimator dirty.
 func (e *Estimator) SetBase(id string, base float64) {
-	e.EnsureWorker(id, base)
-	e.ws[id].base = stats.Clamp01(base)
+	if e.EnsureWorker(id, base) {
+		e.dirtyW[id] = true
+		return
+	}
+	base = stats.Clamp01(base)
+	if e.ws[id].base != base {
+		e.ws[id].base = base
+		e.dirtyW[id] = true
+		e.dirtyAll = true
+	}
 }
 
 // Base returns the worker's warm-up base accuracy (DefaultBase if unknown).
@@ -133,6 +159,7 @@ func (e *Estimator) Observe(id string, taskID int, q float64) error {
 			for t, p := range vec {
 				w.num[t] += delta * p
 			}
+			e.markDirty(id, vec)
 		}
 	} else {
 		for t, p := range vec {
@@ -145,9 +172,54 @@ func (e *Estimator) Observe(id string, taskID int, q float64) error {
 			}
 			set[id] = true
 		}
+		e.markDirty(id, vec)
 	}
 	w.observed[taskID] = q
 	return nil
+}
+
+// markDirty records that the worker's estimate moved on every task in the
+// basis vector's support.
+func (e *Estimator) markDirty(id string, vec map[int]float64) {
+	e.dirtyW[id] = true
+	for t := range vec {
+		e.dirtyT[t] = true
+	}
+}
+
+// DirtyWorkers returns the workers whose answer sets (or bases) changed
+// since the last ResetDirty, sorted.
+func (e *Estimator) DirtyWorkers() []string {
+	out := make([]string, 0, len(e.dirtyW))
+	for id := range e.dirtyW {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// DirtyTasks returns the tasks on which at least one worker's estimate
+// changed since the last ResetDirty, sorted. When DirtyAll reports true the
+// set is not exhaustive — every task must be considered stale.
+func (e *Estimator) DirtyTasks() []int {
+	out := make([]int, 0, len(e.dirtyT))
+	for t := range e.dirtyT {
+		out = append(out, t)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// DirtyAll reports whether a change invalidated every task at once (a
+// worker's base accuracy moved after warm-up).
+func (e *Estimator) DirtyAll() bool { return e.dirtyAll }
+
+// ResetDirty clears the change feed; the next DirtyWorkers/DirtyTasks
+// report changes relative to this point.
+func (e *Estimator) ResetDirty() {
+	e.dirtyW = make(map[string]bool)
+	e.dirtyT = make(map[int]bool)
+	e.dirtyAll = false
 }
 
 // ObserveQualification records a qualification outcome: q_i^w is 1 for a

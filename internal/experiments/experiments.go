@@ -162,6 +162,10 @@ type Options struct {
 	Alpha float64
 	// Workers overrides the pool size (default: paper's per-dataset size).
 	Workers int
+	// Concurrency bounds the estimation/assignment hot path's fan-out
+	// (core.Config.Concurrency and the PPR precompute pool): 0 uses
+	// GOMAXPROCS, 1 forces the sequential paths.
+	Concurrency int
 }
 
 func (o Options) withDefaults() Options {

@@ -21,7 +21,13 @@ func newRandomMV(ds *task.Dataset, k int, qual []int, seed int64) (core.Strategy
 
 // buildBasis constructs the similarity graph + PPR basis per the options.
 func buildBasis(ds *task.Dataset, opt Options) (*ppr.Basis, error) {
-	return core.BuildBasis(ds, simgraph.MeasureKind(opt.Measure), opt.SimThreshold, 0, opt.Alpha, opt.Seed)
+	bc := core.DefaultBasisConfig()
+	bc.Measure = simgraph.MeasureKind(opt.Measure)
+	bc.Threshold = opt.SimThreshold
+	bc.Alpha = opt.Alpha
+	bc.Seed = opt.Seed
+	bc.Workers = opt.Concurrency
+	return core.BuildBasis(ds, bc)
 }
 
 // makeStrategy is a per-run strategy factory; it receives the repeat's
@@ -115,6 +121,7 @@ func icrowdFactory(ds *task.Dataset, basis *ppr.Basis, opt Options, mode core.Mo
 		cfg.Mode = mode
 		cfg.QualStrategy = qs
 		cfg.Seed = runSeed
+		cfg.Concurrency = opt.Concurrency
 		if pool != nil {
 			cfg.Eligible = pool.Eligible()
 		}

@@ -2,6 +2,7 @@ package platform
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -182,11 +183,11 @@ type FaultyWorker struct {
 // ErrAbandoned forever once the worker has crashed. A submit rejected
 // because the lease was swept mid-flight is not an error: the worker
 // simply lost the task and moves on.
-func (f *FaultyWorker) Step() (bool, error) {
+func (f *FaultyWorker) Step(ctx context.Context) (bool, error) {
 	if f.abandoned {
 		return false, ErrAbandoned
 	}
-	res, err := f.Agent.Client.Assign(f.Agent.Profile.ID)
+	res, err := f.Agent.Client.Assign(ctx, f.Agent.Profile.ID)
 	if err != nil {
 		return false, err
 	}
@@ -205,7 +206,7 @@ func (f *FaultyWorker) Step() (bool, error) {
 		return false, ErrAbandoned
 	}
 	ans := sim.Answer(f.Agent.Profile, &f.Agent.Dataset.Tasks[res.TaskID], f.Agent.Rng)
-	sr, err := f.Agent.Client.SubmitR(f.Agent.Profile.ID, res.TaskID, ans)
+	sr, err := f.Agent.Client.SubmitR(ctx, f.Agent.Profile.ID, res.TaskID, ans)
 	if err != nil {
 		if IsNoPending(err) {
 			return true, nil // lease swept mid-flight; task went to someone else
@@ -216,7 +217,7 @@ func (f *FaultyWorker) Step() (bool, error) {
 		f.Duplicates++
 	}
 	if f.DoubleSubmitProb > 0 && f.Agent.Rng.Float64() < f.DoubleSubmitProb {
-		sr2, err := f.Agent.Client.SubmitR(f.Agent.Profile.ID, res.TaskID, ans)
+		sr2, err := f.Agent.Client.SubmitR(ctx, f.Agent.Profile.ID, res.TaskID, ans)
 		if err != nil {
 			if !IsNoPending(err) {
 				return false, err

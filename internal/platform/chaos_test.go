@@ -1,6 +1,7 @@
 package platform
 
 import (
+	"context"
 	"math/rand"
 	"net/http"
 	"net/http/httptest"
@@ -24,7 +25,7 @@ func TestFaultTransportDropResponseServerStillProcesses(t *testing.T) {
 	defer srv.Close()
 
 	good := &Client{BaseURL: srv.URL}
-	res, err := good.Assign("w")
+	res, err := good.Assign(context.Background(), "w")
 	if err != nil || !res.Assigned {
 		t.Fatalf("assign: %+v %v", res, err)
 	}
@@ -33,13 +34,13 @@ func TestFaultTransportDropResponseServerStillProcesses(t *testing.T) {
 	// submit, the client sees only a transport error.
 	ft := NewFaultTransport(nil, FaultConfig{DropResponse: 1})
 	bad := &Client{BaseURL: srv.URL, HTTPClient: &http.Client{Transport: ft}}
-	err = bad.Submit("w", res.TaskID, task.Yes)
+	err = bad.Submit(context.Background(), "w", res.TaskID, task.Yes)
 	if !IsInjectedFault(err) {
 		t.Fatalf("want injected fault, got %v", err)
 	}
 	// The vote landed despite the lost response; a clean retry is a
 	// duplicate ack, not a double count.
-	sr, err := good.SubmitR("w", res.TaskID, task.Yes)
+	sr, err := good.SubmitR(context.Background(), "w", res.TaskID, task.Yes)
 	if err != nil || !sr.Duplicate {
 		t.Fatalf("retry after lost response: %+v %v", sr, err)
 	}
@@ -57,13 +58,13 @@ func TestFaultTransportDuplicateDeliveryIsDeduped(t *testing.T) {
 
 	ft := NewFaultTransport(nil, FaultConfig{Duplicate: 1})
 	c := &Client{BaseURL: srv.URL, HTTPClient: &http.Client{Transport: ft}}
-	res, err := c.Assign("w")
+	res, err := c.Assign(context.Background(), "w")
 	if err != nil || !res.Assigned {
 		t.Fatalf("assign: %+v %v", res, err)
 	}
 	// The submit is delivered twice; the client sees the second delivery's
 	// response, which must be the idempotent duplicate ack.
-	sr, err := c.SubmitR("w", res.TaskID, task.No)
+	sr, err := c.SubmitR(context.Background(), "w", res.TaskID, task.No)
 	if err != nil || !sr.Accepted || !sr.Duplicate {
 		t.Fatalf("duplicated submit: %+v %v", sr, err)
 	}
@@ -153,7 +154,7 @@ func TestChaosSoak(t *testing.T) {
 				if done {
 					return
 				}
-				_, err := fw.Step()
+				_, err := fw.Step(context.Background())
 				if err == ErrAbandoned {
 					mu.Lock()
 					abandoned++
@@ -262,11 +263,11 @@ func observe(t *testing.T, so *Server) (StatusResponse, map[int]string) {
 	srv := httptest.NewServer(so.Handler())
 	defer srv.Close()
 	c := &Client{BaseURL: srv.URL}
-	st, err := c.Status()
+	st, err := c.Status(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := c.Results()
+	res, err := c.Results(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -2,6 +2,7 @@ package platform
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -57,7 +58,8 @@ func (p RetryPolicy) backoff(retry int, rng func(int64) int64) time.Duration {
 }
 
 // Client is a typed HTTP client for the server (what the AMT iframe glue
-// would call).
+// would call). It speaks the canonical /v1 API. Every method takes a
+// context.Context that bounds the whole call, including retry backoff.
 type Client struct {
 	// BaseURL is the server root, e.g. "http://127.0.0.1:8080".
 	BaseURL string
@@ -67,7 +69,7 @@ type Client struct {
 	// exponential backoff and jitter. Nil means single-shot (the seed
 	// behaviour).
 	Retry *RetryPolicy
-	// sleep and jitter are test hooks (default time.Sleep / rand.Int63n).
+	// sleep and jitter are test hooks (default ctx-aware sleep / rand.Int63n).
 	sleep  func(time.Duration)
 	jitter func(int64) int64
 }
@@ -79,12 +81,21 @@ func (c *Client) hc() *http.Client {
 	return http.DefaultClient
 }
 
-func (c *Client) doSleep(d time.Duration) {
+// doSleep waits d or until ctx is cancelled, whichever comes first. The
+// test hook, when set, sleeps unconditionally (tests use instant hooks).
+func (c *Client) doSleep(ctx context.Context, d time.Duration) error {
 	if c.sleep != nil {
 		c.sleep(d)
-		return
+		return ctx.Err()
 	}
-	time.Sleep(d)
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
 }
 
 func (c *Client) doJitter(n int64) int64 {
@@ -96,8 +107,9 @@ func (c *Client) doJitter(n int64) int64 {
 
 // do issues method+url (with optional JSON body), applying the retry
 // policy: transport errors and 5xx responses are retried, anything else is
-// returned as-is. The caller owns the returned body.
-func (c *Client) do(method, url string, body []byte) (*http.Response, error) {
+// returned as-is. Cancelling ctx aborts in-flight requests and backoff
+// waits. The caller owns the returned body.
+func (c *Client) do(ctx context.Context, method, url string, body []byte) (*http.Response, error) {
 	attempts := 1
 	if c.Retry != nil {
 		attempts = c.Retry.attempts()
@@ -105,13 +117,15 @@ func (c *Client) do(method, url string, body []byte) (*http.Response, error) {
 	var lastErr error
 	for i := 0; i < attempts; i++ {
 		if i > 0 {
-			c.doSleep(c.Retry.backoff(i-1, c.doJitter))
+			if err := c.doSleep(ctx, c.Retry.backoff(i-1, c.doJitter)); err != nil {
+				return nil, fmt.Errorf("platform: request cancelled during backoff: %w", err)
+			}
 		}
 		var rd io.Reader
 		if body != nil {
 			rd = bytes.NewReader(body)
 		}
-		req, err := http.NewRequest(method, url, rd)
+		req, err := http.NewRequestWithContext(ctx, method, url, rd)
 		if err != nil {
 			return nil, err
 		}
@@ -120,6 +134,11 @@ func (c *Client) do(method, url string, body []byte) (*http.Response, error) {
 		}
 		resp, err := c.hc().Do(req)
 		if err != nil {
+			if ctx.Err() != nil {
+				// A cancelled context is the caller's decision, not a
+				// transient fault: stop retrying immediately.
+				return nil, err
+			}
 			lastErr = err
 			continue
 		}
@@ -134,9 +153,9 @@ func (c *Client) do(method, url string, body []byte) (*http.Response, error) {
 }
 
 // Assign requests a task for the worker.
-func (c *Client) Assign(workerID string) (AssignResponse, error) {
+func (c *Client) Assign(ctx context.Context, workerID string) (AssignResponse, error) {
 	var out AssignResponse
-	resp, err := c.do(http.MethodGet, c.BaseURL+"/assign?workerId="+workerID, nil)
+	resp, err := c.do(ctx, http.MethodGet, c.BaseURL+"/v1/assign?workerId="+workerID, nil)
 	if err != nil {
 		return out, err
 	}
@@ -149,19 +168,19 @@ func (c *Client) Assign(workerID string) (AssignResponse, error) {
 
 // Submit posts an answer. Duplicate submissions are acknowledged by the
 // server without double-counting, so Submit is safe to retry.
-func (c *Client) Submit(workerID string, taskID int, ans task.Answer) error {
-	_, err := c.SubmitR(workerID, taskID, ans)
+func (c *Client) Submit(ctx context.Context, workerID string, taskID int, ans task.Answer) error {
+	_, err := c.SubmitR(ctx, workerID, taskID, ans)
 	return err
 }
 
 // SubmitR is Submit exposing the full response (e.g. the Duplicate flag).
-func (c *Client) SubmitR(workerID string, taskID int, ans task.Answer) (SubmitResponse, error) {
+func (c *Client) SubmitR(ctx context.Context, workerID string, taskID int, ans task.Answer) (SubmitResponse, error) {
 	var out SubmitResponse
 	body, err := json.Marshal(SubmitRequest{WorkerID: workerID, TaskID: taskID, Answer: ans.String()})
 	if err != nil {
 		return out, err
 	}
-	resp, err := c.do(http.MethodPost, c.BaseURL+"/submit", body)
+	resp, err := c.do(ctx, http.MethodPost, c.BaseURL+"/v1/submit", body)
 	if err != nil {
 		return out, err
 	}
@@ -173,12 +192,12 @@ func (c *Client) SubmitR(workerID string, taskID int, ans task.Answer) (SubmitRe
 }
 
 // Inactive signals that the worker returned or abandoned their HIT.
-func (c *Client) Inactive(workerID string) error {
+func (c *Client) Inactive(ctx context.Context, workerID string) error {
 	body, err := json.Marshal(InactiveRequest{WorkerID: workerID})
 	if err != nil {
 		return err
 	}
-	resp, err := c.do(http.MethodPost, c.BaseURL+"/inactive", body)
+	resp, err := c.do(ctx, http.MethodPost, c.BaseURL+"/v1/inactive", body)
 	if err != nil {
 		return err
 	}
@@ -190,9 +209,9 @@ func (c *Client) Inactive(workerID string) error {
 }
 
 // Status fetches job progress.
-func (c *Client) Status() (StatusResponse, error) {
+func (c *Client) Status(ctx context.Context) (StatusResponse, error) {
 	var out StatusResponse
-	resp, err := c.do(http.MethodGet, c.BaseURL+"/status", nil)
+	resp, err := c.do(ctx, http.MethodGet, c.BaseURL+"/v1/status", nil)
 	if err != nil {
 		return out, err
 	}
@@ -204,8 +223,8 @@ func (c *Client) Status() (StatusResponse, error) {
 }
 
 // Results fetches the aggregated answers.
-func (c *Client) Results() (map[int]string, error) {
-	resp, err := c.do(http.MethodGet, c.BaseURL+"/results", nil)
+func (c *Client) Results(ctx context.Context) (map[int]string, error) {
+	resp, err := c.do(ctx, http.MethodGet, c.BaseURL+"/v1/results", nil)
 	if err != nil {
 		return nil, err
 	}

@@ -27,6 +27,12 @@ const (
 	CodeConflict = "conflict"
 	// CodeInternal reports an invariant violation inside the server.
 	CodeInternal = "internal"
+	// CodeNotFound reports a request for a path the API does not serve
+	// (HTTP 404, typed instead of net/http's plain-text default).
+	CodeNotFound = "not_found"
+	// CodeMethodNotAllowed reports a known path hit with the wrong HTTP
+	// method (HTTP 405).
+	CodeMethodNotAllowed = "method_not_allowed"
 )
 
 // ErrorResponse is the JSON body of every non-2xx response the server

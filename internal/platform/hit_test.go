@@ -1,6 +1,7 @@
 package platform
 
 import (
+	"context"
 	"math"
 	"net/http/httptest"
 	"testing"
@@ -74,23 +75,23 @@ func TestServerReportsHITEconomics(t *testing.T) {
 	defer srv.Close()
 
 	c := &Client{BaseURL: srv.URL}
-	res, err := c.Assign("alice")
+	res, err := c.Assign(context.Background(), "alice")
 	if err != nil || !res.Assigned {
 		t.Fatalf("assign: %+v %v", res, err)
 	}
 	if res.HITRemaining != 1 {
 		t.Fatalf("HITRemaining = %d, want 1", res.HITRemaining)
 	}
-	if err := c.Submit("alice", res.TaskID, task.Yes); err != nil {
+	if err := c.Submit(context.Background(), "alice", res.TaskID, task.Yes); err != nil {
 		t.Fatal(err)
 	}
-	res, _ = c.Assign("alice")
+	res, _ = c.Assign(context.Background(), "alice")
 	if res.HITRemaining != 0 {
 		t.Fatalf("HITRemaining = %d, want 0 (batch of 2 exhausted)", res.HITRemaining)
 	}
-	_ = c.Submit("alice", res.TaskID, task.No)
+	_ = c.Submit(context.Background(), "alice", res.TaskID, task.No)
 
-	st2, err := c.Status()
+	st2, err := c.Status(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -101,7 +102,7 @@ func TestServerReportsHITEconomics(t *testing.T) {
 		t.Fatalf("cost = %v, want 0.50", st2.CostUSD)
 	}
 	// Third assignment opens HIT #2.
-	res, _ = c.Assign("alice")
+	res, _ = c.Assign(context.Background(), "alice")
 	if !res.Assigned || res.HITRemaining != 1 {
 		t.Fatalf("new HIT: %+v", res)
 	}

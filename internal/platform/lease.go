@@ -43,8 +43,8 @@ func (s *Server) deadlineLocked() time.Time {
 // held and retried on the next sweep.
 func (s *Server) SweepExpired() []string {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if s.lease <= 0 {
+		s.mu.Unlock()
 		return nil
 	}
 	now := s.now()
@@ -54,19 +54,46 @@ func (s *Server) SweepExpired() []string {
 			expired = append(expired, w)
 		}
 	}
+	s.mu.Unlock()
 	sort.Strings(expired)
-	reclaimed := expired[:0]
+	var reclaimed []string
 	for _, w := range expired {
-		if s.log != nil {
-			if err := s.log.AppendInactive(w); err != nil {
-				continue // durability lost: keep the lease, retry next sweep
+		wl := s.lockWorker(w)
+		// Re-check under the worker stripe: the lease may have been renewed
+		// by a redelivery, or the task submitted, since the scan above.
+		s.mu.Lock()
+		h, ok := s.held[w]
+		stillExpired := ok && !h.Deadline.IsZero() && s.now().After(h.Deadline)
+		l := s.log
+		s.mu.Unlock()
+		if !stillExpired {
+			wl.Unlock()
+			continue
+		}
+		var logErr error
+		s.withLogOrder(l, func() {
+			if l != nil {
+				if e := l.AppendInactive(w); e != nil {
+					logErr = e
+					return
+				}
 			}
+			s.strategyLock()
+			s.st.WorkerInactive(w)
+			s.strategyUnlock()
+		})
+		if logErr != nil {
+			wl.Unlock()
+			continue // durability lost: keep the lease, retry next sweep
 		}
-		s.st.WorkerInactive(w)
+		s.mu.Lock()
 		delete(s.held, w)
-		if s.acct != nil {
-			s.acct.OnInactive(w)
+		acct := s.acct
+		s.mu.Unlock()
+		if acct != nil {
+			acct.OnInactive(w)
 		}
+		wl.Unlock()
 		reclaimed = append(reclaimed, w)
 	}
 	return reclaimed

@@ -1,6 +1,7 @@
 package platform
 
 import (
+	"context"
 	"net/http"
 	"net/http/httptest"
 	"path/filepath"
@@ -45,7 +46,7 @@ func newLeaseServer(t *testing.T) (*Server, *httptest.Server, *fakeClock, string
 func TestLeaseSweepReclaimsAbandonedAssignment(t *testing.T) {
 	so, srv, clk, logPath := newLeaseServer(t)
 	c := &Client{BaseURL: srv.URL}
-	res, err := c.Assign("ghost")
+	res, err := c.Assign(context.Background(), "ghost")
 	if err != nil || !res.Assigned {
 		t.Fatalf("assign: %+v %v", res, err)
 	}
@@ -64,7 +65,7 @@ func TestLeaseSweepReclaimsAbandonedAssignment(t *testing.T) {
 	}
 
 	// A submit racing the sweep gets the typed lease-lost rejection.
-	err = c.Submit("ghost", res.TaskID, task.Yes)
+	err = c.Submit(context.Background(), "ghost", res.TaskID, task.Yes)
 	if !IsNoPending(err) {
 		t.Fatalf("post-sweep submit: %v", err)
 	}
@@ -80,7 +81,7 @@ func TestLeaseSweepReclaimsAbandonedAssignment(t *testing.T) {
 	}
 
 	// The reclaimed worker can pick up work again (fresh assignment).
-	res2, err := c.Assign("ghost")
+	res2, err := c.Assign(context.Background(), "ghost")
 	if err != nil || !res2.Assigned || res2.Redelivered {
 		t.Fatalf("post-sweep assign: %+v %v", res2, err)
 	}
@@ -89,14 +90,14 @@ func TestLeaseSweepReclaimsAbandonedAssignment(t *testing.T) {
 func TestAssignRedeliveryIsIdempotent(t *testing.T) {
 	_, srv, clk, logPath := newLeaseServer(t)
 	c := &Client{BaseURL: srv.URL}
-	res1, err := c.Assign("alice")
+	res1, err := c.Assign(context.Background(), "alice")
 	if err != nil || !res1.Assigned {
 		t.Fatalf("assign: %+v %v", res1, err)
 	}
 	// A retried /assign (lost response) redelivers the same task without
 	// a second assignment or log event, and renews the lease.
 	clk.advance(45 * time.Second)
-	res2, err := c.Assign("alice")
+	res2, err := c.Assign(context.Background(), "alice")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -112,7 +113,7 @@ func TestAssignRedeliveryIsIdempotent(t *testing.T) {
 	}
 	// The renewal means another 45s does not expire the original lease.
 	clk.advance(45 * time.Second)
-	if err := c.Submit("alice", res1.TaskID, task.Yes); err != nil {
+	if err := c.Submit(context.Background(), "alice", res1.TaskID, task.Yes); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -120,15 +121,15 @@ func TestAssignRedeliveryIsIdempotent(t *testing.T) {
 func TestSubmitDuplicateAcknowledged(t *testing.T) {
 	_, srv, _, logPath := newLeaseServer(t)
 	c := &Client{BaseURL: srv.URL}
-	res, err := c.Assign("bob")
+	res, err := c.Assign(context.Background(), "bob")
 	if err != nil || !res.Assigned {
 		t.Fatalf("assign: %+v %v", res, err)
 	}
-	sr, err := c.SubmitR("bob", res.TaskID, task.No)
+	sr, err := c.SubmitR(context.Background(), "bob", res.TaskID, task.No)
 	if err != nil || sr.Duplicate {
 		t.Fatalf("first submit: %+v %v", sr, err)
 	}
-	sr2, err := c.SubmitR("bob", res.TaskID, task.No)
+	sr2, err := c.SubmitR(context.Background(), "bob", res.TaskID, task.No)
 	if err != nil {
 		t.Fatalf("duplicate submit: %v", err)
 	}
@@ -148,7 +149,7 @@ func TestSubmitDuplicateAcknowledged(t *testing.T) {
 func TestSubmitWithoutAssignmentTyped(t *testing.T) {
 	_, srv, _, _ := newLeaseServer(t)
 	c := &Client{BaseURL: srv.URL}
-	err := c.Submit("stranger", 0, task.Yes)
+	err := c.Submit(context.Background(), "stranger", 0, task.Yes)
 	if !IsNoPending(err) {
 		t.Fatalf("want typed no_pending, got %v", err)
 	}
@@ -172,11 +173,11 @@ func TestRestoreRebuildsDedupAndLeases(t *testing.T) {
 	so1.SetLog(l)
 	srv1 := httptest.NewServer(so1.Handler())
 	c := &Client{BaseURL: srv1.URL}
-	resA, _ := c.Assign("a")
-	if err := c.Submit("a", resA.TaskID, task.Yes); err != nil {
+	resA, _ := c.Assign(context.Background(), "a")
+	if err := c.Submit(context.Background(), "a", resA.TaskID, task.Yes); err != nil {
 		t.Fatal(err)
 	}
-	resB, _ := c.Assign("b") // b holds a task across the crash
+	resB, _ := c.Assign(context.Background(), "b") // b holds a task across the crash
 	srv1.Close()
 	_ = l.Close()
 
@@ -195,20 +196,20 @@ func TestRestoreRebuildsDedupAndLeases(t *testing.T) {
 	c2 := &Client{BaseURL: srv2.URL}
 
 	// a's pre-crash submit is still deduplicated.
-	sr, err := c2.SubmitR("a", resA.TaskID, task.Yes)
+	sr, err := c2.SubmitR(context.Background(), "a", resA.TaskID, task.Yes)
 	if err != nil || !sr.Duplicate {
 		t.Fatalf("post-recovery duplicate = %+v %v", sr, err)
 	}
 	// b's held assignment is redelivered, then submittable.
-	res, err := c2.Assign("b")
+	res, err := c2.Assign(context.Background(), "b")
 	if err != nil || !res.Redelivered || res.TaskID != resB.TaskID {
 		t.Fatalf("post-recovery redelivery = %+v %v", res, err)
 	}
-	if err := c2.Submit("b", resB.TaskID, task.No); err != nil {
+	if err := c2.Submit(context.Background(), "b", resB.TaskID, task.No); err != nil {
 		t.Fatal(err)
 	}
 	// The recovered server knows a and b for /inactive validation.
-	if err := c2.Inactive("a"); err != nil {
+	if err := c2.Inactive(context.Background(), "a"); err != nil {
 		t.Fatalf("inactive for recovered worker: %v", err)
 	}
 }
@@ -230,7 +231,7 @@ func TestClientRetriesTransientFailures(t *testing.T) {
 		sleep:   func(d time.Duration) { slept = append(slept, d) },
 		jitter:  func(n int64) int64 { return n - 1 }, // deterministic max draw
 	}
-	st, err := c.Status()
+	st, err := c.Status(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -252,7 +253,7 @@ func TestClientRetryGivesUp(t *testing.T) {
 		Retry:   &RetryPolicy{MaxAttempts: 3, BaseDelay: time.Millisecond, MaxDelay: time.Millisecond},
 		sleep:   func(time.Duration) {},
 	}
-	_, err := c.Status()
+	_, err := c.Status(context.Background())
 	if err == nil {
 		t.Fatal("expected failure after retries exhausted")
 	}
@@ -270,7 +271,7 @@ func TestClientDoesNotRetry4xx(t *testing.T) {
 	}))
 	defer backend.Close()
 	c := &Client{BaseURL: backend.URL, Retry: &RetryPolicy{MaxAttempts: 5}, sleep: func(time.Duration) {}}
-	err := c.Submit("w", 0, task.Yes)
+	err := c.Submit(context.Background(), "w", 0, task.Yes)
 	if !IsNoPending(err) {
 		t.Fatalf("want no_pending, got %v", err)
 	}

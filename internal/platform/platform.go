@@ -9,6 +9,15 @@
 // client with retry, and simulated AMT worker agents (well-behaved and
 // faulty) that drive the loop end-to-end.
 //
+// # API surface
+//
+// Every endpoint is mounted under the versioned prefix /v1 (the canonical
+// paths: /v1/assign, /v1/submit, /v1/inactive, /v1/status, /v1/results) and
+// under the legacy unversioned aliases the seed shipped with. Both
+// spellings are served by the same handlers and return byte-identical
+// payloads. Every error the server produces itself — including unknown
+// paths (404) and wrong methods (405) — is a typed JSON ErrorResponse.
+//
 // # Failure model
 //
 // Real crowd traffic is not well-behaved, so the server is defensive on
@@ -21,11 +30,30 @@
 // Log appends are write-ahead where possible and surfaced as 503 (typed
 // code "log_write_failed") when durability is compromised, never silently
 // dropped.
+//
+// # Concurrency
+//
+// Strategies that advertise ConcurrencySafe() == true (core.ICrowd) are
+// called without any server-side serialization: requests from different
+// workers run strategy code in parallel, bounded only by the strategy's own
+// sharded locking. Per-worker operations are still serialized through a
+// striped mutex so the idempotency bookkeeping (held/seen/accepted) stays
+// exact for concurrent retries of the same worker. Strategies without the
+// marker — the single-threaded baselines — keep the seed behaviour: every
+// strategy call is serialized behind one mutex.
+//
+// Attaching a durable log narrows the parallelism: each strategy mutation
+// and its log append are serialized as one unit so the log's event order
+// matches the order mutations were applied, which is what store.Replay
+// needs to reconstruct the exact live state after a crash. Reads (/status,
+// /results) stay parallel either way.
 package platform
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
+	"hash/fnv"
 	"io"
 	"math/rand"
 	"net/http"
@@ -38,7 +66,7 @@ import (
 	"icrowd/internal/task"
 )
 
-// AssignResponse is returned by GET /assign.
+// AssignResponse is returned by GET /v1/assign.
 type AssignResponse struct {
 	// Done is true when the whole job is finished (no task assigned).
 	Done bool `json:"done"`
@@ -57,7 +85,7 @@ type AssignResponse struct {
 	HITRemaining int `json:"hitRemaining,omitempty"`
 }
 
-// SubmitRequest is the body of POST /submit.
+// SubmitRequest is the body of POST /v1/submit.
 type SubmitRequest struct {
 	WorkerID string `json:"workerId"`
 	TaskID   int    `json:"taskId"`
@@ -65,7 +93,7 @@ type SubmitRequest struct {
 	Answer string `json:"answer"`
 }
 
-// SubmitResponse is returned by POST /submit.
+// SubmitResponse is returned by POST /v1/submit.
 type SubmitResponse struct {
 	Accepted bool `json:"accepted"`
 	// Duplicate is true when this (worker, task) pair had already been
@@ -74,13 +102,13 @@ type SubmitResponse struct {
 	Duplicate bool `json:"duplicate,omitempty"`
 }
 
-// InactiveRequest is the optional JSON body of POST /inactive (the worker
-// may equally be named via the workerId query parameter).
+// InactiveRequest is the optional JSON body of POST /v1/inactive (the
+// worker may equally be named via the workerId query parameter).
 type InactiveRequest struct {
 	WorkerID string `json:"workerId"`
 }
 
-// StatusResponse is returned by GET /status.
+// StatusResponse is returned by GET /v1/status.
 type StatusResponse struct {
 	Strategy  string `json:"strategy"`
 	Total     int    `json:"total"`
@@ -95,7 +123,7 @@ type StatusResponse struct {
 	CostUSD   float64 `json:"costUsd,omitempty"`
 }
 
-// ResultsResponse is returned by GET /results.
+// ResultsResponse is returned by GET /v1/results.
 type ResultsResponse struct {
 	// Results maps task ID -> "YES"/"NO"/"NONE".
 	Results map[int]string `json:"results"`
@@ -108,13 +136,36 @@ type heldTask struct {
 	Deadline time.Time // zero when leases are disabled
 }
 
-// Server exposes a core.Strategy over HTTP. All strategy access is
-// serialized: the strategies themselves are single-threaded state machines,
-// exactly like the paper's single web server instance.
+// workerStripes is the size of the per-worker mutex stripe array. Requests
+// for the same worker always hash to the same stripe and are serialized;
+// requests for different workers almost always proceed in parallel.
+const workerStripes = 64
+
+// Server exposes a core.Strategy over HTTP.
+//
+// Locking: per-worker request handling is serialized through the workers
+// stripe (lock order: worker stripe -> mu). Strategy calls are direct when
+// the strategy advertises ConcurrencySafe() == true, and serialized behind
+// stMu otherwise. mu guards only the server's own bookkeeping maps and is
+// never held across a strategy call or a log append.
 type Server struct {
-	mu   sync.Mutex
-	st   core.Strategy
-	ds   *task.Dataset
+	st       core.Strategy
+	ds       *task.Dataset
+	concSafe bool
+
+	// stMu serializes strategy calls for strategies that are not
+	// concurrency-safe (the single-threaded baselines).
+	stMu sync.Mutex
+	// logMu serializes the (strategy mutation, log append) pair whenever a
+	// durable log is attached, so the log's event order always matches the
+	// order the mutations were applied — the invariant store.Replay needs
+	// to reconstruct the exact live state. Without a log there is no order
+	// to preserve and mutations from different workers run in parallel.
+	logMu sync.Mutex
+	// workers stripes the per-worker critical sections.
+	workers [workerStripes]sync.Mutex
+
+	mu   sync.Mutex // guards the fields below
 	log  *store.Log
 	acct *Accounting
 
@@ -130,15 +181,43 @@ type Server struct {
 	accepted map[string]map[int]string
 }
 
-// NewServer wraps the strategy and its dataset.
+// NewServer wraps the strategy and its dataset. Strategies implementing
+// ConcurrencySafe() true are called concurrently; everything else keeps the
+// seed's fully-serialized behaviour.
 func NewServer(st core.Strategy, ds *task.Dataset) *Server {
+	cs, ok := st.(interface{ ConcurrencySafe() bool })
 	return &Server{
 		st:       st,
 		ds:       ds,
+		concSafe: ok && cs.ConcurrencySafe(),
 		now:      time.Now,
 		held:     map[string]heldTask{},
 		seen:     map[string]bool{},
 		accepted: map[string]map[int]string{},
+	}
+}
+
+// lockWorker acquires the stripe serializing this worker's requests and
+// returns it for the caller to unlock.
+func (s *Server) lockWorker(worker string) *sync.Mutex {
+	h := fnv.New32a()
+	io.WriteString(h, worker)
+	m := &s.workers[h.Sum32()%workerStripes]
+	m.Lock()
+	return m
+}
+
+// strategyLock serializes strategy calls for non-concurrency-safe
+// strategies (no-op for core.ICrowd, which locks internally).
+func (s *Server) strategyLock() {
+	if !s.concSafe {
+		s.stMu.Lock()
+	}
+}
+
+func (s *Server) strategyUnlock() {
+	if !s.concSafe {
+		s.stMu.Unlock()
 	}
 }
 
@@ -158,20 +237,53 @@ func (s *Server) SetAccounting(a *Accounting) {
 	s.mu.Unlock()
 }
 
-// Handler returns the HTTP routes.
+// getLog reads the attached log under the lock (Log itself is
+// internally synchronized).
+func (s *Server) getLog() *store.Log {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.log
+}
+
+// withLogOrder runs fn under logMu when a log is attached (l is the
+// caller's snapshot), keeping strategy mutations and their log events in
+// one total order for replay.
+func (s *Server) withLogOrder(l *store.Log, fn func()) {
+	if l != nil {
+		s.logMu.Lock()
+		defer s.logMu.Unlock()
+	}
+	fn()
+}
+
+// Handler returns the HTTP routes: every endpoint under the canonical /v1
+// prefix plus the legacy unversioned alias, and a typed JSON 404 for
+// everything else.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/assign", s.handleAssign)
-	mux.HandleFunc("/submit", s.handleSubmit)
-	mux.HandleFunc("/inactive", s.handleInactive)
-	mux.HandleFunc("/status", s.handleStatus)
-	mux.HandleFunc("/results", s.handleResults)
+	for name, h := range map[string]http.HandlerFunc{
+		"assign":   s.handleAssign,
+		"submit":   s.handleSubmit,
+		"inactive": s.handleInactive,
+		"status":   s.handleStatus,
+		"results":  s.handleResults,
+	} {
+		mux.HandleFunc("/v1/"+name, h)
+		mux.HandleFunc("/"+name, h) // legacy unversioned alias
+	}
+	mux.HandleFunc("/", s.handleNotFound)
 	return mux
+}
+
+// handleNotFound is the fallback for unknown paths: a typed JSON envelope
+// instead of net/http's plain-text 404.
+func (s *Server) handleNotFound(w http.ResponseWriter, r *http.Request) {
+	writeError(w, http.StatusNotFound, CodeNotFound, "no such endpoint: "+r.URL.Path)
 }
 
 func (s *Server) handleAssign(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
-		writeError(w, http.StatusMethodNotAllowed, CodeBadRequest, "method not allowed")
+		writeError(w, http.StatusMethodNotAllowed, CodeMethodNotAllowed, "method not allowed")
 		return
 	}
 	worker := r.URL.Query().Get("workerId")
@@ -179,51 +291,83 @@ func (s *Server) handleAssign(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, CodeBadRequest, "workerId required")
 		return
 	}
+	wl := s.lockWorker(worker)
+	defer wl.Unlock()
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if h, ok := s.held[worker]; ok {
 		// Idempotent redelivery: the worker already holds a task (their
 		// original /assign response may have been lost). Renew the lease,
 		// return the same task, log nothing.
 		h.Deadline = s.deadlineLocked()
 		s.held[worker] = h
+		acct := s.acct
+		s.mu.Unlock()
 		resp := AssignResponse{Assigned: true, TaskID: h.Task, Text: s.ds.Tasks[h.Task].Text, Redelivered: true}
-		if s.acct != nil {
-			resp.HITRemaining = s.acct.Remaining(worker)
+		if acct != nil {
+			resp.HITRemaining = acct.Remaining(worker)
 		}
 		writeJSON(w, resp)
 		return
 	}
-	if s.st.Done() {
-		writeJSON(w, AssignResponse{Done: true})
-		return
-	}
-	tid, ok := s.st.RequestTask(worker)
-	if !ok {
-		writeJSON(w, AssignResponse{Done: s.st.Done()})
-		return
-	}
-	if s.log != nil {
-		if err := s.log.AppendAssign(worker, tid); err != nil {
-			// Roll the uncommitted assignment back so the strategy and the
-			// log stay consistent, then report lost durability.
-			s.st.WorkerInactive(worker)
-			writeError(w, http.StatusServiceUnavailable, CodeLogWrite, err.Error())
+	s.mu.Unlock()
+	var (
+		tid      int
+		assigned bool
+		done     bool
+		logErr   error
+	)
+	l := s.getLog()
+	s.withLogOrder(l, func() {
+		s.strategyLock()
+		if s.st.Done() {
+			s.strategyUnlock()
+			done = true
 			return
 		}
+		var ok bool
+		tid, ok = s.st.RequestTask(worker)
+		if !ok {
+			done = s.st.Done()
+			s.strategyUnlock()
+			return
+		}
+		s.strategyUnlock()
+		if l != nil {
+			if err := l.AppendAssign(worker, tid); err != nil {
+				// Roll the uncommitted assignment back so the strategy and
+				// the log stay consistent, then report lost durability.
+				s.strategyLock()
+				s.st.WorkerInactive(worker)
+				s.strategyUnlock()
+				logErr = err
+				return
+			}
+		}
+		assigned = true
+	})
+	if logErr != nil {
+		writeError(w, http.StatusServiceUnavailable, CodeLogWrite, logErr.Error())
+		return
 	}
+	if !assigned {
+		writeJSON(w, AssignResponse{Done: done})
+		return
+	}
+	s.mu.Lock()
 	s.seen[worker] = true
 	s.held[worker] = heldTask{Task: tid, Deadline: s.deadlineLocked()}
+	acct := s.acct
+	s.mu.Unlock()
 	resp := AssignResponse{Assigned: true, TaskID: tid, Text: s.ds.Tasks[tid].Text}
-	if s.acct != nil {
-		resp.HITRemaining = s.acct.OnAssign(worker)
+	if acct != nil {
+		resp.HITRemaining = acct.OnAssign(worker)
 	}
 	writeJSON(w, resp)
 }
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
-		writeError(w, http.StatusMethodNotAllowed, CodeBadRequest, "method not allowed")
+		writeError(w, http.StatusMethodNotAllowed, CodeMethodNotAllowed, "method not allowed")
 		return
 	}
 	var req SubmitRequest
@@ -240,9 +384,11 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, CodeBadRequest, "workerId required")
 		return
 	}
+	wl := s.lockWorker(req.WorkerID)
+	defer wl.Unlock()
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if _, dup := s.accepted[req.WorkerID][req.TaskID]; dup {
+		s.mu.Unlock()
 		// Idempotent acknowledgement: this (worker, task) was already
 		// counted; a retried submit must not double-count into consensus
 		// or accuracy estimates.
@@ -250,6 +396,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	h, holds := s.held[req.WorkerID]
+	s.mu.Unlock()
 	if !holds || h.Task != req.TaskID {
 		writeError(w, http.StatusConflict, CodeNoPending,
 			"worker does not hold this task (never assigned, or the lease expired)")
@@ -257,22 +404,36 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	// Write-ahead: the submit is durable before it mutates the strategy,
 	// so a replayed log never contains an un-applied suffix.
-	if s.log != nil {
-		if err := s.log.AppendSubmit(req.WorkerID, req.TaskID, ans); err != nil {
-			writeError(w, http.StatusServiceUnavailable, CodeLogWrite, err.Error())
-			return
+	var logErr error
+	l := s.getLog()
+	s.withLogOrder(l, func() {
+		if l != nil {
+			if e := l.AppendSubmit(req.WorkerID, req.TaskID, ans); e != nil {
+				logErr = e
+				return
+			}
 		}
+		s.strategyLock()
+		err = s.st.SubmitAnswer(req.WorkerID, req.TaskID, ans)
+		s.strategyUnlock()
+	})
+	if logErr != nil {
+		writeError(w, http.StatusServiceUnavailable, CodeLogWrite, logErr.Error())
+		return
 	}
-	if err := s.st.SubmitAnswer(req.WorkerID, req.TaskID, ans); err != nil {
+	if err != nil {
 		// held mirrors the strategy's pending state, so this indicates a
 		// server bug (the event is already logged).
 		writeError(w, http.StatusInternalServerError, CodeInternal, err.Error())
 		return
 	}
+	s.mu.Lock()
 	delete(s.held, req.WorkerID)
 	s.markAcceptedLocked(req.WorkerID, req.TaskID, ans.String())
-	if s.acct != nil {
-		s.acct.OnSubmit()
+	acct := s.acct
+	s.mu.Unlock()
+	if acct != nil {
+		acct.OnSubmit()
 	}
 	writeJSON(w, SubmitResponse{Accepted: true})
 }
@@ -286,12 +447,12 @@ func (s *Server) markAcceptedLocked(worker string, taskID int, answer string) {
 	m[taskID] = answer
 }
 
-// handleInactive implements POST /inactive: AMT signals that a worker
+// handleInactive implements POST /v1/inactive: AMT signals that a worker
 // returned or abandoned their HIT; the strategy releases the assignment.
 // The worker may be named via the workerId query parameter or a JSON body.
 func (s *Server) handleInactive(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
-		writeError(w, http.StatusMethodNotAllowed, CodeBadRequest, "method not allowed")
+		writeError(w, http.StatusMethodNotAllowed, CodeMethodNotAllowed, "method not allowed")
 		return
 	}
 	worker := r.URL.Query().Get("workerId")
@@ -306,64 +467,87 @@ func (s *Server) handleInactive(w http.ResponseWriter, r *http.Request) {
 			"workerId required (query parameter or JSON body)")
 		return
 	}
+	wl := s.lockWorker(worker)
+	defer wl.Unlock()
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	if !s.seen[worker] {
+	known := s.seen[worker]
+	s.mu.Unlock()
+	if !known {
 		writeError(w, http.StatusBadRequest, CodeUnknownWorker,
 			"worker "+worker+" has never been assigned a task")
 		return
 	}
 	// Write-ahead, as in handleSubmit.
-	if s.log != nil {
-		if err := s.log.AppendInactive(worker); err != nil {
-			writeError(w, http.StatusServiceUnavailable, CodeLogWrite, err.Error())
-			return
+	var logErr error
+	l := s.getLog()
+	s.withLogOrder(l, func() {
+		if l != nil {
+			if e := l.AppendInactive(worker); e != nil {
+				logErr = e
+				return
+			}
 		}
+		s.strategyLock()
+		s.st.WorkerInactive(worker)
+		s.strategyUnlock()
+	})
+	if logErr != nil {
+		writeError(w, http.StatusServiceUnavailable, CodeLogWrite, logErr.Error())
+		return
 	}
-	s.st.WorkerInactive(worker)
+	s.mu.Lock()
 	delete(s.held, worker)
-	if s.acct != nil {
-		s.acct.OnInactive(worker)
+	acct := s.acct
+	s.mu.Unlock()
+	if acct != nil {
+		acct.OnInactive(worker)
 	}
 	w.WriteHeader(http.StatusNoContent)
 }
 
 func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
-		writeError(w, http.StatusMethodNotAllowed, CodeBadRequest, "method not allowed")
+		writeError(w, http.StatusMethodNotAllowed, CodeMethodNotAllowed, "method not allowed")
 		return
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.strategyLock()
+	results := s.st.Results()
+	name := s.st.Name()
+	done := s.st.Done()
+	s.strategyUnlock()
 	completed := 0
-	for _, a := range s.st.Results() {
+	for _, a := range results {
 		if a != task.None {
 			completed++
 		}
 	}
+	s.mu.Lock()
+	pending := len(s.held)
+	acct := s.acct
+	s.mu.Unlock()
 	resp := StatusResponse{
-		Strategy:  s.st.Name(),
+		Strategy:  name,
 		Total:     s.ds.Len(),
 		Completed: completed,
-		Done:      s.st.Done(),
-		Pending:   len(s.held),
+		Done:      done,
+		Pending:   pending,
 	}
-	if s.acct != nil {
-		resp.HITs = s.acct.HITs()
-		resp.Submitted = s.acct.Submitted()
-		resp.CostUSD = s.acct.CostUSD()
+	if acct != nil {
+		resp.HITs = acct.HITs()
+		resp.Submitted = acct.Submitted()
+		resp.CostUSD = acct.CostUSD()
 	}
 	writeJSON(w, resp)
 }
 
 func (s *Server) handleResults(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
-		writeError(w, http.StatusMethodNotAllowed, CodeBadRequest, "method not allowed")
+		writeError(w, http.StatusMethodNotAllowed, CodeMethodNotAllowed, "method not allowed")
 		return
 	}
-	s.mu.Lock()
+	s.strategyLock()
 	res := s.st.Results()
-	s.mu.Unlock()
+	s.strategyUnlock()
 	out := ResultsResponse{Results: make(map[int]string, len(res))}
 	for t, a := range res {
 		out.Results[t] = a.String()
@@ -398,8 +582,8 @@ type WorkerAgent struct {
 
 // Step performs one request/submit round. It returns false when the server
 // had nothing for this worker (job done or worker rejected).
-func (a *WorkerAgent) Step() (bool, error) {
-	res, err := a.Client.Assign(a.Profile.ID)
+func (a *WorkerAgent) Step(ctx context.Context) (bool, error) {
+	res, err := a.Client.Assign(ctx, a.Profile.ID)
 	if err != nil {
 		return false, err
 	}
@@ -410,16 +594,16 @@ func (a *WorkerAgent) Step() (bool, error) {
 		return false, errors.New("platform: server assigned unknown task")
 	}
 	ans := sim.Answer(a.Profile, &a.Dataset.Tasks[res.TaskID], a.Rng)
-	if err := a.Client.Submit(a.Profile.ID, res.TaskID, ans); err != nil {
+	if err := a.Client.Submit(ctx, a.Profile.ID, res.TaskID, ans); err != nil {
 		return false, err
 	}
 	return true, nil
 }
 
-// RunWorkers drives the pool against baseURL until the job is done or every
-// worker has performed maxSteps rounds. Workers run concurrently, one
-// goroutine each, mirroring independent humans on AMT.
-func RunWorkers(baseURL string, ds *task.Dataset, pool []sim.Profile, maxSteps int, seed int64) error {
+// RunWorkers drives the pool against baseURL until the job is done, every
+// worker has performed maxSteps rounds, or ctx is cancelled. Workers run
+// concurrently, one goroutine each, mirroring independent humans on AMT.
+func RunWorkers(ctx context.Context, baseURL string, ds *task.Dataset, pool []sim.Profile, maxSteps int, seed int64) error {
 	var wg sync.WaitGroup
 	errCh := make(chan error, len(pool))
 	for i := range pool {
@@ -434,7 +618,11 @@ func RunWorkers(baseURL string, ds *task.Dataset, pool []sim.Profile, maxSteps i
 			}
 			idle := 0
 			for step := 0; step < maxSteps; step++ {
-				ok, err := agent.Step()
+				if ctx.Err() != nil {
+					errCh <- ctx.Err()
+					return
+				}
+				ok, err := agent.Step(ctx)
 				if err != nil {
 					errCh <- err
 					return

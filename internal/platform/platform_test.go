@@ -2,6 +2,7 @@ package platform
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"math/rand"
 	"net/http"
@@ -30,7 +31,7 @@ func newTestServer(t *testing.T) (*httptest.Server, *task.Dataset) {
 func TestAssignSubmitRoundTrip(t *testing.T) {
 	srv, ds := newTestServer(t)
 	c := &Client{BaseURL: srv.URL}
-	res, err := c.Assign("w1")
+	res, err := c.Assign(context.Background(), "w1")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -40,10 +41,10 @@ func TestAssignSubmitRoundTrip(t *testing.T) {
 	if res.Text == "" {
 		t.Fatal("assigned task should carry its question text")
 	}
-	if err := c.Submit("w1", res.TaskID, task.Yes); err != nil {
+	if err := c.Submit(context.Background(), "w1", res.TaskID, task.Yes); err != nil {
 		t.Fatal(err)
 	}
-	st, err := c.Status()
+	st, err := c.Status(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -106,7 +107,7 @@ func TestSubmitValidation(t *testing.T) {
 func TestResultsEndpoint(t *testing.T) {
 	srv, _ := newTestServer(t)
 	c := &Client{BaseURL: srv.URL}
-	res, err := c.Results()
+	res, err := c.Results(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -123,11 +124,11 @@ func TestResultsEndpoint(t *testing.T) {
 func TestEndToEndRandomMV(t *testing.T) {
 	srv, ds := newTestServer(t)
 	pool := sim.GeneratePool(ds, 6, sim.PoolOptions{Generalists: 1}, 3)
-	if err := RunWorkers(srv.URL, ds, pool, 100, 7); err != nil {
+	if err := RunWorkers(context.Background(), srv.URL, ds, pool, 100, 7); err != nil {
 		t.Fatal(err)
 	}
 	c := &Client{BaseURL: srv.URL}
-	st, err := c.Status()
+	st, err := c.Status(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -135,7 +136,7 @@ func TestEndToEndRandomMV(t *testing.T) {
 		t.Fatalf("job not done after worker agents: %+v", st)
 	}
 	// Assign after done reports done.
-	res, err := c.Assign("straggler")
+	res, err := c.Assign(context.Background(), "straggler")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -148,7 +149,9 @@ func TestEndToEndICrowdConcurrent(t *testing.T) {
 	// Full Appendix-A loop with the adaptive strategy and concurrent
 	// worker goroutines.
 	ds := task.ProductMatching()
-	basis, err := core.BuildBasis(ds, "Jaccard", 0.5, 0, 1.0, 1)
+	bc := core.DefaultBasisConfig()
+	bc.Threshold = 0.5
+	basis, err := core.BuildBasis(ds, bc)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -167,11 +170,11 @@ func TestEndToEndICrowdConcurrent(t *testing.T) {
 		{ID: "gen1", DomainAcc: map[string]float64{"iPhone": 0.8, "iPod": 0.8, "iPad": 0.8}},
 		{ID: "gen2", DomainAcc: map[string]float64{"iPhone": 0.8, "iPod": 0.8, "iPad": 0.8}},
 	}
-	if err := RunWorkers(srv.URL, ds, pool, 200, 11); err != nil {
+	if err := RunWorkers(context.Background(), srv.URL, ds, pool, 200, 11); err != nil {
 		t.Fatal(err)
 	}
 	c := &Client{BaseURL: srv.URL}
-	st, err := c.Status()
+	st, err := c.Status(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -193,7 +196,7 @@ func TestWorkerAgentRejectsUnknownTask(t *testing.T) {
 		Dataset: ds,
 		Rng:     rand.New(rand.NewSource(1)),
 	}
-	if _, err := agent.Step(); err == nil {
+	if _, err := agent.Step(context.Background()); err == nil {
 		t.Fatal("expected error for out-of-range task")
 	}
 }

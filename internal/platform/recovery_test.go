@@ -1,6 +1,7 @@
 package platform
 
 import (
+	"context"
 	"encoding/json"
 	"io"
 	"net/http"
@@ -34,20 +35,20 @@ func TestServerLogsAndRecovers(t *testing.T) {
 	c := &Client{BaseURL: srv1.URL}
 	var did []int
 	for i := 0; i < 5; i++ {
-		res, err := c.Assign("alice")
+		res, err := c.Assign(context.Background(), "alice")
 		if err != nil {
 			t.Fatal(err)
 		}
 		if !res.Assigned {
 			break
 		}
-		if err := c.Submit("alice", res.TaskID, task.Yes); err != nil {
+		if err := c.Submit(context.Background(), "alice", res.TaskID, task.Yes); err != nil {
 			t.Fatal(err)
 		}
 		did = append(did, res.TaskID)
 	}
 	// A worker goes inactive via the endpoint.
-	res, err := c.Assign("bob")
+	res, err := c.Assign(context.Background(), "bob")
 	if err != nil || !res.Assigned {
 		t.Fatalf("bob assign: %+v %v", res, err)
 	}
@@ -88,7 +89,7 @@ func TestServerLogsAndRecovers(t *testing.T) {
 	srv2 := httptest.NewServer(NewServer(st2, ds).Handler())
 	defer srv2.Close()
 	c2 := &Client{BaseURL: srv2.URL}
-	res, err = c2.Assign("alice")
+	res, err = c2.Assign(context.Background(), "alice")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -139,14 +140,14 @@ func TestInactiveEndpointValidation(t *testing.T) {
 
 	// Register a worker, then both spellings must work: query param...
 	c := &Client{BaseURL: srv.URL}
-	if _, err := c.Assign("x"); err != nil {
+	if _, err := c.Assign(context.Background(), "x"); err != nil {
 		t.Fatal(err)
 	}
 	if code, er := post(srv.URL+"/inactive?workerId=x", ""); code != http.StatusNoContent {
 		t.Fatalf("query-param inactive: %d %+v", code, er)
 	}
 	// ...and JSON body.
-	if _, err := c.Assign("y"); err != nil {
+	if _, err := c.Assign(context.Background(), "y"); err != nil {
 		t.Fatal(err)
 	}
 	if code, er := post(srv.URL+"/inactive", `{"workerId":"y"}`); code != http.StatusNoContent {
@@ -177,11 +178,11 @@ func TestEndToEndWithLogMatchesWithout(t *testing.T) {
 		srv := httptest.NewServer(so.Handler())
 		defer srv.Close()
 		// Single worker agent stream keeps request order deterministic.
-		if err := RunWorkers(srv.URL, ds, pool[:1], 100, 5); err != nil {
+		if err := RunWorkers(context.Background(), srv.URL, ds, pool[:1], 100, 5); err != nil {
 			t.Fatal(err)
 		}
 		c := &Client{BaseURL: srv.URL}
-		res, err := c.Results()
+		res, err := c.Results(context.Background())
 		if err != nil {
 			t.Fatal(err)
 		}

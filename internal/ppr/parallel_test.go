@@ -1,0 +1,130 @@
+package ppr
+
+import (
+	"math"
+	"testing"
+
+	"icrowd/internal/simgraph"
+	"icrowd/internal/task"
+)
+
+// parityGraph builds a moderately sized graph whose basis vectors have
+// nontrivial support, for parallel/sequential comparisons.
+func parityGraph(t testing.TB, seed int64) *simgraph.Graph {
+	t.Helper()
+	ds := task.GenerateItemCompare(seed)
+	g, err := simgraph.Build(ds.Len(), simgraph.JaccardMetric(ds), 0.25, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// identicalVecs asserts two sparse vectors are bit-identical (same keys,
+// same float64 bits — not merely close).
+func identicalVecs(t *testing.T, taskID int, a, b map[int]float64) {
+	t.Helper()
+	if len(a) != len(b) {
+		t.Fatalf("task %d: nnz mismatch %d vs %d", taskID, len(a), len(b))
+	}
+	for k, va := range a {
+		vb, ok := b[k]
+		if !ok {
+			t.Fatalf("task %d: entry %d missing in parallel result", taskID, k)
+		}
+		if math.Float64bits(va) != math.Float64bits(vb) {
+			t.Fatalf("task %d entry %d: %v != %v (bit mismatch)", taskID, k, va, vb)
+		}
+	}
+}
+
+// TestPrecomputeParallelParity is the tentpole guarantee: the parallel
+// precompute path is byte-identical to the sequential path, for several
+// dataset seeds and pool sizes.
+func TestPrecomputeParallelParity(t *testing.T) {
+	for _, seed := range []int64{1, 2, 7} {
+		g := parityGraph(t, seed)
+		seq := DefaultOptions()
+		seq.Workers = 1
+		want, err := Precompute(g, seq)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{0, 2, 4, 8} {
+			par := DefaultOptions()
+			par.Workers = workers
+			got, err := Precompute(g, par)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.N() != want.N() {
+				t.Fatalf("seed %d workers %d: N %d != %d", seed, workers, got.N(), want.N())
+			}
+			for i := 0; i < got.N(); i++ {
+				identicalVecs(t, i, want.Vec(i), got.Vec(i))
+			}
+		}
+	}
+}
+
+// TestSparseSolveDeterministic asserts repeated solves of the same seed
+// produce bit-identical vectors (the solver fixes its accumulation order).
+func TestSparseSolveDeterministic(t *testing.T) {
+	g := parityGraph(t, 3)
+	o := DefaultOptions()
+	for seed := 0; seed < g.N(); seed += 17 {
+		a, err := SparseSolve(g, seed, o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := SparseSolve(g, seed, o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		identicalVecs(t, seed, a, b)
+	}
+}
+
+// TestPrecomputePartialParallelParity covers the partial path, including
+// duplicate seeds (which must not race or double-solve).
+func TestPrecomputePartialParallelParity(t *testing.T) {
+	g := parityGraph(t, 5)
+	seeds := []int{0, 3, 3, 9, 41, 9, 120, 0, 77}
+	seq := DefaultOptions()
+	seq.Workers = 1
+	want, err := PrecomputePartial(g, seq, seeds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par := DefaultOptions()
+	par.Workers = 4
+	got, err := PrecomputePartial(g, par, seeds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < g.N(); i++ {
+		if (want.Vec(i) == nil) != (got.Vec(i) == nil) {
+			t.Fatalf("task %d: nil mismatch", i)
+		}
+		if want.Vec(i) != nil {
+			identicalVecs(t, i, want.Vec(i), got.Vec(i))
+		}
+	}
+}
+
+// TestPrecomputePartialRejectsBadSeed keeps the validation behaviour.
+func TestPrecomputePartialRejectsBadSeed(t *testing.T) {
+	g := parityGraph(t, 1)
+	if _, err := PrecomputePartial(g, DefaultOptions(), []int{0, g.N()}); err == nil {
+		t.Fatal("expected out-of-range seed error")
+	}
+}
+
+// TestOptionsWorkersValidation rejects a negative pool size.
+func TestOptionsWorkersValidation(t *testing.T) {
+	o := DefaultOptions()
+	o.Workers = -1
+	if _, err := Precompute(parityGraph(t, 1), o); err == nil {
+		t.Fatal("expected Workers validation error")
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"icrowd/internal/simgraph"
 )
@@ -26,8 +27,13 @@ type Options struct {
 	// MaxIter caps the number of iterations.
 	MaxIter int
 	// DropTol truncates sparse-solver entries below this magnitude to keep
-	// the basis vectors local; 0 keeps everything the iteration touches.
+	// the basis vectors local; 0 keeps everything the iteration touched.
 	DropTol float64
+	// Workers bounds the seed-solve fan-out of Precompute and
+	// PrecomputePartial: 0 uses GOMAXPROCS, 1 forces the sequential path.
+	// Every seed is solved independently and merged at its own index, so the
+	// result is bit-identical for any worker count.
+	Workers int
 }
 
 // DefaultOptions returns the solver configuration used across experiments:
@@ -46,7 +52,25 @@ func (o Options) validate() error {
 	if o.Tol < 0 || o.DropTol < 0 {
 		return errors.New("ppr: negative tolerance")
 	}
+	if o.Workers < 0 {
+		return errors.New("ppr: Workers must be >= 0")
+	}
 	return nil
+}
+
+// workerCount resolves Options.Workers against the job size.
+func (o Options) workerCount(n int) int {
+	w := o.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
 }
 
 // DenseSolve iterates Eq. (4) to convergence for an arbitrary observed
@@ -90,6 +114,11 @@ func DenseSolve(g *simgraph.Graph, q []float64, o Options) ([]float64, error) {
 // Eq. (4) when q = e_seed. It expands the truncated Neumann series
 // restart * sum_k (c S')^k e_seed with a sparse frontier, so the cost is
 // proportional to the seed's graph neighborhood rather than to N.
+//
+// Frontier nodes are expanded in ascending ID order, fixing the
+// floating-point accumulation order: the result is bit-identical across
+// runs, which is what lets the parallel Precompute stay byte-identical to
+// the sequential path.
 func SparseSolve(g *simgraph.Graph, seed int, o Options) (map[int]float64, error) {
 	if err := o.validate(); err != nil {
 		return nil, err
@@ -102,15 +131,28 @@ func SparseSolve(g *simgraph.Graph, seed int, o Options) (map[int]float64, error
 
 	p := map[int]float64{seed: restart}
 	frontier := map[int]float64{seed: restart}
+	var order []int
 	for iter := 0; iter < o.MaxIter && len(frontier) > 0; iter++ {
 		next := make(map[int]float64, len(frontier)*2)
-		for i, x := range frontier {
+		order = order[:0]
+		for i := range frontier {
+			order = append(order, i)
+		}
+		sort.Ints(order)
+		for _, i := range order {
+			x := frontier[i]
 			g.Neighbors(i, func(j int, _, norm float64) {
 				next[j] += c * norm * x
 			})
 		}
+		order = order[:0]
+		for j := range next {
+			order = append(order, j)
+		}
+		sort.Ints(order)
 		var mass float64
-		for j, x := range next {
+		for _, j := range order {
+			x := next[j]
 			if x < o.DropTol && -x < o.DropTol {
 				delete(next, j)
 				continue
@@ -137,49 +179,20 @@ type Basis struct {
 	vecs []map[int]float64
 }
 
-// Precompute runs SparseSolve for every task in parallel (offline step of
-// Algorithm 1 / Algorithm 4 line 2-3).
+// Precompute runs SparseSolve for every task across a bounded worker pool
+// (offline step of Algorithm 1 / Algorithm 4 line 2-3). Options.Workers
+// sizes the pool; the output is bit-identical for any pool size.
 func Precompute(g *simgraph.Graph, o Options) (*Basis, error) {
 	if err := o.validate(); err != nil {
 		return nil, err
 	}
 	b := &Basis{opts: o, vecs: make([]map[int]float64, g.N())}
-	workers := runtime.GOMAXPROCS(0)
-	if workers > g.N() {
-		workers = g.N()
+	seeds := make([]int, g.N())
+	for i := range seeds {
+		seeds[i] = i
 	}
-	if workers < 1 {
-		workers = 1
-	}
-	var wg sync.WaitGroup
-	var mu sync.Mutex
-	var firstErr error
-	ch := make(chan int, workers)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range ch {
-				v, err := SparseSolve(g, i, o)
-				if err != nil {
-					mu.Lock()
-					if firstErr == nil {
-						firstErr = err
-					}
-					mu.Unlock()
-					continue
-				}
-				b.vecs[i] = v
-			}
-		}()
-	}
-	for i := 0; i < g.N(); i++ {
-		ch <- i
-	}
-	close(ch)
-	wg.Wait()
-	if firstErr != nil {
-		return nil, firstErr
+	if err := solveSeeds(g, o, seeds, b.vecs); err != nil {
+		return nil, err
 	}
 	return b, nil
 }
@@ -188,25 +201,86 @@ func Precompute(g *simgraph.Graph, o Options) (*Basis, error) {
 // (others stay nil). The Figure-10 scalability experiment uses it: online
 // estimation and assignment only ever read the vectors of *observed* tasks,
 // so precomputing all N vectors of a million-task graph is unnecessary.
+// Like Precompute it fans out across Options.Workers solvers with
+// deterministic merge order.
 func PrecomputePartial(g *simgraph.Graph, o Options, seeds []int) (*Basis, error) {
 	if err := o.validate(); err != nil {
 		return nil, err
 	}
 	b := &Basis{opts: o, vecs: make([]map[int]float64, g.N())}
+	// Deduplicate up front so no two pool workers ever write the same index.
+	uniq := make([]int, 0, len(seeds))
+	seen := make(map[int]bool, len(seeds))
 	for _, s := range seeds {
 		if s < 0 || s >= g.N() {
 			return nil, errors.New("ppr: seed out of range")
 		}
-		if b.vecs[s] != nil {
-			continue
+		if !seen[s] {
+			seen[s] = true
+			uniq = append(uniq, s)
 		}
-		v, err := SparseSolve(g, s, o)
-		if err != nil {
-			return nil, err
-		}
-		b.vecs[s] = v
+	}
+	if err := solveSeeds(g, o, uniq, b.vecs); err != nil {
+		return nil, err
 	}
 	return b, nil
+}
+
+// solveChunk is how many seeds a pool worker claims at a time: large enough
+// to amortize the atomic fetch, small enough to keep the pool balanced.
+const solveChunk = 16
+
+// solveSeeds solves every seed in the list (assumed valid and distinct) and
+// stores vecs[seed]. With one worker it runs inline; otherwise a bounded
+// pool claims contiguous chunks off an atomic cursor. Each result lands at
+// its own index and errors are reported for the lowest failing seed
+// position, so the outcome is independent of goroutine scheduling.
+func solveSeeds(g *simgraph.Graph, o Options, seeds []int, vecs []map[int]float64) error {
+	workers := o.workerCount(len(seeds))
+	if workers == 1 {
+		for _, s := range seeds {
+			v, err := SparseSolve(g, s, o)
+			if err != nil {
+				return err
+			}
+			vecs[s] = v
+		}
+		return nil
+	}
+	errs := make([]error, len(seeds))
+	var cursor atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				start := int(cursor.Add(solveChunk)) - solveChunk
+				if start >= len(seeds) {
+					return
+				}
+				end := start + solveChunk
+				if end > len(seeds) {
+					end = len(seeds)
+				}
+				for k := start; k < end; k++ {
+					v, err := SparseSolve(g, seeds[k], o)
+					if err != nil {
+						errs[k] = err
+						continue
+					}
+					vecs[seeds[k]] = v
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // N returns the number of tasks the basis covers.

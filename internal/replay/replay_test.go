@@ -144,7 +144,7 @@ func TestReplayRandomMVConsumesOnlyPoolAnswers(t *testing.T) {
 
 func TestReplayICrowdEndToEnd(t *testing.T) {
 	ds, _, p := testPool(t)
-	basis, err := core.BuildBasis(ds, "Jaccard", 0.25, 0, 1.0, 1)
+	basis, err := core.BuildBasis(ds, core.DefaultBasisConfig())
 	if err != nil {
 		t.Fatal(err)
 	}

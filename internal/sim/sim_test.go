@@ -234,7 +234,9 @@ func TestRunICrowdWithDiverseCrowd(t *testing.T) {
 	// Integration: iCrowd on Table-1 tasks with domain specialists should
 	// complete and score well, because it routes tasks to the specialists.
 	dds := task.ProductMatching()
-	basis, err := core.BuildBasis(dds, "Jaccard", 0.5, 0, 1.0, 1)
+	bc := core.DefaultBasisConfig()
+	bc.Threshold = 0.5
+	basis, err := core.BuildBasis(dds, bc)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -157,7 +157,9 @@ func TestReplayReconstructsRandomMV(t *testing.T) {
 
 func TestReplayReconstructsICrowd(t *testing.T) {
 	ds := task.ProductMatching()
-	basis, err := core.BuildBasis(ds, "Jaccard", 0.5, 0, 1.0, 1)
+	bc := core.DefaultBasisConfig()
+	bc.Threshold = 0.5
+	basis, err := core.BuildBasis(ds, bc)
 	if err != nil {
 		t.Fatal(err)
 	}
