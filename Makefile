@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test check vet race parity bench bench-all clean
+.PHONY: all build test check lint vet race parity bench bench-all clean
 
 all: build
 
@@ -14,6 +14,14 @@ build:
 vet:
 	$(GO) vet ./...
 
+# Static hygiene: go vet plus gofmt as a failing check (gofmt -l lists
+# unformatted files but always exits 0, so fail explicitly when it does).
+lint: vet
+	@unformatted=$$(gofmt -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
+	fi
+
 # Full suite under the race detector, soak test included.
 race:
 	$(GO) test -race ./...
@@ -26,7 +34,7 @@ parity:
 	$(GO) test -run 'Parity|Golden|Deterministic' ./internal/ppr ./internal/core ./internal/platform
 
 # The gate a PR must pass.
-check: vet parity race
+check: lint parity race
 
 # Hot-path benchmarks -> BENCH_hotpath.json (sequential vs parallel
 # precompute, incremental scheme recompute, /assign read throughput).

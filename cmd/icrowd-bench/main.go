@@ -19,9 +19,12 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"sort"
 	"testing"
 
+	"icrowd/internal/core"
 	"icrowd/internal/hotbench"
+	"icrowd/internal/obsv"
 )
 
 type benchRecord struct {
@@ -44,7 +47,13 @@ type report struct {
 	Benchmarks        []benchRecord `json:"benchmarks"`
 	PrecomputeSpeedup float64       `json:"precompute_speedup"`
 	SpeedupTarget     float64       `json:"speedup_target"`
-	Note              string        `json:"note,omitempty"`
+	// AssignMetricsOverhead is the fractional ns/op cost of the
+	// observability layer on the assign fast path: the median over
+	// alternating on/off benchmark pairs of (metrics-on - metrics-off) /
+	// metrics-off. The budget is <= 0.05.
+	AssignMetricsOverhead float64 `json:"assign_metrics_overhead"`
+	MetricsOverheadBudget float64 `json:"metrics_overhead_budget"`
+	Note                  string  `json:"note,omitempty"`
 }
 
 func run(name string, fn func(*testing.B)) benchRecord {
@@ -67,13 +76,52 @@ func run(name string, fn func(*testing.B)) benchRecord {
 	return rec
 }
 
+// runPaired measures two near-identical benchmarks by alternating passes
+// (a, b, a, b, ...) and reporting the median of the per-pair fractional
+// deltas (aNs-bNs)/bNs. The assign fast path is ~130ns/op, where machine
+// drift between passes exceeds the metrics-overhead signal being
+// measured; adjacent pairing cancels the drift and the median discards a
+// single disturbed pair. The returned records are each side's fastest
+// pass.
+func runPaired(aName string, aFn func(*testing.B), bName string, bFn func(*testing.B), pairs int) (a, b benchRecord, medianDelta float64) {
+	deltas := make([]float64, 0, pairs)
+	for i := 0; i < pairs; i++ {
+		ra := run(aName, aFn)
+		rb := run(bName, bFn)
+		deltas = append(deltas, float64(ra.NsPerOp-rb.NsPerOp)/float64(rb.NsPerOp))
+		if i == 0 || ra.NsPerOp < a.NsPerOp {
+			a = ra
+		}
+		if i == 0 || rb.NsPerOp < b.NsPerOp {
+			b = rb
+		}
+	}
+	sort.Float64s(deltas)
+	return a, b, deltas[len(deltas)/2]
+}
+
 func main() {
 	out := flag.String("out", "BENCH_hotpath.json", "report file path (- for stdout)")
+	mAddr := flag.String("metrics-addr", "", "serve process metrics (Prometheus text) on this listener while benchmarking")
 	flag.Parse()
+
+	if *mAddr != "" {
+		ms, err := obsv.Serve(*mAddr, obsv.Default(), false)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "icrowd-bench:", err)
+			os.Exit(1)
+		}
+		defer ms.Close()
+		fmt.Fprintf(os.Stderr, "icrowd-bench: metrics listener on %s\n", *mAddr)
+	}
 
 	pw := hotbench.ParallelWorkers
 	seq := run("BenchmarkPrecompute/workers=1", hotbench.Precompute(1))
 	par := run(fmt.Sprintf("BenchmarkPrecompute/workers=%d", pw), hotbench.Precompute(pw))
+	assignOn, assignOff, overhead := runPaired(
+		fmt.Sprintf("BenchmarkAssignThroughput/workers=%d", pw), hotbench.AssignThroughput(pw),
+		fmt.Sprintf("BenchmarkAssignThroughput/workers=%d/metrics=off", pw),
+		hotbench.AssignThroughput(pw, core.WithMetrics(nil)), 3)
 	rep := report{
 		GeneratedBy:     "icrowd-bench",
 		GoVersion:       runtime.Version(),
@@ -87,10 +135,13 @@ func main() {
 			par,
 			run("BenchmarkComputeScheme/concurrency=1", hotbench.ComputeScheme(1)),
 			run(fmt.Sprintf("BenchmarkComputeScheme/concurrency=%d", pw), hotbench.ComputeScheme(pw)),
-			run(fmt.Sprintf("BenchmarkAssignThroughput/workers=%d", pw), hotbench.AssignThroughput(pw)),
+			assignOn,
+			assignOff,
 		},
-		PrecomputeSpeedup: float64(seq.NsPerOp) / float64(par.NsPerOp),
-		SpeedupTarget:     2.0,
+		PrecomputeSpeedup:     float64(seq.NsPerOp) / float64(par.NsPerOp),
+		SpeedupTarget:         2.0,
+		AssignMetricsOverhead: overhead,
+		MetricsOverheadBudget: 0.05,
 	}
 	if rep.NumCPU < pw {
 		rep.Note = fmt.Sprintf("measured on %d core(s); the >=%.0fx precompute speedup target assumes >=%d cores backing the %d-way solver pool",

@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"os"
 
+	"icrowd/internal/obsv"
 	"icrowd/internal/task"
 )
 
@@ -24,8 +25,18 @@ func main() {
 		out      = flag.String("out", "", "output file (default stdout)")
 		n        = flag.Int("n", 100, "task count for the Uniform generator")
 		validate = flag.String("validate", "", "validate an existing dataset JSON file and print its statistics")
+		mAddr    = flag.String("metrics-addr", "", "serve process metrics (Prometheus text) on this listener while generating")
 	)
 	flag.Parse()
+
+	if *mAddr != "" {
+		ms, err := obsv.Serve(*mAddr, obsv.Default(), false)
+		if err != nil {
+			fail(err)
+		}
+		defer ms.Close()
+		fmt.Fprintf(os.Stderr, "icrowd-datagen: metrics listener on %s\n", *mAddr)
+	}
 
 	if *validate != "" {
 		ds, err := task.LoadJSON(*validate)

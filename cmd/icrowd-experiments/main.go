@@ -17,6 +17,7 @@ import (
 	"strings"
 
 	"icrowd/internal/experiments"
+	"icrowd/internal/obsv"
 )
 
 func main() {
@@ -35,8 +36,19 @@ func main() {
 		workers   = flag.Int("workers", 0, "worker-pool size override (0 = paper default)")
 		conc      = flag.Int("concurrency", 0, "estimation/assignment fan-out (0 = GOMAXPROCS, 1 = sequential)")
 		format    = flag.String("format", "text", "output format: text, csv, markdown")
+		mAddr     = flag.String("metrics-addr", "", "serve live run metrics (Prometheus text) on this listener while experiments run")
 	)
 	flag.Parse()
+
+	if *mAddr != "" {
+		ms, err := obsv.Serve(*mAddr, obsv.Default(), false)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "icrowd-experiments:", err)
+			os.Exit(1)
+		}
+		defer ms.Close()
+		fmt.Fprintf(os.Stderr, "icrowd-experiments: metrics listener on %s\n", *mAddr)
+	}
 
 	opt := experiments.Options{
 		Seed:         *seed,

@@ -28,6 +28,7 @@ import (
 	"icrowd/internal/baseline"
 	"icrowd/internal/core"
 	"icrowd/internal/experiments"
+	"icrowd/internal/obsv"
 	"icrowd/internal/platform"
 	"icrowd/internal/ppr"
 	"icrowd/internal/qualify"
@@ -51,6 +52,8 @@ func main() {
 		fsync     = flag.String("fsync", "never", "event-log fsync policy: never, always, or an integer N (fsync every N appends)")
 		snapEvery = flag.Int("snapshot-every", 0, "snapshot+compact the event log every N appends (0 disables; requires -log)")
 		conc      = flag.Int("concurrency", 0, "estimation/assignment fan-out (0 = GOMAXPROCS, 1 = sequential)")
+		mAddr     = flag.String("metrics-addr", "", "serve Prometheus metrics on this extra listener (metrics are always at GET /v1/metrics on -addr)")
+		pprofOn   = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ on -addr (and on -metrics-addr when set)")
 	)
 	flag.Parse()
 
@@ -164,6 +167,18 @@ func main() {
 		stop := srv.StartSweeper(interval)
 		defer stop()
 		log.Printf("icrowd-server: assignment leases %s, sweeping every %s", *lease, interval)
+	}
+	if *pprofOn {
+		srv.EnablePprof()
+		log.Printf("icrowd-server: pprof enabled under /debug/pprof/")
+	}
+	if *mAddr != "" {
+		ms, err := obsv.Serve(*mAddr, srv.Registry(), *pprofOn)
+		if err != nil {
+			fail(err)
+		}
+		defer ms.Close()
+		log.Printf("icrowd-server: metrics listener on %s", *mAddr)
 	}
 	log.Printf("icrowd-server: %s over %s (%d tasks) listening on %s",
 		st.Name(), ds.Name, ds.Len(), *addr)

@@ -17,6 +17,7 @@ import (
 	"icrowd/internal/baseline"
 	"icrowd/internal/core"
 	"icrowd/internal/experiments"
+	"icrowd/internal/obsv"
 	"icrowd/internal/qualify"
 	"icrowd/internal/sim"
 	"icrowd/internal/simgraph"
@@ -35,8 +36,19 @@ func main() {
 		workers   = flag.Int("workers", 0, "worker-pool size (0 = paper default)")
 		conc      = flag.Int("concurrency", 0, "estimation/assignment fan-out (0 = GOMAXPROCS, 1 = sequential)")
 		top       = flag.Int("top", 10, "how many top workers to list")
+		mAddr     = flag.String("metrics-addr", "", "serve live run metrics (Prometheus text) on this listener while the simulation runs")
+		pprofOn   = flag.Bool("pprof", false, "mount net/http/pprof on the -metrics-addr listener")
 	)
 	flag.Parse()
+
+	if *mAddr != "" {
+		ms, err := obsv.Serve(*mAddr, obsv.Default(), *pprofOn)
+		if err != nil {
+			fail(err)
+		}
+		defer ms.Close()
+		fmt.Fprintf(os.Stderr, "icrowd-sim: metrics listener on %s\n", *mAddr)
+	}
 
 	ds, pool, err := experiments.LoadDataset(*dataset, *seed, *workers)
 	if err != nil {

@@ -21,6 +21,7 @@ import (
 	"os"
 	"strings"
 
+	"icrowd/internal/obsv"
 	"icrowd/internal/platform"
 	"icrowd/internal/task"
 )
@@ -29,11 +30,20 @@ func main() {
 	var (
 		server = flag.String("server", "http://localhost:8080", "icrowd-server base URL")
 		worker = flag.String("worker", "", "worker ID (required)")
+		mAddr  = flag.String("metrics-addr", "", "serve client-side metrics (Prometheus text) on this listener")
 	)
 	flag.Parse()
 	if *worker == "" {
 		fmt.Fprintln(os.Stderr, "icrowd-worker: -worker is required")
 		os.Exit(2)
+	}
+	if *mAddr != "" {
+		ms, err := obsv.Serve(*mAddr, obsv.Default(), false)
+		if err != nil {
+			fail(err)
+		}
+		defer ms.Close()
+		fmt.Fprintf(os.Stderr, "icrowd-worker: metrics listener on %s\n", *mAddr)
 	}
 	client := &platform.Client{BaseURL: *server}
 	in := bufio.NewScanner(os.Stdin)

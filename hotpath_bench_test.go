@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"testing"
 
+	"icrowd/internal/core"
 	"icrowd/internal/hotbench"
 )
 
@@ -30,8 +31,12 @@ func BenchmarkComputeScheme(b *testing.B) {
 }
 
 // BenchmarkAssignThroughput measures the /assign fast path: concurrent
-// idempotent redelivery reads served under the framework's read lock.
+// idempotent redelivery reads served under the framework's read lock. The
+// metrics=off variant disables the observability layer to expose its
+// overhead (budget: <= 5%, tracked in BENCH_hotpath.json).
 func BenchmarkAssignThroughput(b *testing.B) {
 	b.Run(fmt.Sprintf("workers=%d", hotbench.ParallelWorkers),
 		hotbench.AssignThroughput(hotbench.ParallelWorkers))
+	b.Run(fmt.Sprintf("workers=%d/metrics=off", hotbench.ParallelWorkers),
+		hotbench.AssignThroughput(hotbench.ParallelWorkers, core.WithMetrics(nil)))
 }

@@ -2,6 +2,7 @@ package core
 
 import (
 	"icrowd/internal/estimate"
+	"icrowd/internal/obsv"
 	"icrowd/internal/ppr"
 	"icrowd/internal/qualify"
 	"icrowd/internal/simgraph"
@@ -125,6 +126,8 @@ type newOptions struct {
 	qual        []int
 	qualSet     bool
 	schemeCache bool
+	metrics     *obsv.Registry
+	metricsSet  bool
 }
 
 // WithQualification supplies an explicit qualification microtask set,
@@ -141,4 +144,16 @@ func WithQualification(qual []int) Option {
 // worker sets from scratch — useful for verification and benchmarking.
 func WithSchemeCache(enabled bool) Option {
 	return func(o *newOptions) { o.schemeCache = enabled }
+}
+
+// WithMetrics selects the registry the framework records its hot-path
+// metrics into (request latency, scheme recompute latency and dirty-set
+// sizes). The default is obsv.Default(); passing nil disables metrics
+// entirely — every instrument becomes a no-op and the request path skips
+// even the clock reads.
+func WithMetrics(reg *obsv.Registry) Option {
+	return func(o *newOptions) {
+		o.metrics = reg
+		o.metricsSet = true
+	}
 }

@@ -6,9 +6,11 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"icrowd/internal/assign"
 	"icrowd/internal/estimate"
+	"icrowd/internal/obsv"
 	"icrowd/internal/ppr"
 	"icrowd/internal/qualify"
 	"icrowd/internal/task"
@@ -61,6 +63,16 @@ type ICrowd struct {
 	recomputeMu sync.Mutex // serializes scheme recomputation
 	events      eventLog
 	sched       *scheduler
+
+	// Hot-path instruments (nil when metrics are disabled via
+	// WithMetrics(nil); every method on a nil instrument no-ops).
+	// reqSample gates RequestTask latency sampling; see RequestTask.
+	reqSample    atomic.Bool
+	mReqLat      *obsv.Histogram // RequestTask latency (sampled)
+	mSchemeLat   *obsv.Histogram // recomputeScheme latency (actual runs)
+	mSchemeRuns  *obsv.Counter   // recomputeScheme actual runs
+	mStaleTasks  *obsv.Gauge     // stale top-worker sets in the last run
+	mPoolWorkers *obsv.Gauge     // pool fan-out of the last run
 }
 
 type workerInfo struct {
@@ -130,6 +142,21 @@ func New(ds *task.Dataset, basis *ppr.Basis, cfg Config, opts ...Option) (*ICrow
 		scheme:  map[string]int{},
 		sched:   newScheduler(no.schemeCache, cfg.Concurrency),
 	}
+	reg := no.metrics
+	if !no.metricsSet {
+		reg = obsv.Default()
+	}
+	ic.mReqLat = reg.Histogram("icrowd_core_request_seconds",
+		"RequestTask latency (scheme lookups and Step-3 tests included).",
+		obsv.HotLatencyBuckets)
+	ic.mSchemeLat = reg.Histogram("icrowd_core_scheme_recompute_seconds",
+		"Latency of actual Algorithm-2 scheme recomputations.", nil)
+	ic.mSchemeRuns = reg.Counter("icrowd_core_scheme_runs_total",
+		"Algorithm-2 scheme recomputations that actually ran (dirty flag won).")
+	ic.mStaleTasks = reg.Gauge("icrowd_core_scheme_stale_tasks",
+		"Stale top-worker sets recomputed by the last Algorithm-2 run.")
+	ic.mPoolWorkers = reg.Gauge("icrowd_core_scheme_pool_workers",
+		"Solver-pool fan-out of the last Algorithm-2 run.")
 	ic.schemeDirty.Store(true)
 	// Qualification microtasks carry requester ground truth: the paper
 	// treats them as globally completed from the start.
@@ -185,7 +212,29 @@ func (ic *ICrowd) worker(id string, create bool) (*workerInfo, bool) {
 // microtasks (Warm-Up); qualified workers are served from the adaptive
 // assignment scheme (Algorithm 2); workers the scheme skipped get a Step-3
 // performance test.
+// RequestTask latency is gate-sampled: every SubmitAnswer arms reqSample,
+// and the next request to win the CAS is timed — at most one sample per
+// submit, and it is the interesting request (the adaptive round after new
+// evidence), not an idempotent redelivery read. The redelivery fast path
+// pays a single atomic load (~2ns); timing every request would cost two
+// clock reads (~130ns on this class of box), and even a shared sampling
+// counter is an RMW (~10ns) — both beyond the <= 5% observability budget
+// that BENCH_hotpath.json tracks. Pure redelivery storms still show up in
+// the platform's per-endpoint HTTP histogram.
 func (ic *ICrowd) RequestTask(worker string) (int, bool) {
+	if ic.mReqLat == nil || !ic.reqSample.Load() {
+		return ic.requestTask(worker)
+	}
+	if !ic.reqSample.CompareAndSwap(true, false) {
+		return ic.requestTask(worker)
+	}
+	start := time.Now()
+	t, ok := ic.requestTask(worker)
+	ic.mReqLat.Observe(time.Since(start))
+	return t, ok
+}
+
+func (ic *ICrowd) requestTask(worker string) (int, bool) {
 	info, existed := ic.worker(worker, true)
 	if !existed {
 		ic.mu.Lock()
@@ -266,6 +315,10 @@ func (ic *ICrowd) recomputeScheme() {
 	if !ic.schemeDirty.Swap(false) {
 		return // an earlier holder already recomputed
 	}
+	var start time.Time
+	if ic.mSchemeLat != nil {
+		start = time.Now()
+	}
 
 	ic.wmu.Lock()
 	snapshot := make(map[string]*workerInfo, len(ic.workers))
@@ -292,6 +345,10 @@ func (ic *ICrowd) recomputeScheme() {
 	ic.schemeMu.Lock()
 	ic.scheme = scheme
 	ic.schemeMu.Unlock()
+	if ic.mSchemeLat != nil {
+		ic.mSchemeLat.Observe(time.Since(start))
+		ic.mSchemeRuns.Inc()
+	}
 }
 
 // eligible reports whether the worker may be assigned the task under the
@@ -398,6 +455,9 @@ func (ic *ICrowd) performanceTest(worker string, info *workerInfo) (int, bool) {
 // microtask reaches consensus the estimator observes every voter via
 // Eq. (5) (unless the mode is QF-Only).
 func (ic *ICrowd) SubmitAnswer(worker string, taskID int, ans task.Answer) error {
+	if ic.mReqLat != nil {
+		ic.reqSample.Store(true) // arm latency sampling for the next request
+	}
 	info, ok := ic.worker(worker, false)
 	if !ok {
 		return fmt.Errorf("core: unknown worker %s", worker)

@@ -1,0 +1,74 @@
+package core
+
+import (
+	"testing"
+
+	"icrowd/internal/obsv"
+)
+
+// TestRequestLatencyGateSampling pins the gate-sampled RequestTask timing:
+// a submit arms the gate, exactly one following request is timed, and
+// redelivery-style repeat requests are never timed.
+func TestRequestLatencyGateSampling(t *testing.T) {
+	ds, b := table1Basis(t)
+	reg := obsv.NewRegistry()
+	cfg := DefaultConfig()
+	cfg.Q = 2
+	ic, err := New(ds, b, cfg, WithMetrics(reg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The registry dedups by name, so this is the framework's histogram.
+	h := reg.Histogram("icrowd_core_request_seconds",
+		"RequestTask latency (sampled)", obsv.HotLatencyBuckets)
+
+	// Walk the worker through qualification; every submit arms the gate.
+	for range ic.QualificationTasks() {
+		tid, ok := ic.RequestTask("w")
+		if !ok {
+			t.Fatal("no qualification task")
+		}
+		if err := ic.SubmitAnswer("w", tid, ds.Tasks[tid].Truth); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// The last submit left the gate armed: the next request is timed,
+	// the ones after it (idempotent redeliveries) are not.
+	tid, ok := ic.RequestTask("w")
+	if !ok {
+		t.Fatal("no adaptive task")
+	}
+	n := h.Count()
+	if n == 0 {
+		t.Fatal("armed request was not timed")
+	}
+	for i := 0; i < 10; i++ {
+		if tid2, ok := ic.RequestTask("w"); !ok || tid2 != tid {
+			t.Fatalf("redelivery changed: got (%d,%v), want (%d,true)", tid2, ok, tid)
+		}
+	}
+	if got := h.Count(); got != n {
+		t.Fatalf("redelivery reads were timed: count %d -> %d", n, got)
+	}
+
+	// A new submit re-arms: exactly one more sample.
+	if err := ic.SubmitAnswer("w", tid, ds.Tasks[tid].Truth); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := ic.RequestTask("w"); !ok {
+		t.Fatal("no task after submit")
+	}
+	if got := h.Count(); got != n+1 {
+		t.Fatalf("post-submit request should add one sample: count %d -> %d", n, got)
+	}
+
+	// WithMetrics(nil) disables the layer entirely.
+	ic2, err := New(ds, b, cfg, WithMetrics(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ic2.mReqLat != nil {
+		t.Fatal("WithMetrics(nil) left instruments live")
+	}
+}

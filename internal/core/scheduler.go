@@ -150,6 +150,7 @@ func (s *scheduler) compute(ic *ICrowd, active []string, events map[int]bool) ma
 		}
 	}
 
+	ic.mStaleTasks.Set(float64(len(stale)))
 	if len(stale) > 0 {
 		ix := assign.NewIndex(est, active)
 		results := make([][]assign.Candidate, len(stale))
@@ -159,7 +160,9 @@ func (s *scheduler) compute(ic *ICrowd, active []string, events map[int]bool) ma
 				return job.Touched(w, t) || !ic.eligible(w, t)
 			})
 		}
-		if workers := s.workerCount(len(stale)); workers == 1 {
+		workers := s.workerCount(len(stale))
+		ic.mPoolWorkers.Set(float64(workers))
+		if workers == 1 {
 			for k := range stale {
 				solve(k)
 			}

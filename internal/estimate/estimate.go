@@ -26,6 +26,7 @@ import (
 	"sort"
 
 	"icrowd/internal/aggregate"
+	"icrowd/internal/obsv"
 	"icrowd/internal/ppr"
 	"icrowd/internal/stats"
 	"icrowd/internal/task"
@@ -214,9 +215,21 @@ func (e *Estimator) DirtyTasks() []int {
 // worker's base accuracy moved after warm-up).
 func (e *Estimator) DirtyAll() bool { return e.dirtyAll }
 
+// Dirty-feed gauges on the process default registry, sampled whenever a
+// consumer drains the feed: how much estimation churn each scheduler pass
+// absorbed.
+var (
+	mDirtyWorkers = obsv.Default().Gauge("icrowd_estimate_dirty_workers",
+		"Workers whose estimates changed in the drained dirty feed.")
+	mDirtyTasks = obsv.Default().Gauge("icrowd_estimate_dirty_tasks",
+		"Tasks invalidated in the drained dirty feed.")
+)
+
 // ResetDirty clears the change feed; the next DirtyWorkers/DirtyTasks
 // report changes relative to this point.
 func (e *Estimator) ResetDirty() {
+	mDirtyWorkers.Set(float64(len(e.dirtyW)))
+	mDirtyTasks.Set(float64(len(e.dirtyT)))
 	e.dirtyW = make(map[string]bool)
 	e.dirtyT = make(map[int]bool)
 	e.dirtyAll = false

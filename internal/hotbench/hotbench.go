@@ -67,9 +67,9 @@ func pool(n int) []string {
 // qualified builds an ICrowd job on ds/basis and walks every worker in
 // ids through qualification (answering ground truth), leaving the job at
 // the start of its adaptive phase.
-func qualified(b *testing.B, ds *task.Dataset, basis *ppr.Basis, cfg core.Config, ids []string) *core.ICrowd {
+func qualified(b *testing.B, ds *task.Dataset, basis *ppr.Basis, cfg core.Config, ids []string, opts ...core.Option) *core.ICrowd {
 	b.Helper()
-	ic, err := core.New(ds, basis, cfg)
+	ic, err := core.New(ds, basis, cfg, opts...)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -130,7 +130,11 @@ func ComputeScheme(concurrency int) func(*testing.B) {
 // goroutines hammer RequestTask, exercising the idempotent-redelivery
 // read path — the /assign fast path that the sharded lock scheme serves
 // from a read lock without blocking behind scheme recomputation.
-func AssignThroughput(nWorkers int) func(*testing.B) {
+//
+// opts pass through to core.New; the bench tooling uses
+// core.WithMetrics(nil) to measure the metrics-off variant and report the
+// observability layer's hot-path overhead.
+func AssignThroughput(nWorkers int, opts ...core.Option) func(*testing.B) {
 	return func(b *testing.B) {
 		ds, g, err := Graph()
 		if err != nil {
@@ -142,7 +146,7 @@ func AssignThroughput(nWorkers int) func(*testing.B) {
 		}
 		cfg := core.DefaultConfig()
 		ids := pool(nWorkers)
-		ic := qualified(b, ds, basis, cfg, ids)
+		ic := qualified(b, ds, basis, cfg, ids, opts...)
 		for _, w := range ids {
 			if _, ok := ic.RequestTask(w); !ok {
 				b.Fatalf("worker %s got no assignment", w)

@@ -1,0 +1,388 @@
+// Package obsv is the stdlib-only observability layer: atomic counters,
+// gauges and fixed-bucket latency histograms behind a Registry that renders
+// the Prometheus text exposition format, plus a lightweight span tracer
+// (trace.go) with per-request IDs.
+//
+// The layer is built to sit on the estimation/assignment hot path, so every
+// instrument is allocation-free after creation: a Counter is one atomic
+// add, a Histogram observation is two atomic adds after a short linear
+// bucket scan, and a nil instrument is a no-op — callers that want metrics
+// off pass a nil *Registry and every derived instrument quietly disappears
+// without a second code path.
+//
+// Instruments are identified by (name, label pairs). Asking a Registry for
+// the same identity twice returns the same instrument, so packages can
+// re-derive their instruments idempotently instead of threading pointers.
+package obsv
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// DefaultLatencyBuckets covers HTTP-endpoint latencies: 100µs to 10s.
+var DefaultLatencyBuckets = []float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01,
+	0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// HotLatencyBuckets covers in-process hot-path latencies (the /assign fast
+// path runs in well under a microsecond): 250ns to 1s.
+var HotLatencyBuckets = []float64{
+	2.5e-7, 1e-6, 5e-6, 2.5e-5, 1e-4, 5e-4, 2.5e-3, 1e-2, 5e-2, 2.5e-1, 1,
+}
+
+var defaultRegistry = NewRegistry()
+
+// Default returns the process-wide registry. Subsystems that are not handed
+// an explicit registry record here, and the cmd binaries' -metrics-addr
+// listeners serve it.
+func Default() *Registry { return defaultRegistry }
+
+// Registry owns a set of metric families and renders them in the
+// Prometheus text exposition format. A nil *Registry is valid: every
+// instrument it returns is nil, and nil instruments no-op.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+	order    []string // family names in creation order
+}
+
+type kind int
+
+const (
+	kindCounter kind = iota
+	kindGauge
+	kindHistogram
+)
+
+func (k kind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+// family groups every instrument sharing one metric name.
+type family struct {
+	name  string
+	help  string
+	typ   kind
+	insts []instrument
+	index map[string]instrument // by rendered label string
+}
+
+type instrument interface {
+	write(w io.Writer, name, labels string)
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: map[string]*family{}}
+}
+
+// labelString renders alternating key/value pairs as `k1="v1",k2="v2"`.
+// Values are escaped per the exposition format.
+func labelString(pairs []string) string {
+	if len(pairs) == 0 {
+		return ""
+	}
+	if len(pairs)%2 != 0 {
+		panic("obsv: label pairs must come in key/value pairs")
+	}
+	var b strings.Builder
+	for i := 0; i < len(pairs); i += 2 {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(pairs[i])
+		b.WriteString(`="`)
+		v := pairs[i+1]
+		v = strings.ReplaceAll(v, `\`, `\\`)
+		v = strings.ReplaceAll(v, "\n", `\n`)
+		v = strings.ReplaceAll(v, `"`, `\"`)
+		b.WriteString(v)
+		b.WriteByte('"')
+	}
+	return b.String()
+}
+
+// get returns the existing instrument for (name, labels) or installs the
+// one built by mk. It panics when the name is reused with another type —
+// that is a programming error worth failing loudly on.
+func (r *Registry) get(name, help string, typ kind, labels string, mk func() instrument) instrument {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f, ok := r.families[name]
+	if !ok {
+		f = &family{name: name, help: help, typ: typ, index: map[string]instrument{}}
+		r.families[name] = f
+		r.order = append(r.order, name)
+	}
+	if f.typ != typ {
+		panic(fmt.Sprintf("obsv: metric %s registered as %s, requested as %s", name, f.typ, typ))
+	}
+	if inst, ok := f.index[labels]; ok {
+		return inst
+	}
+	inst := mk()
+	f.index[labels] = inst
+	f.insts = append(f.insts, inst)
+	return inst
+}
+
+// Counter returns the monotonically increasing counter for (name, label
+// pairs), creating it on first use. Nil registries return a nil counter.
+func (r *Registry) Counter(name, help string, labelPairs ...string) *Counter {
+	if r == nil {
+		return nil
+	}
+	ls := labelString(labelPairs)
+	return r.get(name, help, kindCounter, ls, func() instrument {
+		return &Counter{labels: ls}
+	}).(*Counter)
+}
+
+// Gauge returns the gauge for (name, label pairs), creating it on first
+// use. Nil registries return a nil gauge.
+func (r *Registry) Gauge(name, help string, labelPairs ...string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	ls := labelString(labelPairs)
+	return r.get(name, help, kindGauge, ls, func() instrument {
+		return &Gauge{labels: ls}
+	}).(*Gauge)
+}
+
+// Histogram returns the fixed-bucket latency histogram for (name, label
+// pairs), creating it on first use. buckets are upper bounds in seconds,
+// sorted ascending; nil uses DefaultLatencyBuckets. The bucket layout is
+// fixed at creation — later calls may pass nil. Nil registries return a
+// nil histogram.
+func (r *Registry) Histogram(name, help string, buckets []float64, labelPairs ...string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	ls := labelString(labelPairs)
+	return r.get(name, help, kindHistogram, ls, func() instrument {
+		if buckets == nil {
+			buckets = DefaultLatencyBuckets
+		}
+		if !sort.Float64sAreSorted(buckets) {
+			panic("obsv: histogram buckets must be sorted ascending")
+		}
+		return newHistogram(ls, buckets)
+	}).(*Histogram)
+}
+
+// WritePrometheus renders every family in the text exposition format,
+// families in creation order, series in creation order within a family.
+func (r *Registry) WritePrometheus(w io.Writer) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	names := append([]string(nil), r.order...)
+	fams := make([]*family, len(names))
+	for i, n := range names {
+		fams[i] = r.families[n]
+	}
+	r.mu.Unlock()
+	for _, f := range fams {
+		if f.help != "" {
+			fmt.Fprintf(w, "# HELP %s %s\n", f.name, f.help)
+		}
+		fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.typ)
+		r.mu.Lock()
+		insts := append([]instrument(nil), f.insts...)
+		r.mu.Unlock()
+		for _, inst := range insts {
+			switch v := inst.(type) {
+			case *Counter:
+				v.write(w, f.name, v.labels)
+			case *Gauge:
+				v.write(w, f.name, v.labels)
+			case *Histogram:
+				v.write(w, f.name, v.labels)
+			}
+		}
+	}
+}
+
+// Handler serves the registry as text/plain in the Prometheus exposition
+// format (the content type Prometheus scrapers expect).
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WritePrometheus(w)
+	})
+}
+
+// Counter is a monotonically increasing int64. All methods are safe for
+// concurrent use and no-op on a nil receiver.
+type Counter struct {
+	v      atomic.Int64
+	labels string
+}
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v.Add(1)
+	}
+}
+
+// Add adds n (negative deltas are ignored — counters only go up).
+func (c *Counter) Add(n int64) {
+	if c != nil && n > 0 {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count (0 on nil).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+func (c *Counter) write(w io.Writer, name, labels string) {
+	writeSample(w, name, labels, strconv.FormatInt(c.v.Load(), 10))
+}
+
+// Gauge is a float64 that can go up and down. All methods are safe for
+// concurrent use and no-op on a nil receiver.
+type Gauge struct {
+	bits   atomic.Uint64
+	labels string
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) {
+	if g != nil {
+		g.bits.Store(math.Float64bits(v))
+	}
+}
+
+// Add adds delta (compare-and-swap loop; gauges are off the hot path).
+func (g *Gauge) Add(delta float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		if g.bits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+delta)) {
+			return
+		}
+	}
+}
+
+// Value returns the current value (0 on nil).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+func (g *Gauge) write(w io.Writer, name, labels string) {
+	writeSample(w, name, labels, formatFloat(g.Value()))
+}
+
+// Histogram is a fixed-bucket latency histogram: bucket upper bounds in
+// seconds, counts and sum maintained with atomic adds only (the sum is
+// kept in integer nanoseconds so no CAS loop is needed). All methods are
+// safe for concurrent use and no-op on a nil receiver.
+type Histogram struct {
+	bounds   []float64 // upper bounds, seconds, ascending
+	counts   []atomic.Int64
+	sumNanos atomic.Int64
+	labels   string
+}
+
+func newHistogram(labels string, bounds []float64) *Histogram {
+	return &Histogram{
+		bounds: append([]float64(nil), bounds...),
+		counts: make([]atomic.Int64, len(bounds)+1), // +1 for +Inf
+		labels: labels,
+	}
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	if h == nil {
+		return
+	}
+	sec := d.Seconds()
+	i := 0
+	// Linear scan: bucket arrays are short (≤16) and the branch pattern is
+	// stable, which beats a binary search at this size.
+	for i < len(h.bounds) && sec > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.sumNanos.Add(int64(d))
+}
+
+// ObserveSeconds records one observation given in seconds.
+func (h *Histogram) ObserveSeconds(sec float64) {
+	h.Observe(time.Duration(sec * float64(time.Second)))
+}
+
+// Count returns the total number of observations (0 on nil).
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	var n int64
+	for i := range h.counts {
+		n += h.counts[i].Load()
+	}
+	return n
+}
+
+func (h *Histogram) write(w io.Writer, name, labels string) {
+	var cum int64
+	for i := range h.bounds {
+		cum += h.counts[i].Load()
+		le := `le="` + formatFloat(h.bounds[i]) + `"`
+		writeSample(w, name+"_bucket", joinLabels(labels, le), strconv.FormatInt(cum, 10))
+	}
+	cum += h.counts[len(h.bounds)].Load()
+	writeSample(w, name+"_bucket", joinLabels(labels, `le="+Inf"`), strconv.FormatInt(cum, 10))
+	writeSample(w, name+"_sum", labels, formatFloat(float64(h.sumNanos.Load())/1e9))
+	writeSample(w, name+"_count", labels, strconv.FormatInt(cum, 10))
+}
+
+func joinLabels(a, b string) string {
+	if a == "" {
+		return b
+	}
+	return a + "," + b
+}
+
+func writeSample(w io.Writer, name, labels, value string) {
+	if labels == "" {
+		fmt.Fprintf(w, "%s %s\n", name, value)
+	} else {
+		fmt.Fprintf(w, "%s{%s} %s\n", name, labels, value)
+	}
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

@@ -1,0 +1,167 @@
+package obsv
+
+import (
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGaugeRender(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("icrowd_events_total", "events seen", "kind", "assign")
+	c.Inc()
+	c.Add(2)
+	c.Add(-5) // ignored: counters only go up
+	if got := c.Value(); got != 3 {
+		t.Fatalf("counter value = %d, want 3", got)
+	}
+	g := r.Gauge("icrowd_pending", "pending work")
+	g.Set(2.5)
+	g.Add(-1)
+	if got := g.Value(); got != 1.5 {
+		t.Fatalf("gauge value = %g, want 1.5", got)
+	}
+
+	var b strings.Builder
+	r.WritePrometheus(&b)
+	out := b.String()
+	for _, want := range []string{
+		"# HELP icrowd_events_total events seen",
+		"# TYPE icrowd_events_total counter",
+		`icrowd_events_total{kind="assign"} 3`,
+		"# TYPE icrowd_pending gauge",
+		"icrowd_pending 1.5",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestInstrumentIdentity(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("x_total", "", "l", "v")
+	b := r.Counter("x_total", "", "l", "v")
+	if a != b {
+		t.Fatal("same (name, labels) must return the same counter")
+	}
+	c := r.Counter("x_total", "", "l", "w")
+	if a == c {
+		t.Fatal("different labels must return a different counter")
+	}
+}
+
+func TestHistogramBucketsAndRender(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("icrowd_latency_seconds", "latency", []float64{0.001, 0.01, 0.1})
+	h.Observe(500 * time.Microsecond) // le=0.001
+	h.Observe(5 * time.Millisecond)   // le=0.01
+	h.Observe(50 * time.Millisecond)  // le=0.1
+	h.Observe(2 * time.Second)        // +Inf
+	if h.Count() != 4 {
+		t.Fatalf("count = %d, want 4", h.Count())
+	}
+	var b strings.Builder
+	r.WritePrometheus(&b)
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE icrowd_latency_seconds histogram",
+		`icrowd_latency_seconds_bucket{le="0.001"} 1`,
+		`icrowd_latency_seconds_bucket{le="0.01"} 2`,
+		`icrowd_latency_seconds_bucket{le="0.1"} 3`,
+		`icrowd_latency_seconds_bucket{le="+Inf"} 4`,
+		"icrowd_latency_seconds_count 4",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestNilInstrumentsNoOp(t *testing.T) {
+	var r *Registry
+	c := r.Counter("a_total", "")
+	g := r.Gauge("b", "")
+	h := r.Histogram("c_seconds", "", nil)
+	c.Inc()
+	c.Add(5)
+	g.Set(1)
+	g.Add(1)
+	h.Observe(time.Second)
+	h.ObserveSeconds(0.5)
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 {
+		t.Fatal("nil instruments must read zero")
+	}
+	var b strings.Builder
+	r.WritePrometheus(&b) // must not panic
+	var tr *Tracer
+	sp := tr.Start("x")
+	sp.Annotate("k=v")
+	sp.End()
+	if sp.ID() != 0 || tr.Recent(10) != nil {
+		t.Fatal("nil tracer must no-op")
+	}
+}
+
+func TestConcurrentInstruments(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("conc_total", "")
+	h := r.Histogram("conc_seconds", "", nil)
+	g := r.Gauge("conc_gauge", "")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+				h.Observe(time.Microsecond)
+				g.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != 8000 || h.Count() != 8000 || g.Value() != 8000 {
+		t.Fatalf("lost updates: counter=%d hist=%d gauge=%g", c.Value(), h.Count(), g.Value())
+	}
+}
+
+func TestTracerRing(t *testing.T) {
+	tr := NewTracer(4)
+	for i := 0; i < 6; i++ {
+		sp := tr.Start("op")
+		sp.Annotate("i=" + string(rune('0'+i)))
+		sp.End()
+	}
+	recent := tr.Recent(0)
+	if len(recent) != 4 {
+		t.Fatalf("ring retained %d spans, want 4", len(recent))
+	}
+	// Newest first, IDs strictly decreasing.
+	for i := 1; i < len(recent); i++ {
+		if recent[i].ID >= recent[i-1].ID {
+			t.Fatalf("spans not newest-first: %v", recent)
+		}
+	}
+	if recent[0].ID != 6 {
+		t.Fatalf("newest span ID = %d, want 6", recent[0].ID)
+	}
+	if got := tr.Recent(2); len(got) != 2 {
+		t.Fatalf("Recent(2) returned %d spans", len(got))
+	}
+}
+
+func TestRegistryHandler(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("served_total", "").Inc()
+	rec := httptest.NewRecorder()
+	r.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("content type %q", ct)
+	}
+	if !strings.Contains(rec.Body.String(), "served_total 1") {
+		t.Fatalf("body %q", rec.Body.String())
+	}
+}

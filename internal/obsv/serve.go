@@ -1,0 +1,39 @@
+package obsv
+
+import (
+	"net"
+	"net/http"
+	"net/http/pprof"
+)
+
+// MountPprof attaches the net/http/pprof handlers under /debug/pprof/ on
+// the given mux (the standard paths, without relying on the package's
+// DefaultServeMux side registration).
+func MountPprof(mux *http.ServeMux) {
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+}
+
+// Serve exposes the registry on its own listener — GET /metrics (also
+// served at /) plus, when enablePprof is set, the /debug/pprof/ suite —
+// and serves it in a background goroutine. It is the implementation behind
+// the cmd binaries' -metrics-addr flag. The returned server can be Closed;
+// listen errors are returned synchronously so a bad address fails fast.
+func Serve(addr string, reg *Registry, enablePprof bool) (*http.Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", reg.Handler())
+	mux.Handle("/", reg.Handler())
+	if enablePprof {
+		MountPprof(mux)
+	}
+	srv := &http.Server{Handler: mux}
+	go srv.Serve(ln)
+	return srv, nil
+}

@@ -1,0 +1,133 @@
+package obsv
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Tracer records lightweight spans — named timed operations with a
+// process-unique ID and optional key=value annotations — into a fixed-size
+// ring. It is the request-tracing half of the observability layer: the
+// platform server opens one span per HTTP request (the span ID doubles as
+// the request ID echoed in the X-Request-Id header), subsystems annotate
+// it, and GET /v1/trace dumps the most recent completed spans.
+//
+// A nil *Tracer is valid and free: Start returns a nil *Span and every
+// Span method no-ops, so tracing can be compiled out of a code path by
+// simply not configuring a tracer.
+type Tracer struct {
+	seq atomic.Uint64
+
+	mu   sync.Mutex
+	ring []SpanRecord
+	next int // ring write position
+	full bool
+}
+
+// SpanRecord is one completed span as stored in the ring.
+type SpanRecord struct {
+	// ID is the process-unique span ID (the request ID for HTTP spans).
+	ID uint64 `json:"id"`
+	// Name identifies the operation, e.g. "http.assign".
+	Name string `json:"name"`
+	// Start is when the span was opened.
+	Start time.Time `json:"start"`
+	// DurationNS is the span length in nanoseconds.
+	DurationNS int64 `json:"durationNs"`
+	// Attrs are "key=value" annotations added while the span was open.
+	Attrs []string `json:"attrs,omitempty"`
+}
+
+// DefaultTraceCapacity is the ring size NewTracer(0) uses.
+const DefaultTraceCapacity = 256
+
+// NewTracer creates a tracer retaining the last capacity completed spans
+// (capacity <= 0 uses DefaultTraceCapacity).
+func NewTracer(capacity int) *Tracer {
+	if capacity <= 0 {
+		capacity = DefaultTraceCapacity
+	}
+	return &Tracer{ring: make([]SpanRecord, capacity)}
+}
+
+// Span is an open span. Methods no-op on nil.
+type Span struct {
+	tr    *Tracer
+	id    uint64
+	name  string
+	start time.Time
+	attrs []string
+}
+
+// Start opens a span. Returns nil (a valid no-op span) on a nil tracer.
+func (t *Tracer) Start(name string) *Span {
+	if t == nil {
+		return nil
+	}
+	return &Span{tr: t, id: t.seq.Add(1), name: name, start: time.Now()}
+}
+
+// ID returns the span's process-unique ID (0 on nil).
+func (s *Span) ID() uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.id
+}
+
+// Annotate attaches a "key=value" note to the span.
+func (s *Span) Annotate(kv string) {
+	if s != nil {
+		s.attrs = append(s.attrs, kv)
+	}
+}
+
+// End closes the span and commits it to the tracer's ring.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	rec := SpanRecord{
+		ID:         s.id,
+		Name:       s.name,
+		Start:      s.start,
+		DurationNS: int64(time.Since(s.start)),
+		Attrs:      s.attrs,
+	}
+	t := s.tr
+	t.mu.Lock()
+	t.ring[t.next] = rec
+	t.next++
+	if t.next == len(t.ring) {
+		t.next = 0
+		t.full = true
+	}
+	t.mu.Unlock()
+}
+
+// Recent returns up to n completed spans, newest first (n <= 0 returns
+// everything retained). Nil tracers return nil.
+func (t *Tracer) Recent(n int) []SpanRecord {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	size := t.next
+	if t.full {
+		size = len(t.ring)
+	}
+	if n <= 0 || n > size {
+		n = size
+	}
+	out := make([]SpanRecord, 0, n)
+	for i := 0; i < n; i++ {
+		idx := t.next - 1 - i
+		if idx < 0 {
+			idx += len(t.ring)
+		}
+		out = append(out, t.ring[idx])
+	}
+	return out
+}

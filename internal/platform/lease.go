@@ -83,6 +83,7 @@ func (s *Server) SweepExpired() []string {
 			s.strategyUnlock()
 		})
 		if logErr != nil {
+			s.obs.logFailures.Inc()
 			wl.Unlock()
 			continue // durability lost: keep the lease, retry next sweep
 		}
@@ -94,6 +95,7 @@ func (s *Server) SweepExpired() []string {
 			acct.OnInactive(w)
 		}
 		wl.Unlock()
+		s.obs.leaseExpired.Inc()
 		reclaimed = append(reclaimed, w)
 	}
 	return reclaimed

@@ -1,0 +1,203 @@
+package platform
+
+import (
+	"encoding/json"
+	"log"
+	"net/http"
+	"strconv"
+	"time"
+
+	"icrowd/internal/obsv"
+)
+
+// endpointNames are the five canonical v1 endpoints; metrics for each are
+// pre-registered so a scrape sees every series from the first request on,
+// zeros included.
+var endpointNames = []string{"assign", "submit", "inactive", "status", "results"}
+
+// statusClasses are the response-class labels of
+// icrowd_http_responses_total, indexed by status/100 - 2.
+var statusClasses = []string{"2xx", "3xx", "4xx", "5xx"}
+
+// endpointMetrics are the per-endpoint instruments the middleware records.
+type endpointMetrics struct {
+	requests *obsv.Counter
+	latency  *obsv.Histogram
+	classes  [4]*obsv.Counter // indexed by status/100 - 2
+}
+
+// serverMetrics bundles every instrument the platform server records. A
+// nil registry yields nil instruments throughout, turning the whole layer
+// into no-ops without a second code path.
+type serverMetrics struct {
+	reg       *obsv.Registry
+	endpoints map[string]*endpointMetrics
+
+	leaseExpired *obsv.Counter
+	redelivered  *obsv.Counter
+	duplicates   *obsv.Counter
+	logFailures  *obsv.Counter
+	encodeErrors *obsv.Counter
+}
+
+func newServerMetrics(reg *obsv.Registry) *serverMetrics {
+	m := &serverMetrics{reg: reg, endpoints: map[string]*endpointMetrics{}}
+	for _, ep := range endpointNames {
+		em := &endpointMetrics{
+			requests: reg.Counter("icrowd_http_requests_total",
+				"HTTP requests received, canonical and legacy mounts combined.", "endpoint", ep),
+			latency: reg.Histogram("icrowd_http_request_seconds",
+				"HTTP request latency by endpoint.", nil, "endpoint", ep),
+		}
+		for i, cls := range statusClasses {
+			em.classes[i] = reg.Counter("icrowd_http_responses_total",
+				"HTTP responses by endpoint and status class.", "endpoint", ep, "class", cls)
+		}
+		m.endpoints[ep] = em
+	}
+	m.leaseExpired = reg.Counter("icrowd_lease_expired_total",
+		"Assignments reclaimed by the lease sweeper after their deadline passed.")
+	m.redelivered = reg.Counter("icrowd_assign_redelivered_total",
+		"Idempotent /assign redeliveries of an already-held task.")
+	m.duplicates = reg.Counter("icrowd_submit_duplicate_total",
+		"Duplicate /submit deliveries acknowledged without double-counting.")
+	m.logFailures = reg.Counter("icrowd_log_write_failures_total",
+		"Event-log append failures surfaced as 503 log_write_failed.")
+	m.encodeErrors = reg.Counter("icrowd_http_encode_errors_total",
+		"JSON response bodies that failed to encode after headers were sent.")
+	return m
+}
+
+// UseRegistry rebinds the server's metrics to reg (nil disables metrics
+// entirely). Call it before the server takes traffic; NewServer defaults
+// to obsv.Default().
+func (s *Server) UseRegistry(reg *obsv.Registry) {
+	s.obs = newServerMetrics(reg)
+}
+
+// Registry returns the registry the server records into (nil when metrics
+// are disabled).
+func (s *Server) Registry() *obsv.Registry { return s.obs.reg }
+
+// SetTracer replaces the server's request tracer (nil disables tracing and
+// the X-Request-Id header). NewServer installs a DefaultTraceCapacity ring.
+func (s *Server) SetTracer(tr *obsv.Tracer) { s.tracer = tr }
+
+// EnablePprof mounts the net/http/pprof suite under /debug/pprof/ on the
+// handler returned by the next Handler() call.
+func (s *Server) EnablePprof() { s.pprof = true }
+
+// statusWriter captures the response status for the metrics middleware
+// without altering headers, body bytes, or write ordering.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+// instrument wraps an endpoint handler with the observability middleware:
+// request counting, a latency histogram observation, a status-class
+// counter, and one trace span per request whose ID is echoed as
+// X-Request-Id. Both the /v1 and the legacy mount share the wrapped
+// handler, so the endpoint label aggregates the two spellings and the
+// response bytes stay identical across mounts.
+func (s *Server) instrument(name string, h http.HandlerFunc) http.HandlerFunc {
+	em := s.obs.endpoints[name]
+	return func(w http.ResponseWriter, r *http.Request) {
+		em.requests.Inc()
+		sp := s.tracer.Start("http." + name)
+		if sp != nil {
+			w.Header().Set("X-Request-Id", strconv.FormatUint(sp.ID(), 10))
+		}
+		sw := &statusWriter{ResponseWriter: w}
+		start := time.Now()
+		h(sw, r)
+		em.latency.Observe(time.Since(start))
+		code := sw.status
+		if code == 0 {
+			code = http.StatusOK
+		}
+		if cls := code/100 - 2; cls >= 0 && cls < len(em.classes) {
+			em.classes[cls].Inc()
+		}
+		if sp != nil {
+			sp.Annotate("status=" + strconv.Itoa(code))
+			sp.End()
+		}
+	}
+}
+
+// handleMetrics serves GET /v1/metrics in the Prometheus text format.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		s.writeError(w, http.StatusMethodNotAllowed, CodeMethodNotAllowed, "method not allowed")
+		return
+	}
+	s.obs.reg.Handler().ServeHTTP(w, r)
+}
+
+// TraceResponse is returned by GET /v1/trace.
+type TraceResponse struct {
+	// Spans are the most recent completed request spans, newest first.
+	Spans []obsv.SpanRecord `json:"spans"`
+}
+
+// handleTrace serves GET /v1/trace: the most recent completed spans,
+// newest first. ?n= bounds the count (default 100).
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		s.writeError(w, http.StatusMethodNotAllowed, CodeMethodNotAllowed, "method not allowed")
+		return
+	}
+	n := 100
+	if q := r.URL.Query().Get("n"); q != "" {
+		v, err := strconv.Atoi(q)
+		if err != nil || v < 1 {
+			s.writeError(w, http.StatusBadRequest, CodeBadRequest, "n must be a positive integer")
+			return
+		}
+		n = v
+	}
+	spans := s.tracer.Recent(n)
+	if spans == nil {
+		spans = []obsv.SpanRecord{}
+	}
+	s.writeJSON(w, TraceResponse{Spans: spans})
+}
+
+// writeJSON emits a 200 JSON response with headers committed before the
+// body. Encode failures cannot change the already-sent status, so they are
+// counted (icrowd_http_encode_errors_total) and logged instead of being
+// silently discarded.
+func (s *Server) writeJSON(w http.ResponseWriter, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		s.obs.encodeErrors.Inc()
+		log.Printf("platform: encoding response: %v", err)
+	}
+}
+
+// writeError is the typed JSON error envelope with encode-failure
+// accounting (the package-level writeError stays for tests and fakes).
+func (s *Server) writeError(w http.ResponseWriter, status int, code, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	if err := json.NewEncoder(w).Encode(ErrorResponse{Code: code, Message: msg}); err != nil {
+		s.obs.encodeErrors.Inc()
+		log.Printf("platform: encoding error response: %v", err)
+	}
+}

@@ -61,6 +61,7 @@ import (
 	"time"
 
 	"icrowd/internal/core"
+	"icrowd/internal/obsv"
 	"icrowd/internal/sim"
 	"icrowd/internal/store"
 	"icrowd/internal/task"
@@ -179,6 +180,13 @@ type Server struct {
 	// accepted records acknowledged submits per worker and task (the
 	// idempotency index): worker -> task -> answer.
 	accepted map[string]map[int]string
+
+	// obs holds the server's metric instruments (metrics.go); tracer is the
+	// per-request span ring behind /v1/trace and X-Request-Id. Both are set
+	// before the server takes traffic and read-only afterwards.
+	obs    *serverMetrics
+	tracer *obsv.Tracer
+	pprof  bool
 }
 
 // NewServer wraps the strategy and its dataset. Strategies implementing
@@ -194,6 +202,8 @@ func NewServer(st core.Strategy, ds *task.Dataset) *Server {
 		held:     map[string]heldTask{},
 		seen:     map[string]bool{},
 		accepted: map[string]map[int]string{},
+		obs:      newServerMetrics(obsv.Default()),
+		tracer:   obsv.NewTracer(0),
 	}
 }
 
@@ -258,7 +268,11 @@ func (s *Server) withLogOrder(l *store.Log, fn func()) {
 
 // Handler returns the HTTP routes: every endpoint under the canonical /v1
 // prefix plus the legacy unversioned alias, and a typed JSON 404 for
-// everything else.
+// everything else. Each endpoint is wrapped once in the observability
+// middleware (metrics.go), shared by both mounts, so the legacy alias
+// stays byte-identical to /v1. The observability endpoints themselves
+// (/v1/metrics, /v1/trace, and /debug/pprof/ when enabled) exist only
+// under their canonical paths — they are new in v1 and get no alias.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	for name, h := range map[string]http.HandlerFunc{
@@ -268,8 +282,14 @@ func (s *Server) Handler() http.Handler {
 		"status":   s.handleStatus,
 		"results":  s.handleResults,
 	} {
-		mux.HandleFunc("/v1/"+name, h)
-		mux.HandleFunc("/"+name, h) // legacy unversioned alias
+		wrapped := s.instrument(name, h)
+		mux.HandleFunc("/v1/"+name, wrapped)
+		mux.HandleFunc("/"+name, wrapped) // legacy unversioned alias
+	}
+	mux.HandleFunc("/v1/metrics", s.handleMetrics)
+	mux.HandleFunc("/v1/trace", s.handleTrace)
+	if s.pprof {
+		obsv.MountPprof(mux)
 	}
 	mux.HandleFunc("/", s.handleNotFound)
 	return mux
@@ -278,17 +298,17 @@ func (s *Server) Handler() http.Handler {
 // handleNotFound is the fallback for unknown paths: a typed JSON envelope
 // instead of net/http's plain-text 404.
 func (s *Server) handleNotFound(w http.ResponseWriter, r *http.Request) {
-	writeError(w, http.StatusNotFound, CodeNotFound, "no such endpoint: "+r.URL.Path)
+	s.writeError(w, http.StatusNotFound, CodeNotFound, "no such endpoint: "+r.URL.Path)
 }
 
 func (s *Server) handleAssign(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
-		writeError(w, http.StatusMethodNotAllowed, CodeMethodNotAllowed, "method not allowed")
+		s.writeError(w, http.StatusMethodNotAllowed, CodeMethodNotAllowed, "method not allowed")
 		return
 	}
 	worker := r.URL.Query().Get("workerId")
 	if worker == "" {
-		writeError(w, http.StatusBadRequest, CodeBadRequest, "workerId required")
+		s.writeError(w, http.StatusBadRequest, CodeBadRequest, "workerId required")
 		return
 	}
 	wl := s.lockWorker(worker)
@@ -302,11 +322,12 @@ func (s *Server) handleAssign(w http.ResponseWriter, r *http.Request) {
 		s.held[worker] = h
 		acct := s.acct
 		s.mu.Unlock()
+		s.obs.redelivered.Inc()
 		resp := AssignResponse{Assigned: true, TaskID: h.Task, Text: s.ds.Tasks[h.Task].Text, Redelivered: true}
 		if acct != nil {
 			resp.HITRemaining = acct.Remaining(worker)
 		}
-		writeJSON(w, resp)
+		s.writeJSON(w, resp)
 		return
 	}
 	s.mu.Unlock()
@@ -346,11 +367,12 @@ func (s *Server) handleAssign(w http.ResponseWriter, r *http.Request) {
 		assigned = true
 	})
 	if logErr != nil {
-		writeError(w, http.StatusServiceUnavailable, CodeLogWrite, logErr.Error())
+		s.obs.logFailures.Inc()
+		s.writeError(w, http.StatusServiceUnavailable, CodeLogWrite, logErr.Error())
 		return
 	}
 	if !assigned {
-		writeJSON(w, AssignResponse{Done: done})
+		s.writeJSON(w, AssignResponse{Done: done})
 		return
 	}
 	s.mu.Lock()
@@ -362,26 +384,26 @@ func (s *Server) handleAssign(w http.ResponseWriter, r *http.Request) {
 	if acct != nil {
 		resp.HITRemaining = acct.OnAssign(worker)
 	}
-	writeJSON(w, resp)
+	s.writeJSON(w, resp)
 }
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
-		writeError(w, http.StatusMethodNotAllowed, CodeMethodNotAllowed, "method not allowed")
+		s.writeError(w, http.StatusMethodNotAllowed, CodeMethodNotAllowed, "method not allowed")
 		return
 	}
 	var req SubmitRequest
 	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, CodeBadRequest, "bad json: "+err.Error())
+		s.writeError(w, http.StatusBadRequest, CodeBadRequest, "bad json: "+err.Error())
 		return
 	}
 	ans, err := parseAnswer(req.Answer)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, CodeBadRequest, err.Error())
+		s.writeError(w, http.StatusBadRequest, CodeBadRequest, err.Error())
 		return
 	}
 	if req.WorkerID == "" {
-		writeError(w, http.StatusBadRequest, CodeBadRequest, "workerId required")
+		s.writeError(w, http.StatusBadRequest, CodeBadRequest, "workerId required")
 		return
 	}
 	wl := s.lockWorker(req.WorkerID)
@@ -392,13 +414,14 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		// Idempotent acknowledgement: this (worker, task) was already
 		// counted; a retried submit must not double-count into consensus
 		// or accuracy estimates.
-		writeJSON(w, SubmitResponse{Accepted: true, Duplicate: true})
+		s.obs.duplicates.Inc()
+		s.writeJSON(w, SubmitResponse{Accepted: true, Duplicate: true})
 		return
 	}
 	h, holds := s.held[req.WorkerID]
 	s.mu.Unlock()
 	if !holds || h.Task != req.TaskID {
-		writeError(w, http.StatusConflict, CodeNoPending,
+		s.writeError(w, http.StatusConflict, CodeNoPending,
 			"worker does not hold this task (never assigned, or the lease expired)")
 		return
 	}
@@ -418,13 +441,14 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		s.strategyUnlock()
 	})
 	if logErr != nil {
-		writeError(w, http.StatusServiceUnavailable, CodeLogWrite, logErr.Error())
+		s.obs.logFailures.Inc()
+		s.writeError(w, http.StatusServiceUnavailable, CodeLogWrite, logErr.Error())
 		return
 	}
 	if err != nil {
 		// held mirrors the strategy's pending state, so this indicates a
 		// server bug (the event is already logged).
-		writeError(w, http.StatusInternalServerError, CodeInternal, err.Error())
+		s.writeError(w, http.StatusInternalServerError, CodeInternal, err.Error())
 		return
 	}
 	s.mu.Lock()
@@ -435,7 +459,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if acct != nil {
 		acct.OnSubmit()
 	}
-	writeJSON(w, SubmitResponse{Accepted: true})
+	s.writeJSON(w, SubmitResponse{Accepted: true})
 }
 
 func (s *Server) markAcceptedLocked(worker string, taskID int, answer string) {
@@ -452,7 +476,7 @@ func (s *Server) markAcceptedLocked(worker string, taskID int, answer string) {
 // The worker may be named via the workerId query parameter or a JSON body.
 func (s *Server) handleInactive(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
-		writeError(w, http.StatusMethodNotAllowed, CodeMethodNotAllowed, "method not allowed")
+		s.writeError(w, http.StatusMethodNotAllowed, CodeMethodNotAllowed, "method not allowed")
 		return
 	}
 	worker := r.URL.Query().Get("workerId")
@@ -463,7 +487,7 @@ func (s *Server) handleInactive(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	if worker == "" {
-		writeError(w, http.StatusBadRequest, CodeBadRequest,
+		s.writeError(w, http.StatusBadRequest, CodeBadRequest,
 			"workerId required (query parameter or JSON body)")
 		return
 	}
@@ -473,7 +497,7 @@ func (s *Server) handleInactive(w http.ResponseWriter, r *http.Request) {
 	known := s.seen[worker]
 	s.mu.Unlock()
 	if !known {
-		writeError(w, http.StatusBadRequest, CodeUnknownWorker,
+		s.writeError(w, http.StatusBadRequest, CodeUnknownWorker,
 			"worker "+worker+" has never been assigned a task")
 		return
 	}
@@ -492,7 +516,8 @@ func (s *Server) handleInactive(w http.ResponseWriter, r *http.Request) {
 		s.strategyUnlock()
 	})
 	if logErr != nil {
-		writeError(w, http.StatusServiceUnavailable, CodeLogWrite, logErr.Error())
+		s.obs.logFailures.Inc()
+		s.writeError(w, http.StatusServiceUnavailable, CodeLogWrite, logErr.Error())
 		return
 	}
 	s.mu.Lock()
@@ -507,7 +532,7 @@ func (s *Server) handleInactive(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
-		writeError(w, http.StatusMethodNotAllowed, CodeMethodNotAllowed, "method not allowed")
+		s.writeError(w, http.StatusMethodNotAllowed, CodeMethodNotAllowed, "method not allowed")
 		return
 	}
 	s.strategyLock()
@@ -537,12 +562,12 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 		resp.Submitted = acct.Submitted()
 		resp.CostUSD = acct.CostUSD()
 	}
-	writeJSON(w, resp)
+	s.writeJSON(w, resp)
 }
 
 func (s *Server) handleResults(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
-		writeError(w, http.StatusMethodNotAllowed, CodeMethodNotAllowed, "method not allowed")
+		s.writeError(w, http.StatusMethodNotAllowed, CodeMethodNotAllowed, "method not allowed")
 		return
 	}
 	s.strategyLock()
@@ -552,7 +577,7 @@ func (s *Server) handleResults(w http.ResponseWriter, r *http.Request) {
 	for t, a := range res {
 		out.Results[t] = a.String()
 	}
-	writeJSON(w, out)
+	s.writeJSON(w, out)
 }
 
 func writeJSON(w http.ResponseWriter, v interface{}) {

@@ -14,8 +14,22 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
+	"icrowd/internal/obsv"
 	"icrowd/internal/simgraph"
+)
+
+// Solver-pool instruments on the process default registry: Precompute and
+// PrecomputePartial are offline batch work, so the per-process view is the
+// useful one and no registry needs threading through the API.
+var (
+	mSeedsSolved = obsv.Default().Counter("icrowd_ppr_seeds_solved_total",
+		"PPR basis vectors solved (Precompute and PrecomputePartial).")
+	mPoolWorkers = obsv.Default().Gauge("icrowd_ppr_pool_workers",
+		"Solver-pool fan-out of the last basis precomputation.")
+	mSolveLat = obsv.Default().Histogram("icrowd_ppr_solve_batch_seconds",
+		"Wall time of whole basis solve batches.", nil)
 )
 
 // Options tunes the solvers.
@@ -237,6 +251,11 @@ const solveChunk = 16
 // position, so the outcome is independent of goroutine scheduling.
 func solveSeeds(g *simgraph.Graph, o Options, seeds []int, vecs []map[int]float64) error {
 	workers := o.workerCount(len(seeds))
+	mPoolWorkers.Set(float64(workers))
+	defer func(start time.Time) {
+		mSolveLat.Observe(time.Since(start))
+		mSeedsSolved.Add(int64(len(seeds)))
+	}(time.Now())
 	if workers == 1 {
 		for _, s := range seeds {
 			v, err := SparseSolve(g, s, o)

@@ -181,8 +181,17 @@ func Run(s core.Strategy, p *Pool, opts sim.RunOptions) (*sim.Result, error) {
 	// stop requesting (their pool is exhausted or they were rejected).
 	retired := map[string]int{}
 	const retireAfter = 3
+	mx := sim.NewRunMetrics(opts.Metrics, "replay", s.Name())
+	every := opts.MetricsEvery
+	if every <= 0 {
+		every = 200
+	}
+	totalAssign := 0
 	step := 0
 	for ; step < opts.MaxSteps && !s.Done(); step++ {
+		if step%every == 0 {
+			mx.Sample(step, totalAssign, sim.ScoreAccuracy(s, p.ds, excluded))
+		}
 		var active []string
 		var totalRate float64
 		for _, id := range workers {
@@ -220,6 +229,7 @@ func Run(s core.Strategy, p *Pool, opts sim.RunOptions) (*sim.Result, error) {
 			return nil, fmt.Errorf("replay: submit by %s on %d: %w", w, tid, err)
 		}
 		if !excluded[tid] {
+			totalAssign++
 			res.Assignments[w]++
 			wd, ok := res.WorkerDomain[w]
 			if !ok {
@@ -263,6 +273,7 @@ func Run(s core.Strategy, p *Pool, opts sim.RunOptions) (*sim.Result, error) {
 			res.PerDomain[dom] = float64(domCorrect[dom]) / float64(domTotal[dom])
 		}
 	}
+	mx.Sample(step, totalAssign, res.Accuracy)
 	return res, nil
 }
 

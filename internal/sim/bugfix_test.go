@@ -1,0 +1,68 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+
+	"icrowd/internal/task"
+)
+
+// TestGeneratePoolChurnShortHorizons is the regression test for the churn
+// window placement: Horizon 1 used to panic (rand.Intn(0) on the empty
+// first half) and longer horizons could place departures past the horizon.
+// Every churned window must now fit inside [0, Horizon].
+func TestGeneratePoolChurnShortHorizons(t *testing.T) {
+	ds := task.GenerateItemCompare(1)
+	for _, horizon := range []int{1, 2, 3} {
+		opts := DefaultPoolOptions()
+		opts.ChurnFraction = 1 // churn every worker
+		opts.Horizon = horizon
+		for seed := int64(0); seed < 20; seed++ {
+			pool := GeneratePool(ds, 25, opts, seed)
+			churned := 0
+			for i := range pool {
+				p := &pool[i]
+				if p.Depart == 0 {
+					continue
+				}
+				churned++
+				if p.Arrive < 0 || p.Arrive >= p.Depart || p.Depart > horizon {
+					t.Fatalf("horizon %d seed %d: worker %s window [%d, %d) escapes [0, %d]",
+						horizon, seed, p.ID, p.Arrive, p.Depart, horizon)
+				}
+			}
+			if churned == 0 {
+				t.Fatalf("horizon %d seed %d: ChurnFraction 1 churned nobody", horizon, seed)
+			}
+		}
+	}
+}
+
+// fixedSource is a rand.Source whose Int63 always returns the same value,
+// pinning rand.Float64 to an exact point.
+type fixedSource struct{ v int64 }
+
+func (s *fixedSource) Int63() int64    { return s.v }
+func (s *fixedSource) Seed(seed int64) {}
+
+// TestAnswerAtBoundaryUnbiased is the regression test for the Bernoulli
+// boundary: the sampler must use a strict u < accuracy comparison. With
+// Float64 pinned to exactly 0.5, a 0.5-accuracy worker must answer wrong
+// (P(u < 0.5) counts u = 0.5 as a miss); the old <= counted it as a hit.
+// Likewise a zero-accuracy worker must answer wrong even when u = 0.
+func TestAnswerAtBoundaryUnbiased(t *testing.T) {
+	ds := task.GenerateItemCompare(1)
+	tk := &ds.Tasks[ds.ByDomain("Food")[0]]
+
+	half := rand.New(&fixedSource{v: 1 << 62}) // Float64() == 0.5 exactly
+	p := Profile{DomainAcc: map[string]float64{"Food": 0.5}}
+	if AnswerAt(&p, tk, 0, half) == tk.Truth {
+		t.Fatal("u == accuracy must sample a miss under strict <")
+	}
+
+	zero := rand.New(&fixedSource{v: 0}) // Float64() == 0 exactly
+	awful := Profile{DomainAcc: map[string]float64{"Food": 0}}
+	if AnswerAt(&awful, tk, 0, zero) == tk.Truth {
+		t.Fatal("zero-accuracy worker must never answer correctly")
+	}
+}

@@ -1,0 +1,67 @@
+package sim
+
+import (
+	"icrowd/internal/core"
+	"icrowd/internal/obsv"
+	"icrowd/internal/task"
+)
+
+// AssignmentCostUSD is the per-assignment payment the experiments model
+// (Section 6.1: $0.10 per assignment).
+const AssignmentCostUSD = 0.10
+
+// RunMetrics are the progress gauges a driver emits while running a
+// strategy: current step, scored assignments, accrued cost, and a sampled
+// accuracy snapshot. The runner label separates the live simulator from
+// the replay evaluator; the strategy label separates approaches.
+type RunMetrics struct {
+	step, accuracy, assignments, cost *obsv.Gauge
+}
+
+// NewRunMetrics derives the gauge set for a runner ("sim", "replay") and
+// strategy name. A nil registry falls back to the process default.
+func NewRunMetrics(reg *obsv.Registry, runner, strategy string) *RunMetrics {
+	if reg == nil {
+		reg = obsv.Default()
+	}
+	labels := []string{"runner", runner, "strategy", strategy}
+	return &RunMetrics{
+		step: reg.Gauge("icrowd_run_step",
+			"Current request-loop step of the run.", labels...),
+		accuracy: reg.Gauge("icrowd_run_accuracy",
+			"Sampled accuracy of the strategy's aggregated results so far.", labels...),
+		assignments: reg.Gauge("icrowd_run_assignments",
+			"Scored crowd assignments completed so far.", labels...),
+		cost: reg.Gauge("icrowd_run_cost_usd",
+			"Accrued payment so far at $0.10 per scored assignment.", labels...),
+	}
+}
+
+// Sample publishes one progress snapshot.
+func (m *RunMetrics) Sample(step, assignments int, accuracy float64) {
+	m.step.Set(float64(step))
+	m.assignments.Set(float64(assignments))
+	m.cost.Set(float64(assignments) * AssignmentCostUSD)
+	m.accuracy.Set(accuracy)
+}
+
+// ScoreAccuracy scores the strategy's current aggregated results against
+// ground truth over the non-excluded tasks — the mid-run snapshot behind
+// the icrowd_run_accuracy gauge (also the final score of Run).
+func ScoreAccuracy(s core.Strategy, ds *task.Dataset, excluded map[int]bool) float64 {
+	results := s.Results()
+	correct, scored := 0, 0
+	for i := range ds.Tasks {
+		if excluded[i] {
+			continue
+		}
+		scored++
+		if results[i] == ds.Tasks[i].Truth {
+			correct++
+		}
+	}
+	if scored == 0 {
+		return 0
+	}
+	return float64(correct) / float64(scored)
+}

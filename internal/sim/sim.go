@@ -19,6 +19,7 @@ import (
 	"sort"
 
 	"icrowd/internal/core"
+	"icrowd/internal/obsv"
 	"icrowd/internal/task"
 )
 
@@ -194,8 +195,22 @@ func GeneratePool(ds *task.Dataset, n int, opts PoolOptions, seed int64) []Profi
 			}
 		}
 		if opts.ChurnFraction > 0 && rng.Float64() < opts.ChurnFraction && opts.Horizon > 0 {
-			a := rng.Intn(opts.Horizon / 2)
-			d := a + opts.Horizon/4 + rng.Intn(opts.Horizon/2)
+			// Random activity window within the horizon: arrive in the first
+			// half, stay for at least a quarter. Short horizons need care —
+			// Horizon 1 makes the half zero (Intn(0) panics), and the raw
+			// departure draw can land past the horizon, so both ends are
+			// clamped to keep every window inside [0, Horizon].
+			a, d := 0, opts.Horizon
+			if half := opts.Horizon / 2; half > 0 {
+				a = rng.Intn(half)
+				d = a + opts.Horizon/4 + rng.Intn(half)
+			}
+			if d > opts.Horizon {
+				d = opts.Horizon
+			}
+			if d <= a {
+				d = a + 1
+			}
 			p.Arrive, p.Depart = a, d
 		}
 		pool[i] = p
@@ -222,7 +237,10 @@ func Answer(p *Profile, tk *task.Task, rng *rand.Rand) task.Answer {
 
 // AnswerAt is Answer at a specific simulation step, honoring drift.
 func AnswerAt(p *Profile, tk *task.Task, step int, rng *rand.Rand) task.Answer {
-	if rng.Float64() <= p.AccuracyAt(tk.Domain, step) {
+	// Strict <: Float64 draws from [0, 1), so P(u < acc) is exactly acc,
+	// while <= would also count u == acc and bias the Bernoulli sample
+	// (visibly so for accuracy 0 with coarse generators).
+	if rng.Float64() < p.AccuracyAt(tk.Domain, step) {
 		return tk.Truth
 	}
 	return tk.Truth.Flip()
@@ -241,6 +259,14 @@ type RunOptions struct {
 	// by driving WorkerInactive — the simulator's stand-in for the
 	// platform layer's lease sweeper (0 = never reclaim).
 	ReclaimAfter int
+	// Metrics selects the registry the run's progress gauges
+	// (icrowd_run_step / accuracy / assignments / cost_usd) are recorded
+	// into; nil uses the process default registry.
+	Metrics *obsv.Registry
+	// MetricsEvery is the gauge sampling period in steps (<= 0 samples
+	// every 200). Accuracy snapshots aggregate the strategy's current
+	// results, so sampling stays off the per-step path.
+	MetricsEvery int
 }
 
 // DomainStat counts a worker's correct/total answers in one domain.
@@ -308,8 +334,17 @@ func Run(s core.Strategy, ds *task.Dataset, pool []Profile, opts RunOptions) (*R
 	// abandoned tracks assignments taken and silently dropped: worker ->
 	// step at which they took the task.
 	abandoned := map[string]int{}
+	mx := NewRunMetrics(opts.Metrics, "sim", s.Name())
+	every := opts.MetricsEvery
+	if every <= 0 {
+		every = 200
+	}
+	totalAssign := 0
 	step := 0
 	for ; step < opts.MaxSteps && !s.Done(); step++ {
+		if step%every == 0 {
+			mx.Sample(step, totalAssign, ScoreAccuracy(s, ds, excluded))
+		}
 		// Handle departures.
 		for i := range pool {
 			p := &pool[i]
@@ -368,6 +403,7 @@ func Run(s core.Strategy, ds *task.Dataset, pool []Profile, opts RunOptions) (*R
 			return nil, fmt.Errorf("sim: submit by %s on %d: %w", p.ID, tid, err)
 		}
 		if !excluded[tid] {
+			totalAssign++
 			res.Assignments[p.ID]++
 			wd, ok := res.WorkerDomain[p.ID]
 			if !ok {
@@ -410,6 +446,7 @@ func Run(s core.Strategy, ds *task.Dataset, pool []Profile, opts RunOptions) (*R
 			res.PerDomain[dom] = float64(domCorrect[dom]) / float64(domTotal[dom])
 		}
 	}
+	mx.Sample(step, totalAssign, res.Accuracy)
 	return res, nil
 }
 
