@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test check lint vet race parity bench bench-all clean
+.PHONY: all build test check lint vet race race-hot parity bench bench-all bench-diff bench-diff-report clean
 
 all: build
 
@@ -26,6 +26,12 @@ lint: vet
 race:
 	$(GO) test -race ./...
 
+# Focused race pass over the observability layer and the platform server —
+# the packages whose instruments, log handler and probe surface are hammered
+# from many goroutines at once (see TestContentionAllInstruments).
+race-hot:
+	$(GO) test -race ./internal/obsv ./internal/platform
+
 # Determinism contracts on their own: parallel precompute and the cached
 # scheme are bit-identical to the sequential paths, and the /v1 API is
 # byte-identical to the legacy mount. (Also covered by `race`, but this
@@ -33,8 +39,10 @@ race:
 parity:
 	$(GO) test -run 'Parity|Golden|Deterministic' ./internal/ppr ./internal/core ./internal/platform
 
-# The gate a PR must pass.
-check: lint parity race
+# The gate a PR must pass. bench-diff runs report-only here because shared
+# CI machines are too noisy for a hard ns/op gate; run `make bench-diff`
+# on a quiet box before committing a perf-sensitive change.
+check: lint parity race race-hot bench-diff-report
 
 # Hot-path benchmarks -> BENCH_hotpath.json (sequential vs parallel
 # precompute, incremental scheme recompute, /assign read throughput).
@@ -44,6 +52,19 @@ bench:
 # Every benchmark in the repo, including the paper's tables and figures.
 bench-all:
 	$(GO) test -bench=. -benchmem ./...
+
+# Benchmark-regression gate: re-measure the hot path and fail when any
+# benchmark's ns/op regressed more than 10% against the committed
+# BENCH_hotpath.json.
+bench-diff:
+	$(GO) run ./cmd/icrowd-bench -out /tmp/icrowd_bench_new.json
+	$(GO) run ./cmd/icrowd-benchdiff BENCH_hotpath.json /tmp/icrowd_bench_new.json
+
+# Same comparison, but never fails the build: prints the delta table for
+# human review (what `make check` runs).
+bench-diff-report:
+	$(GO) run ./cmd/icrowd-bench -out /tmp/icrowd_bench_new.json
+	$(GO) run ./cmd/icrowd-benchdiff -report-only BENCH_hotpath.json /tmp/icrowd_bench_new.json
 
 clean:
 	$(GO) clean ./...

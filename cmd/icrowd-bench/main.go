@@ -14,55 +14,31 @@
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
+	"os/exec"
 	"runtime"
+	"runtime/debug"
 	"sort"
+	"strings"
 	"testing"
+	"time"
 
+	"icrowd/internal/benchfmt"
 	"icrowd/internal/core"
 	"icrowd/internal/hotbench"
 	"icrowd/internal/obsv"
 )
 
-type benchRecord struct {
-	Name        string             `json:"name"`
-	Iterations  int                `json:"iterations"`
-	NsPerOp     int64              `json:"ns_per_op"`
-	BytesPerOp  int64              `json:"bytes_per_op"`
-	AllocsPerOp int64              `json:"allocs_per_op"`
-	Metrics     map[string]float64 `json:"metrics,omitempty"`
-}
-
-type report struct {
-	GeneratedBy       string        `json:"generated_by"`
-	GoVersion         string        `json:"go_version"`
-	GOOS              string        `json:"goos"`
-	GOARCH            string        `json:"goarch"`
-	NumCPU            int           `json:"num_cpu"`
-	GOMAXPROCS        int           `json:"gomaxprocs"`
-	ParallelWorkers   int           `json:"parallel_workers"`
-	Benchmarks        []benchRecord `json:"benchmarks"`
-	PrecomputeSpeedup float64       `json:"precompute_speedup"`
-	SpeedupTarget     float64       `json:"speedup_target"`
-	// AssignMetricsOverhead is the fractional ns/op cost of the
-	// observability layer on the assign fast path: the median over
-	// alternating on/off benchmark pairs of (metrics-on - metrics-off) /
-	// metrics-off. The budget is <= 0.05.
-	AssignMetricsOverhead float64 `json:"assign_metrics_overhead"`
-	MetricsOverheadBudget float64 `json:"metrics_overhead_budget"`
-	Note                  string  `json:"note,omitempty"`
-}
-
-func run(name string, fn func(*testing.B)) benchRecord {
+func run(name string, fn func(*testing.B)) benchfmt.Record {
 	r := testing.Benchmark(fn)
 	if r.N == 0 {
 		fmt.Fprintf(os.Stderr, "icrowd-bench: %s failed to run\n", name)
 		os.Exit(1)
 	}
-	rec := benchRecord{
+	rec := benchfmt.Record{
 		Name:        name,
 		Iterations:  r.N,
 		NsPerOp:     r.NsPerOp(),
@@ -83,7 +59,7 @@ func run(name string, fn func(*testing.B)) benchRecord {
 // measured; adjacent pairing cancels the drift and the median discards a
 // single disturbed pair. The returned records are each side's fastest
 // pass.
-func runPaired(aName string, aFn func(*testing.B), bName string, bFn func(*testing.B), pairs int) (a, b benchRecord, medianDelta float64) {
+func runPaired(aName string, aFn func(*testing.B), bName string, bFn func(*testing.B), pairs int) (a, b benchfmt.Record, medianDelta float64) {
 	deltas := make([]float64, 0, pairs)
 	for i := 0; i < pairs; i++ {
 		ra := run(aName, aFn)
@@ -103,16 +79,27 @@ func runPaired(aName string, aFn func(*testing.B), bName string, bFn func(*testi
 func main() {
 	out := flag.String("out", "BENCH_hotpath.json", "report file path (- for stdout)")
 	mAddr := flag.String("metrics-addr", "", "serve process metrics (Prometheus text) on this listener while benchmarking")
+	logFormat := flag.String("log-format", "text", "log output format: text or json")
+	logLevel := flag.String("log-level", "info", "minimum log level: debug, info, warn, error")
 	flag.Parse()
 
+	logger, err := obsv.NewLoggerFromFlags(*logFormat, *logLevel, obsv.Default())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "icrowd-bench:", err)
+		os.Exit(1)
+	}
+	slog.SetDefault(logger)
+
 	if *mAddr != "" {
-		ms, err := obsv.Serve(*mAddr, obsv.Default(), false)
+		stopRuntime := obsv.StartRuntime(obsv.Default(), 0)
+		defer stopRuntime()
+		ms, err := obsv.Serve(*mAddr, obsv.ServeOptions{Registry: obsv.Default()})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "icrowd-bench:", err)
 			os.Exit(1)
 		}
 		defer ms.Close()
-		fmt.Fprintf(os.Stderr, "icrowd-bench: metrics listener on %s\n", *mAddr)
+		logger.Info("metrics listener started", slog.String("addr", *mAddr))
 	}
 
 	pw := hotbench.ParallelWorkers
@@ -122,15 +109,17 @@ func main() {
 		fmt.Sprintf("BenchmarkAssignThroughput/workers=%d", pw), hotbench.AssignThroughput(pw),
 		fmt.Sprintf("BenchmarkAssignThroughput/workers=%d/metrics=off", pw),
 		hotbench.AssignThroughput(pw, core.WithMetrics(nil)), 3)
-	rep := report{
+	rep := benchfmt.Report{
 		GeneratedBy:     "icrowd-bench",
+		GeneratedAt:     time.Now().UTC().Format(time.RFC3339),
+		GitCommit:       gitCommit(),
 		GoVersion:       runtime.Version(),
 		GOOS:            runtime.GOOS,
 		GOARCH:          runtime.GOARCH,
 		NumCPU:          runtime.NumCPU(),
 		GOMAXPROCS:      runtime.GOMAXPROCS(0),
 		ParallelWorkers: pw,
-		Benchmarks: []benchRecord{
+		Benchmarks: []benchfmt.Record{
 			seq,
 			par,
 			run("BenchmarkComputeScheme/concurrency=1", hotbench.ComputeScheme(1)),
@@ -148,12 +137,11 @@ func main() {
 			rep.NumCPU, rep.SpeedupTarget, pw, pw)
 	}
 
-	buf, err := json.MarshalIndent(rep, "", "  ")
+	buf, err := rep.Marshal()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "icrowd-bench:", err)
 		os.Exit(1)
 	}
-	buf = append(buf, '\n')
 	if *out == "-" {
 		os.Stdout.Write(buf)
 		return
@@ -164,4 +152,22 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "icrowd-bench: wrote %s (precompute speedup %.2fx on %d CPU)\n",
 		*out, rep.PrecomputeSpeedup, rep.NumCPU)
+}
+
+// gitCommit identifies the commit this run measured: the VCS revision
+// stamped into the build when available, else a best-effort
+// `git rev-parse HEAD` (go run does not stamp VCS info), else "".
+func gitCommit() string {
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		for _, kv := range bi.Settings {
+			if kv.Key == "vcs.revision" && kv.Value != "" {
+				return kv.Value
+			}
+		}
+	}
+	out, err := exec.Command("git", "rev-parse", "HEAD").Output()
+	if err != nil {
+		return ""
+	}
+	return strings.TrimSpace(string(out))
 }

@@ -1,0 +1,160 @@
+// Command icrowd-benchdiff is the benchmark-regression gate: it compares
+// two BENCH_hotpath.json reports (old first, new second), prints a
+// per-benchmark delta table, and exits non-zero when any benchmark's
+// ns_per_op regressed beyond the threshold. Benchmarks present on only one
+// side are reported as added/removed but never fail the gate — the suite
+// legitimately grows across PRs.
+//
+// Usage:
+//
+//	icrowd-benchdiff BENCH_hotpath.json /tmp/bench_new.json
+//	icrowd-benchdiff -threshold 0.05 old.json new.json
+//	icrowd-benchdiff -report-only old.json new.json   # CI on noisy runners
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+
+	"icrowd/internal/benchfmt"
+)
+
+// Row statuses, one per benchmark name appearing on either side.
+const (
+	statusOK         = "ok"         // |delta| within threshold
+	statusImproved   = "improved"   // faster by more than the threshold
+	statusRegression = "regression" // slower by more than the threshold
+	statusAdded      = "added"      // only in the new report
+	statusRemoved    = "removed"    // only in the old report
+)
+
+// row is one line of the delta table.
+type row struct {
+	Name   string
+	OldNs  int64
+	NewNs  int64
+	Delta  float64 // (new-old)/old; meaningless for added/removed
+	Status string
+}
+
+// diff compares the two reports benchmark-by-benchmark in the new
+// report's order (removed benchmarks follow, in the old report's order)
+// and reports whether any common benchmark regressed beyond threshold.
+func diff(oldRep, newRep *benchfmt.Report, threshold float64) (rows []row, regressed bool) {
+	for _, nb := range newRep.Benchmarks {
+		ob := oldRep.Find(nb.Name)
+		if ob == nil {
+			rows = append(rows, row{Name: nb.Name, NewNs: nb.NsPerOp, Status: statusAdded})
+			continue
+		}
+		r := row{Name: nb.Name, OldNs: ob.NsPerOp, NewNs: nb.NsPerOp}
+		if ob.NsPerOp > 0 {
+			r.Delta = float64(nb.NsPerOp-ob.NsPerOp) / float64(ob.NsPerOp)
+		}
+		switch {
+		case r.Delta > threshold:
+			r.Status = statusRegression
+			regressed = true
+		case r.Delta < -threshold:
+			r.Status = statusImproved
+		default:
+			r.Status = statusOK
+		}
+		rows = append(rows, r)
+	}
+	for _, ob := range oldRep.Benchmarks {
+		if newRep.Find(ob.Name) == nil {
+			rows = append(rows, row{Name: ob.Name, OldNs: ob.NsPerOp, Status: statusRemoved})
+		}
+	}
+	return rows, regressed
+}
+
+// printTable renders the delta table to w.
+func printTable(w *os.File, rows []row) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "benchmark\told ns/op\tnew ns/op\tdelta\tstatus")
+	for _, r := range rows {
+		oldNs, newNs, delta := "-", "-", "-"
+		if r.Status != statusAdded {
+			oldNs = fmt.Sprintf("%d", r.OldNs)
+		}
+		if r.Status != statusRemoved {
+			newNs = fmt.Sprintf("%d", r.NewNs)
+		}
+		if r.Status != statusAdded && r.Status != statusRemoved {
+			delta = fmt.Sprintf("%+.1f%%", r.Delta*100)
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%s\t%s\n", r.Name, oldNs, newNs, delta, r.Status)
+	}
+	tw.Flush()
+}
+
+func main() {
+	threshold := flag.Float64("threshold", 0.10,
+		"maximum tolerated fractional ns/op increase before a benchmark counts as regressed")
+	reportOnly := flag.Bool("report-only", false,
+		"print the delta table but always exit 0 (CI on noisy single-core runners)")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: icrowd-benchdiff [flags] old.json new.json\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 2 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	oldRep, err := benchfmt.ReadFile(flag.Arg(0))
+	if err != nil {
+		fail(err)
+	}
+	newRep, err := benchfmt.ReadFile(flag.Arg(1))
+	if err != nil {
+		fail(err)
+	}
+
+	fmt.Printf("old: %s  (%s, %d CPU)\n", flag.Arg(0), describe(oldRep), oldRep.NumCPU)
+	fmt.Printf("new: %s  (%s, %d CPU)\n", flag.Arg(1), describe(newRep), newRep.NumCPU)
+	rows, regressed := diff(oldRep, newRep, *threshold)
+	printTable(os.Stdout, rows)
+	if newRep.MetricsOverheadBudget > 0 {
+		verdict := "within"
+		if newRep.AssignMetricsOverhead > newRep.MetricsOverheadBudget {
+			verdict = "OVER"
+		}
+		fmt.Printf("assign_metrics_overhead: %+.1f%% (%s the %.0f%% budget)\n",
+			newRep.AssignMetricsOverhead*100, verdict, newRep.MetricsOverheadBudget*100)
+	}
+
+	if regressed {
+		fmt.Fprintf(os.Stderr, "icrowd-benchdiff: ns/op regression beyond %.0f%% detected\n", *threshold*100)
+		if !*reportOnly {
+			os.Exit(1)
+		}
+		fmt.Fprintln(os.Stderr, "icrowd-benchdiff: -report-only set, exiting 0")
+	}
+}
+
+// describe renders a report's provenance stamp for the header lines.
+func describe(r *benchfmt.Report) string {
+	commit := r.GitCommit
+	if len(commit) > 12 {
+		commit = commit[:12]
+	}
+	switch {
+	case r.GeneratedAt != "" && commit != "":
+		return r.GeneratedAt + " @ " + commit
+	case r.GeneratedAt != "":
+		return r.GeneratedAt
+	case commit != "":
+		return "@ " + commit
+	}
+	return "unstamped"
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "icrowd-benchdiff:", err)
+	os.Exit(1)
+}

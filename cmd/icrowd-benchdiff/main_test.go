@@ -1,0 +1,152 @@
+package main
+
+import (
+	"testing"
+
+	"icrowd/internal/benchfmt"
+)
+
+func report(recs ...benchfmt.Record) *benchfmt.Report {
+	return &benchfmt.Report{Benchmarks: recs}
+}
+
+func rec(name string, ns int64) benchfmt.Record {
+	return benchfmt.Record{Name: name, NsPerOp: ns}
+}
+
+func TestDiffThresholds(t *testing.T) {
+	cases := []struct {
+		name       string
+		old, new   *benchfmt.Report
+		threshold  float64
+		wantStatus map[string]string
+		wantGate   bool // regressed?
+	}{
+		{
+			name:       "improvement beyond threshold",
+			old:        report(rec("BenchmarkAssign", 1000)),
+			new:        report(rec("BenchmarkAssign", 800)),
+			threshold:  0.10,
+			wantStatus: map[string]string{"BenchmarkAssign": statusImproved},
+			wantGate:   false,
+		},
+		{
+			name:       "within-budget noise does not gate",
+			old:        report(rec("BenchmarkAssign", 1000)),
+			new:        report(rec("BenchmarkAssign", 1090)),
+			threshold:  0.10,
+			wantStatus: map[string]string{"BenchmarkAssign": statusOK},
+			wantGate:   false,
+		},
+		{
+			name:       "slowdown exactly at threshold does not gate",
+			old:        report(rec("BenchmarkAssign", 1000)),
+			new:        report(rec("BenchmarkAssign", 1100)),
+			threshold:  0.10,
+			wantStatus: map[string]string{"BenchmarkAssign": statusOK},
+			wantGate:   false,
+		},
+		{
+			name:       "regression beyond threshold gates",
+			old:        report(rec("BenchmarkAssign", 1000)),
+			new:        report(rec("BenchmarkAssign", 1200)),
+			threshold:  0.10,
+			wantStatus: map[string]string{"BenchmarkAssign": statusRegression},
+			wantGate:   true,
+		},
+		{
+			name:       "tighter threshold flips the same delta to regression",
+			old:        report(rec("BenchmarkAssign", 1000)),
+			new:        report(rec("BenchmarkAssign", 1090)),
+			threshold:  0.05,
+			wantStatus: map[string]string{"BenchmarkAssign": statusRegression},
+			wantGate:   true,
+		},
+		{
+			name:       "benchmark missing from old side is added, never gates",
+			old:        report(rec("BenchmarkAssign", 1000)),
+			new:        report(rec("BenchmarkAssign", 1000), rec("BenchmarkEstimate", 500)),
+			threshold:  0.10,
+			wantStatus: map[string]string{"BenchmarkAssign": statusOK, "BenchmarkEstimate": statusAdded},
+			wantGate:   false,
+		},
+		{
+			name:       "benchmark missing from new side is removed, never gates",
+			old:        report(rec("BenchmarkAssign", 1000), rec("BenchmarkEstimate", 500)),
+			new:        report(rec("BenchmarkAssign", 1000)),
+			threshold:  0.10,
+			wantStatus: map[string]string{"BenchmarkAssign": statusOK, "BenchmarkEstimate": statusRemoved},
+			wantGate:   false,
+		},
+		{
+			name: "one regression among improvements still gates",
+			old:  report(rec("BenchmarkAssign", 1000), rec("BenchmarkEstimate", 500)),
+			new:  report(rec("BenchmarkAssign", 400), rec("BenchmarkEstimate", 900)),
+			wantStatus: map[string]string{
+				"BenchmarkAssign":   statusImproved,
+				"BenchmarkEstimate": statusRegression,
+			},
+			threshold: 0.10,
+			wantGate:  true,
+		},
+		{
+			name:       "zero old ns/op never divides by zero",
+			old:        report(rec("BenchmarkAssign", 0)),
+			new:        report(rec("BenchmarkAssign", 1000)),
+			threshold:  0.10,
+			wantStatus: map[string]string{"BenchmarkAssign": statusOK},
+			wantGate:   false,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			rows, regressed := diff(tc.old, tc.new, tc.threshold)
+			if regressed != tc.wantGate {
+				t.Errorf("regressed = %v, want %v", regressed, tc.wantGate)
+			}
+			if len(rows) != len(tc.wantStatus) {
+				t.Fatalf("got %d rows, want %d: %+v", len(rows), len(tc.wantStatus), rows)
+			}
+			for _, r := range rows {
+				want, ok := tc.wantStatus[r.Name]
+				if !ok {
+					t.Errorf("unexpected row for %q", r.Name)
+					continue
+				}
+				if r.Status != want {
+					t.Errorf("%s: status = %q, want %q (delta %+.3f)", r.Name, r.Status, want, r.Delta)
+				}
+			}
+		})
+	}
+}
+
+func TestDiffDeltaValue(t *testing.T) {
+	rows, _ := diff(report(rec("B", 1000)), report(rec("B", 1250)), 0.10)
+	if len(rows) != 1 {
+		t.Fatalf("got %d rows, want 1", len(rows))
+	}
+	if got, want := rows[0].Delta, 0.25; got != want {
+		t.Errorf("delta = %v, want %v", got, want)
+	}
+}
+
+func TestDescribe(t *testing.T) {
+	cases := []struct {
+		rep  benchfmt.Report
+		want string
+	}{
+		{benchfmt.Report{}, "unstamped"},
+		{benchfmt.Report{GeneratedAt: "2026-01-02T03:04:05Z"}, "2026-01-02T03:04:05Z"},
+		{benchfmt.Report{GitCommit: "abcdef0123456789abcdef"}, "@ abcdef012345"},
+		{
+			benchfmt.Report{GeneratedAt: "2026-01-02T03:04:05Z", GitCommit: "abcdef0123456789"},
+			"2026-01-02T03:04:05Z @ abcdef012345",
+		},
+	}
+	for _, tc := range cases {
+		if got := describe(&tc.rep); got != tc.want {
+			t.Errorf("describe(%+v) = %q, want %q", tc.rep, got, tc.want)
+		}
+	}
+}

@@ -12,6 +12,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 
 	"icrowd/internal/obsv"
@@ -26,16 +27,26 @@ func main() {
 		n        = flag.Int("n", 100, "task count for the Uniform generator")
 		validate = flag.String("validate", "", "validate an existing dataset JSON file and print its statistics")
 		mAddr    = flag.String("metrics-addr", "", "serve process metrics (Prometheus text) on this listener while generating")
+		logFmt   = flag.String("log-format", "text", "log output format: text or json")
+		logLvl   = flag.String("log-level", "info", "minimum log level: debug, info, warn, error")
 	)
 	flag.Parse()
 
+	logger, err := obsv.NewLoggerFromFlags(*logFmt, *logLvl, obsv.Default())
+	if err != nil {
+		fail(err)
+	}
+	slog.SetDefault(logger)
+
 	if *mAddr != "" {
-		ms, err := obsv.Serve(*mAddr, obsv.Default(), false)
+		stopRuntime := obsv.StartRuntime(obsv.Default(), 0)
+		defer stopRuntime()
+		ms, err := obsv.Serve(*mAddr, obsv.ServeOptions{Registry: obsv.Default()})
 		if err != nil {
 			fail(err)
 		}
 		defer ms.Close()
-		fmt.Fprintf(os.Stderr, "icrowd-datagen: metrics listener on %s\n", *mAddr)
+		logger.Info("metrics listener started", slog.String("addr", *mAddr))
 	}
 
 	if *validate != "" {

@@ -12,6 +12,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"strconv"
 	"strings"
@@ -37,17 +38,28 @@ func main() {
 		conc      = flag.Int("concurrency", 0, "estimation/assignment fan-out (0 = GOMAXPROCS, 1 = sequential)")
 		format    = flag.String("format", "text", "output format: text, csv, markdown")
 		mAddr     = flag.String("metrics-addr", "", "serve live run metrics (Prometheus text) on this listener while experiments run")
+		logFormat = flag.String("log-format", "text", "log output format: text or json")
+		logLevel  = flag.String("log-level", "info", "minimum log level: debug, info, warn, error")
 	)
 	flag.Parse()
 
+	logger, err := obsv.NewLoggerFromFlags(*logFormat, *logLevel, obsv.Default())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "icrowd-experiments:", err)
+		os.Exit(1)
+	}
+	slog.SetDefault(logger)
+
 	if *mAddr != "" {
-		ms, err := obsv.Serve(*mAddr, obsv.Default(), false)
+		stopRuntime := obsv.StartRuntime(obsv.Default(), 0)
+		defer stopRuntime()
+		ms, err := obsv.Serve(*mAddr, obsv.ServeOptions{Registry: obsv.Default()})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "icrowd-experiments:", err)
 			os.Exit(1)
 		}
 		defer ms.Close()
-		fmt.Fprintf(os.Stderr, "icrowd-experiments: metrics listener on %s\n", *mAddr)
+		logger.Info("metrics listener started", slog.String("addr", *mAddr))
 	}
 
 	opt := experiments.Options{

@@ -14,15 +14,21 @@
 //	curl -X POST http://localhost:8080/submit \
 //	     -d '{"workerId":"alice","taskId":17,"answer":"YES"}'
 //	curl http://localhost:8080/status
+//	curl http://localhost:8080/v1/healthz
+//	curl http://localhost:8080/v1/readyz
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
 	"os"
+	"os/signal"
 	"strconv"
+	"syscall"
 	"time"
 
 	"icrowd/internal/baseline"
@@ -54,8 +60,16 @@ func main() {
 		conc      = flag.Int("concurrency", 0, "estimation/assignment fan-out (0 = GOMAXPROCS, 1 = sequential)")
 		mAddr     = flag.String("metrics-addr", "", "serve Prometheus metrics on this extra listener (metrics are always at GET /v1/metrics on -addr)")
 		pprofOn   = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ on -addr (and on -metrics-addr when set)")
+		logFormat = flag.String("log-format", "text", "log output format: text or json")
+		logLevel  = flag.String("log-level", "info", "minimum log level: debug, info, warn, error")
 	)
 	flag.Parse()
+
+	logger, err := obsv.NewLoggerFromFlags(*logFormat, *logLevel, obsv.Default())
+	if err != nil {
+		fail(err)
+	}
+	slog.SetDefault(logger)
 
 	syncEvery, err := parseFsync(*fsync)
 	if err != nil {
@@ -71,9 +85,10 @@ func main() {
 		if cached, err := ppr.LoadFile(*basisPath); err == nil {
 			if cached.N() == ds.Len() {
 				basis = cached
-				log.Printf("icrowd-server: loaded basis cache from %s", *basisPath)
+				logger.Info("loaded basis cache", slog.String("path", *basisPath))
 			} else {
-				log.Printf("icrowd-server: basis cache covers %d tasks, dataset has %d; recomputing", cached.N(), ds.Len())
+				logger.Warn("basis cache does not match dataset; recomputing",
+					slog.Int("cache_tasks", cached.N()), slog.Int("dataset_tasks", ds.Len()))
 			}
 		}
 	}
@@ -91,7 +106,7 @@ func main() {
 			if err := basis.SaveFile(*basisPath); err != nil {
 				fail(err)
 			}
-			log.Printf("icrowd-server: saved basis cache to %s", *basisPath)
+			logger.Info("saved basis cache", slog.String("path", *basisPath))
 		}
 	}
 
@@ -129,6 +144,15 @@ func main() {
 	}
 
 	srv := platform.NewServer(st, ds)
+	srv.SetLogger(logger)
+	// Readiness: the offline PPR basis must cover the dataset the strategy
+	// is serving. A stale cache swap under a running process flips readyz.
+	srv.Health().AddCheck("basis", func() error {
+		if basis == nil || basis.N() != ds.Len() {
+			return fmt.Errorf("basis not loaded for %d tasks", ds.Len())
+		}
+		return nil
+	})
 	if *lease > 0 {
 		srv.SetLease(*lease)
 	}
@@ -147,15 +171,19 @@ func main() {
 		}
 		defer l.Close()
 		if info.Tail != nil {
-			log.Printf("icrowd-server: repaired damaged log tail at %s (bytes preserved in %s.corrupt)", info.Tail, *logPath)
+			logger.Warn("repaired damaged log tail",
+				slog.String("tail", info.Tail.String()),
+				slog.String("preserved", *logPath+".corrupt"))
 		}
 		if len(info.Events) > 0 {
 			if err := store.Replay(info.Events, st); err != nil {
 				fail(fmt.Errorf("recovering from %s: %w", *logPath, err))
 			}
 			srv.Restore(info.Events)
-			log.Printf("icrowd-server: recovered %d events (%d from snapshot) from %s",
-				len(info.Events), info.FromSnapshot, *logPath)
+			logger.Info("recovered events from log",
+				slog.Int("events", len(info.Events)),
+				slog.Int("from_snapshot", info.FromSnapshot),
+				slog.String("path", *logPath))
 		}
 		srv.SetLog(l)
 	}
@@ -166,24 +194,52 @@ func main() {
 		}
 		stop := srv.StartSweeper(interval)
 		defer stop()
-		log.Printf("icrowd-server: assignment leases %s, sweeping every %s", *lease, interval)
+		logger.Info("assignment leases enabled",
+			slog.Duration("lease", *lease), slog.Duration("sweep_every", interval))
 	}
 	if *pprofOn {
 		srv.EnablePprof()
-		log.Printf("icrowd-server: pprof enabled under /debug/pprof/")
+		logger.Info("pprof enabled", slog.String("path", "/debug/pprof/"))
 	}
+	stopRuntime := obsv.StartRuntime(obsv.Default(), 0)
+	defer stopRuntime()
 	if *mAddr != "" {
-		ms, err := obsv.Serve(*mAddr, srv.Registry(), *pprofOn)
+		ms, err := obsv.Serve(*mAddr, obsv.ServeOptions{
+			Registry: srv.Registry(),
+			Pprof:    *pprofOn,
+			Health:   srv.Health(),
+		})
 		if err != nil {
 			fail(err)
 		}
 		defer ms.Close()
-		log.Printf("icrowd-server: metrics listener on %s", *mAddr)
+		logger.Info("metrics listener started", slog.String("addr", *mAddr))
 	}
-	log.Printf("icrowd-server: %s over %s (%d tasks) listening on %s",
-		st.Name(), ds.Name, ds.Len(), *addr)
-	if err := http.ListenAndServe(*addr, srv.Handler()); err != nil {
-		fail(err)
+	logger.Info("server listening",
+		slog.String("strategy", st.Name()),
+		slog.String("dataset", ds.Name),
+		slog.Int("tasks", ds.Len()),
+		slog.String("addr", *addr))
+
+	// Serve until SIGINT/SIGTERM, then drain in-flight requests before
+	// exiting so the deferred log close and sweeper stop run cleanly.
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancel()
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	select {
+	case err := <-errc:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fail(err)
+		}
+	case <-ctx.Done():
+		logger.Info("shutdown signal received; draining")
+		shutCtx, shutCancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer shutCancel()
+		if err := httpSrv.Shutdown(shutCtx); err != nil {
+			logger.Error("shutdown did not drain cleanly", slog.String("error", err.Error()))
+		}
 	}
 }
 

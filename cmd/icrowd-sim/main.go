@@ -11,6 +11,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"sort"
 
@@ -38,16 +39,26 @@ func main() {
 		top       = flag.Int("top", 10, "how many top workers to list")
 		mAddr     = flag.String("metrics-addr", "", "serve live run metrics (Prometheus text) on this listener while the simulation runs")
 		pprofOn   = flag.Bool("pprof", false, "mount net/http/pprof on the -metrics-addr listener")
+		logFormat = flag.String("log-format", "text", "log output format: text or json")
+		logLevel  = flag.String("log-level", "info", "minimum log level: debug, info, warn, error")
 	)
 	flag.Parse()
 
+	logger, err := obsv.NewLoggerFromFlags(*logFormat, *logLevel, obsv.Default())
+	if err != nil {
+		fail(err)
+	}
+	slog.SetDefault(logger)
+
 	if *mAddr != "" {
-		ms, err := obsv.Serve(*mAddr, obsv.Default(), *pprofOn)
+		stopRuntime := obsv.StartRuntime(obsv.Default(), 0)
+		defer stopRuntime()
+		ms, err := obsv.Serve(*mAddr, obsv.ServeOptions{Registry: obsv.Default(), Pprof: *pprofOn})
 		if err != nil {
 			fail(err)
 		}
 		defer ms.Close()
-		fmt.Fprintf(os.Stderr, "icrowd-sim: metrics listener on %s\n", *mAddr)
+		logger.Info("metrics listener started", slog.String("addr", *mAddr))
 	}
 
 	ds, pool, err := experiments.LoadDataset(*dataset, *seed, *workers)

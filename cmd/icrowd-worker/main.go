@@ -18,6 +18,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"strings"
 
@@ -28,22 +29,31 @@ import (
 
 func main() {
 	var (
-		server = flag.String("server", "http://localhost:8080", "icrowd-server base URL")
-		worker = flag.String("worker", "", "worker ID (required)")
-		mAddr  = flag.String("metrics-addr", "", "serve client-side metrics (Prometheus text) on this listener")
+		server    = flag.String("server", "http://localhost:8080", "icrowd-server base URL")
+		worker    = flag.String("worker", "", "worker ID (required)")
+		mAddr     = flag.String("metrics-addr", "", "serve client-side metrics (Prometheus text) on this listener")
+		logFormat = flag.String("log-format", "text", "log output format: text or json")
+		logLevel  = flag.String("log-level", "info", "minimum log level: debug, info, warn, error")
 	)
 	flag.Parse()
 	if *worker == "" {
 		fmt.Fprintln(os.Stderr, "icrowd-worker: -worker is required")
 		os.Exit(2)
 	}
+	logger, err := obsv.NewLoggerFromFlags(*logFormat, *logLevel, obsv.Default())
+	if err != nil {
+		fail(err)
+	}
+	slog.SetDefault(logger)
 	if *mAddr != "" {
-		ms, err := obsv.Serve(*mAddr, obsv.Default(), false)
+		stopRuntime := obsv.StartRuntime(obsv.Default(), 0)
+		defer stopRuntime()
+		ms, err := obsv.Serve(*mAddr, obsv.ServeOptions{Registry: obsv.Default()})
 		if err != nil {
 			fail(err)
 		}
 		defer ms.Close()
-		fmt.Fprintf(os.Stderr, "icrowd-worker: metrics listener on %s\n", *mAddr)
+		logger.Info("metrics listener started", slog.String("addr", *mAddr))
 	}
 	client := &platform.Client{BaseURL: *server}
 	in := bufio.NewScanner(os.Stdin)

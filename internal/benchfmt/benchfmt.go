@@ -1,0 +1,84 @@
+// Package benchfmt is the machine-readable hot-path benchmark report
+// format shared by cmd/icrowd-bench (which writes BENCH_hotpath.json) and
+// cmd/icrowd-benchdiff (which compares two reports and gates on
+// regressions). Keeping the schema in one place means the regression gate
+// can never drift from the writer.
+package benchfmt
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// Record is one benchmark's measurement.
+type Record struct {
+	Name        string             `json:"name"`
+	Iterations  int                `json:"iterations"`
+	NsPerOp     int64              `json:"ns_per_op"`
+	BytesPerOp  int64              `json:"bytes_per_op"`
+	AllocsPerOp int64              `json:"allocs_per_op"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Report is the full BENCH_hotpath.json document. GeneratedAt and
+// GitCommit stamp each run so a sequence of committed reports forms a
+// performance trajectory rather than an overwritten snapshot.
+type Report struct {
+	GeneratedBy string `json:"generated_by"`
+	// GeneratedAt is the RFC 3339 UTC wall time of the run.
+	GeneratedAt string `json:"generated_at,omitempty"`
+	// GitCommit is the commit the run was built from (best effort: empty
+	// when neither build info nor a git checkout is available).
+	GitCommit       string   `json:"git_commit,omitempty"`
+	GoVersion       string   `json:"go_version"`
+	GOOS            string   `json:"goos"`
+	GOARCH          string   `json:"goarch"`
+	NumCPU          int      `json:"num_cpu"`
+	GOMAXPROCS      int      `json:"gomaxprocs"`
+	ParallelWorkers int      `json:"parallel_workers"`
+	Benchmarks      []Record `json:"benchmarks"`
+	// PrecomputeSpeedup is the headline figure: sequential over parallel
+	// PPR precompute ns/op.
+	PrecomputeSpeedup float64 `json:"precompute_speedup"`
+	SpeedupTarget     float64 `json:"speedup_target"`
+	// AssignMetricsOverhead is the fractional ns/op cost of the
+	// observability layer on the assign fast path: the median over
+	// alternating on/off benchmark pairs of (metrics-on - metrics-off) /
+	// metrics-off. The budget is <= 0.05.
+	AssignMetricsOverhead float64 `json:"assign_metrics_overhead"`
+	MetricsOverheadBudget float64 `json:"metrics_overhead_budget"`
+	Note                  string  `json:"note,omitempty"`
+}
+
+// Find returns the record with the given benchmark name, or nil.
+func (r *Report) Find(name string) *Record {
+	for i := range r.Benchmarks {
+		if r.Benchmarks[i].Name == name {
+			return &r.Benchmarks[i]
+		}
+	}
+	return nil
+}
+
+// ReadFile loads a report from path.
+func ReadFile(path string) (*Report, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep Report
+	if err := json.Unmarshal(buf, &rep); err != nil {
+		return nil, fmt.Errorf("benchfmt: parsing %s: %w", path, err)
+	}
+	return &rep, nil
+}
+
+// Marshal renders the report as indented JSON with a trailing newline.
+func (r *Report) Marshal() ([]byte, error) {
+	buf, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(buf, '\n'), nil
+}

@@ -73,6 +73,7 @@ type ICrowd struct {
 	mSchemeRuns  *obsv.Counter   // recomputeScheme actual runs
 	mStaleTasks  *obsv.Gauge     // stale top-worker sets in the last run
 	mPoolWorkers *obsv.Gauge     // pool fan-out of the last run
+	schemeBeat   *obsv.Heartbeat // beaten by every completed recompute
 }
 
 type workerInfo struct {
@@ -157,6 +158,8 @@ func New(ds *task.Dataset, basis *ppr.Basis, cfg Config, opts ...Option) (*ICrow
 		"Stale top-worker sets recomputed by the last Algorithm-2 run.")
 	ic.mPoolWorkers = reg.Gauge("icrowd_core_scheme_pool_workers",
 		"Solver-pool fan-out of the last Algorithm-2 run.")
+	ic.schemeBeat = obsv.NewHeartbeat(reg.Gauge("icrowd_core_scheme_heartbeat_timestamp_seconds",
+		"Unix time of the last completed Algorithm-2 scheme recomputation."))
 	ic.schemeDirty.Store(true)
 	// Qualification microtasks carry requester ground truth: the paper
 	// treats them as globally completed from the start.
@@ -349,7 +352,14 @@ func (ic *ICrowd) recomputeScheme() {
 		ic.mSchemeLat.Observe(time.Since(start))
 		ic.mSchemeRuns.Inc()
 	}
+	ic.schemeBeat.Beat()
 }
+
+// SchemeHeartbeat returns when the adaptive scheme was last recomputed
+// (zero before the first run) — the liveness signal operators watch to
+// spot a wedged adaptive loop, also exported as the
+// icrowd_core_scheme_heartbeat_timestamp_seconds gauge.
+func (ic *ICrowd) SchemeHeartbeat() time.Time { return ic.schemeBeat.Last() }
 
 // eligible reports whether the worker may be assigned the task under the
 // optional eligibility restriction.

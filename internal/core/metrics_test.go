@@ -72,3 +72,42 @@ func TestRequestLatencyGateSampling(t *testing.T) {
 		t.Fatal("WithMetrics(nil) left instruments live")
 	}
 }
+
+// TestSchemeHeartbeat pins the adaptive-loop liveness signal: the
+// heartbeat is zero before any scheme recompute, beats once qualification
+// completes and the first Algorithm-2 pass runs, and exports the beat as
+// the icrowd_core_scheme_heartbeat_timestamp_seconds gauge.
+func TestSchemeHeartbeat(t *testing.T) {
+	ds, b := table1Basis(t)
+	reg := obsv.NewRegistry()
+	cfg := DefaultConfig()
+	cfg.Q = 2
+	ic, err := New(ds, b, cfg, WithMetrics(reg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ic.SchemeHeartbeat().IsZero() {
+		t.Fatal("heartbeat should be zero before the first recompute")
+	}
+	for range ic.QualificationTasks() {
+		tid, ok := ic.RequestTask("w")
+		if !ok {
+			t.Fatal("no qualification task")
+		}
+		if err := ic.SubmitAnswer("w", tid, ds.Tasks[tid].Truth); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Leaving qualification triggers the first scheme computation.
+	if _, ok := ic.RequestTask("w"); !ok {
+		t.Fatal("no adaptive task")
+	}
+	beat := ic.SchemeHeartbeat()
+	if beat.IsZero() {
+		t.Fatal("heartbeat should beat after the first scheme recompute")
+	}
+	g := reg.Gauge("icrowd_core_scheme_heartbeat_timestamp_seconds", "")
+	if got, want := g.Value(), float64(beat.UnixNano())/1e9; got != want {
+		t.Errorf("heartbeat gauge = %v, want %v", got, want)
+	}
+}

@@ -1,0 +1,122 @@
+package obsv
+
+import (
+	"encoding/json"
+	"net/http"
+	"sort"
+	"sync"
+)
+
+// Health is the probe surface behind GET /v1/healthz and GET /v1/readyz.
+// Liveness answers "is the process serving requests at all" and is
+// unconditionally 200 once the handler is mounted. Readiness runs the
+// registered checks — event log writable, lease sweeper heartbeat fresh,
+// basis loaded — and flips to 503 while any of them fails, which is the
+// signal a load balancer or orchestrator uses to stop routing new traffic
+// without killing the process.
+//
+// Probe traffic is itself counted in the registry
+// (icrowd_probe_requests_total{probe=...}, icrowd_probe_unready_total) so
+// a scrape shows both the probes' verdicts and their cadence.
+type Health struct {
+	mu     sync.Mutex
+	names  []string // registration order
+	checks map[string]func() error
+
+	liveProbes  *Counter
+	readyProbes *Counter
+	unready     *Counter
+}
+
+// NewHealth creates the probe surface with its counters registered in reg
+// (nil reg disables counting, not the probes).
+func NewHealth(reg *Registry) *Health {
+	const name = "icrowd_probe_requests_total"
+	const help = "Health probe requests, by probe endpoint."
+	return &Health{
+		checks:      map[string]func() error{},
+		liveProbes:  reg.Counter(name, help, "probe", "healthz"),
+		readyProbes: reg.Counter(name, help, "probe", "readyz"),
+		unready: reg.Counter("icrowd_probe_unready_total",
+			"Readiness probes answered 503 (at least one check failing)."),
+	}
+}
+
+// AddCheck registers (or replaces) a named readiness check. A check
+// returning nil passes; the error message of a failing check is reported
+// in the readyz body under its name.
+func (h *Health) AddCheck(name string, check func() error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if _, exists := h.checks[name]; !exists {
+		h.names = append(h.names, name)
+	}
+	h.checks[name] = check
+}
+
+// Failing runs every check and returns the failures as name -> error
+// message (empty means ready). Checks run outside the Health lock so a
+// slow check cannot block concurrent AddCheck calls.
+func (h *Health) Failing() map[string]string {
+	h.mu.Lock()
+	names := append([]string(nil), h.names...)
+	checks := make([]func() error, len(names))
+	for i, n := range names {
+		checks[i] = h.checks[n]
+	}
+	h.mu.Unlock()
+	failed := map[string]string{}
+	for i, check := range checks {
+		if err := check(); err != nil {
+			failed[names[i]] = err.Error()
+		}
+	}
+	return failed
+}
+
+// ProbeResponse is the JSON body of both probe endpoints.
+type ProbeResponse struct {
+	// Status is "ok" or "unavailable".
+	Status string `json:"status"`
+	// Failed maps failing check names to their error messages (readyz
+	// only, omitted when everything passes).
+	Failed map[string]string `json:"failed,omitempty"`
+	// Checks lists the registered check names (readyz only), so operators
+	// can see what readiness covers.
+	Checks []string `json:"checks,omitempty"`
+}
+
+// LivenessHandler serves GET /v1/healthz: 200 whenever the process can run
+// a handler at all.
+func (h *Health) LivenessHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		h.liveProbes.Inc()
+		writeProbe(w, http.StatusOK, ProbeResponse{Status: "ok"})
+	})
+}
+
+// ReadinessHandler serves GET /v1/readyz: 200 while every registered check
+// passes, 503 (with the failing checks named) otherwise.
+func (h *Health) ReadinessHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		h.readyProbes.Inc()
+		h.mu.Lock()
+		checks := append([]string(nil), h.names...)
+		h.mu.Unlock()
+		sort.Strings(checks)
+		failed := h.Failing()
+		if len(failed) > 0 {
+			h.unready.Inc()
+			writeProbe(w, http.StatusServiceUnavailable,
+				ProbeResponse{Status: "unavailable", Failed: failed, Checks: checks})
+			return
+		}
+		writeProbe(w, http.StatusOK, ProbeResponse{Status: "ok", Checks: checks})
+	})
+}
+
+func writeProbe(w http.ResponseWriter, status int, body ProbeResponse) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(body)
+}

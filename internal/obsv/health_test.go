@@ -1,0 +1,119 @@
+package obsv
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"testing"
+)
+
+func TestLivenessAlways200(t *testing.T) {
+	reg := NewRegistry()
+	h := NewHealth(reg)
+	h.AddCheck("doomed", func() error { return errors.New("down") })
+
+	rec := httptest.NewRecorder()
+	h.LivenessHandler().ServeHTTP(rec, httptest.NewRequest("GET", "/v1/healthz", nil))
+	if rec.Code != 200 {
+		t.Fatalf("healthz = %d, want 200 even with failing readiness checks", rec.Code)
+	}
+	var body ProbeResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+		t.Fatal(err)
+	}
+	if body.Status != "ok" {
+		t.Errorf("status = %q, want ok", body.Status)
+	}
+	if got := reg.Counter("icrowd_probe_requests_total", "", "probe", "healthz").Value(); got != 1 {
+		t.Errorf("healthz probe counter = %d, want 1", got)
+	}
+}
+
+func TestReadinessFlips503AndBack(t *testing.T) {
+	reg := NewRegistry()
+	h := NewHealth(reg)
+	var failing error
+	h.AddCheck("event_log", func() error { return failing })
+	h.AddCheck("always_ok", func() error { return nil })
+
+	get := func() (int, ProbeResponse) {
+		rec := httptest.NewRecorder()
+		h.ReadinessHandler().ServeHTTP(rec, httptest.NewRequest("GET", "/v1/readyz", nil))
+		var body ProbeResponse
+		if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+			t.Fatal(err)
+		}
+		return rec.Code, body
+	}
+
+	code, body := get()
+	if code != 200 || body.Status != "ok" {
+		t.Fatalf("ready: got %d %q, want 200 ok", code, body.Status)
+	}
+	if want := []string{"always_ok", "event_log"}; !reflect.DeepEqual(body.Checks, want) {
+		t.Errorf("checks = %v, want %v (sorted)", body.Checks, want)
+	}
+
+	failing = errors.New("disk full")
+	code, body = get()
+	if code != 503 || body.Status != "unavailable" {
+		t.Fatalf("unready: got %d %q, want 503 unavailable", code, body.Status)
+	}
+	if body.Failed["event_log"] != "disk full" {
+		t.Errorf("failed = %v, want event_log -> disk full", body.Failed)
+	}
+
+	failing = nil
+	if code, _ := get(); code != 200 {
+		t.Fatalf("recovered: got %d, want 200", code)
+	}
+
+	if got := reg.Counter("icrowd_probe_requests_total", "", "probe", "readyz").Value(); got != 3 {
+		t.Errorf("readyz probe counter = %d, want 3", got)
+	}
+	if got := reg.Counter("icrowd_probe_unready_total", "").Value(); got != 1 {
+		t.Errorf("unready counter = %d, want 1", got)
+	}
+}
+
+func TestAddCheckReplaceKeepsOrder(t *testing.T) {
+	h := NewHealth(nil)
+	h.AddCheck("a", func() error { return errors.New("first") })
+	h.AddCheck("b", func() error { return nil })
+	h.AddCheck("a", func() error { return errors.New("second") })
+
+	failed := h.Failing()
+	if len(failed) != 1 || failed["a"] != "second" {
+		t.Errorf("failing = %v, want a -> second", failed)
+	}
+}
+
+func TestServeMountsProbes(t *testing.T) {
+	reg := NewRegistry()
+	h := NewHealth(reg)
+	ms, err := Serve("127.0.0.1:0", ServeOptions{Registry: reg, Health: h})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ms.Close()
+
+	for _, path := range []string{"/healthz", "/readyz", "/metrics"} {
+		resp, err := http.Get("http://" + ms.Addr() + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != 200 {
+			t.Errorf("GET %s = %d, want 200", path, resp.StatusCode)
+		}
+	}
+	if err := ms.Shutdown(context.Background()); err != nil {
+		t.Errorf("Shutdown: %v", err)
+	}
+	if _, err := http.Get("http://" + ms.Addr() + "/metrics"); err == nil {
+		t.Error("listener still serving after Shutdown")
+	}
+}

@@ -1,0 +1,60 @@
+package obsv
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Heartbeat is a shared liveness timestamp for background loops: the loop
+// calls Beat on every iteration, and an observer (a readiness probe, a
+// staleness alert) asks Fresh whether the loop has run recently. When
+// bound to a gauge the beat time is also exported as Unix seconds, so a
+// scraper can spot a wedged loop without hitting the probe endpoint.
+//
+// A nil *Heartbeat is valid: Beat no-ops, Last returns the zero time and
+// Fresh reports false.
+type Heartbeat struct {
+	ns atomic.Int64 // last beat, Unix nanoseconds; 0 = never
+	g  *Gauge       // optional export, Unix seconds
+}
+
+// NewHeartbeat creates a heartbeat exporting beat times through g (nil
+// disables the export).
+func NewHeartbeat(g *Gauge) *Heartbeat {
+	return &Heartbeat{g: g}
+}
+
+// Beat records a beat at time.Now().
+func (h *Heartbeat) Beat() { h.BeatAt(time.Now()) }
+
+// BeatAt records a beat at t (loops running on an injected clock beat with
+// the same clock so tests stay deterministic).
+func (h *Heartbeat) BeatAt(t time.Time) {
+	if h == nil {
+		return
+	}
+	h.ns.Store(t.UnixNano())
+	h.g.Set(float64(t.UnixNano()) / 1e9)
+}
+
+// Last returns the most recent beat time (zero when none recorded).
+func (h *Heartbeat) Last() time.Time {
+	if h == nil {
+		return time.Time{}
+	}
+	ns := h.ns.Load()
+	if ns == 0 {
+		return time.Time{}
+	}
+	return time.Unix(0, ns)
+}
+
+// Fresh reports whether the last beat happened within the given window of
+// now. A heartbeat that has never beaten is not fresh.
+func (h *Heartbeat) Fresh(now time.Time, within time.Duration) bool {
+	last := h.Last()
+	if last.IsZero() {
+		return false
+	}
+	return now.Sub(last) <= within
+}

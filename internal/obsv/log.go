@@ -1,0 +1,175 @@
+package obsv
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log/slog"
+	"os"
+	"strings"
+)
+
+// Structured logging (log/slog) for the serving stack. Two formats share
+// one schema: "json" emits machine-readable lines with the keys ts, level,
+// msg (plus any attrs); "text" emits the same fields in slog's key=value
+// form for terminals. Every line is counted per level in the configured
+// Registry (icrowd_log_lines_total{level=...}), and lines logged with a
+// request context — any *Context logging call whose ctx carries the span
+// the platform middleware opened — gain a request_id attribute equal to
+// the span ID echoed to the client as X-Request-Id, so a log line, its
+// trace span and the HTTP response can be joined after the fact.
+
+// Log line field names shared by both formats (DESIGN.md §7.5).
+const (
+	// LogTimeKey replaces slog's default "time" key.
+	LogTimeKey = "ts"
+	// LogRequestIDKey carries the span ID of the active request.
+	LogRequestIDKey = "request_id"
+)
+
+// LogOptions configures NewLogger. The zero value is a text logger to
+// os.Stderr at info level with no line counters.
+type LogOptions struct {
+	// W is the destination (default os.Stderr).
+	W io.Writer
+	// Format is "text" (default) or "json".
+	Format string
+	// Level is the minimum level emitted (default slog.LevelInfo).
+	Level slog.Leveler
+	// Registry receives the per-level line counters
+	// (icrowd_log_lines_total{level=...}); nil disables counting.
+	Registry *Registry
+}
+
+// NewLogger builds the structured logger the binaries and the platform
+// server share. It rejects unknown formats so a typo'd -log-format fails
+// at startup instead of silently logging text.
+func NewLogger(o LogOptions) (*slog.Logger, error) {
+	w := o.W
+	if w == nil {
+		w = os.Stderr
+	}
+	lvl := o.Level
+	if lvl == nil {
+		lvl = slog.LevelInfo
+	}
+	hopts := &slog.HandlerOptions{Level: lvl, ReplaceAttr: replaceLogAttr}
+	var base slog.Handler
+	switch o.Format {
+	case "", "text":
+		base = slog.NewTextHandler(w, hopts)
+	case "json":
+		base = slog.NewJSONHandler(w, hopts)
+	default:
+		return nil, fmt.Errorf("obsv: log format must be text or json, got %q", o.Format)
+	}
+	return slog.New(&logHandler{next: base, counts: newLevelCounts(o.Registry)}), nil
+}
+
+// NewLoggerFromFlags is the -log-format/-log-level adapter every binary
+// uses: it parses the level string and builds a stderr logger counting
+// into reg.
+func NewLoggerFromFlags(format, level string, reg *Registry) (*slog.Logger, error) {
+	lvl, err := ParseLevel(level)
+	if err != nil {
+		return nil, err
+	}
+	return NewLogger(LogOptions{Format: format, Level: lvl, Registry: reg})
+}
+
+// NopLogger returns a logger that discards everything (used where a nil
+// *slog.Logger would otherwise have to be checked on every call).
+func NopLogger() *slog.Logger {
+	return slog.New(slog.NewTextHandler(io.Discard, &slog.HandlerOptions{
+		Level: slog.Level(127), // above every defined level: nothing is enabled
+	}))
+}
+
+// ParseLevel maps a -log-level flag value to a slog.Level.
+func ParseLevel(s string) (slog.Level, error) {
+	switch strings.ToLower(s) {
+	case "debug":
+		return slog.LevelDebug, nil
+	case "info", "":
+		return slog.LevelInfo, nil
+	case "warn", "warning":
+		return slog.LevelWarn, nil
+	case "error":
+		return slog.LevelError, nil
+	}
+	return 0, fmt.Errorf("obsv: log level must be debug, info, warn or error, got %q", s)
+}
+
+// replaceLogAttr pins the shared schema: the timestamp key is "ts" and the
+// level value is lowercase ("info", not "INFO") in both formats.
+func replaceLogAttr(groups []string, a slog.Attr) slog.Attr {
+	if len(groups) > 0 {
+		return a
+	}
+	switch a.Key {
+	case slog.TimeKey:
+		a.Key = LogTimeKey
+	case slog.LevelKey:
+		if lv, ok := a.Value.Any().(slog.Level); ok {
+			a.Value = slog.StringValue(strings.ToLower(lv.String()))
+		}
+	}
+	return a
+}
+
+// levelCounts are the per-level emitted-line counters. All nil when no
+// registry is configured (counting no-ops).
+type levelCounts struct {
+	debug, info, warn, err *Counter
+}
+
+func newLevelCounts(reg *Registry) *levelCounts {
+	const name = "icrowd_log_lines_total"
+	const help = "Log lines emitted, by level."
+	return &levelCounts{
+		debug: reg.Counter(name, help, "level", "debug"),
+		info:  reg.Counter(name, help, "level", "info"),
+		warn:  reg.Counter(name, help, "level", "warn"),
+		err:   reg.Counter(name, help, "level", "error"),
+	}
+}
+
+func (c *levelCounts) count(l slog.Level) {
+	switch {
+	case l < slog.LevelInfo:
+		c.debug.Inc()
+	case l < slog.LevelWarn:
+		c.info.Inc()
+	case l < slog.LevelError:
+		c.warn.Inc()
+	default:
+		c.err.Inc()
+	}
+}
+
+// logHandler wraps the format handler with the two obsv concerns: per-level
+// line counting and request-ID injection from the span carried in ctx.
+type logHandler struct {
+	next   slog.Handler
+	counts *levelCounts
+}
+
+func (h *logHandler) Enabled(ctx context.Context, l slog.Level) bool {
+	return h.next.Enabled(ctx, l)
+}
+
+func (h *logHandler) Handle(ctx context.Context, rec slog.Record) error {
+	h.counts.count(rec.Level)
+	if sp := SpanFromContext(ctx); sp != nil {
+		rec.AddAttrs(slog.Uint64(LogRequestIDKey, sp.ID()))
+	}
+	return h.next.Handle(ctx, rec)
+}
+
+func (h *logHandler) WithAttrs(attrs []slog.Attr) slog.Handler {
+	return &logHandler{next: h.next.WithAttrs(attrs), counts: h.counts}
+}
+
+func (h *logHandler) WithGroup(name string) slog.Handler {
+	return &logHandler{next: h.next.WithGroup(name), counts: h.counts}
+}

@@ -1,0 +1,171 @@
+package obsv
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"log/slog"
+	"strings"
+	"testing"
+)
+
+func TestNewLoggerJSONSchema(t *testing.T) {
+	var buf bytes.Buffer
+	reg := NewRegistry()
+	log, err := NewLogger(LogOptions{W: &buf, Format: "json", Registry: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	log.Info("hello", slog.String("k", "v"))
+
+	var line map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &line); err != nil {
+		t.Fatalf("line is not JSON: %v\n%s", err, buf.String())
+	}
+	if _, ok := line[LogTimeKey]; !ok {
+		t.Errorf("line missing %q key: %s", LogTimeKey, buf.String())
+	}
+	if _, ok := line["time"]; ok {
+		t.Errorf("line still has slog's default time key: %s", buf.String())
+	}
+	if got := line["level"]; got != "info" {
+		t.Errorf("level = %v, want lowercase \"info\"", got)
+	}
+	if got := line["msg"]; got != "hello" {
+		t.Errorf("msg = %v, want \"hello\"", got)
+	}
+	if got := line["k"]; got != "v" {
+		t.Errorf("attr k = %v, want \"v\"", got)
+	}
+}
+
+func TestNewLoggerRejectsUnknownFormat(t *testing.T) {
+	if _, err := NewLogger(LogOptions{Format: "xml"}); err == nil {
+		t.Fatal("want error for unknown format, got nil")
+	}
+	if _, err := NewLoggerFromFlags("json", "loud", nil); err == nil {
+		t.Fatal("want error for unknown level, got nil")
+	}
+}
+
+func TestParseLevel(t *testing.T) {
+	cases := map[string]slog.Level{
+		"debug": slog.LevelDebug, "info": slog.LevelInfo, "": slog.LevelInfo,
+		"warn": slog.LevelWarn, "warning": slog.LevelWarn, "ERROR": slog.LevelError,
+	}
+	for in, want := range cases {
+		got, err := ParseLevel(in)
+		if err != nil || got != want {
+			t.Errorf("ParseLevel(%q) = %v, %v; want %v, nil", in, got, err, want)
+		}
+	}
+	if _, err := ParseLevel("verbose"); err == nil {
+		t.Error("ParseLevel(verbose) should fail")
+	}
+}
+
+func TestLoggerLevelFiltering(t *testing.T) {
+	var buf bytes.Buffer
+	log, err := NewLogger(LogOptions{W: &buf, Format: "json", Level: slog.LevelWarn})
+	if err != nil {
+		t.Fatal(err)
+	}
+	log.Info("dropped")
+	log.Warn("kept")
+	if strings.Contains(buf.String(), "dropped") {
+		t.Errorf("info line emitted despite warn level: %s", buf.String())
+	}
+	if !strings.Contains(buf.String(), "kept") {
+		t.Errorf("warn line missing: %s", buf.String())
+	}
+}
+
+func TestLoggerCountsLinesPerLevel(t *testing.T) {
+	var buf bytes.Buffer
+	reg := NewRegistry()
+	log, err := NewLogger(LogOptions{W: &buf, Format: "text", Level: slog.LevelDebug, Registry: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	log.Debug("d")
+	log.Info("i1")
+	log.Info("i2")
+	log.Warn("w")
+	log.Error("e")
+
+	want := map[string]int64{"debug": 1, "info": 2, "warn": 1, "error": 1}
+	for level, n := range want {
+		c := reg.Counter("icrowd_log_lines_total", "", "level", level)
+		if c.Value() != n {
+			t.Errorf("icrowd_log_lines_total{level=%q} = %d, want %d", level, c.Value(), n)
+		}
+	}
+}
+
+func TestLoggerInjectsRequestID(t *testing.T) {
+	var buf bytes.Buffer
+	log, err := NewLogger(LogOptions{W: &buf, Format: "json"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := NewTracer(4)
+	sp := tr.Start("test")
+	defer sp.End()
+	ctx := ContextWithSpan(context.Background(), sp)
+
+	log.InfoContext(ctx, "with span")
+	log.Info("without span")
+
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines, want 2", len(lines))
+	}
+	var withSpan, withoutSpan map[string]any
+	if err := json.Unmarshal([]byte(lines[0]), &withSpan); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal([]byte(lines[1]), &withoutSpan); err != nil {
+		t.Fatal(err)
+	}
+	id, ok := withSpan[LogRequestIDKey].(float64)
+	if !ok || uint64(id) != sp.ID() {
+		t.Errorf("%s = %v, want span ID %d", LogRequestIDKey, withSpan[LogRequestIDKey], sp.ID())
+	}
+	if _, ok := withoutSpan[LogRequestIDKey]; ok {
+		t.Errorf("line without a span carries %s: %s", LogRequestIDKey, lines[1])
+	}
+}
+
+func TestLoggerWithAttrsAndGroupKeepCounting(t *testing.T) {
+	var buf bytes.Buffer
+	reg := NewRegistry()
+	base, err := NewLogger(LogOptions{W: &buf, Format: "json", Registry: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base.With(slog.String("component", "x")).WithGroup("g").Info("nested")
+	if got := reg.Counter("icrowd_log_lines_total", "", "level", "info").Value(); got != 1 {
+		t.Errorf("derived logger did not count: got %d, want 1", got)
+	}
+	if !strings.Contains(buf.String(), `"component":"x"`) {
+		t.Errorf("With attr lost: %s", buf.String())
+	}
+}
+
+func TestNopLoggerDiscardsEverything(t *testing.T) {
+	log := NopLogger()
+	if log.Enabled(context.Background(), slog.LevelError) {
+		t.Error("NopLogger should disable even error level")
+	}
+	log.Error("dropped") // must not panic
+}
+
+func TestContextWithNilSpan(t *testing.T) {
+	ctx := context.Background()
+	if got := ContextWithSpan(ctx, nil); got != ctx {
+		t.Error("ContextWithSpan(ctx, nil) should return ctx unchanged")
+	}
+	if sp := SpanFromContext(ctx); sp != nil {
+		t.Error("SpanFromContext on a bare context should return nil")
+	}
+}

@@ -1,0 +1,123 @@
+package obsv
+
+import (
+	"context"
+	"io"
+	"log/slog"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestContentionAllInstruments hammers every obsv surface from many
+// goroutines at once — counters, gauges, histograms, exposition renders,
+// the runtime collector, the heartbeat, the tracer and the counting log
+// handler — so `go test -race ./internal/obsv` proves the whole layer is
+// data-race free under concurrent load, not just each instrument alone.
+func TestContentionAllInstruments(t *testing.T) {
+	const (
+		goroutines = 8
+		iterations = 500
+	)
+	reg := NewRegistry()
+	ctr := reg.Counter("contention_ops_total", "ops")
+	labeled := reg.Counter("contention_by_kind_total", "ops", "kind", "write")
+	gauge := reg.Gauge("contention_depth", "depth")
+	hist := reg.Histogram("contention_latency_seconds", "latency", DefaultLatencyBuckets)
+	hb := NewHeartbeat(reg.Gauge("contention_heartbeat_seconds", "hb"))
+	tracer := NewTracer(64)
+	rc := NewRuntimeCollector(reg)
+	stopRC := rc.Start(time.Millisecond)
+	defer stopRC()
+
+	logger, err := NewLogger(LogOptions{
+		W: io.Discard, Format: "json", Level: slog.LevelDebug, Registry: reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < iterations; i++ {
+				sp := tracer.Start("contend")
+				ctx := ContextWithSpan(context.Background(), sp)
+				ctr.Inc()
+				labeled.Add(2)
+				gauge.Add(1)
+				gauge.Add(-1)
+				hist.Observe(time.Duration(i) * time.Microsecond)
+				hb.Beat()
+				logger.DebugContext(ctx, "contend", slog.Int("g", g), slog.Int("i", i))
+				if i%100 == 0 {
+					rc.Collect()
+					var sb strings.Builder
+					reg.WritePrometheus(&sb)
+				}
+				sp.End()
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	if got, want := ctr.Value(), int64(goroutines*iterations); got != want {
+		t.Errorf("counter = %d, want %d", got, want)
+	}
+	if got, want := labeled.Value(), int64(2*goroutines*iterations); got != want {
+		t.Errorf("labeled counter = %d, want %d", got, want)
+	}
+	if got := gauge.Value(); got != 0 {
+		t.Errorf("gauge = %v, want 0 after balanced adds", got)
+	}
+	if got, want := hist.Count(), int64(goroutines*iterations); got != want {
+		t.Errorf("histogram count = %d, want %d", got, want)
+	}
+	if got, want := reg.Counter("icrowd_log_lines_total", "", "level", "debug").Value(),
+		int64(goroutines*iterations); got != want {
+		t.Errorf("log line counter = %d, want %d", got, want)
+	}
+	if !hb.Fresh(time.Now(), time.Minute) {
+		t.Error("heartbeat not fresh after beating")
+	}
+}
+
+func TestHeartbeat(t *testing.T) {
+	t0 := time.Unix(1000, 0)
+	hb := NewHeartbeat(nil)
+	if hb.Fresh(t0, time.Hour) {
+		t.Error("never-beaten heartbeat must not be fresh")
+	}
+	if !hb.Last().IsZero() {
+		t.Error("Last should be zero before any beat")
+	}
+	hb.BeatAt(t0)
+	if !hb.Fresh(t0.Add(time.Minute), time.Hour) {
+		t.Error("beat within window should be fresh")
+	}
+	if hb.Fresh(t0.Add(2*time.Hour), time.Hour) {
+		t.Error("beat outside window should be stale")
+	}
+	if got := hb.Last(); !got.Equal(t0) {
+		t.Errorf("Last = %v, want %v", got, t0)
+	}
+
+	var nilHB *Heartbeat
+	nilHB.Beat()
+	if nilHB.Fresh(t0, time.Hour) || !nilHB.Last().IsZero() {
+		t.Error("nil heartbeat should no-op")
+	}
+}
+
+func TestHeartbeatExportsGauge(t *testing.T) {
+	reg := NewRegistry()
+	g := reg.Gauge("hb_seconds", "")
+	hb := NewHeartbeat(g)
+	hb.BeatAt(time.Unix(1234, 500000000))
+	if got := g.Value(); got != 1234.5 {
+		t.Errorf("gauge = %v, want 1234.5", got)
+	}
+}

@@ -1,0 +1,138 @@
+package obsv
+
+import (
+	"runtime"
+	"sync"
+	"time"
+)
+
+// GCPauseBuckets covers stop-the-world GC pauses: 10µs to 100ms.
+var GCPauseBuckets = []float64{
+	1e-5, 2.5e-5, 5e-5, 1e-4, 2.5e-4, 5e-4, 1e-3, 2.5e-3, 5e-3, 1e-2, 2.5e-2, 1e-1,
+}
+
+// RuntimeCollector samples the Go runtime into go_* metrics: heap and
+// stack bytes, GC cycles and a pause histogram, goroutine count and
+// GOMAXPROCS. One collector owns the cursor into MemStats' circular pause
+// ring, so each GC pause is observed exactly once no matter how often
+// Collect runs. Collect is cheap enough to run every few seconds
+// (runtime.ReadMemStats briefly stops the world) but is not meant for a
+// per-request path.
+//
+// A nil *RuntimeCollector is valid and every method no-ops, mirroring the
+// rest of the package's nil-instrument convention.
+type RuntimeCollector struct {
+	mu        sync.Mutex
+	lastNumGC uint32
+	lastAlloc uint64
+
+	heapAlloc  *Gauge
+	heapSys    *Gauge
+	heapInuse  *Gauge
+	stackInuse *Gauge
+	nextGC     *Gauge
+	goroutines *Gauge
+	gomaxprocs *Gauge
+	gcCycles   *Counter
+	allocBytes *Counter
+	gcPause    *Histogram
+}
+
+// NewRuntimeCollector registers the go_* instruments in reg (nil reg
+// returns a nil collector, which no-ops).
+func NewRuntimeCollector(reg *Registry) *RuntimeCollector {
+	if reg == nil {
+		return nil
+	}
+	return &RuntimeCollector{
+		heapAlloc: reg.Gauge("go_memstats_heap_alloc_bytes",
+			"Bytes of allocated heap objects."),
+		heapSys: reg.Gauge("go_memstats_heap_sys_bytes",
+			"Bytes of heap memory obtained from the OS."),
+		heapInuse: reg.Gauge("go_memstats_heap_inuse_bytes",
+			"Bytes in in-use heap spans."),
+		stackInuse: reg.Gauge("go_memstats_stack_inuse_bytes",
+			"Bytes in stack spans."),
+		nextGC: reg.Gauge("go_memstats_next_gc_bytes",
+			"Heap size target of the next GC cycle."),
+		goroutines: reg.Gauge("go_goroutines",
+			"Number of live goroutines."),
+		gomaxprocs: reg.Gauge("go_gomaxprocs",
+			"Value of GOMAXPROCS."),
+		gcCycles: reg.Counter("go_gc_cycles_total",
+			"Completed GC cycles."),
+		allocBytes: reg.Counter("go_memstats_alloc_bytes_total",
+			"Cumulative bytes allocated for heap objects."),
+		gcPause: reg.Histogram("go_gc_pause_seconds",
+			"Stop-the-world GC pause durations.", GCPauseBuckets),
+	}
+}
+
+// Collect takes one sample: point-in-time gauges plus every GC pause that
+// completed since the previous Collect. Safe for concurrent use.
+func (c *RuntimeCollector) Collect() {
+	if c == nil {
+		return
+	}
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	c.heapAlloc.Set(float64(ms.HeapAlloc))
+	c.heapSys.Set(float64(ms.HeapSys))
+	c.heapInuse.Set(float64(ms.HeapInuse))
+	c.stackInuse.Set(float64(ms.StackInuse))
+	c.nextGC.Set(float64(ms.NextGC))
+	c.goroutines.Set(float64(runtime.NumGoroutine()))
+	c.gomaxprocs.Set(float64(runtime.GOMAXPROCS(0)))
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.gcCycles.Add(int64(ms.NumGC - c.lastNumGC))
+	c.allocBytes.Add(int64(ms.TotalAlloc - c.lastAlloc))
+	c.lastAlloc = ms.TotalAlloc
+	// MemStats keeps the last 256 pauses in a circular buffer indexed by
+	// NumGC; replay the cycles completed since the previous sample (newer
+	// pauses overwrite older ones, so cap at the buffer size).
+	n := ms.NumGC - c.lastNumGC
+	if n > uint32(len(ms.PauseNs)) {
+		n = uint32(len(ms.PauseNs))
+	}
+	for i := uint32(0); i < n; i++ {
+		idx := (ms.NumGC - i + uint32(len(ms.PauseNs)) - 1) % uint32(len(ms.PauseNs))
+		c.gcPause.Observe(time.Duration(ms.PauseNs[idx]))
+	}
+	c.lastNumGC = ms.NumGC
+}
+
+// Start collects immediately and then every interval in a background
+// goroutine until the returned stop function is called (interval <= 0
+// defaults to 10s). stop is idempotent.
+func (c *RuntimeCollector) Start(interval time.Duration) (stop func()) {
+	if c == nil {
+		return func() {}
+	}
+	if interval <= 0 {
+		interval = 10 * time.Second
+	}
+	c.Collect()
+	done := make(chan struct{})
+	go func() {
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-t.C:
+				c.Collect()
+			}
+		}
+	}()
+	var once sync.Once
+	return func() { once.Do(func() { close(done) }) }
+}
+
+// StartRuntime is the one-call form the binaries use: register the go_*
+// instruments in reg and start the periodic collector.
+func StartRuntime(reg *Registry, interval time.Duration) (stop func()) {
+	return NewRuntimeCollector(reg).Start(interval)
+}

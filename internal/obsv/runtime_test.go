@@ -1,0 +1,89 @@
+package obsv
+
+import (
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestRuntimeCollectorExportsGauges(t *testing.T) {
+	reg := NewRegistry()
+	c := NewRuntimeCollector(reg)
+	runtime.GC() // guarantee at least one completed cycle with a recorded pause
+	c.Collect()
+
+	var sb strings.Builder
+	reg.WritePrometheus(&sb)
+	out := sb.String()
+	for _, name := range []string{
+		"go_memstats_heap_alloc_bytes",
+		"go_memstats_heap_sys_bytes",
+		"go_memstats_heap_inuse_bytes",
+		"go_memstats_stack_inuse_bytes",
+		"go_memstats_next_gc_bytes",
+		"go_goroutines",
+		"go_gomaxprocs",
+		"go_gc_cycles_total",
+		"go_memstats_alloc_bytes_total",
+		"go_gc_pause_seconds_bucket",
+	} {
+		if !strings.Contains(out, name) {
+			t.Errorf("exposition missing %s", name)
+		}
+	}
+	if got := reg.Gauge("go_gomaxprocs", "").Value(); got != float64(runtime.GOMAXPROCS(0)) {
+		t.Errorf("go_gomaxprocs = %v, want %v", got, runtime.GOMAXPROCS(0))
+	}
+	if reg.Gauge("go_memstats_heap_alloc_bytes", "").Value() <= 0 {
+		t.Error("go_memstats_heap_alloc_bytes should be positive")
+	}
+}
+
+func TestRuntimeCollectorObservesGCPausesOnce(t *testing.T) {
+	reg := NewRegistry()
+	c := NewRuntimeCollector(reg)
+	c.Collect() // establish the cursor
+	h := reg.Histogram("go_gc_pause_seconds", "", GCPauseBuckets)
+	base := h.Count()
+
+	runtime.GC()
+	runtime.GC()
+	c.Collect()
+	afterGC := h.Count()
+	if afterGC < base+2 {
+		t.Errorf("pause observations = %d, want >= %d after two forced GCs", afterGC, base+2)
+	}
+
+	// A second Collect with no intervening GC must not re-observe pauses.
+	cycles := reg.Counter("go_gc_cycles_total", "").Value()
+	c.Collect()
+	if h.Count() != afterGC {
+		t.Errorf("Collect re-observed pauses: %d -> %d", afterGC, h.Count())
+	}
+	if got := reg.Counter("go_gc_cycles_total", "").Value(); got != cycles {
+		t.Errorf("gc cycle counter moved without a GC: %d -> %d", cycles, got)
+	}
+}
+
+func TestRuntimeCollectorNil(t *testing.T) {
+	var c *RuntimeCollector
+	c.Collect() // must not panic
+	stop := c.Start(time.Millisecond)
+	stop()
+	if got := NewRuntimeCollector(nil); got != nil {
+		t.Error("NewRuntimeCollector(nil) should return nil")
+	}
+}
+
+func TestRuntimeCollectorStartStop(t *testing.T) {
+	reg := NewRegistry()
+	c := NewRuntimeCollector(reg)
+	stop := c.Start(time.Hour) // first collect is immediate; ticker never fires
+	defer stop()
+	if reg.Gauge("go_goroutines", "").Value() <= 0 {
+		t.Error("Start should collect immediately")
+	}
+	stop()
+	stop() // idempotent
+}

@@ -1,6 +1,7 @@
 package obsv
 
 import (
+	"context"
 	"net"
 	"net/http"
 	"net/http/pprof"
@@ -17,23 +18,72 @@ func MountPprof(mux *http.ServeMux) {
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 }
 
-// Serve exposes the registry on its own listener — GET /metrics (also
-// served at /) plus, when enablePprof is set, the /debug/pprof/ suite —
-// and serves it in a background goroutine. It is the implementation behind
-// the cmd binaries' -metrics-addr flag. The returned server can be Closed;
-// listen errors are returned synchronously so a bad address fails fast.
-func Serve(addr string, reg *Registry, enablePprof bool) (*http.Server, error) {
+// ServeOptions configures the standalone observability listener.
+type ServeOptions struct {
+	// Registry is served at /metrics (and at /).
+	Registry *Registry
+	// Pprof mounts the /debug/pprof/ suite when set.
+	Pprof bool
+	// Health, when non-nil, mounts /healthz and /readyz — the same probe
+	// surface the platform server exposes under /v1/, reachable even when
+	// the main listener is saturated.
+	Health *Health
+}
+
+// MetricsServer is the running observability listener returned by Serve.
+// Close stops it immediately; Shutdown drains in-flight scrapes first.
+// Both are safe to call more than once.
+type MetricsServer struct {
+	srv  *http.Server
+	addr string
+}
+
+// Addr returns the listener's bound address (useful with ":0").
+func (m *MetricsServer) Addr() string {
+	if m == nil {
+		return ""
+	}
+	return m.addr
+}
+
+// Close stops the listener immediately, dropping in-flight requests.
+func (m *MetricsServer) Close() error {
+	if m == nil {
+		return nil
+	}
+	return m.srv.Close()
+}
+
+// Shutdown stops accepting new connections and waits for in-flight
+// requests (bounded by ctx), so a SIGINT doesn't cut a scrape mid-body.
+func (m *MetricsServer) Shutdown(ctx context.Context) error {
+	if m == nil {
+		return nil
+	}
+	return m.srv.Shutdown(ctx)
+}
+
+// Serve exposes the registry (plus optional probes and pprof) on its own
+// listener in a background goroutine. It is the implementation behind the
+// cmd binaries' -metrics-addr flag. Listen errors are returned
+// synchronously so a bad address fails fast; the caller owns the returned
+// server and must Close or Shutdown it to stop the goroutine.
+func Serve(addr string, opts ServeOptions) (*MetricsServer, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
 	mux := http.NewServeMux()
-	mux.Handle("/metrics", reg.Handler())
-	mux.Handle("/", reg.Handler())
-	if enablePprof {
+	mux.Handle("/metrics", opts.Registry.Handler())
+	mux.Handle("/", opts.Registry.Handler())
+	if opts.Health != nil {
+		mux.Handle("/healthz", opts.Health.LivenessHandler())
+		mux.Handle("/readyz", opts.Health.ReadinessHandler())
+	}
+	if opts.Pprof {
 		MountPprof(mux)
 	}
 	srv := &http.Server{Handler: mux}
 	go srv.Serve(ln)
-	return srv, nil
+	return &MetricsServer{srv: srv, addr: ln.Addr().String()}, nil
 }

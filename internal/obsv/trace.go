@@ -1,6 +1,7 @@
 package obsv
 
 import (
+	"context"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -104,6 +105,29 @@ func (s *Span) End() {
 		t.full = true
 	}
 	t.mu.Unlock()
+}
+
+// spanKey keys the active span in a context.Context.
+type spanKey struct{}
+
+// ContextWithSpan returns ctx carrying sp as the active span. The platform
+// middleware attaches each request's span this way, and the structured log
+// handler reads it back to stamp request_id on every line logged with the
+// request's context. A nil span returns ctx unchanged.
+func ContextWithSpan(ctx context.Context, sp *Span) context.Context {
+	if sp == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, spanKey{}, sp)
+}
+
+// SpanFromContext returns the active span carried by ctx, or nil.
+func SpanFromContext(ctx context.Context) *Span {
+	if ctx == nil {
+		return nil
+	}
+	sp, _ := ctx.Value(spanKey{}).(*Span)
+	return sp
 }
 
 // Recent returns up to n completed spans, newest first (n <= 0 returns

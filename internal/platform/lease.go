@@ -28,6 +28,14 @@ func (s *Server) SetClock(now func() time.Time) {
 	s.mu.Unlock()
 }
 
+// clockNow reads the server's (possibly test-injected) clock.
+func (s *Server) clockNow() time.Time {
+	s.mu.Lock()
+	now := s.now
+	s.mu.Unlock()
+	return now()
+}
+
 // deadlineLocked stamps a new lease deadline (zero when leases are off).
 func (s *Server) deadlineLocked() time.Time {
 	if s.lease <= 0 {
@@ -102,8 +110,15 @@ func (s *Server) SweepExpired() []string {
 }
 
 // StartSweeper runs SweepExpired every interval in a background goroutine
-// until the returned stop function is called.
+// until the returned stop function is called. Every pass — including the
+// no-op ones — beats the sweeper heartbeat, which the /v1/readyz probe
+// checks for freshness and the
+// icrowd_sweeper_last_sweep_timestamp_seconds gauge exports.
 func (s *Server) StartSweeper(interval time.Duration) (stop func()) {
+	s.mu.Lock()
+	s.sweepEvery = interval
+	s.mu.Unlock()
+	s.obs.sweepHB.BeatAt(s.clockNow())
 	done := make(chan struct{})
 	go func() {
 		t := time.NewTicker(interval)
@@ -114,6 +129,7 @@ func (s *Server) StartSweeper(interval time.Duration) (stop func()) {
 				return
 			case <-t.C:
 				s.SweepExpired()
+				s.obs.sweepHB.BeatAt(s.clockNow())
 			}
 		}
 	}()

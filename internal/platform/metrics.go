@@ -2,7 +2,7 @@ package platform
 
 import (
 	"encoding/json"
-	"log"
+	"log/slog"
 	"net/http"
 	"strconv"
 	"time"
@@ -38,6 +38,9 @@ type serverMetrics struct {
 	duplicates   *obsv.Counter
 	logFailures  *obsv.Counter
 	encodeErrors *obsv.Counter
+	// sweepHB is beaten by every lease-sweeper pass; the readiness probe
+	// checks its freshness and the bound gauge exports the last sweep time.
+	sweepHB *obsv.Heartbeat
 }
 
 func newServerMetrics(reg *obsv.Registry) *serverMetrics {
@@ -65,19 +68,36 @@ func newServerMetrics(reg *obsv.Registry) *serverMetrics {
 		"Event-log append failures surfaced as 503 log_write_failed.")
 	m.encodeErrors = reg.Counter("icrowd_http_encode_errors_total",
 		"JSON response bodies that failed to encode after headers were sent.")
+	m.sweepHB = obsv.NewHeartbeat(reg.Gauge("icrowd_sweeper_last_sweep_timestamp_seconds",
+		"Unix time of the lease sweeper's last completed pass."))
 	return m
 }
 
-// UseRegistry rebinds the server's metrics to reg (nil disables metrics
-// entirely). Call it before the server takes traffic; NewServer defaults
-// to obsv.Default().
+// UseRegistry rebinds the server's metrics — and the probe counters behind
+// /v1/healthz and /v1/readyz — to reg (nil disables metrics entirely).
+// Call it before the server takes traffic; NewServer defaults to
+// obsv.Default().
 func (s *Server) UseRegistry(reg *obsv.Registry) {
 	s.obs = newServerMetrics(reg)
+	s.initHealth(reg)
 }
 
 // Registry returns the registry the server records into (nil when metrics
 // are disabled).
 func (s *Server) Registry() *obsv.Registry { return s.obs.reg }
+
+// SetLogger replaces the server's structured logger (nil silences logging
+// entirely). NewServer defaults to a text logger on stderr at info level;
+// binaries install their -log-format/-log-level configuration here.
+func (s *Server) SetLogger(l *slog.Logger) {
+	if l == nil {
+		l = obsv.NopLogger()
+	}
+	s.logger = l
+}
+
+// Logger returns the server's structured logger.
+func (s *Server) Logger() *slog.Logger { return s.logger }
 
 // SetTracer replaces the server's request tracer (nil disables tracing and
 // the X-Request-Id header). NewServer installs a DefaultTraceCapacity ring.
@@ -110,10 +130,12 @@ func (w *statusWriter) Write(b []byte) (int, error) {
 
 // instrument wraps an endpoint handler with the observability middleware:
 // request counting, a latency histogram observation, a status-class
-// counter, and one trace span per request whose ID is echoed as
-// X-Request-Id. Both the /v1 and the legacy mount share the wrapped
-// handler, so the endpoint label aggregates the two spellings and the
-// response bytes stay identical across mounts.
+// counter, one trace span per request whose ID is echoed as X-Request-Id
+// (and carried in the request context so every log line emitted while
+// handling the request is stamped with the same request_id), and a
+// debug-level structured access log line. Both the /v1 and the legacy
+// mount share the wrapped handler, so the endpoint label aggregates the
+// two spellings and the response bytes stay identical across mounts.
 func (s *Server) instrument(name string, h http.HandlerFunc) http.HandlerFunc {
 	em := s.obs.endpoints[name]
 	return func(w http.ResponseWriter, r *http.Request) {
@@ -121,11 +143,13 @@ func (s *Server) instrument(name string, h http.HandlerFunc) http.HandlerFunc {
 		sp := s.tracer.Start("http." + name)
 		if sp != nil {
 			w.Header().Set("X-Request-Id", strconv.FormatUint(sp.ID(), 10))
+			r = r.WithContext(obsv.ContextWithSpan(r.Context(), sp))
 		}
 		sw := &statusWriter{ResponseWriter: w}
 		start := time.Now()
 		h(sw, r)
-		em.latency.Observe(time.Since(start))
+		elapsed := time.Since(start)
+		em.latency.Observe(elapsed)
 		code := sw.status
 		if code == 0 {
 			code = http.StatusOK
@@ -137,13 +161,17 @@ func (s *Server) instrument(name string, h http.HandlerFunc) http.HandlerFunc {
 			sp.Annotate("status=" + strconv.Itoa(code))
 			sp.End()
 		}
+		s.logger.LogAttrs(r.Context(), slog.LevelDebug, "http request",
+			slog.String("endpoint", name),
+			slog.Int("status", code),
+			slog.Duration("duration", elapsed))
 	}
 }
 
 // handleMetrics serves GET /v1/metrics in the Prometheus text format.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
-		s.writeError(w, http.StatusMethodNotAllowed, CodeMethodNotAllowed, "method not allowed")
+		s.writeError(r, w, http.StatusMethodNotAllowed, CodeMethodNotAllowed, "method not allowed")
 		return
 	}
 	s.obs.reg.Handler().ServeHTTP(w, r)
@@ -159,14 +187,14 @@ type TraceResponse struct {
 // newest first. ?n= bounds the count (default 100).
 func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
-		s.writeError(w, http.StatusMethodNotAllowed, CodeMethodNotAllowed, "method not allowed")
+		s.writeError(r, w, http.StatusMethodNotAllowed, CodeMethodNotAllowed, "method not allowed")
 		return
 	}
 	n := 100
 	if q := r.URL.Query().Get("n"); q != "" {
 		v, err := strconv.Atoi(q)
 		if err != nil || v < 1 {
-			s.writeError(w, http.StatusBadRequest, CodeBadRequest, "n must be a positive integer")
+			s.writeError(r, w, http.StatusBadRequest, CodeBadRequest, "n must be a positive integer")
 			return
 		}
 		n = v
@@ -175,29 +203,32 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 	if spans == nil {
 		spans = []obsv.SpanRecord{}
 	}
-	s.writeJSON(w, TraceResponse{Spans: spans})
+	s.writeJSON(r, w, TraceResponse{Spans: spans})
 }
 
 // writeJSON emits a 200 JSON response with headers committed before the
 // body. Encode failures cannot change the already-sent status, so they are
-// counted (icrowd_http_encode_errors_total) and logged instead of being
-// silently discarded.
-func (s *Server) writeJSON(w http.ResponseWriter, v interface{}) {
+// counted (icrowd_http_encode_errors_total) and logged — through the
+// request's context, so the line carries the request_id of the active span
+// — instead of being silently discarded.
+func (s *Server) writeJSON(r *http.Request, w http.ResponseWriter, v interface{}) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(http.StatusOK)
 	if err := json.NewEncoder(w).Encode(v); err != nil {
 		s.obs.encodeErrors.Inc()
-		log.Printf("platform: encoding response: %v", err)
+		s.logger.LogAttrs(r.Context(), slog.LevelError, "encoding response failed",
+			slog.String("error", err.Error()))
 	}
 }
 
 // writeError is the typed JSON error envelope with encode-failure
 // accounting (the package-level writeError stays for tests and fakes).
-func (s *Server) writeError(w http.ResponseWriter, status int, code, msg string) {
+func (s *Server) writeError(r *http.Request, w http.ResponseWriter, status int, code, msg string) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
 	if err := json.NewEncoder(w).Encode(ErrorResponse{Code: code, Message: msg}); err != nil {
 		s.obs.encodeErrors.Inc()
-		log.Printf("platform: encoding error response: %v", err)
+		s.logger.LogAttrs(r.Context(), slog.LevelError, "encoding error response failed",
+			slog.String("error", err.Error()))
 	}
 }

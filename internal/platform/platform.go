@@ -55,6 +55,7 @@ import (
 	"errors"
 	"hash/fnv"
 	"io"
+	"log/slog"
 	"math/rand"
 	"net/http"
 	"sync"
@@ -181,11 +182,20 @@ type Server struct {
 	// idempotency index): worker -> task -> answer.
 	accepted map[string]map[int]string
 
+	// sweepEvery is the interval the running lease sweeper was started
+	// with (zero when no sweeper runs); the readiness probe uses it to
+	// judge heartbeat freshness.
+	sweepEvery time.Duration
+
 	// obs holds the server's metric instruments (metrics.go); tracer is the
-	// per-request span ring behind /v1/trace and X-Request-Id. Both are set
-	// before the server takes traffic and read-only afterwards.
+	// per-request span ring behind /v1/trace and X-Request-Id; logger is
+	// the structured logger (SetLogger); health is the probe surface behind
+	// /v1/healthz and /v1/readyz. All are set before the server takes
+	// traffic and read-only afterwards.
 	obs    *serverMetrics
 	tracer *obsv.Tracer
+	logger *slog.Logger
+	health *obsv.Health
 	pprof  bool
 }
 
@@ -194,7 +204,7 @@ type Server struct {
 // seed's fully-serialized behaviour.
 func NewServer(st core.Strategy, ds *task.Dataset) *Server {
 	cs, ok := st.(interface{ ConcurrencySafe() bool })
-	return &Server{
+	s := &Server{
 		st:       st,
 		ds:       ds,
 		concSafe: ok && cs.ConcurrencySafe(),
@@ -204,7 +214,21 @@ func NewServer(st core.Strategy, ds *task.Dataset) *Server {
 		accepted: map[string]map[int]string{},
 		obs:      newServerMetrics(obsv.Default()),
 		tracer:   obsv.NewTracer(0),
+		logger:   defaultLogger(),
 	}
+	s.initHealth(obsv.Default())
+	return s
+}
+
+// defaultLogger matches the stdlib logger's historical behaviour —
+// human-readable lines on stderr, info level — until SetLogger installs
+// the binary's -log-format/-log-level configuration.
+func defaultLogger() *slog.Logger {
+	l, err := obsv.NewLogger(obsv.LogOptions{Registry: obsv.Default()})
+	if err != nil { // unreachable: the zero options are valid
+		return obsv.NopLogger()
+	}
+	return l
 }
 
 // lockWorker acquires the stripe serializing this worker's requests and
@@ -288,6 +312,8 @@ func (s *Server) Handler() http.Handler {
 	}
 	mux.HandleFunc("/v1/metrics", s.handleMetrics)
 	mux.HandleFunc("/v1/trace", s.handleTrace)
+	mux.Handle("/v1/healthz", s.health.LivenessHandler())
+	mux.Handle("/v1/readyz", s.health.ReadinessHandler())
 	if s.pprof {
 		obsv.MountPprof(mux)
 	}
@@ -298,17 +324,17 @@ func (s *Server) Handler() http.Handler {
 // handleNotFound is the fallback for unknown paths: a typed JSON envelope
 // instead of net/http's plain-text 404.
 func (s *Server) handleNotFound(w http.ResponseWriter, r *http.Request) {
-	s.writeError(w, http.StatusNotFound, CodeNotFound, "no such endpoint: "+r.URL.Path)
+	s.writeError(r, w, http.StatusNotFound, CodeNotFound, "no such endpoint: "+r.URL.Path)
 }
 
 func (s *Server) handleAssign(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
-		s.writeError(w, http.StatusMethodNotAllowed, CodeMethodNotAllowed, "method not allowed")
+		s.writeError(r, w, http.StatusMethodNotAllowed, CodeMethodNotAllowed, "method not allowed")
 		return
 	}
 	worker := r.URL.Query().Get("workerId")
 	if worker == "" {
-		s.writeError(w, http.StatusBadRequest, CodeBadRequest, "workerId required")
+		s.writeError(r, w, http.StatusBadRequest, CodeBadRequest, "workerId required")
 		return
 	}
 	wl := s.lockWorker(worker)
@@ -327,7 +353,7 @@ func (s *Server) handleAssign(w http.ResponseWriter, r *http.Request) {
 		if acct != nil {
 			resp.HITRemaining = acct.Remaining(worker)
 		}
-		s.writeJSON(w, resp)
+		s.writeJSON(r, w, resp)
 		return
 	}
 	s.mu.Unlock()
@@ -368,11 +394,11 @@ func (s *Server) handleAssign(w http.ResponseWriter, r *http.Request) {
 	})
 	if logErr != nil {
 		s.obs.logFailures.Inc()
-		s.writeError(w, http.StatusServiceUnavailable, CodeLogWrite, logErr.Error())
+		s.writeError(r, w, http.StatusServiceUnavailable, CodeLogWrite, logErr.Error())
 		return
 	}
 	if !assigned {
-		s.writeJSON(w, AssignResponse{Done: done})
+		s.writeJSON(r, w, AssignResponse{Done: done})
 		return
 	}
 	s.mu.Lock()
@@ -384,26 +410,26 @@ func (s *Server) handleAssign(w http.ResponseWriter, r *http.Request) {
 	if acct != nil {
 		resp.HITRemaining = acct.OnAssign(worker)
 	}
-	s.writeJSON(w, resp)
+	s.writeJSON(r, w, resp)
 }
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
-		s.writeError(w, http.StatusMethodNotAllowed, CodeMethodNotAllowed, "method not allowed")
+		s.writeError(r, w, http.StatusMethodNotAllowed, CodeMethodNotAllowed, "method not allowed")
 		return
 	}
 	var req SubmitRequest
 	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&req); err != nil {
-		s.writeError(w, http.StatusBadRequest, CodeBadRequest, "bad json: "+err.Error())
+		s.writeError(r, w, http.StatusBadRequest, CodeBadRequest, "bad json: "+err.Error())
 		return
 	}
 	ans, err := parseAnswer(req.Answer)
 	if err != nil {
-		s.writeError(w, http.StatusBadRequest, CodeBadRequest, err.Error())
+		s.writeError(r, w, http.StatusBadRequest, CodeBadRequest, err.Error())
 		return
 	}
 	if req.WorkerID == "" {
-		s.writeError(w, http.StatusBadRequest, CodeBadRequest, "workerId required")
+		s.writeError(r, w, http.StatusBadRequest, CodeBadRequest, "workerId required")
 		return
 	}
 	wl := s.lockWorker(req.WorkerID)
@@ -415,13 +441,13 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		// counted; a retried submit must not double-count into consensus
 		// or accuracy estimates.
 		s.obs.duplicates.Inc()
-		s.writeJSON(w, SubmitResponse{Accepted: true, Duplicate: true})
+		s.writeJSON(r, w, SubmitResponse{Accepted: true, Duplicate: true})
 		return
 	}
 	h, holds := s.held[req.WorkerID]
 	s.mu.Unlock()
 	if !holds || h.Task != req.TaskID {
-		s.writeError(w, http.StatusConflict, CodeNoPending,
+		s.writeError(r, w, http.StatusConflict, CodeNoPending,
 			"worker does not hold this task (never assigned, or the lease expired)")
 		return
 	}
@@ -442,13 +468,13 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	})
 	if logErr != nil {
 		s.obs.logFailures.Inc()
-		s.writeError(w, http.StatusServiceUnavailable, CodeLogWrite, logErr.Error())
+		s.writeError(r, w, http.StatusServiceUnavailable, CodeLogWrite, logErr.Error())
 		return
 	}
 	if err != nil {
 		// held mirrors the strategy's pending state, so this indicates a
 		// server bug (the event is already logged).
-		s.writeError(w, http.StatusInternalServerError, CodeInternal, err.Error())
+		s.writeError(r, w, http.StatusInternalServerError, CodeInternal, err.Error())
 		return
 	}
 	s.mu.Lock()
@@ -459,7 +485,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if acct != nil {
 		acct.OnSubmit()
 	}
-	s.writeJSON(w, SubmitResponse{Accepted: true})
+	s.writeJSON(r, w, SubmitResponse{Accepted: true})
 }
 
 func (s *Server) markAcceptedLocked(worker string, taskID int, answer string) {
@@ -476,7 +502,7 @@ func (s *Server) markAcceptedLocked(worker string, taskID int, answer string) {
 // The worker may be named via the workerId query parameter or a JSON body.
 func (s *Server) handleInactive(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
-		s.writeError(w, http.StatusMethodNotAllowed, CodeMethodNotAllowed, "method not allowed")
+		s.writeError(r, w, http.StatusMethodNotAllowed, CodeMethodNotAllowed, "method not allowed")
 		return
 	}
 	worker := r.URL.Query().Get("workerId")
@@ -487,7 +513,7 @@ func (s *Server) handleInactive(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	if worker == "" {
-		s.writeError(w, http.StatusBadRequest, CodeBadRequest,
+		s.writeError(r, w, http.StatusBadRequest, CodeBadRequest,
 			"workerId required (query parameter or JSON body)")
 		return
 	}
@@ -497,7 +523,7 @@ func (s *Server) handleInactive(w http.ResponseWriter, r *http.Request) {
 	known := s.seen[worker]
 	s.mu.Unlock()
 	if !known {
-		s.writeError(w, http.StatusBadRequest, CodeUnknownWorker,
+		s.writeError(r, w, http.StatusBadRequest, CodeUnknownWorker,
 			"worker "+worker+" has never been assigned a task")
 		return
 	}
@@ -517,7 +543,7 @@ func (s *Server) handleInactive(w http.ResponseWriter, r *http.Request) {
 	})
 	if logErr != nil {
 		s.obs.logFailures.Inc()
-		s.writeError(w, http.StatusServiceUnavailable, CodeLogWrite, logErr.Error())
+		s.writeError(r, w, http.StatusServiceUnavailable, CodeLogWrite, logErr.Error())
 		return
 	}
 	s.mu.Lock()
@@ -532,7 +558,7 @@ func (s *Server) handleInactive(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
-		s.writeError(w, http.StatusMethodNotAllowed, CodeMethodNotAllowed, "method not allowed")
+		s.writeError(r, w, http.StatusMethodNotAllowed, CodeMethodNotAllowed, "method not allowed")
 		return
 	}
 	s.strategyLock()
@@ -562,12 +588,12 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 		resp.Submitted = acct.Submitted()
 		resp.CostUSD = acct.CostUSD()
 	}
-	s.writeJSON(w, resp)
+	s.writeJSON(r, w, resp)
 }
 
 func (s *Server) handleResults(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
-		s.writeError(w, http.StatusMethodNotAllowed, CodeMethodNotAllowed, "method not allowed")
+		s.writeError(r, w, http.StatusMethodNotAllowed, CodeMethodNotAllowed, "method not allowed")
 		return
 	}
 	s.strategyLock()
@@ -577,7 +603,7 @@ func (s *Server) handleResults(w http.ResponseWriter, r *http.Request) {
 	for t, a := range res {
 		out.Results[t] = a.String()
 	}
-	s.writeJSON(w, out)
+	s.writeJSON(r, w, out)
 }
 
 func writeJSON(w http.ResponseWriter, v interface{}) {

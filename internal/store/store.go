@@ -152,6 +152,7 @@ type Log struct {
 	sinceSnap int
 	retained  []Event // full history, kept only when snapshotting
 	snapErr   error   // last best-effort snapshot failure
+	lastErr   error   // last append/sync failure, cleared by a success
 }
 
 // Open creates or appends to the log file at path with default options
@@ -356,21 +357,25 @@ func (l *Log) append(e Event) error {
 	e.Seq = l.next
 	b, err := json.Marshal(e)
 	if err != nil {
-		return &WriteError{Op: "marshal", Path: l.path, Err: err}
+		l.lastErr = &WriteError{Op: "marshal", Path: l.path, Err: err}
+		return l.lastErr
 	}
 	if _, err := l.w.Write(frameLine(b)); err != nil {
-		return &WriteError{Op: "append", Path: l.path, Err: err}
+		l.lastErr = &WriteError{Op: "append", Path: l.path, Err: err}
+		return l.lastErr
 	}
 	l.next++
 	if l.opts.SyncEvery > 0 && l.f != nil {
 		l.sinceSync++
 		if l.sinceSync >= l.opts.SyncEvery {
 			if err := l.f.Sync(); err != nil {
-				return &WriteError{Op: "sync", Path: l.path, Err: err}
+				l.lastErr = &WriteError{Op: "sync", Path: l.path, Err: err}
+				return l.lastErr
 			}
 			l.sinceSync = 0
 		}
 	}
+	l.lastErr = nil
 	if l.opts.SnapshotPath != "" {
 		l.retained = append(l.retained, e)
 		l.sinceSnap++
@@ -379,6 +384,16 @@ func (l *Log) append(e Event) error {
 		}
 	}
 	return nil
+}
+
+// Healthy reports the log's durability health: nil while the most recent
+// append (including its fsync, under a sync policy) succeeded, and the
+// failing append's error until a later append succeeds. Readiness probes
+// use it to flip a server not-ready while its event log is unwritable.
+func (l *Log) Healthy() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.lastErr
 }
 
 // Snapshot forces an immediate snapshot+compaction (no-op unless

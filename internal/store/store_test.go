@@ -257,3 +257,38 @@ func TestRecoverFile(t *testing.T) {
 		t.Fatal("missing file should error")
 	}
 }
+
+// failNWriter fails the first n writes, then succeeds.
+type failNWriter struct {
+	n int
+}
+
+func (w *failNWriter) Write(b []byte) (int, error) {
+	if w.n > 0 {
+		w.n--
+		return 0, errWriteFailed
+	}
+	return len(b), nil
+}
+
+var errWriteFailed = &WriteError{Op: "append", Err: nil}
+
+func TestHealthyTracksStickyWriteError(t *testing.T) {
+	l := NewWriter(&failNWriter{n: 1})
+	if err := l.Healthy(); err != nil {
+		t.Fatalf("fresh log should be healthy, got %v", err)
+	}
+	if err := l.AppendAssign("w1", 1); err == nil {
+		t.Fatal("append through failing writer should error")
+	}
+	if err := l.Healthy(); err == nil {
+		t.Fatal("Healthy should report the failed append until one succeeds")
+	}
+	// Writer healed: the next successful append clears the sticky error.
+	if err := l.AppendAssign("w1", 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Healthy(); err != nil {
+		t.Fatalf("Healthy after successful append = %v, want nil", err)
+	}
+}
