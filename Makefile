@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test check lint vet race race-hot parity bench bench-all bench-diff bench-diff-report clean
+.PHONY: all build test check lint vet race race-hot parity load-smoke bench bench-all bench-diff bench-diff-report clean
 
 all: build
 
@@ -27,10 +27,19 @@ race:
 	$(GO) test -race ./...
 
 # Focused race pass over the observability layer and the platform server —
-# the packages whose instruments, log handler and probe surface are hammered
-# from many goroutines at once (see TestContentionAllInstruments).
+# the packages whose instruments, log handler, probe surface, admission
+# gate and per-worker limiter map are hammered from many goroutines at
+# once (see TestContentionAllInstruments, TestWorkerLimiterRaceHammer,
+# TestChaosOverloadBurst).
 race-hot:
 	$(GO) test -race ./internal/obsv ./internal/platform
+
+# End-to-end overload smoke: boot icrowd-server with admission control and
+# the per-worker limiter on, drive a short open-loop load pass, and fail
+# on any 5xx or an empty report (writes /tmp/icrowd_load_smoke.json; the
+# committed BENCH_load.json is a full-length run of the same harness).
+load-smoke:
+	./scripts/load_smoke.sh
 
 # Determinism contracts on their own: parallel precompute and the cached
 # scheme are bit-identical to the sequential paths, and the /v1 API is
@@ -42,7 +51,7 @@ parity:
 # The gate a PR must pass. bench-diff runs report-only here because shared
 # CI machines are too noisy for a hard ns/op gate; run `make bench-diff`
 # on a quiet box before committing a perf-sensitive change.
-check: lint parity race race-hot bench-diff-report
+check: lint parity race race-hot load-smoke bench-diff-report
 
 # Hot-path benchmarks -> BENCH_hotpath.json (sequential vs parallel
 # precompute, incremental scheme recompute, /assign read throughput).

@@ -18,11 +18,8 @@ import (
 	"fmt"
 	"log/slog"
 	"os"
-	"os/exec"
 	"runtime"
-	"runtime/debug"
 	"sort"
-	"strings"
 	"testing"
 	"time"
 
@@ -112,7 +109,7 @@ func main() {
 	rep := benchfmt.Report{
 		GeneratedBy:     "icrowd-bench",
 		GeneratedAt:     time.Now().UTC().Format(time.RFC3339),
-		GitCommit:       gitCommit(),
+		GitCommit:       benchfmt.GitCommit(),
 		GoVersion:       runtime.Version(),
 		GOOS:            runtime.GOOS,
 		GOARCH:          runtime.GOARCH,
@@ -152,22 +149,4 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "icrowd-bench: wrote %s (precompute speedup %.2fx on %d CPU)\n",
 		*out, rep.PrecomputeSpeedup, rep.NumCPU)
-}
-
-// gitCommit identifies the commit this run measured: the VCS revision
-// stamped into the build when available, else a best-effort
-// `git rev-parse HEAD` (go run does not stamp VCS info), else "".
-func gitCommit() string {
-	if bi, ok := debug.ReadBuildInfo(); ok {
-		for _, kv := range bi.Settings {
-			if kv.Key == "vcs.revision" && kv.Value != "" {
-				return kv.Value
-			}
-		}
-	}
-	out, err := exec.Command("git", "rev-parse", "HEAD").Output()
-	if err != nil {
-		return ""
-	}
-	return strings.TrimSpace(string(out))
 }

@@ -1,0 +1,258 @@
+// Command icrowd-loadgen drives open-loop load against a live icrowd
+// server and writes a machine-readable report, BENCH_load.json by
+// default. Arrivals are Poisson at -rate requests/second and each arrival
+// picks its worker from a Zipf distribution over -workers simulated
+// workers — the Figure-15 workload shape, where a handful of hot workers
+// generate most of the traffic. Open-loop means arrivals never slow down
+// when the server does: under overload the queue pressure is real, which
+// is exactly what the admission layer is there to absorb.
+//
+// Each arrival performs one /v1/assign and, when a task was assigned, one
+// /v1/submit, each measured as its own sample. The report summarizes
+// goodput, shed rate, and p50/p95/p99 latency over admitted (2xx)
+// requests, plus the hot worker's share of admitted traffic (bounded by
+// the per-worker rate limiter when one is configured).
+//
+// Usage:
+//
+//	icrowd-loadgen -target http://127.0.0.1:8080 -rate 500 -duration 10s
+//	icrowd-loadgen -target ... -rate 500 -workers 200 -zipf 1.5 -out -
+//
+// The process exits non-zero when the server returned any 5xx (disable
+// with -allow-5xx) or when nothing was admitted at all, so CI can use a
+// short run as a smoke gate (`make load-smoke`).
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"os"
+	"runtime"
+	"sync"
+	"time"
+
+	"icrowd/internal/benchfmt"
+	"icrowd/internal/platform"
+	"icrowd/internal/task"
+)
+
+// sample is one measured HTTP operation.
+type sample struct {
+	latencyMs float64
+	status    int // 0 on transport error
+	worker    string
+}
+
+func main() {
+	var (
+		target   = flag.String("target", "http://127.0.0.1:8080", "server base URL")
+		rate     = flag.Float64("rate", 200, "open-loop arrival rate in requests/second")
+		duration = flag.Duration("duration", 5*time.Second, "how long to generate arrivals")
+		workers  = flag.Int("workers", 100, "simulated worker population size")
+		zipfS    = flag.Float64("zipf", 1.5, "Zipf skew of the worker-pick distribution (> 1)")
+		seed     = flag.Int64("seed", 1, "random seed for arrivals and worker picks")
+		deadline = flag.Duration("deadline", 2*time.Second, "client-side deadline per request")
+		out      = flag.String("out", "BENCH_load.json", "report file path (- for stdout)")
+		waitUp   = flag.Duration("wait-ready", 0, "poll the target's /v1/healthz this long before starting (0 = don't wait)")
+		allow5xx = flag.Bool("allow-5xx", false, "do not fail the run when the server returns 5xx")
+		noSubmit = flag.Bool("assign-only", false, "only issue /v1/assign (skip the follow-up /v1/submit)")
+	)
+	flag.Parse()
+
+	if *rate <= 0 || *workers < 1 || *zipfS <= 1 {
+		fail(errors.New("need -rate > 0, -workers >= 1, -zipf > 1"))
+	}
+	if *waitUp > 0 {
+		if err := waitReady(*target, *waitUp); err != nil {
+			fail(err)
+		}
+	}
+
+	// One shared transport sized for bursty fan-out: the default transport
+	// keeps only two idle conns per host, which turns an open-loop burst
+	// into a TIME_WAIT storm.
+	tr := &http.Transport{MaxIdleConns: 1024, MaxIdleConnsPerHost: 1024}
+	hc := &http.Client{Transport: tr}
+
+	var (
+		wg      sync.WaitGroup
+		mu      sync.Mutex
+		samples []sample
+	)
+	record := func(s sample) {
+		mu.Lock()
+		samples = append(samples, s)
+		mu.Unlock()
+	}
+
+	rng := rand.New(rand.NewSource(*seed))
+	zipf := rand.NewZipf(rand.New(rand.NewSource(*seed+1)), *zipfS, 1, uint64(*workers-1))
+	start := time.Now()
+	end := start.Add(*duration)
+	for now := start; now.Before(end); now = time.Now() {
+		// Poisson arrivals: exponential interarrival gaps at -rate.
+		gap := time.Duration(rng.ExpFloat64() / *rate * float64(time.Second))
+		time.Sleep(gap)
+		if !time.Now().Before(end) {
+			break
+		}
+		worker := fmt.Sprintf("w%05d", zipf.Uint64())
+		wg.Add(1)
+		go func(worker string) {
+			defer wg.Done()
+			fire(hc, *target, worker, *deadline, !*noSubmit, record)
+		}(worker)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	rep := summarize(samples, benchfmt.LoadReport{
+		GeneratedBy: "icrowd-loadgen",
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GitCommit:   benchfmt.GitCommit(),
+		GoVersion:   runtime.Version(),
+		GOOS:        runtime.GOOS,
+		GOARCH:      runtime.GOARCH,
+		NumCPU:      runtime.NumCPU(),
+		Target:      *target,
+		OfferedRate: *rate,
+		DurationSec: elapsed.Seconds(),
+		Workers:     *workers,
+		ZipfS:       *zipfS,
+	})
+
+	buf, err := rep.Marshal()
+	if err != nil {
+		fail(err)
+	}
+	if *out == "-" {
+		os.Stdout.Write(buf)
+	} else if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		fail(err)
+	}
+	fmt.Fprintf(os.Stderr,
+		"icrowd-loadgen: %d requests in %.1fs: goodput %.1f/s, shed %.1f%%, p50 %.2fms p95 %.2fms p99 %.2fms, 5xx %d, transport errors %d\n",
+		rep.Requests, rep.DurationSec, rep.GoodputPerSec, rep.ShedRate*100,
+		rep.LatencyP50Ms, rep.LatencyP95Ms, rep.LatencyP99Ms, rep.Status5xx, rep.TransportErrors)
+
+	if rep.Status5xx > 0 && !*allow5xx {
+		fail(fmt.Errorf("server returned %d 5xx responses", rep.Status5xx))
+	}
+	if rep.Admitted == 0 {
+		fail(errors.New("no request was admitted; server down or everything shed"))
+	}
+}
+
+// fire performs one arrival's work: assign, then (optionally) submit the
+// assigned task. Every HTTP operation is recorded as its own sample.
+func fire(hc *http.Client, target, worker string, deadline time.Duration, submit bool, record func(sample)) {
+	ctx, cancel := context.WithTimeout(context.Background(), deadline)
+	defer cancel()
+	c := &platform.Client{BaseURL: target, HTTPClient: hc} // single-shot: no retry in an open-loop probe
+	t0 := time.Now()
+	res, err := c.Assign(ctx, worker)
+	record(sample{latencyMs: ms(time.Since(t0)), status: statusOf(err, http.StatusOK), worker: worker})
+	if err != nil || !res.Assigned || !submit {
+		return
+	}
+	t1 := time.Now()
+	err = c.Submit(ctx, worker, res.TaskID, answerFor(res.TaskID))
+	record(sample{latencyMs: ms(time.Since(t1)), status: statusOf(err, http.StatusOK), worker: worker})
+}
+
+// answerFor gives a deterministic valid answer per task (the load harness
+// measures the serving path, not accuracy).
+func answerFor(taskID int) task.Answer {
+	if taskID%2 == 0 {
+		return task.Yes
+	}
+	return task.No
+}
+
+// statusOf maps a client call result to an HTTP status: okStatus on nil
+// error, the typed APIError's code when present, 0 for transport errors.
+func statusOf(err error, okStatus int) int {
+	if err == nil {
+		return okStatus
+	}
+	var ae *platform.APIError
+	if errors.As(err, &ae) {
+		return ae.StatusCode
+	}
+	return 0
+}
+
+func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+// summarize folds the samples into the report skeleton.
+func summarize(samples []sample, rep benchfmt.LoadReport) *benchfmt.LoadReport {
+	var admittedLat []float64
+	perWorker := map[string]int64{}
+	for _, s := range samples {
+		rep.Requests++
+		switch {
+		case s.status == 0:
+			rep.TransportErrors++
+		case s.status >= 200 && s.status < 300:
+			rep.Admitted++
+			admittedLat = append(admittedLat, s.latencyMs)
+			perWorker[s.worker]++
+		case s.status == http.StatusTooManyRequests:
+			rep.Shed++
+		case s.status >= 500:
+			rep.Status5xx++
+		default:
+			rep.Status4xx++
+		}
+	}
+	if rep.DurationSec > 0 {
+		rep.GoodputPerSec = float64(rep.Admitted) / rep.DurationSec
+	}
+	if rep.Requests > 0 {
+		rep.ShedRate = float64(rep.Shed) / float64(rep.Requests)
+	}
+	if len(admittedLat) > 0 {
+		rep.LatencyP50Ms = benchfmt.Quantile(admittedLat, 0.50)
+		rep.LatencyP95Ms = benchfmt.Quantile(admittedLat, 0.95)
+		rep.LatencyP99Ms = benchfmt.Quantile(admittedLat, 0.99)
+	}
+	var hottest int64
+	for _, n := range perWorker {
+		if n > hottest {
+			hottest = n
+		}
+	}
+	if rep.Admitted > 0 {
+		rep.HotWorkerShare = float64(hottest) / float64(rep.Admitted)
+	}
+	return &rep
+}
+
+// waitReady polls target's /v1/healthz until it answers 200 or the budget
+// runs out, so `make load-smoke` can start the server and the generator
+// back-to-back without a race.
+func waitReady(target string, budget time.Duration) error {
+	deadline := time.Now().Add(budget)
+	for {
+		resp, err := http.Get(target + "/v1/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("server at %s not healthy within %s", target, budget)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "icrowd-loadgen:", err)
+	os.Exit(1)
+}

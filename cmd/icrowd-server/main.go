@@ -44,24 +44,31 @@ import (
 
 func main() {
 	var (
-		addr      = flag.String("addr", ":8080", "listen address")
-		dataset   = flag.String("dataset", "ItemCompare", "dataset (YahooQA, ItemCompare)")
-		strategy  = flag.String("strategy", "icrowd", "strategy: icrowd, qfonly, besteffort, randommv, randomem, avgaccpv")
-		k         = flag.Int("k", 3, "assignment size per microtask")
-		q         = flag.Int("q", 10, "qualification microtasks")
-		seed      = flag.Int64("seed", 1, "random seed")
-		measure   = flag.String("measure", "Jaccard", "similarity measure")
-		threshold = flag.Float64("threshold", 0.25, "similarity threshold")
-		logPath   = flag.String("log", "", "event-log file; replayed on startup for crash recovery")
-		basisPath = flag.String("basis", "", "basis cache file: loaded if present, else computed and saved (skips the offline PPR phase on restart)")
-		lease     = flag.Duration("lease", 0, "assignment lease: reclaim tasks from workers silent this long (0 disables)")
-		fsync     = flag.String("fsync", "never", "event-log fsync policy: never, always, or an integer N (fsync every N appends)")
-		snapEvery = flag.Int("snapshot-every", 0, "snapshot+compact the event log every N appends (0 disables; requires -log)")
-		conc      = flag.Int("concurrency", 0, "estimation/assignment fan-out (0 = GOMAXPROCS, 1 = sequential)")
-		mAddr     = flag.String("metrics-addr", "", "serve Prometheus metrics on this extra listener (metrics are always at GET /v1/metrics on -addr)")
-		pprofOn   = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ on -addr (and on -metrics-addr when set)")
-		logFormat = flag.String("log-format", "text", "log output format: text or json")
-		logLevel  = flag.String("log-level", "info", "minimum log level: debug, info, warn, error")
+		addr        = flag.String("addr", ":8080", "listen address")
+		dataset     = flag.String("dataset", "ItemCompare", "dataset (YahooQA, ItemCompare)")
+		strategy    = flag.String("strategy", "icrowd", "strategy: icrowd, qfonly, besteffort, randommv, randomem, avgaccpv")
+		k           = flag.Int("k", 3, "assignment size per microtask")
+		q           = flag.Int("q", 10, "qualification microtasks")
+		seed        = flag.Int64("seed", 1, "random seed")
+		measure     = flag.String("measure", "Jaccard", "similarity measure")
+		threshold   = flag.Float64("threshold", 0.25, "similarity threshold")
+		logPath     = flag.String("log", "", "event-log file; replayed on startup for crash recovery")
+		basisPath   = flag.String("basis", "", "basis cache file: loaded if present, else computed and saved (skips the offline PPR phase on restart)")
+		lease       = flag.Duration("lease", 0, "assignment lease: reclaim tasks from workers silent this long (0 disables)")
+		fsync       = flag.String("fsync", "never", "event-log fsync policy: never, always, or an integer N (fsync every N appends)")
+		snapEvery   = flag.Int("snapshot-every", 0, "snapshot+compact the event log every N appends (0 disables; requires -log)")
+		conc        = flag.Int("concurrency", 0, "estimation/assignment fan-out (0 = GOMAXPROCS, 1 = sequential)")
+		maxInFlight = flag.Int("max-inflight", 0, "admission control: max concurrent write requests (0 disables)")
+		queueDepth  = flag.Int("queue-depth", 64, "admission control: requests allowed to wait for a slot before new arrivals are shed with 429")
+		queueTO     = flag.Duration("queue-timeout", time.Second, "admission control: max wait for admission before shedding with 429")
+		reqTO       = flag.Duration("request-timeout", 0, "server-side deadline per write request, queue wait included (0 disables)")
+		workerRate  = flag.Float64("worker-rate", 0, "per-worker rate limit in requests/second (0 disables)")
+		workerBurst = flag.Float64("worker-burst", 0, "per-worker burst allowance (0 = same as -worker-rate, min 1)")
+		overloadWin = flag.Duration("overload-window", 5*time.Second, "sustained queue saturation before /v1/readyz reports degraded")
+		mAddr       = flag.String("metrics-addr", "", "serve Prometheus metrics on this extra listener (metrics are always at GET /v1/metrics on -addr)")
+		pprofOn     = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ on -addr (and on -metrics-addr when set)")
+		logFormat   = flag.String("log-format", "text", "log output format: text or json")
+		logLevel    = flag.String("log-level", "info", "minimum log level: debug, info, warn, error")
 	)
 	flag.Parse()
 
@@ -155,6 +162,25 @@ func main() {
 	})
 	if *lease > 0 {
 		srv.SetLease(*lease)
+	}
+	if *maxInFlight > 0 || *reqTO > 0 {
+		srv.SetAdmission(platform.AdmissionConfig{
+			MaxInFlight:    *maxInFlight,
+			QueueDepth:     *queueDepth,
+			QueueTimeout:   *queueTO,
+			RequestTimeout: *reqTO,
+			DegradedWindow: *overloadWin,
+		})
+		logger.Info("admission control enabled",
+			slog.Int("max_inflight", *maxInFlight),
+			slog.Int("queue_depth", *queueDepth),
+			slog.Duration("queue_timeout", *queueTO),
+			slog.Duration("request_timeout", *reqTO))
+	}
+	if *workerRate > 0 {
+		srv.SetWorkerRateLimit(platform.RateLimit{Rate: *workerRate, Burst: *workerBurst})
+		logger.Info("per-worker rate limit enabled",
+			slog.Float64("rate", *workerRate), slog.Float64("burst", *workerBurst))
 	}
 	if *snapEvery > 0 && *logPath == "" {
 		fail(fmt.Errorf("-snapshot-every requires -log"))

@@ -15,17 +15,28 @@ import (
 // signal a load balancer or orchestrator uses to stop routing new traffic
 // without killing the process.
 //
+// Degraded checks (AddDegradedCheck) are the softer tier: a failing
+// degraded check keeps /v1/readyz answering 200 — the server is still
+// serving under its stated policy — but flips the body's status to
+// "degraded" and names the failing checks, so operators and dashboards
+// see sustained overload without a load balancer yanking the instance
+// (which would only shift the same load onto its peers).
+//
 // Probe traffic is itself counted in the registry
-// (icrowd_probe_requests_total{probe=...}, icrowd_probe_unready_total) so
-// a scrape shows both the probes' verdicts and their cadence.
+// (icrowd_probe_requests_total{probe=...}, icrowd_probe_unready_total,
+// icrowd_probe_degraded_total) so a scrape shows both the probes'
+// verdicts and their cadence.
 type Health struct {
-	mu     sync.Mutex
-	names  []string // registration order
-	checks map[string]func() error
+	mu       sync.Mutex
+	names    []string // registration order
+	checks   map[string]func() error
+	degNames []string // degraded-check registration order
+	degraded map[string]func() error
 
 	liveProbes  *Counter
 	readyProbes *Counter
 	unready     *Counter
+	degradedCt  *Counter
 }
 
 // NewHealth creates the probe surface with its counters registered in reg
@@ -35,10 +46,13 @@ func NewHealth(reg *Registry) *Health {
 	const help = "Health probe requests, by probe endpoint."
 	return &Health{
 		checks:      map[string]func() error{},
+		degraded:    map[string]func() error{},
 		liveProbes:  reg.Counter(name, help, "probe", "healthz"),
 		readyProbes: reg.Counter(name, help, "probe", "readyz"),
 		unready: reg.Counter("icrowd_probe_unready_total",
 			"Readiness probes answered 503 (at least one check failing)."),
+		degradedCt: reg.Counter("icrowd_probe_degraded_total",
+			"Readiness probes answered 200 with status degraded (a degraded check failing)."),
 	}
 }
 
@@ -54,6 +68,18 @@ func (h *Health) AddCheck(name string, check func() error) {
 	h.checks[name] = check
 }
 
+// AddDegradedCheck registers (or replaces) a named degraded check: a
+// failure reports the server degraded in the readyz body while the probe
+// itself stays 200.
+func (h *Health) AddDegradedCheck(name string, check func() error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if _, exists := h.degraded[name]; !exists {
+		h.degNames = append(h.degNames, name)
+	}
+	h.degraded[name] = check
+}
+
 // Failing runs every check and returns the failures as name -> error
 // message (empty means ready). Checks run outside the Health lock so a
 // slow check cannot block concurrent AddCheck calls.
@@ -65,6 +91,23 @@ func (h *Health) Failing() map[string]string {
 		checks[i] = h.checks[n]
 	}
 	h.mu.Unlock()
+	return runChecks(names, checks)
+}
+
+// Degrading runs every degraded check and returns the failures as name ->
+// error message (empty means fully healthy).
+func (h *Health) Degrading() map[string]string {
+	h.mu.Lock()
+	names := append([]string(nil), h.degNames...)
+	checks := make([]func() error, len(names))
+	for i, n := range names {
+		checks[i] = h.degraded[n]
+	}
+	h.mu.Unlock()
+	return runChecks(names, checks)
+}
+
+func runChecks(names []string, checks []func() error) map[string]string {
 	failed := map[string]string{}
 	for i, check := range checks {
 		if err := check(); err != nil {
@@ -76,13 +119,17 @@ func (h *Health) Failing() map[string]string {
 
 // ProbeResponse is the JSON body of both probe endpoints.
 type ProbeResponse struct {
-	// Status is "ok" or "unavailable".
+	// Status is "ok", "degraded" (200, serving under overload policy), or
+	// "unavailable" (503).
 	Status string `json:"status"`
 	// Failed maps failing check names to their error messages (readyz
 	// only, omitted when everything passes).
 	Failed map[string]string `json:"failed,omitempty"`
-	// Checks lists the registered check names (readyz only), so operators
-	// can see what readiness covers.
+	// Degraded maps failing degraded-check names to their error messages
+	// (readyz only, omitted when none fail).
+	Degraded map[string]string `json:"degraded,omitempty"`
+	// Checks lists the registered check names, hard and degraded (readyz
+	// only), so operators can see what readiness covers.
 	Checks []string `json:"checks,omitempty"`
 }
 
@@ -95,20 +142,34 @@ func (h *Health) LivenessHandler() http.Handler {
 	})
 }
 
-// ReadinessHandler serves GET /v1/readyz: 200 while every registered check
-// passes, 503 (with the failing checks named) otherwise.
+// ReadinessHandler serves GET /v1/readyz: 200 while every registered hard
+// check passes, 503 (with the failing checks named) otherwise. A failing
+// degraded check downgrades the 200 body's status to "degraded" without
+// changing the HTTP verdict — the instance is still the right place to
+// send traffic, it is just shedding some of it.
 func (h *Health) ReadinessHandler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		h.readyProbes.Inc()
 		h.mu.Lock()
 		checks := append([]string(nil), h.names...)
+		checks = append(checks, h.degNames...)
 		h.mu.Unlock()
 		sort.Strings(checks)
 		failed := h.Failing()
+		degrading := h.Degrading()
+		if len(degrading) == 0 {
+			degrading = nil // omitempty: keep the healthy body unchanged
+		}
 		if len(failed) > 0 {
 			h.unready.Inc()
 			writeProbe(w, http.StatusServiceUnavailable,
-				ProbeResponse{Status: "unavailable", Failed: failed, Checks: checks})
+				ProbeResponse{Status: "unavailable", Failed: failed, Degraded: degrading, Checks: checks})
+			return
+		}
+		if degrading != nil {
+			h.degradedCt.Inc()
+			writeProbe(w, http.StatusOK,
+				ProbeResponse{Status: "degraded", Degraded: degrading, Checks: checks})
 			return
 		}
 		writeProbe(w, http.StatusOK, ProbeResponse{Status: "ok", Checks: checks})

@@ -79,6 +79,64 @@ func TestReadinessFlips503AndBack(t *testing.T) {
 	}
 }
 
+func TestReadinessDegradedStays200(t *testing.T) {
+	reg := NewRegistry()
+	h := NewHealth(reg)
+	var overloaded error
+	h.AddCheck("event_log", func() error { return nil })
+	h.AddDegradedCheck("admission_queue", func() error { return overloaded })
+
+	get := func() (int, ProbeResponse) {
+		rec := httptest.NewRecorder()
+		h.ReadinessHandler().ServeHTTP(rec, httptest.NewRequest("GET", "/v1/readyz", nil))
+		var body ProbeResponse
+		if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+			t.Fatal(err)
+		}
+		return rec.Code, body
+	}
+
+	code, body := get()
+	if code != 200 || body.Status != "ok" || body.Degraded != nil {
+		t.Fatalf("healthy: got %d %q %v, want 200 ok with no degraded map", code, body.Status, body.Degraded)
+	}
+	// Degraded checks are listed alongside hard checks so operators see
+	// what readiness covers.
+	if want := []string{"admission_queue", "event_log"}; !reflect.DeepEqual(body.Checks, want) {
+		t.Errorf("checks = %v, want %v", body.Checks, want)
+	}
+
+	// A failing degraded check keeps the HTTP verdict 200 — the instance is
+	// still serving under its stated shed policy — but the body says so.
+	overloaded = errors.New("queue saturated")
+	code, body = get()
+	if code != 200 || body.Status != "degraded" {
+		t.Fatalf("degraded: got %d %q, want 200 degraded", code, body.Status)
+	}
+	if body.Degraded["admission_queue"] != "queue saturated" {
+		t.Errorf("degraded = %v, want admission_queue -> queue saturated", body.Degraded)
+	}
+	if got := reg.Counter("icrowd_probe_degraded_total", "").Value(); got != 1 {
+		t.Errorf("degraded counter = %d, want 1", got)
+	}
+
+	// A hard failure dominates: 503 with both tiers reported.
+	h.AddCheck("event_log", func() error { return errors.New("disk full") })
+	code, body = get()
+	if code != 503 || body.Status != "unavailable" {
+		t.Fatalf("hard failure: got %d %q, want 503 unavailable", code, body.Status)
+	}
+	if body.Failed["event_log"] == "" || body.Degraded["admission_queue"] == "" {
+		t.Errorf("body = %+v, want both failed and degraded populated", body)
+	}
+
+	overloaded = nil
+	h.AddCheck("event_log", func() error { return nil })
+	if code, body := get(); code != 200 || body.Status != "ok" {
+		t.Fatalf("recovered: got %d %q, want 200 ok", code, body.Status)
+	}
+}
+
 func TestAddCheckReplaceKeepsOrder(t *testing.T) {
 	h := NewHealth(nil)
 	h.AddCheck("a", func() error { return errors.New("first") })

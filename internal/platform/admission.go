@@ -1,0 +1,213 @@
+package platform
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// Admission control for the serving path. The write endpoints (/assign,
+// /submit, /inactive) all funnel into the strategy's mutex sections, so
+// accepting unbounded concurrent work just converts overload into
+// unbounded queueing inside the process — latency grows without bound and
+// nothing tells clients to back off. The admission layer makes the
+// capacity explicit: at most MaxInFlight requests run handler code at
+// once, at most QueueDepth more wait for a slot, and everything beyond
+// that is shed immediately with a typed 429 and a Retry-After hint.
+// Queued requests carry their deadline in the request context, so a
+// request whose budget expires while waiting is shed before it does any
+// strategy work or takes any lock.
+
+// AdmissionConfig parameterizes the admission controller.
+type AdmissionConfig struct {
+	// MaxInFlight is how many admitted requests may run concurrently
+	// (required, > 0).
+	MaxInFlight int
+	// QueueDepth is how many requests may wait for an in-flight slot
+	// before new arrivals are shed (0 means shed as soon as every slot is
+	// busy).
+	QueueDepth int
+	// QueueTimeout bounds how long one request may wait for admission
+	// (default 1s). The caller's context deadline, when sooner, wins.
+	QueueTimeout time.Duration
+	// RequestTimeout, when > 0, is the server-side deadline stamped into
+	// every write request's context: queue wait and handler work together
+	// must finish within it.
+	RequestTimeout time.Duration
+	// DegradedWindow is how long the queue must stay saturated (shedding
+	// continuously, with no shed-free gap longer than the window) before
+	// /v1/readyz reports the server degraded (default 5s).
+	DegradedWindow time.Duration
+}
+
+// withDefaults normalizes the zero values.
+func (c AdmissionConfig) withDefaults() AdmissionConfig {
+	if c.QueueTimeout <= 0 {
+		c.QueueTimeout = time.Second
+	}
+	if c.DegradedWindow <= 0 {
+		c.DegradedWindow = 5 * time.Second
+	}
+	return c
+}
+
+// admitResult is the outcome of one admission attempt.
+type admitResult int
+
+const (
+	// admitted: the request holds an in-flight slot; release() when done.
+	admitted admitResult = iota
+	// shedQueueFull: every slot busy and the wait queue at depth.
+	shedQueueFull
+	// shedDeadline: the request's budget (QueueTimeout or the context
+	// deadline) expired while waiting for a slot.
+	shedDeadline
+)
+
+// admission is the bounded in-flight gate plus wait queue. The gate is a
+// buffered-channel semaphore: the fast path is one non-blocking send, the
+// queued path a select over the semaphore, the context, and the wait
+// budget.
+type admission struct {
+	cfg   AdmissionConfig
+	slots chan struct{}
+	now   func() time.Time
+
+	mu     sync.Mutex
+	queued int
+	// Saturation episode tracking for the degraded readiness signal: an
+	// episode starts at the first queue-full shed and ends when no shed
+	// has happened for DegradedWindow.
+	satFirst time.Time
+	satLast  time.Time
+	degraded bool
+
+	obs *serverMetrics
+}
+
+// newAdmission builds the controller; now is the server's (test-injectable)
+// clock and obs the instrument bundle (rebindable via bind).
+func newAdmission(cfg AdmissionConfig, now func() time.Time, obs *serverMetrics) *admission {
+	cfg = cfg.withDefaults()
+	return &admission{
+		cfg:   cfg,
+		slots: make(chan struct{}, cfg.MaxInFlight),
+		now:   now,
+		obs:   obs,
+	}
+}
+
+// bind rebinds the controller's instruments (UseRegistry support).
+func (a *admission) bind(obs *serverMetrics) {
+	a.mu.Lock()
+	a.obs = obs
+	a.mu.Unlock()
+}
+
+func (a *admission) metrics() *serverMetrics {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.obs
+}
+
+// acquire admits the request or sheds it. On admitted the caller must call
+// release exactly once. retryAfter is the hint for the 429's Retry-After
+// header when shed.
+func (a *admission) acquire(ctx context.Context) (res admitResult, retryAfter time.Duration) {
+	obs := a.metrics()
+	select {
+	case a.slots <- struct{}{}:
+		obs.inflight.Set(float64(len(a.slots)))
+		obs.admissionWait.Observe(0)
+		return admitted, 0
+	default:
+	}
+	// Every slot is busy: try to queue.
+	a.mu.Lock()
+	if a.queued >= a.cfg.QueueDepth {
+		a.noteShedLocked(a.now())
+		a.mu.Unlock()
+		obs.shedFull.Inc()
+		return shedQueueFull, a.retryAfterHint()
+	}
+	a.queued++
+	obs.queueDepth.Set(float64(a.queued))
+	a.mu.Unlock()
+	defer func() {
+		a.mu.Lock()
+		a.queued--
+		obs.queueDepth.Set(float64(a.queued))
+		a.mu.Unlock()
+	}()
+
+	// Wait budget: QueueTimeout, or the request deadline when sooner.
+	wait := a.cfg.QueueTimeout
+	if dl, ok := ctx.Deadline(); ok {
+		if rem := time.Until(dl); rem < wait {
+			wait = rem
+		}
+	}
+	if wait <= 0 {
+		obs.shedDeadline.Inc()
+		return shedDeadline, a.retryAfterHint()
+	}
+	start := time.Now()
+	timer := time.NewTimer(wait)
+	defer timer.Stop()
+	select {
+	case a.slots <- struct{}{}:
+		obs.inflight.Set(float64(len(a.slots)))
+		obs.admissionWait.Observe(time.Since(start))
+		return admitted, 0
+	case <-ctx.Done():
+		obs.shedDeadline.Inc()
+		return shedDeadline, a.retryAfterHint()
+	case <-timer.C:
+		obs.shedDeadline.Inc()
+		return shedDeadline, a.retryAfterHint()
+	}
+}
+
+// release returns the in-flight slot taken by a successful acquire.
+func (a *admission) release() {
+	<-a.slots
+	a.metrics().inflight.Set(float64(len(a.slots)))
+}
+
+// retryAfterHint is the backoff the server suggests to shed clients: the
+// queue's own drain budget, at least one second (Retry-After is
+// whole-seconds in HTTP).
+func (a *admission) retryAfterHint() time.Duration {
+	if a.cfg.QueueTimeout > time.Second {
+		return a.cfg.QueueTimeout
+	}
+	return time.Second
+}
+
+// noteShedLocked records a queue-full shed into the saturation episode
+// (a.mu held): a shed after a window-long quiet period starts a new
+// episode, anything sooner extends the current one.
+func (a *admission) noteShedLocked(now time.Time) {
+	if a.satLast.IsZero() || now.Sub(a.satLast) > a.cfg.DegradedWindow {
+		a.satFirst = now
+	}
+	a.satLast = now
+}
+
+// Degraded reports whether the queue has been saturated for a sustained
+// window: queue-full sheds spanning at least DegradedWindow with no
+// shed-free gap longer than the window. Each false->true transition bumps
+// the overload-transitions counter, so probe-visible overload flips are
+// countable even between scrapes.
+func (a *admission) Degraded(now time.Time) bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	d := !a.satLast.IsZero() &&
+		now.Sub(a.satLast) <= a.cfg.DegradedWindow &&
+		a.satLast.Sub(a.satFirst) >= a.cfg.DegradedWindow
+	if d && !a.degraded {
+		a.obs.overloadTransitions.Inc()
+	}
+	a.degraded = d
+	return d
+}

@@ -1,0 +1,449 @@
+package platform
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"icrowd/internal/baseline"
+	"icrowd/internal/obsv"
+	"icrowd/internal/task"
+)
+
+// waitQueued polls until the admission wait queue holds want requests.
+func waitQueued(t *testing.T, a *admission, want int) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		a.mu.Lock()
+		got := a.queued
+		a.mu.Unlock()
+		if got == want {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("queue never reached depth %d", want)
+}
+
+// TestAdmissionFastPath: free slots admit without queueing; release makes
+// the slot reusable.
+func TestAdmissionFastPath(t *testing.T) {
+	a := newAdmission(AdmissionConfig{MaxInFlight: 2}, time.Now, newServerMetrics(nil))
+	for i := 0; i < 2; i++ {
+		if res, _ := a.acquire(context.Background()); res != admitted {
+			t.Fatalf("acquire %d = %v, want admitted", i, res)
+		}
+	}
+	a.release()
+	if res, _ := a.acquire(context.Background()); res != admitted {
+		t.Fatal("released slot must be reacquirable")
+	}
+}
+
+// TestAdmissionQueueFullDrainShedOrdering pins the three-way split with
+// MaxInFlight=1, QueueDepth=1: A runs, B waits, C is shed immediately,
+// and A's release admits B (drain, not drop).
+func TestAdmissionQueueFullDrainShedOrdering(t *testing.T) {
+	a := newAdmission(AdmissionConfig{MaxInFlight: 1, QueueDepth: 1, QueueTimeout: 2 * time.Second},
+		time.Now, newServerMetrics(nil))
+	if res, _ := a.acquire(context.Background()); res != admitted {
+		t.Fatal("A must be admitted")
+	}
+	bres := make(chan admitResult, 1)
+	go func() {
+		r, _ := a.acquire(context.Background())
+		bres <- r
+	}()
+	waitQueued(t, a, 1)
+	// C arrives with the slot busy and the queue at depth: shed now, with a
+	// whole-second Retry-After hint.
+	res, ra := a.acquire(context.Background())
+	if res != shedQueueFull {
+		t.Fatalf("C = %v, want shedQueueFull", res)
+	}
+	if ra < time.Second {
+		t.Fatalf("retryAfter = %v, want >= 1s", ra)
+	}
+	a.release() // A done: B must drain into the freed slot
+	select {
+	case r := <-bres:
+		if r != admitted {
+			t.Fatalf("B = %v, want admitted after A released", r)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("B never admitted after release")
+	}
+}
+
+// TestAdmissionDeadlineShed: a queued request is shed when its wait budget
+// runs out — by QueueTimeout, or immediately when the caller's context
+// deadline has already passed.
+func TestAdmissionDeadlineShed(t *testing.T) {
+	a := newAdmission(AdmissionConfig{MaxInFlight: 1, QueueDepth: 4, QueueTimeout: 40 * time.Millisecond},
+		time.Now, newServerMetrics(nil))
+	if res, _ := a.acquire(context.Background()); res != admitted {
+		t.Fatal("setup: first acquire must be admitted")
+	}
+	start := time.Now()
+	if res, _ := a.acquire(context.Background()); res != shedDeadline {
+		t.Fatalf("queued past QueueTimeout = %v, want shedDeadline", res)
+	}
+	if waited := time.Since(start); waited < 30*time.Millisecond || waited > time.Second {
+		t.Fatalf("waited %v, want about the 40ms QueueTimeout", waited)
+	}
+	// Budget already burnt: shed without blocking at all.
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	start = time.Now()
+	if res, _ := a.acquire(ctx); res != shedDeadline {
+		t.Fatal("expired context must shed as deadline")
+	}
+	if time.Since(start) > 20*time.Millisecond {
+		t.Fatal("expired context must shed without waiting")
+	}
+}
+
+// TestAdmissionDegradedWindow drives the saturation-episode state machine
+// with a fake clock: degraded requires sheds spanning at least the window
+// with no window-long quiet gap, clears once shedding stops, and each
+// false->true flip bumps the overload-transitions counter.
+func TestAdmissionDegradedWindow(t *testing.T) {
+	base := time.Unix(10_000, 0)
+	now := base
+	reg := obsv.NewRegistry()
+	obs := newServerMetrics(reg)
+	a := newAdmission(AdmissionConfig{MaxInFlight: 1, QueueDepth: 0, DegradedWindow: 5 * time.Second},
+		func() time.Time { return now }, obs)
+	a.slots <- struct{}{} // keep the only slot busy: every acquire is a shed
+	shedAt := func(at time.Time) {
+		t.Helper()
+		now = at
+		if res, _ := a.acquire(context.Background()); res != shedQueueFull {
+			t.Fatalf("acquire at %v = %v, want shedQueueFull", at.Sub(base), res)
+		}
+	}
+	transitions := func() int64 { return obs.overloadTransitions.Value() }
+
+	shedAt(base)
+	if a.Degraded(base) {
+		t.Fatal("a single shed must not be degraded")
+	}
+	shedAt(base.Add(3 * time.Second))
+	if a.Degraded(base.Add(3 * time.Second)) {
+		t.Fatal("3s of shedding is below the 5s window")
+	}
+	shedAt(base.Add(6 * time.Second))
+	if !a.Degraded(base.Add(6 * time.Second)) {
+		t.Fatal("6s of continuous shedding must report degraded")
+	}
+	if got := transitions(); got != 1 {
+		t.Fatalf("transitions = %d, want 1", got)
+	}
+	// Still degraded: no second transition.
+	if !a.Degraded(base.Add(7*time.Second)) || transitions() != 1 {
+		t.Fatal("staying degraded must not re-count the transition")
+	}
+	// A window-long quiet gap clears the signal.
+	if a.Degraded(base.Add(12 * time.Second)) {
+		t.Fatal("6s without a shed must clear degraded")
+	}
+	// A fresh burst starts a new episode from scratch.
+	shedAt(base.Add(20 * time.Second))
+	if a.Degraded(base.Add(20 * time.Second)) {
+		t.Fatal("new episode must not inherit the old one's span")
+	}
+	shedAt(base.Add(25 * time.Second))
+	if !a.Degraded(base.Add(25 * time.Second)) {
+		t.Fatal("second sustained episode must report degraded again")
+	}
+	if got := transitions(); got != 2 {
+		t.Fatalf("transitions = %d, want 2", got)
+	}
+}
+
+// blockingStrategy parks RequestTask until released, so tests can hold the
+// serving path busy deterministically.
+type blockingStrategy struct {
+	entered chan struct{}
+	release chan struct{}
+}
+
+func newBlockingStrategy() *blockingStrategy {
+	return &blockingStrategy{entered: make(chan struct{}, 16), release: make(chan struct{})}
+}
+
+func (b *blockingStrategy) Name() string { return "Blocking" }
+func (b *blockingStrategy) RequestTask(worker string) (int, bool) {
+	b.entered <- struct{}{}
+	<-b.release
+	return 0, true
+}
+func (b *blockingStrategy) SubmitAnswer(string, int, task.Answer) error { return nil }
+func (b *blockingStrategy) WorkerInactive(string)                       {}
+func (b *blockingStrategy) Done() bool                                  { return false }
+func (b *blockingStrategy) Results() map[int]task.Answer                { return map[int]task.Answer{} }
+
+// TestServerShedsWith429 exercises the HTTP surface: with the single
+// in-flight slot held by a blocked handler and no queue, the next write
+// request gets the typed 429 with a Retry-After header — never a 5xx.
+func TestServerShedsWith429(t *testing.T) {
+	st := newBlockingStrategy()
+	so := NewServer(st, task.ProductMatching())
+	so.SetAdmission(AdmissionConfig{MaxInFlight: 1, QueueDepth: 0, QueueTimeout: 50 * time.Millisecond})
+	srv := httptest.NewServer(so.Handler())
+	defer srv.Close()
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		resp, err := http.Get(srv.URL + "/v1/assign?workerId=holder")
+		if err == nil {
+			resp.Body.Close()
+		}
+	}()
+	<-st.entered // the holder is inside the strategy, slot busy
+
+	resp, err := http.Get(srv.URL + "/v1/assign?workerId=shed-me")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status = %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("shed response must carry Retry-After")
+	}
+	var er ErrorResponse
+	if err := json.NewDecoder(resp.Body).Decode(&er); err != nil {
+		t.Fatal(err)
+	}
+	if er.Code != CodeOverloaded {
+		t.Fatalf("code = %q, want %q", er.Code, CodeOverloaded)
+	}
+	close(st.release)
+	wg.Wait()
+	// The freed slot serves again: overload was a state, not an outage.
+	resp2, err := http.Get(srv.URL + "/v1/assign?workerId=after")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("post-overload status = %d, want 200", resp2.StatusCode)
+	}
+}
+
+// TestServerWorkerRateLimit429 exercises the per-worker limiter through
+// the full stack: the hot worker is throttled with the typed 429 while
+// other workers are untouched, and the client surfaces the shed as a
+// retryable APIError with the Retry-After hint attached.
+func TestServerWorkerRateLimit429(t *testing.T) {
+	ds := task.ProductMatching()
+	st, err := baseline.NewRandomMV(ds, 3, nil, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	so := NewServer(st, ds)
+	so.SetWorkerRateLimit(RateLimit{Rate: 0.001, Burst: 1}) // one request, then a long drought
+	srv := httptest.NewServer(so.Handler())
+	defer srv.Close()
+
+	c := &Client{BaseURL: srv.URL} // single-shot: the raw 429 must be visible
+	if _, err := c.Assign(context.Background(), "hot"); err != nil {
+		t.Fatalf("hot's first assign: %v", err)
+	}
+	_, err = c.Assign(context.Background(), "hot")
+	var ae *APIError
+	if !errors.As(err, &ae) || ae.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("hot's second assign = %v, want a 429 APIError", err)
+	}
+	if ae.Code != CodeThrottled || !IsThrottled(err) || !IsShed(err) {
+		t.Fatalf("code = %q (IsThrottled=%v), want %q", ae.Code, IsThrottled(err), CodeThrottled)
+	}
+	if ae.RetryAfter < time.Second {
+		t.Fatalf("RetryAfter = %v, want >= 1s", ae.RetryAfter)
+	}
+	if _, err := c.Assign(context.Background(), "cold"); err != nil {
+		t.Fatalf("cold must be unaffected: %v", err)
+	}
+}
+
+// TestServerRequestTimeoutSheds: with a server-side request deadline and
+// no admission gate, a request whose budget expires before the handler
+// starts is shed with the typed 429, not left to time out inside the
+// strategy.
+func TestServerRequestTimeoutSheds(t *testing.T) {
+	st := newBlockingStrategy()
+	so := NewServer(st, task.ProductMatching())
+	so.SetAdmission(AdmissionConfig{MaxInFlight: 1, QueueDepth: 8,
+		QueueTimeout: 5 * time.Second, RequestTimeout: 60 * time.Millisecond})
+	srv := httptest.NewServer(so.Handler())
+	defer srv.Close()
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		resp, err := http.Get(srv.URL + "/v1/assign?workerId=holder")
+		if err == nil {
+			resp.Body.Close()
+		}
+	}()
+	<-st.entered
+
+	// This request queues behind the holder; its 60ms request budget
+	// expires long before the 5s queue timeout would.
+	resp, err := http.Get(srv.URL + "/v1/assign?workerId=queued")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status = %d, want 429", resp.StatusCode)
+	}
+	var er ErrorResponse
+	if err := json.NewDecoder(resp.Body).Decode(&er); err != nil {
+		t.Fatal(err)
+	}
+	if er.Code != CodeAdmissionTimeout {
+		t.Fatalf("code = %q, want %q", er.Code, CodeAdmissionTimeout)
+	}
+	close(st.release)
+	wg.Wait()
+}
+
+// TestServerDegradedReadyz wires the admission controller's sustained-
+// saturation signal through /v1/readyz: overload reports 200 "degraded"
+// (still serving, shedding by policy), never 503.
+func TestServerDegradedReadyz(t *testing.T) {
+	ds := task.ProductMatching()
+	st, err := baseline.NewRandomMV(ds, 3, nil, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	so := NewServer(st, ds)
+	var mu sync.Mutex
+	now := time.Unix(10_000, 0)
+	clock := func() time.Time { mu.Lock(); defer mu.Unlock(); return now }
+	advance := func(d time.Duration) { mu.Lock(); now = now.Add(d); mu.Unlock() }
+	so.SetClock(clock)
+	so.SetAdmission(AdmissionConfig{MaxInFlight: 1, QueueDepth: 0, DegradedWindow: 5 * time.Second})
+	srv := httptest.NewServer(so.Handler())
+	defer srv.Close()
+
+	readyz := func() (int, obsv.ProbeResponse) {
+		t.Helper()
+		resp, err := http.Get(srv.URL + "/v1/readyz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var body obsv.ProbeResponse
+		if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, body
+	}
+
+	if code, body := readyz(); code != 200 || body.Status != "ok" {
+		t.Fatalf("idle: readyz = %d %q, want 200 ok", code, body.Status)
+	}
+	// Saturate: hold the only slot and shed arrivals past the window.
+	so.adm.slots <- struct{}{}
+	for i := 0; i < 4; i++ {
+		resp, err := http.Get(srv.URL + "/v1/assign?workerId=w")
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusTooManyRequests {
+			t.Fatalf("saturated assign = %d, want 429", resp.StatusCode)
+		}
+		advance(2 * time.Second) // 3 gaps of 2s: 6s of sustained shedding
+	}
+	code, body := readyz()
+	if code != 200 || body.Status != "degraded" {
+		t.Fatalf("overloaded: readyz = %d %q, want 200 degraded", code, body.Status)
+	}
+	if body.Degraded["admission_queue"] == "" {
+		t.Fatalf("degraded body = %+v, want admission_queue named", body)
+	}
+	// Quiet for longer than the window: the signal clears on its own.
+	advance(10 * time.Second)
+	if code, body := readyz(); code != 200 || body.Status != "ok" {
+		t.Fatalf("recovered: readyz = %d %q, want 200 ok", code, body.Status)
+	}
+	<-so.adm.slots
+}
+
+// TestClientHonorsRetryAfter: a 429's Retry-After hint replaces a shorter
+// computed backoff, and the retried call succeeds.
+func TestClientHonorsRetryAfter(t *testing.T) {
+	var calls int
+	backend := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls++
+		if calls == 1 {
+			w.Header().Set("Retry-After", "2")
+			w.WriteHeader(http.StatusTooManyRequests)
+			json.NewEncoder(w).Encode(ErrorResponse{Code: CodeOverloaded, Message: "full"})
+			return
+		}
+		json.NewEncoder(w).Encode(AssignResponse{Assigned: false, Done: true})
+	}))
+	defer backend.Close()
+
+	var slept []time.Duration
+	c := &Client{
+		BaseURL: backend.URL,
+		Retry:   &RetryPolicy{MaxAttempts: 3, BaseDelay: time.Millisecond, MaxDelay: 4 * time.Millisecond},
+		sleep:   func(d time.Duration) { slept = append(slept, d) },
+		jitter:  func(n int64) int64 { return n - 1 },
+	}
+	res, err := c.Assign(context.Background(), "w")
+	if err != nil || !res.Done {
+		t.Fatalf("assign after 429 = %+v, %v", res, err)
+	}
+	if calls != 2 {
+		t.Fatalf("calls = %d, want 2 (one shed, one success)", calls)
+	}
+	if len(slept) != 1 || slept[0] != 2*time.Second {
+		t.Fatalf("slept %v, want exactly the 2s Retry-After hint", slept)
+	}
+}
+
+// TestClientBackoffRespectsContextBudget is the regression test for the
+// retry-overshoot fix: when the next backoff cannot fit in the context's
+// remaining budget, the client fails immediately with DeadlineExceeded
+// instead of sleeping past the caller's deadline.
+func TestClientBackoffRespectsContextBudget(t *testing.T) {
+	backend := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}))
+	defer backend.Close()
+
+	c := &Client{
+		BaseURL: backend.URL,
+		Retry:   &RetryPolicy{MaxAttempts: 4, BaseDelay: time.Hour, MaxDelay: time.Hour},
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 80*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := c.Assign(ctx, "w")
+	elapsed := time.Since(start)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want wrapped context.DeadlineExceeded", err)
+	}
+	// The hour-long backoff must never be slept: the call returns as soon
+	// as the first attempt's 503 meets the impossible backoff.
+	if elapsed > 2*time.Second {
+		t.Fatalf("took %v, want fail-fast well under the backoff", elapsed)
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"io"
 	"math/rand"
 	"net/http"
+	"strconv"
 	"time"
 
 	"icrowd/internal/task"
@@ -16,7 +17,11 @@ import (
 // RetryPolicy configures transparent client retries with exponential
 // backoff and full jitter. Retrying is safe because every server operation
 // is idempotent: /assign redelivers the held task, duplicate /submit is
-// acknowledged without double-counting, and the reads are pure.
+// acknowledged without double-counting, and the reads are pure. 429 sheds
+// from the overload layer are retried after the server's Retry-After
+// hint; the caller's context deadline caps the whole call, backoff waits
+// included — a retry whose backoff cannot fit in the remaining budget
+// fails immediately instead of sleeping past the deadline.
 type RetryPolicy struct {
 	// MaxAttempts is the total number of tries (default 4).
 	MaxAttempts int
@@ -105,22 +110,57 @@ func (c *Client) doJitter(n int64) int64 {
 	return rand.Int63n(n)
 }
 
+// retryable reports whether a response status is worth another attempt:
+// server-side faults (5xx) and overload sheds (429), both of which leave
+// the operation unapplied.
+func retryable(status int) bool {
+	return status >= 500 || status == http.StatusTooManyRequests
+}
+
+// retryAfter parses the response's Retry-After header as delay-seconds
+// (the only form the server emits); zero when absent or malformed.
+func retryAfter(resp *http.Response) time.Duration {
+	v := resp.Header.Get("Retry-After")
+	if v == "" {
+		return 0
+	}
+	secs, err := strconv.Atoi(v)
+	if err != nil || secs < 0 {
+		return 0
+	}
+	return time.Duration(secs) * time.Second
+}
+
 // do issues method+url (with optional JSON body), applying the retry
-// policy: transport errors and 5xx responses are retried, anything else is
-// returned as-is. Cancelling ctx aborts in-flight requests and backoff
-// waits. The caller owns the returned body.
+// policy: transport errors, 5xx responses and 429 sheds are retried,
+// anything else is returned as-is. A 429's Retry-After hint replaces the
+// computed backoff when longer. Cancelling ctx aborts in-flight requests
+// and backoff waits, and a backoff that cannot complete inside the
+// context deadline fails immediately — the total elapsed time never
+// overshoots the caller's budget just to discover cancellation. The
+// caller owns the returned body.
 func (c *Client) do(ctx context.Context, method, url string, body []byte) (*http.Response, error) {
 	attempts := 1
 	if c.Retry != nil {
 		attempts = c.Retry.attempts()
 	}
 	var lastErr error
+	var hint time.Duration // Retry-After from the previous attempt's 429
 	for i := 0; i < attempts; i++ {
 		if i > 0 {
-			if err := c.doSleep(ctx, c.Retry.backoff(i-1, c.doJitter)); err != nil {
+			wait := c.Retry.backoff(i-1, c.doJitter)
+			if hint > wait {
+				wait = hint
+			}
+			if dl, ok := ctx.Deadline(); ok && time.Until(dl) <= wait {
+				return nil, fmt.Errorf("platform: retry backoff %v exceeds the context budget (last error: %v): %w",
+					wait, lastErr, context.DeadlineExceeded)
+			}
+			if err := c.doSleep(ctx, wait); err != nil {
 				return nil, fmt.Errorf("platform: request cancelled during backoff: %w", err)
 			}
 		}
+		hint = 0
 		var rd io.Reader
 		if body != nil {
 			rd = bytes.NewReader(body)
@@ -142,7 +182,8 @@ func (c *Client) do(ctx context.Context, method, url string, body []byte) (*http
 			lastErr = err
 			continue
 		}
-		if resp.StatusCode >= 500 && i+1 < attempts {
+		if retryable(resp.StatusCode) && i+1 < attempts {
+			hint = retryAfter(resp)
 			lastErr = httpError(resp) // drains and interprets the body
 			resp.Body.Close()
 			continue
@@ -240,13 +281,14 @@ func (c *Client) Results(ctx context.Context) (map[int]string, error) {
 }
 
 // httpError turns a non-2xx response into a typed *APIError, decoding the
-// server's ErrorResponse body when present.
+// server's ErrorResponse body and Retry-After hint when present.
 func httpError(resp *http.Response) error {
 	b, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
 	b = bytes.TrimSpace(b)
+	ra := retryAfter(resp)
 	var er ErrorResponse
 	if err := json.Unmarshal(b, &er); err == nil && er.Code != "" {
-		return &APIError{StatusCode: resp.StatusCode, Code: er.Code, Message: er.Message}
+		return &APIError{StatusCode: resp.StatusCode, Code: er.Code, Message: er.Message, RetryAfter: ra}
 	}
-	return &APIError{StatusCode: resp.StatusCode, Message: string(b)}
+	return &APIError{StatusCode: resp.StatusCode, Message: string(b), RetryAfter: ra}
 }

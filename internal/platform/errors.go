@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"time"
 )
 
 // Machine-readable error codes carried in ErrorResponse.Code. Clients
@@ -33,6 +34,18 @@ const (
 	// CodeMethodNotAllowed reports a known path hit with the wrong HTTP
 	// method (HTTP 405).
 	CodeMethodNotAllowed = "method_not_allowed"
+	// CodeOverloaded reports that the admission queue is full: the request
+	// was shed before doing any work (HTTP 429, Retry-After set). The
+	// request was NOT applied and is safe to retry after backing off.
+	CodeOverloaded = "overloaded"
+	// CodeAdmissionTimeout reports that the request's deadline expired
+	// while it was waiting for admission (HTTP 429, Retry-After set). As
+	// with CodeOverloaded, nothing was applied.
+	CodeAdmissionTimeout = "admission_timeout"
+	// CodeThrottled reports that the worker exceeded their per-worker rate
+	// limit (HTTP 429, Retry-After set): the Zipf hot worker is slowed so
+	// it cannot starve the rest of the crowd.
+	CodeThrottled = "throttled"
 )
 
 // ErrorResponse is the JSON body of every non-2xx response the server
@@ -53,6 +66,9 @@ type APIError struct {
 	Code string
 	// Message is the server's description (or the raw body).
 	Message string
+	// RetryAfter is the server's Retry-After hint (zero when the response
+	// carried none). Set on 429/503 sheds from the overload layer.
+	RetryAfter time.Duration
 }
 
 func (e *APIError) Error() string {
@@ -75,6 +91,26 @@ func IsUnknownWorker(err error) bool {
 	var ae *APIError
 	return errors.As(err, &ae) && ae.Code == CodeUnknownWorker
 }
+
+// IsOverloaded reports whether err is a shed from the admission layer
+// (queue full, or the deadline expired while queued). Overloaded requests
+// were never applied; retry after the server's Retry-After hint.
+func IsOverloaded(err error) bool {
+	var ae *APIError
+	return errors.As(err, &ae) &&
+		(ae.Code == CodeOverloaded || ae.Code == CodeAdmissionTimeout)
+}
+
+// IsThrottled reports whether err is a per-worker rate-limit rejection.
+func IsThrottled(err error) bool {
+	var ae *APIError
+	return errors.As(err, &ae) && ae.Code == CodeThrottled
+}
+
+// IsShed reports whether err is any 429 shed the overload-protection layer
+// produces (admission or rate limit) — the "slow down, nothing happened"
+// class a well-behaved client backs off on.
+func IsShed(err error) bool { return IsOverloaded(err) || IsThrottled(err) }
 
 // writeError emits a typed JSON error response.
 func writeError(w http.ResponseWriter, status int, code, msg string) {

@@ -38,6 +38,9 @@ func (s *Server) initHealth(reg *obsv.Registry) {
 	h.AddCheck("event_log", s.checkEventLog)
 	h.AddCheck("lease_sweeper", s.checkSweeper)
 	s.health = h
+	if s.adm != nil {
+		s.registerAdmissionCheck()
+	}
 }
 
 // Health returns the server's probe surface so callers can add readiness

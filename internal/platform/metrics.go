@@ -41,6 +41,15 @@ type serverMetrics struct {
 	// sweepHB is beaten by every lease-sweeper pass; the readiness probe
 	// checks its freshness and the bound gauge exports the last sweep time.
 	sweepHB *obsv.Heartbeat
+
+	// Overload-protection instruments (admission.go, ratelimit.go).
+	queueDepth          *obsv.Gauge
+	inflight            *obsv.Gauge
+	admissionWait       *obsv.Histogram
+	shedFull            *obsv.Counter
+	shedDeadline        *obsv.Counter
+	throttled           *obsv.Counter
+	overloadTransitions *obsv.Counter
 }
 
 func newServerMetrics(reg *obsv.Registry) *serverMetrics {
@@ -70,6 +79,20 @@ func newServerMetrics(reg *obsv.Registry) *serverMetrics {
 		"JSON response bodies that failed to encode after headers were sent.")
 	m.sweepHB = obsv.NewHeartbeat(reg.Gauge("icrowd_sweeper_last_sweep_timestamp_seconds",
 		"Unix time of the lease sweeper's last completed pass."))
+	m.queueDepth = reg.Gauge("icrowd_admission_queue_depth",
+		"Requests currently waiting for an in-flight slot.")
+	m.inflight = reg.Gauge("icrowd_admission_inflight",
+		"Admitted requests currently running handler code.")
+	m.admissionWait = reg.Histogram("icrowd_admission_wait_seconds",
+		"Time admitted requests spent waiting for an in-flight slot.", nil)
+	m.shedFull = reg.Counter("icrowd_admission_shed_total",
+		"Requests shed with 429 by the admission layer, by reason.", "reason", "queue_full")
+	m.shedDeadline = reg.Counter("icrowd_admission_shed_total",
+		"Requests shed with 429 by the admission layer, by reason.", "reason", "deadline")
+	m.throttled = reg.Counter("icrowd_worker_throttled_total",
+		"Requests rejected with 429 by the per-worker rate limiter.")
+	m.overloadTransitions = reg.Counter("icrowd_overload_transitions_total",
+		"Times the admission queue crossed into sustained saturation (the probe-visible degraded state).")
 	return m
 }
 
@@ -80,6 +103,9 @@ func newServerMetrics(reg *obsv.Registry) *serverMetrics {
 func (s *Server) UseRegistry(reg *obsv.Registry) {
 	s.obs = newServerMetrics(reg)
 	s.initHealth(reg)
+	if s.adm != nil {
+		s.adm.bind(s.obs)
+	}
 }
 
 // Registry returns the registry the server records into (nil when metrics
@@ -231,4 +257,16 @@ func (s *Server) writeError(r *http.Request, w http.ResponseWriter, status int, 
 		s.logger.LogAttrs(r.Context(), slog.LevelError, "encoding error response failed",
 			slog.String("error", err.Error()))
 	}
+}
+
+// writeShed emits the typed 429 the overload layer produces, with the
+// Retry-After hint rounded up to whole seconds (the HTTP header's unit)
+// and never below one second.
+func (s *Server) writeShed(r *http.Request, w http.ResponseWriter, code, msg string, retryAfter time.Duration) {
+	secs := int64((retryAfter + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+	s.writeError(r, w, http.StatusTooManyRequests, code, msg)
 }

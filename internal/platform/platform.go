@@ -31,6 +31,15 @@
 // code "log_write_failed") when durability is compromised, never silently
 // dropped.
 //
+// The fourth front is overload: with SetAdmission the write endpoints run
+// behind a bounded in-flight gate and wait queue, with SetWorkerRateLimit
+// each worker is held to a token-bucket budget, and everything beyond
+// capacity is shed with a typed 429 (codes "overloaded",
+// "admission_timeout", "throttled") carrying a Retry-After hint — never a
+// 5xx. Sustained saturation is reported by /v1/readyz as status
+// "degraded" while the probe stays 200: shedding is the policy working,
+// not an outage. Both protections are off by default.
+//
 // # Concurrency
 //
 // Strategies that advertise ConcurrencySafe() == true (core.ICrowd) are
@@ -187,6 +196,16 @@ type Server struct {
 	// judge heartbeat freshness.
 	sweepEvery time.Duration
 
+	// adm, when non-nil, is the bounded admission gate the write endpoints
+	// pass through; limiter, when non-nil, applies the per-worker token
+	// buckets; reqTimeout, when > 0, is the server-side deadline stamped
+	// into every write request's context. All three are configured before
+	// the server takes traffic (SetAdmission, SetWorkerRateLimit) and
+	// read-only afterwards.
+	adm        *admission
+	limiter    *WorkerLimiter
+	reqTimeout time.Duration
+
 	// obs holds the server's metric instruments (metrics.go); tracer is the
 	// per-request span ring behind /v1/trace and X-Request-Id; logger is
 	// the structured logger (SetLogger); health is the probe surface behind
@@ -255,6 +274,115 @@ func (s *Server) strategyUnlock() {
 	}
 }
 
+// SetAdmission enables overload protection on the write endpoints
+// (/assign, /submit, /inactive): at most cfg.MaxInFlight requests run
+// concurrently, at most cfg.QueueDepth wait for a slot, and everything
+// beyond that is shed with a typed 429 and Retry-After. It also registers
+// the "admission_queue" degraded readiness check: /v1/readyz keeps
+// answering 200 under overload (shedding IS the policy working) but
+// reports status "degraded" once the queue has been saturated for
+// cfg.DegradedWindow. Call before the server takes traffic; MaxInFlight
+// <= 0 disables admission control (the seed behaviour).
+func (s *Server) SetAdmission(cfg AdmissionConfig) {
+	if cfg.MaxInFlight <= 0 {
+		s.adm = nil
+		s.reqTimeout = cfg.RequestTimeout
+		return
+	}
+	s.adm = newAdmission(cfg, s.clockNow, s.obs)
+	s.reqTimeout = cfg.RequestTimeout
+	s.registerAdmissionCheck()
+}
+
+// registerAdmissionCheck installs the "admission_queue" degraded readiness
+// check on the current probe surface (re-run by initHealth when
+// UseRegistry rebuilds it).
+func (s *Server) registerAdmissionCheck() {
+	adm := s.adm
+	s.health.AddDegradedCheck("admission_queue", func() error {
+		if adm.Degraded(s.clockNow()) {
+			return errors.New("admission queue saturated: shedding sustained beyond the degraded window")
+		}
+		return nil
+	})
+}
+
+// SetWorkerRateLimit enables the per-worker token bucket on the write
+// endpoints: each worker sustains at most cfg.Rate requests/second with
+// bursts up to cfg.Burst, and requests beyond that are rejected with a
+// typed 429 and Retry-After — the Zipf hot worker is slowed instead of
+// being allowed to starve the rest of the crowd. Call before the server
+// takes traffic; cfg.Rate <= 0 disables the limiter.
+func (s *Server) SetWorkerRateLimit(cfg RateLimit) {
+	if cfg.Rate <= 0 {
+		s.limiter = nil
+		return
+	}
+	s.limiter = NewWorkerLimiter(cfg, 0)
+}
+
+// admitted wraps a write-endpoint handler in the overload-protection
+// layer: the server-side request deadline is stamped into the context,
+// admission is acquired (or the request shed with a typed 429), and a
+// request whose budget expired while queued is shed before the handler
+// runs. Read endpoints (/status, /results) stay outside the gate — they
+// take no strategy write locks and starving probes of them would only
+// blind operators during the exact incident they need visibility into.
+func (s *Server) admitted(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if s.reqTimeout > 0 {
+			ctx, cancel := context.WithTimeout(r.Context(), s.reqTimeout)
+			defer cancel()
+			r = r.WithContext(ctx)
+		}
+		if s.adm != nil {
+			res, retryAfter := s.adm.acquire(r.Context())
+			switch res {
+			case shedQueueFull:
+				s.writeShed(r, w, CodeOverloaded,
+					"admission queue full; retry after backing off", retryAfter)
+				return
+			case shedDeadline:
+				s.writeShed(r, w, CodeAdmissionTimeout,
+					"request deadline expired while waiting for admission", retryAfter)
+				return
+			}
+			defer s.adm.release()
+		}
+		if err := r.Context().Err(); err != nil {
+			// The budget burnt down between admission and here; shed
+			// before any strategy work or lock acquisition.
+			s.writeShed(r, w, CodeAdmissionTimeout,
+				"request deadline expired before work started", s.shedHint())
+			return
+		}
+		h(w, r)
+	}
+}
+
+// shedHint is the Retry-After for deadline sheds outside the admission
+// path (admission disabled but a request timeout set).
+func (s *Server) shedHint() time.Duration {
+	if s.adm != nil {
+		return s.adm.retryAfterHint()
+	}
+	return time.Second
+}
+
+// allowWorker applies the per-worker token bucket once the handler knows
+// which worker is asking. It writes the typed 429 and returns false when
+// the worker is over budget.
+func (s *Server) allowWorker(r *http.Request, w http.ResponseWriter, worker string) bool {
+	ok, retryAfter := s.limiter.Allow(worker, s.clockNow())
+	if ok {
+		return true
+	}
+	s.obs.throttled.Inc()
+	s.writeShed(r, w, CodeThrottled,
+		"worker "+worker+" exceeded the per-worker rate limit", retryAfter)
+	return false
+}
+
 // SetLog attaches a durable event log: every assignment, submission and
 // worker departure is appended, so a restarted server can rebuild its
 // state with store.Replay over a fresh strategy.
@@ -299,6 +427,10 @@ func (s *Server) withLogOrder(l *store.Log, fn func()) {
 // under their canonical paths — they are new in v1 and get no alias.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
+	// The write endpoints mutate strategy state and funnel into its mutex
+	// sections, so they pass through the admission gate; the reads stay
+	// ungated (see admitted).
+	writeEndpoints := map[string]bool{"assign": true, "submit": true, "inactive": true}
 	for name, h := range map[string]http.HandlerFunc{
 		"assign":   s.handleAssign,
 		"submit":   s.handleSubmit,
@@ -306,6 +438,9 @@ func (s *Server) Handler() http.Handler {
 		"status":   s.handleStatus,
 		"results":  s.handleResults,
 	} {
+		if writeEndpoints[name] {
+			h = s.admitted(h)
+		}
 		wrapped := s.instrument(name, h)
 		mux.HandleFunc("/v1/"+name, wrapped)
 		mux.HandleFunc("/"+name, wrapped) // legacy unversioned alias
@@ -335,6 +470,9 @@ func (s *Server) handleAssign(w http.ResponseWriter, r *http.Request) {
 	worker := r.URL.Query().Get("workerId")
 	if worker == "" {
 		s.writeError(r, w, http.StatusBadRequest, CodeBadRequest, "workerId required")
+		return
+	}
+	if !s.allowWorker(r, w, worker) {
 		return
 	}
 	wl := s.lockWorker(worker)
@@ -432,6 +570,9 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		s.writeError(r, w, http.StatusBadRequest, CodeBadRequest, "workerId required")
 		return
 	}
+	if !s.allowWorker(r, w, req.WorkerID) {
+		return
+	}
 	wl := s.lockWorker(req.WorkerID)
 	defer wl.Unlock()
 	s.mu.Lock()
@@ -515,6 +656,9 @@ func (s *Server) handleInactive(w http.ResponseWriter, r *http.Request) {
 	if worker == "" {
 		s.writeError(r, w, http.StatusBadRequest, CodeBadRequest,
 			"workerId required (query parameter or JSON body)")
+		return
+	}
+	if !s.allowWorker(r, w, worker) {
 		return
 	}
 	wl := s.lockWorker(worker)

@@ -1,0 +1,151 @@
+package platform
+
+import (
+	"sync"
+	"time"
+)
+
+// Per-worker rate limiting. The Figure-15 workload is Zipf-skewed: a
+// handful of hot workers generate most of the request volume, and without
+// a per-worker cap one eager worker (or one buggy client in a retry loop)
+// can drain the admission queue and starve the long tail of the crowd.
+// Each worker gets a token bucket: sustained throughput is bounded by
+// Rate tokens/second while short bursts up to Burst are absorbed without
+// throttling — the shape real human work arrives in (a batch of quick
+// answers, then a pause).
+
+// RateLimit configures the per-worker token bucket.
+type RateLimit struct {
+	// Rate is the sustained request budget in tokens per second.
+	Rate float64
+	// Burst is the bucket capacity: how many requests a worker may issue
+	// back-to-back after an idle period (default: max(1, Rate)).
+	Burst float64
+}
+
+// withDefaults normalizes the zero values.
+func (c RateLimit) withDefaults() RateLimit {
+	if c.Burst <= 0 {
+		c.Burst = c.Rate
+		if c.Burst < 1 {
+			c.Burst = 1
+		}
+	}
+	return c
+}
+
+// tokenBucket is one worker's bucket. Buckets are lazily refilled on
+// access: tokens accrue at cfg.Rate per second of elapsed wall time, capped
+// at cfg.Burst.
+type tokenBucket struct {
+	mu     sync.Mutex
+	tokens float64
+	last   time.Time
+}
+
+// defaultLimiterMaxEntries bounds the bucket map. A full bucket is
+// indistinguishable from no bucket (a fresh one starts full), so the
+// limiter reclaims fully-refilled buckets when the map grows past the
+// bound — memory stays proportional to the *active* worker set, not to
+// every worker ever seen.
+const defaultLimiterMaxEntries = 1 << 16
+
+// WorkerLimiter applies one token bucket per worker ID. All methods are
+// safe for concurrent use; a nil limiter admits everything.
+type WorkerLimiter struct {
+	cfg RateLimit
+
+	mu         sync.Mutex
+	buckets    map[string]*tokenBucket
+	maxEntries int
+}
+
+// NewWorkerLimiter creates a limiter. maxEntries bounds the bucket map
+// (<= 0 uses the default); when exceeded, fully-refilled buckets are
+// reclaimed, which never changes admission decisions.
+func NewWorkerLimiter(cfg RateLimit, maxEntries int) *WorkerLimiter {
+	if maxEntries <= 0 {
+		maxEntries = defaultLimiterMaxEntries
+	}
+	return &WorkerLimiter{
+		cfg:        cfg.withDefaults(),
+		buckets:    map[string]*tokenBucket{},
+		maxEntries: maxEntries,
+	}
+}
+
+// Config returns the limit in effect.
+func (l *WorkerLimiter) Config() RateLimit { return l.cfg }
+
+// Allow takes one token from worker's bucket. When the bucket is empty it
+// returns false and the duration until the next token accrues — the
+// Retry-After hint the server sends with the 429.
+func (l *WorkerLimiter) Allow(worker string, now time.Time) (ok bool, retryAfter time.Duration) {
+	if l == nil {
+		return true, 0
+	}
+	b := l.bucket(worker, now)
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	// Lazy refill. A non-monotonic clock (or a bucket created by a racing
+	// goroutine with a slightly later stamp) yields a negative elapsed;
+	// clamp to zero rather than draining tokens.
+	if elapsed := now.Sub(b.last).Seconds(); elapsed > 0 {
+		b.tokens += elapsed * l.cfg.Rate
+		if b.tokens > l.cfg.Burst {
+			b.tokens = l.cfg.Burst
+		}
+		b.last = now
+	}
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	if l.cfg.Rate <= 0 {
+		// No refill configured: the bucket can never recover, so the hint
+		// is just "back off for a second and let policy change".
+		return false, time.Second
+	}
+	need := 1 - b.tokens
+	return false, time.Duration(need / l.cfg.Rate * float64(time.Second))
+}
+
+// bucket returns worker's bucket, creating it full on first contact.
+func (l *WorkerLimiter) bucket(worker string, now time.Time) *tokenBucket {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	b, ok := l.buckets[worker]
+	if !ok {
+		if len(l.buckets) >= l.maxEntries {
+			l.evictFullLocked(now)
+		}
+		b = &tokenBucket{tokens: l.cfg.Burst, last: now}
+		l.buckets[worker] = b
+	}
+	return b
+}
+
+// evictFullLocked drops every bucket that has refilled to capacity: a full
+// bucket and an absent bucket admit identically, so the eviction is
+// invisible to callers. Buckets still holding debt are kept — evicting one
+// would hand a throttled worker a fresh burst.
+func (l *WorkerLimiter) evictFullLocked(now time.Time) {
+	for w, b := range l.buckets {
+		b.mu.Lock()
+		tokens := b.tokens + now.Sub(b.last).Seconds()*l.cfg.Rate
+		b.mu.Unlock()
+		if tokens >= l.cfg.Burst {
+			delete(l.buckets, w)
+		}
+	}
+}
+
+// Len reports how many buckets are live (tests and debugging).
+func (l *WorkerLimiter) Len() int {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.buckets)
+}

@@ -1,0 +1,44 @@
+#!/bin/sh
+# load-smoke: boot icrowd-server with the overload-protection flags on,
+# drive a short bounded open-loop load pass with icrowd-loadgen, and fail
+# on any 5xx response or an empty report. `make load-smoke` runs this; it
+# is part of `make check`.
+#
+# Environment knobs: GO (toolchain), PORT (listen port), OUT (report path).
+set -eu
+
+GO=${GO:-go}
+PORT=${PORT:-18973}
+OUT=${OUT:-/tmp/icrowd_load_smoke.json}
+
+BIN=$(mktemp -d)
+SRV_PID=
+cleanup() {
+	[ -n "$SRV_PID" ] && kill "$SRV_PID" 2>/dev/null || true
+	rm -rf "$BIN"
+}
+trap cleanup EXIT INT TERM
+
+$GO build -o "$BIN/icrowd-server" ./cmd/icrowd-server
+$GO build -o "$BIN/icrowd-loadgen" ./cmd/icrowd-loadgen
+
+# Small capacity on purpose: the smoke run must exercise the shed path,
+# not just the happy path — and still produce zero 5xx.
+"$BIN/icrowd-server" -addr "127.0.0.1:$PORT" -strategy randommv -k 3 \
+	-lease 30s -max-inflight 4 -queue-depth 8 -queue-timeout 100ms \
+	-request-timeout 2s -worker-rate 10 -worker-burst 5 \
+	>"$BIN/server.log" 2>&1 &
+SRV_PID=$!
+
+# The generator polls /v1/healthz itself (-wait-ready) and exits non-zero
+# when the server returned any 5xx or nothing was admitted at all.
+if ! "$BIN/icrowd-loadgen" -target "http://127.0.0.1:$PORT" \
+	-rate 300 -duration 3s -workers 100 -zipf 1.5 -seed 1 \
+	-wait-ready 20s -out "$OUT"; then
+	echo "load-smoke: FAILED; server log follows" >&2
+	cat "$BIN/server.log" >&2
+	exit 1
+fi
+
+[ -s "$OUT" ] || { echo "load-smoke: $OUT is empty" >&2; exit 1; }
+echo "load-smoke: OK ($OUT)"
