@@ -86,7 +86,7 @@ func BenchmarkAblationPPRSparsePush(b *testing.B) {
 	o := ppr.DefaultOptions()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := ppr.SparseSolve(fx.g, i%fx.g.N(), o); err != nil {
+		if _, _, err := ppr.SparseSolve(fx.g, i%fx.g.N(), o); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -101,7 +101,7 @@ func BenchmarkAblationPPRDenseIteration(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		q[i%len(q)] = 1
-		if _, err := ppr.DenseSolve(fx.g, q, o); err != nil {
+		if _, _, err := ppr.DenseSolve(fx.g, q, o); err != nil {
 			b.Fatal(err)
 		}
 		q[i%len(q)] = 0
@@ -164,7 +164,7 @@ func BenchmarkAblationResolveFromScratch(b *testing.B) {
 	q[0], q[50], q[100], q[200] = 1, 0.4, 0.9, 0.2
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := ppr.DenseSolve(fx.g, q, o); err != nil {
+		if _, _, err := ppr.DenseSolve(fx.g, q, o); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -185,7 +185,7 @@ func BenchmarkPPRSparseSolve(b *testing.B) {
 	o := ppr.DefaultOptions()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := ppr.SparseSolve(g, i%g.N(), o); err != nil {
+		if _, _, err := ppr.SparseSolve(g, i%g.N(), o); err != nil {
 			b.Fatal(err)
 		}
 	}

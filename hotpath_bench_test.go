@@ -21,6 +21,14 @@ func BenchmarkPrecompute(b *testing.B) {
 	}
 }
 
+// BenchmarkPrecomputeDelta measures the incremental-maintenance path: a
+// basis covering all but one task invalidates and re-solves that single
+// seed via Basis.SolveMissing each iteration. The benchdiff gate holds it
+// >= 10x cheaper than the sequential full precompute.
+func BenchmarkPrecomputeDelta(b *testing.B) {
+	hotbench.PrecomputeDelta()(b)
+}
+
 // BenchmarkComputeScheme measures one adaptive round mid-job: a submitted
 // answer dirties the worker's top-set entries and the following request
 // forces the incremental scheme recomputation.

@@ -42,6 +42,18 @@ type Report struct {
 	// PPR precompute ns/op.
 	PrecomputeSpeedup float64 `json:"precompute_speedup"`
 	SpeedupTarget     float64 `json:"speedup_target"`
+	// SpeedupStatus says whether the speedup target is machine-enforced by
+	// the benchdiff gate: SpeedupEnforced when the runner has more than one
+	// core, SpeedupSkipped1Core when an 8-way pool on a 1-core box can only
+	// ever measure ~1.0x and the number is meaningless.
+	SpeedupStatus string `json:"precompute_speedup_status,omitempty"`
+	// PrecomputeDeltaSpeedup is the incremental-maintenance figure:
+	// sequential full-precompute ns/op over single-seed SolveMissing ns/op
+	// (BenchmarkPrecomputeDelta). It is a same-run single-thread ratio, so
+	// unlike the pool speedup it is meaningful on any core count and the
+	// gate always enforces its target.
+	PrecomputeDeltaSpeedup float64 `json:"precompute_delta_speedup,omitempty"`
+	DeltaSpeedupTarget     float64 `json:"delta_speedup_target,omitempty"`
 	// AssignMetricsOverhead is the fractional ns/op cost of the
 	// observability layer on the assign fast path: the median over
 	// alternating on/off benchmark pairs of (metrics-on - metrics-off) /
@@ -50,6 +62,16 @@ type Report struct {
 	MetricsOverheadBudget float64 `json:"metrics_overhead_budget"`
 	Note                  string  `json:"note,omitempty"`
 }
+
+// SpeedupStatus values.
+const (
+	// SpeedupEnforced marks a report from a multi-core runner whose
+	// precompute_speedup the benchdiff gate holds against speedup_target.
+	SpeedupEnforced = "enforced"
+	// SpeedupSkipped1Core marks a report from a 1-core runner where the
+	// parallel-over-sequential ratio carries no signal and the gate skips it.
+	SpeedupSkipped1Core = "skipped (1 core)"
+)
 
 // Find returns the record with the given benchmark name, or nil.
 func (r *Report) Find(name string) *Record {

@@ -128,6 +128,7 @@ type newOptions struct {
 	schemeCache bool
 	metrics     *obsv.Registry
 	metricsSet  bool
+	lazyGraph   *simgraph.Graph
 }
 
 // WithQualification supplies an explicit qualification microtask set,
@@ -144,6 +145,21 @@ func WithQualification(qual []int) Option {
 // worker sets from scratch — useful for verification and benchmarking.
 func WithSchemeCache(enabled bool) Option {
 	return func(o *newOptions) { o.schemeCache = enabled }
+}
+
+// WithLazyBasis puts the framework in lazy-basis mode: the basis may be
+// partial (e.g. ppr.PrecomputePartial with no seeds, or a smaller basis
+// grown with Extend), and the scheduler solves each task's vector on first
+// observation via Basis.SolveMissing over the given similarity graph
+// instead of the job paying a full Precompute up front. The qualification
+// vectors are solved at construction; every later consensus/test
+// observation solves exactly its own seed, which
+// BenchmarkPrecomputeDelta pins at >= 10x cheaper than a recompute. The
+// lazily grown basis is bit-identical to a precomputed one, so results are
+// unchanged. The basis must not be shared with another framework while in
+// lazy mode (solves mutate it under this instance's lock).
+func WithLazyBasis(g *simgraph.Graph) Option {
+	return func(o *newOptions) { o.lazyGraph = g }
 }
 
 // WithMetrics selects the registry the framework records its hot-path

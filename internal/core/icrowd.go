@@ -13,6 +13,7 @@ import (
 	"icrowd/internal/obsv"
 	"icrowd/internal/ppr"
 	"icrowd/internal/qualify"
+	"icrowd/internal/simgraph"
 	"icrowd/internal/task"
 )
 
@@ -50,6 +51,11 @@ type ICrowd struct {
 	job  *Job
 	est  *estimate.Estimator
 	warm *qualify.WarmUp
+
+	// basis/lazyGraph back lazy-basis mode (WithLazyBasis): lazyGraph non-nil
+	// means basis vectors are solved on first observation, under ic.mu.
+	basis     *ppr.Basis
+	lazyGraph *simgraph.Graph
 
 	wmu     sync.Mutex // guards the workers map (not the infos)
 	workers map[string]*workerInfo
@@ -119,9 +125,24 @@ func New(ds *task.Dataset, basis *ppr.Basis, cfg Config, opts ...Option) (*ICrow
 		if cfg.QualStrategy == "" {
 			cfg.QualStrategy = qualify.InfQF
 		}
+		if no.lazyGraph != nil && cfg.QualStrategy == qualify.InfQF {
+			// Influence maximization ranks every task by its basis support —
+			// it needs the full basis a lazy run exists to avoid.
+			return nil, errors.New("core: lazy basis requires WithQualification or QualStrategy RandomQF (InfQF reads the full basis)")
+		}
 		var err error
 		qual, err = qualify.Select(cfg.QualStrategy, basis, cfg.Q, cfg.Seed)
 		if err != nil {
+			return nil, err
+		}
+	}
+	if no.lazyGraph != nil {
+		if no.lazyGraph.N() != ds.Len() {
+			return nil, errors.New("core: lazy-basis graph does not match dataset")
+		}
+		// Qualification microtasks are observed for every worker during
+		// warm-up; solve their vectors once up front.
+		if _, err := basis.SolveMissing(no.lazyGraph, qual); err != nil {
 			return nil, err
 		}
 	}
@@ -134,14 +155,16 @@ func New(ds *task.Dataset, basis *ppr.Basis, cfg Config, opts ...Option) (*ICrow
 		return nil, err
 	}
 	ic := &ICrowd{
-		cfg:     cfg,
-		ds:      ds,
-		job:     job,
-		est:     estimate.New(basis, cfg.Lambda),
-		warm:    warm,
-		workers: map[string]*workerInfo{},
-		scheme:  map[string]int{},
-		sched:   newScheduler(no.schemeCache, cfg.Concurrency),
+		cfg:       cfg,
+		ds:        ds,
+		job:       job,
+		est:       estimate.New(basis, cfg.Lambda),
+		warm:      warm,
+		basis:     basis,
+		lazyGraph: no.lazyGraph,
+		workers:   map[string]*workerInfo{},
+		scheme:    map[string]int{},
+		sched:     newScheduler(no.schemeCache, cfg.Concurrency),
 	}
 	reg := no.metrics
 	if !no.metricsSet {
@@ -361,6 +384,18 @@ func (ic *ICrowd) recomputeScheme() {
 // icrowd_core_scheme_heartbeat_timestamp_seconds gauge.
 func (ic *ICrowd) SchemeHeartbeat() time.Time { return ic.schemeBeat.Last() }
 
+// ensureBasis lazily solves the basis vector of a task that is about to be
+// observed (lazy-basis mode only; a no-op otherwise and for already-solved
+// seeds). Caller holds ic.mu — the estimator reads basis vectors under the
+// same lock, so the solve-before-observe ordering is race-free.
+func (ic *ICrowd) ensureBasis(taskID int) error {
+	if ic.lazyGraph == nil {
+		return nil
+	}
+	_, err := ic.basis.SolveMissing(ic.lazyGraph, []int{taskID})
+	return err
+}
+
 // eligible reports whether the worker may be assigned the task under the
 // optional eligibility restriction.
 func (ic *ICrowd) eligible(worker string, taskID int) bool {
@@ -499,6 +534,9 @@ func (ic *ICrowd) SubmitAnswer(worker string, taskID int, ans task.Answer) error
 			consensus, _ = ic.job.Completed(taskID)
 		}
 		if consensus == task.Yes || consensus == task.No {
+			if err := ic.ensureBasis(taskID); err != nil {
+				return err
+			}
 			if err := ic.est.ObserveConsensus(taskID, ic.job.Votes(taskID), consensus); err != nil {
 				return err
 			}
@@ -541,6 +579,9 @@ func (ic *ICrowd) submitTest(worker string, taskID int, ans task.Answer) error {
 		}
 		q = estimate.ObservedAccuracy(pAgree, pDisagree, ans == consensus)
 	}
+	if err := ic.ensureBasis(taskID); err != nil {
+		return err
+	}
 	if err := ic.est.Observe(worker, taskID, q); err != nil {
 		return err
 	}
@@ -560,6 +601,9 @@ func (ic *ICrowd) submitQualification(worker string, info *workerInfo, taskID in
 	info.qualIdx++
 	ic.mu.Lock()
 	defer ic.mu.Unlock()
+	if err := ic.ensureBasis(taskID); err != nil {
+		return err
+	}
 	if err := ic.est.ObserveQualification(worker, taskID, correct); err != nil {
 		return err
 	}

@@ -143,12 +143,23 @@ func (e *Estimator) Workers() []string {
 	return out
 }
 
+// mUnconvergedReads counts observations folded in through a basis vector
+// that never converged (or was never solved — a partial basis used without
+// SolveMissing). Estimates built on such vectors carry the solver's
+// truncation error; the counter is the online-path half of the convergence
+// contract whose offline half is icrowd_ppr_unconverged_total.
+var mUnconvergedReads = obsv.Default().Counter("icrowd_estimate_unconverged_basis_reads_total",
+	"Observations combined through an unconverged or missing PPR basis vector.")
+
 // Observe records observed accuracy q for worker id on a globally completed
 // microtask, updating the cached combination incrementally. Re-observing a
 // task replaces the previous value.
 func (e *Estimator) Observe(id string, taskID int, q float64) error {
 	if taskID < 0 || taskID >= e.basis.N() {
 		return errors.New("estimate: task out of range")
+	}
+	if !e.basis.SolveResult(taskID).Converged {
+		mUnconvergedReads.Inc()
 	}
 	q = stats.Clamp01(q)
 	e.EnsureWorker(id, DefaultBase)
@@ -394,6 +405,13 @@ func (e *Estimator) SupportWorkers(taskID int) []string {
 	}
 	sort.Strings(out)
 	return out
+}
+
+// BasisResult exposes how the basis solve for taskID terminated, so
+// consumers of estimates can tell a converged combination from one built on
+// truncated vectors.
+func (e *Estimator) BasisResult(taskID int) ppr.Result {
+	return e.basis.SolveResult(taskID)
 }
 
 // RawCombine returns the paper's unnormalized Lemma-3 combination

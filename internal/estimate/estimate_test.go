@@ -298,7 +298,7 @@ func TestRawCombineMatchesDenseSolve(t *testing.T) {
 	for id, v := range obs {
 		q[id] = v
 	}
-	dense, err := ppr.DenseSolve(g, q, o)
+	dense, _, err := ppr.DenseSolve(g, q, o)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -324,5 +324,43 @@ func TestHasObserved(t *testing.T) {
 	_ = e.Observe("w", 0, 1)
 	if !e.HasObserved("w", 0) || e.HasObserved("w", 1) || e.HasObserved("ghost", 0) {
 		t.Fatal("HasObserved mismatch")
+	}
+}
+
+// TestUnconvergedBasisReadsCounted pins the online half of the convergence
+// contract: observations combined through a truncated (or never-solved)
+// basis vector are counted, while reads of converged vectors are not.
+func TestUnconvergedBasisReadsCounted(t *testing.T) {
+	ds := task.ProductMatching()
+	g, err := simgraph.Build(ds.Len(), simgraph.JaccardMetric(ds), 0.5, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := ppr.DefaultOptions()
+	o.MaxIter = 1 // force truncation
+	truncated, err := ppr.Precompute(g, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := New(truncated, 0)
+	before := mUnconvergedReads.Value()
+	if err := e.Observe("w", 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if got := mUnconvergedReads.Value(); got != before+1 {
+		t.Fatalf("unconverged-read counter %d, want %d", got, before+1)
+	}
+	if r := e.BasisResult(0); r.Converged {
+		t.Fatal("BasisResult(0) reported converged for a truncated solve")
+	}
+
+	// A converged basis does not move the counter.
+	_, ec := table1Estimator(t)
+	before = mUnconvergedReads.Value()
+	if err := ec.Observe("w", 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if got := mUnconvergedReads.Value(); got != before {
+		t.Fatalf("counter moved to %d on a converged read", got)
 	}
 }

@@ -55,6 +55,39 @@ func Precompute(workers int) func(*testing.B) {
 	}
 }
 
+// PrecomputeDelta returns the BenchmarkPrecomputeDelta body: the delta
+// path of incremental basis maintenance. With a basis already covering all
+// but one task, each iteration invalidates and re-solves that single seed
+// via Basis.SolveMissing — exactly what lazy-basis mode (core.WithLazyBasis)
+// pays when one newly observed task needs its vector, instead of a full
+// Precompute. The committed gate requires this to be >= 10x cheaper than
+// BenchmarkPrecompute/workers=1 on the same graph.
+func PrecomputeDelta() func(*testing.B) {
+	return func(b *testing.B) {
+		_, g, err := Graph()
+		if err != nil {
+			b.Fatal(err)
+		}
+		o := ppr.DefaultOptions()
+		missing := g.N() - 1
+		seeds := make([]int, missing)
+		for i := range seeds {
+			seeds[i] = i
+		}
+		basis, err := ppr.PrecomputePartial(g, o, seeds)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			basis.Invalidate(missing)
+			if _, err := basis.SolveMissing(g, []int{missing}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
 // pool returns n deterministic worker IDs.
 func pool(n int) []string {
 	ids := make([]string, n)

@@ -73,11 +73,11 @@ func TestSparseSolveDeterministic(t *testing.T) {
 	g := parityGraph(t, 3)
 	o := DefaultOptions()
 	for seed := 0; seed < g.N(); seed += 17 {
-		a, err := SparseSolve(g, seed, o)
+		a, _, err := SparseSolve(g, seed, o)
 		if err != nil {
 			t.Fatal(err)
 		}
-		b, err := SparseSolve(g, seed, o)
+		b, _, err := SparseSolve(g, seed, o)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -25,12 +25,26 @@ import (
 // useful one and no registry needs threading through the API.
 var (
 	mSeedsSolved = obsv.Default().Counter("icrowd_ppr_seeds_solved_total",
-		"PPR basis vectors solved (Precompute and PrecomputePartial).")
+		"PPR basis vectors solved (Precompute, PrecomputePartial and SolveMissing).")
 	mPoolWorkers = obsv.Default().Gauge("icrowd_ppr_pool_workers",
 		"Solver-pool fan-out of the last basis precomputation.")
 	mSolveLat = obsv.Default().Histogram("icrowd_ppr_solve_batch_seconds",
 		"Wall time of whole basis solve batches.", nil)
+	mUnconverged = obsv.Default().Counter("icrowd_ppr_unconverged_total",
+		"PPR solves that exhausted MaxIter before draining the residual to Tol.")
 )
+
+// Result reports how a solve terminated. A false Converged means MaxIter
+// was exhausted while residual mass above Tol was still undistributed: the
+// returned vector is a truncation, not the fixed point, and the solver has
+// incremented icrowd_ppr_unconverged_total. Residual is the L1 mass still
+// in flight at exit (for the dense solver, the last iteration's L1 step
+// size), Iters the number of iterations performed.
+type Result struct {
+	Converged bool
+	Residual  float64
+	Iters     int
+}
 
 // Options tunes the solvers.
 type Options struct {
@@ -87,21 +101,26 @@ func (o Options) workerCount(n int) int {
 	return w
 }
 
-// DenseSolve iterates Eq. (4) to convergence for an arbitrary observed
-// vector q (length g.N()) and returns the estimated accuracy vector p.
-func DenseSolve(g *simgraph.Graph, q []float64, o Options) ([]float64, error) {
+// DenseSolve iterates Eq. (4) for an arbitrary observed vector q (length
+// g.N()) and returns the estimated accuracy vector p together with how the
+// iteration terminated. Callers that need the true fixed point must check
+// Result.Converged: with MaxIter exhausted the vector is only the best
+// iterate reached.
+func DenseSolve(g *simgraph.Graph, q []float64, o Options) ([]float64, Result, error) {
 	if err := o.validate(); err != nil {
-		return nil, err
+		return nil, Result{}, err
 	}
 	if len(q) != g.N() {
-		return nil, errors.New("ppr: q length mismatch")
+		return nil, Result{}, errors.New("ppr: q length mismatch")
 	}
 	c := 1 / (1 + o.Alpha)
 	restart := o.Alpha / (1 + o.Alpha)
 	p := make([]float64, g.N())
 	copy(p, q) // paper: "we set vector p as the observed one q initially"
 	next := make([]float64, g.N())
-	for iter := 0; iter < o.MaxIter; iter++ {
+	var res Result
+	for res.Iters < o.MaxIter {
+		res.Iters++
 		var delta float64
 		for i := 0; i < g.N(); i++ {
 			var acc float64
@@ -117,11 +136,16 @@ func DenseSolve(g *simgraph.Graph, q []float64, o Options) ([]float64, error) {
 			next[i] = v
 		}
 		p, next = next, p
+		res.Residual = delta
 		if delta <= o.Tol {
+			res.Converged = true
 			break
 		}
 	}
-	return p, nil
+	if !res.Converged {
+		mUnconverged.Inc()
+	}
+	return p, res, nil
 }
 
 // SparseSolve computes the basis vector p_{t_seed}: the fixed point of
@@ -131,14 +155,15 @@ func DenseSolve(g *simgraph.Graph, q []float64, o Options) ([]float64, error) {
 //
 // Frontier nodes are expanded in ascending ID order, fixing the
 // floating-point accumulation order: the result is bit-identical across
-// runs, which is what lets the parallel Precompute stay byte-identical to
-// the sequential path.
-func SparseSolve(g *simgraph.Graph, seed int, o Options) (map[int]float64, error) {
+// runs. SparseSolve is the reference implementation the allocation-lean
+// push solver (Solver.Solve) is pinned bit-exact against; the precompute
+// hot path uses the push solver, this one exists for verification.
+func SparseSolve(g *simgraph.Graph, seed int, o Options) (map[int]float64, Result, error) {
 	if err := o.validate(); err != nil {
-		return nil, err
+		return nil, Result{}, err
 	}
 	if seed < 0 || seed >= g.N() {
-		return nil, errors.New("ppr: seed out of range")
+		return nil, Result{}, errors.New("ppr: seed out of range")
 	}
 	c := 1 / (1 + o.Alpha)
 	restart := o.Alpha / (1 + o.Alpha)
@@ -146,7 +171,9 @@ func SparseSolve(g *simgraph.Graph, seed int, o Options) (map[int]float64, error
 	p := map[int]float64{seed: restart}
 	frontier := map[int]float64{seed: restart}
 	var order []int
-	for iter := 0; iter < o.MaxIter && len(frontier) > 0; iter++ {
+	res := Result{Residual: restart}
+	for res.Iters < o.MaxIter && len(frontier) > 0 {
+		res.Iters++
 		next := make(map[int]float64, len(frontier)*2)
 		order = order[:0]
 		for i := range frontier {
@@ -178,34 +205,48 @@ func SparseSolve(g *simgraph.Graph, seed int, o Options) (map[int]float64, error
 				mass += x
 			}
 		}
+		res.Residual = mass
 		if mass <= o.Tol {
+			res.Converged = true
 			break
 		}
 		frontier = next
 	}
-	return p, nil
+	if !res.Converged {
+		mUnconverged.Inc()
+	}
+	return p, res, nil
 }
 
 // Basis holds the precomputed vectors p_{t_i} for every task (the offline
-// phase of Algorithm 1).
+// phase of Algorithm 1), together with each solve's termination Result.
+// It may be partial (nil vectors for never-solved seeds) and grown
+// incrementally with SolveMissing/Extend.
 type Basis struct {
 	opts Options
 	vecs []map[int]float64
+	res  []Result
+
+	// solver is the cached scratch for incremental SolveMissing calls, so
+	// the steady-state delta path (one newly observed seed at a time)
+	// allocates only its result map. Valid only for solverGraph.
+	solver      *Solver
+	solverGraph *simgraph.Graph
 }
 
-// Precompute runs SparseSolve for every task across a bounded worker pool
-// (offline step of Algorithm 1 / Algorithm 4 line 2-3). Options.Workers
+// Precompute solves the basis vector of every task across a bounded worker
+// pool (offline step of Algorithm 1 / Algorithm 4 line 2-3). Options.Workers
 // sizes the pool; the output is bit-identical for any pool size.
 func Precompute(g *simgraph.Graph, o Options) (*Basis, error) {
 	if err := o.validate(); err != nil {
 		return nil, err
 	}
-	b := &Basis{opts: o, vecs: make([]map[int]float64, g.N())}
+	b := &Basis{opts: o, vecs: make([]map[int]float64, g.N()), res: make([]Result, g.N())}
 	seeds := make([]int, g.N())
 	for i := range seeds {
 		seeds[i] = i
 	}
-	if err := solveSeeds(g, o, seeds, b.vecs); err != nil {
+	if err := solveSeeds(g, o, seeds, b.vecs, b.res, nil); err != nil {
 		return nil, err
 	}
 	return b, nil
@@ -221,7 +262,7 @@ func PrecomputePartial(g *simgraph.Graph, o Options, seeds []int) (*Basis, error
 	if err := o.validate(); err != nil {
 		return nil, err
 	}
-	b := &Basis{opts: o, vecs: make([]map[int]float64, g.N())}
+	b := &Basis{opts: o, vecs: make([]map[int]float64, g.N()), res: make([]Result, g.N())}
 	// Deduplicate up front so no two pool workers ever write the same index.
 	uniq := make([]int, 0, len(seeds))
 	seen := make(map[int]bool, len(seeds))
@@ -234,22 +275,99 @@ func PrecomputePartial(g *simgraph.Graph, o Options, seeds []int) (*Basis, error
 			uniq = append(uniq, s)
 		}
 	}
-	if err := solveSeeds(g, o, uniq, b.vecs); err != nil {
+	if err := solveSeeds(g, o, uniq, b.vecs, b.res, nil); err != nil {
 		return nil, err
 	}
 	return b, nil
+}
+
+// SolveMissing solves the basis vectors of the given seeds that do not have
+// one yet — the delta path of incremental basis maintenance. Seeds already
+// solved (and duplicates) are skipped, so callers can feed it every newly
+// observed task without bookkeeping; it returns how many vectors were
+// actually solved. The scratch solver is cached across calls, making the
+// steady-state cost of one new seed its graph neighborhood plus one map
+// allocation (BenchmarkPrecomputeDelta pins it >= 10x cheaper than a full
+// Precompute). Solved vectors are bit-identical to what Precompute would
+// produce. Not safe for concurrent use with readers of the basis.
+func (b *Basis) SolveMissing(g *simgraph.Graph, seeds []int) (int, error) {
+	if g.N() != len(b.vecs) {
+		return 0, errors.New("ppr: graph does not match basis size")
+	}
+	uniq := make([]int, 0, len(seeds))
+	for _, s := range seeds {
+		if s < 0 || s >= len(b.vecs) {
+			return 0, errors.New("ppr: seed out of range")
+		}
+		if b.vecs[s] != nil {
+			continue
+		}
+		dup := false
+		for _, u := range uniq {
+			if u == s {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			uniq = append(uniq, s)
+		}
+	}
+	if len(uniq) == 0 {
+		return 0, nil
+	}
+	if b.solver == nil || b.solverGraph != g {
+		b.solver = NewSolver(g)
+		b.solverGraph = g
+	}
+	if err := solveSeeds(g, b.opts, uniq, b.vecs, b.res, b.solver); err != nil {
+		return 0, err
+	}
+	return len(uniq), nil
+}
+
+// Extend grows the basis to cover a graph that gained tasks (appended IDs:
+// existing task IDs must be unchanged). New slots start unsolved — pair
+// with SolveMissing to fill the ones that get observed. It returns the
+// number of slots added; shrinking is an error.
+func (b *Basis) Extend(g *simgraph.Graph) (int, error) {
+	if g.N() < len(b.vecs) {
+		return 0, errors.New("ppr: graph smaller than basis")
+	}
+	added := g.N() - len(b.vecs)
+	b.vecs = append(b.vecs, make([]map[int]float64, added)...)
+	b.res = append(b.res, make([]Result, added)...)
+	return added, nil
+}
+
+// Invalidate drops task i's basis vector (after a graph change around i,
+// re-Extend with the new graph and Invalidate the affected neighborhoods)
+// so the next SolveMissing recomputes it.
+func (b *Basis) Invalidate(i int) {
+	b.vecs[i] = nil
+	b.res[i] = Result{}
 }
 
 // solveChunk is how many seeds a pool worker claims at a time: large enough
 // to amortize the atomic fetch, small enough to keep the pool balanced.
 const solveChunk = 16
 
-// solveSeeds solves every seed in the list (assumed valid and distinct) and
-// stores vecs[seed]. With one worker it runs inline; otherwise a bounded
-// pool claims contiguous chunks off an atomic cursor. Each result lands at
-// its own index and errors are reported for the lowest failing seed
-// position, so the outcome is independent of goroutine scheduling.
-func solveSeeds(g *simgraph.Graph, o Options, seeds []int, vecs []map[int]float64) error {
+// solveSeeds solves every seed in the list (assumed valid and distinct)
+// with the push solver and stores vecs[seed]/res[seed]. Empty batches
+// return before touching any instrument, so no-op calls (all-duplicate
+// PrecomputePartial input, SolveMissing with nothing missing) cannot
+// pollute the batch-latency histogram. With one worker it runs inline on
+// the shared scratch solver (allocated here when the caller has none);
+// otherwise a bounded pool claims contiguous chunks off an atomic cursor,
+// each pool worker reusing its own scratch across all its seeds. Each
+// result lands at its own index and errors are reported for the lowest
+// failing seed position, so the outcome is independent of goroutine
+// scheduling — and the push solver's fixed accumulation order makes it
+// bit-identical for any worker count.
+func solveSeeds(g *simgraph.Graph, o Options, seeds []int, vecs []map[int]float64, res []Result, shared *Solver) error {
+	if len(seeds) == 0 {
+		return nil
+	}
 	workers := o.workerCount(len(seeds))
 	mPoolWorkers.Set(float64(workers))
 	defer func(start time.Time) {
@@ -257,12 +375,17 @@ func solveSeeds(g *simgraph.Graph, o Options, seeds []int, vecs []map[int]float6
 		mSeedsSolved.Add(int64(len(seeds)))
 	}(time.Now())
 	if workers == 1 {
+		sv := shared
+		if sv == nil {
+			sv = NewSolver(g)
+		}
 		for _, s := range seeds {
-			v, err := SparseSolve(g, s, o)
+			v, r, err := sv.Solve(s, o)
 			if err != nil {
 				return err
 			}
 			vecs[s] = v
+			res[s] = r
 		}
 		return nil
 	}
@@ -273,6 +396,7 @@ func solveSeeds(g *simgraph.Graph, o Options, seeds []int, vecs []map[int]float6
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			sv := NewSolver(g) // per-pool-worker scratch, reused across its chunks
 			for {
 				start := int(cursor.Add(solveChunk)) - solveChunk
 				if start >= len(seeds) {
@@ -283,12 +407,13 @@ func solveSeeds(g *simgraph.Graph, o Options, seeds []int, vecs []map[int]float6
 					end = len(seeds)
 				}
 				for k := start; k < end; k++ {
-					v, err := SparseSolve(g, seeds[k], o)
+					v, r, err := sv.Solve(seeds[k], o)
 					if err != nil {
 						errs[k] = err
 						continue
 					}
 					vecs[seeds[k]] = v
+					res[seeds[k]] = r
 				}
 			}
 		}()
@@ -311,6 +436,47 @@ func (b *Basis) Options() Options { return b.opts }
 // Vec returns the basis vector p_{t_i} as a sparse map. Callers must not
 // mutate it.
 func (b *Basis) Vec(i int) map[int]float64 { return b.vecs[i] }
+
+// SolveResult returns how task i's basis solve terminated. Never-solved
+// seeds (nil Vec) report the zero Result, i.e. not converged.
+func (b *Basis) SolveResult(i int) Result { return b.res[i] }
+
+// Converged reports whether every *solved* basis vector reached Tol.
+// Anything combined through an unconverged vector inherits its truncation
+// error, so callers gating on basis quality should check this (the server's
+// readiness probe does).
+func (b *Basis) Converged() bool {
+	for i, v := range b.vecs {
+		if v != nil && !b.res[i].Converged {
+			return false
+		}
+	}
+	return true
+}
+
+// Unconverged returns the IDs of solved-but-unconverged basis vectors, in
+// ascending order.
+func (b *Basis) Unconverged() []int {
+	var out []int
+	for i, v := range b.vecs {
+		if v != nil && !b.res[i].Converged {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Missing returns the IDs with no solved basis vector, in ascending order —
+// the complement SolveMissing would fill.
+func (b *Basis) Missing() []int {
+	var out []int
+	for i, v := range b.vecs {
+		if v == nil {
+			out = append(out, i)
+		}
+	}
+	return out
+}
 
 // NNZ returns the number of stored nonzeros across all basis vectors.
 func (b *Basis) NNZ() int {

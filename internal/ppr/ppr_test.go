@@ -31,17 +31,17 @@ func TestOptionsValidation(t *testing.T) {
 		{Alpha: 1, Tol: 1e-9, MaxIter: 10, DropTol: -1},
 	}
 	for i, o := range bad {
-		if _, err := DenseSolve(g, q, o); err == nil {
+		if _, _, err := DenseSolve(g, q, o); err == nil {
 			t.Fatalf("case %d: DenseSolve accepted bad options", i)
 		}
-		if _, err := SparseSolve(g, 0, o); err == nil {
+		if _, _, err := SparseSolve(g, 0, o); err == nil {
 			t.Fatalf("case %d: SparseSolve accepted bad options", i)
 		}
 	}
-	if _, err := DenseSolve(g, q[:3], DefaultOptions()); err == nil {
+	if _, _, err := DenseSolve(g, q[:3], DefaultOptions()); err == nil {
 		t.Fatal("length mismatch should error")
 	}
-	if _, err := SparseSolve(g, -1, DefaultOptions()); err == nil {
+	if _, _, err := SparseSolve(g, -1, DefaultOptions()); err == nil {
 		t.Fatal("seed out of range should error")
 	}
 	if _, err := ClosedForm(g, q[:2], 1); err == nil {
@@ -62,7 +62,7 @@ func TestDenseMatchesClosedForm(t *testing.T) {
 	for _, alpha := range []float64{0.1, 0.5, 1, 2, 10} {
 		o := DefaultOptions()
 		o.Alpha = alpha
-		iter, err := DenseSolve(g, q, o)
+		iter, _, err := DenseSolve(g, q, o)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -84,13 +84,13 @@ func TestSparseMatchesDense(t *testing.T) {
 	o := DefaultOptions()
 	o.DropTol = 0 // exact comparison
 	for seed := 0; seed < g.N(); seed++ {
-		sp, err := SparseSolve(g, seed, o)
+		sp, _, err := SparseSolve(g, seed, o)
 		if err != nil {
 			t.Fatal(err)
 		}
 		q := make([]float64, g.N())
 		q[seed] = 1
-		dn, err := DenseSolve(g, q, o)
+		dn, _, err := DenseSolve(g, q, o)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -117,7 +117,7 @@ func TestLinearity(t *testing.T) {
 	for i, v := range q {
 		qd[i] = v
 	}
-	dense, err := DenseSolve(g, qd, o)
+	dense, _, err := DenseSolve(g, qd, o)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -164,7 +164,7 @@ func TestEstimatesRespectClusters(t *testing.T) {
 	g := table1Graph(t)
 	q := make([]float64, g.N())
 	q[0] = 1
-	p, err := DenseSolve(g, q, DefaultOptions())
+	p, _, err := DenseSolve(g, q, DefaultOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -291,7 +291,7 @@ func TestAlphaExtremes(t *testing.T) {
 	q[0] = 1
 	big := DefaultOptions()
 	big.Alpha = 100
-	p, err := DenseSolve(g, q, big)
+	p, _, err := DenseSolve(g, q, big)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -300,7 +300,7 @@ func TestAlphaExtremes(t *testing.T) {
 	}
 	small := DefaultOptions()
 	small.Alpha = 0.05
-	ps, err := DenseSolve(g, q, small)
+	ps, _, err := DenseSolve(g, q, small)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -13,10 +13,14 @@ type basisWire struct {
 	Version int
 	Opts    Options
 	Vecs    []map[int]float64
+	Res     []Result
 }
 
-// wireVersion guards against format drift between builds.
-const wireVersion = 1
+// wireVersion guards against format drift between builds. Version 2 added
+// the per-vector solve Results; version-1 artifacts predate convergence
+// tracking and must be regenerated rather than loaded as silently
+// "converged".
+const wireVersion = 2
 
 // Save serializes the basis (the offline artifact of Algorithm 1) so a
 // server restart or a different process can skip the precomputation.
@@ -25,6 +29,7 @@ func (b *Basis) Save(w io.Writer) error {
 		Version: wireVersion,
 		Opts:    b.opts,
 		Vecs:    b.vecs,
+		Res:     b.res,
 	})
 }
 
@@ -53,6 +58,9 @@ func Load(r io.Reader) (*Basis, error) {
 	if len(wire.Vecs) == 0 {
 		return nil, errors.New("ppr: basis has no vectors")
 	}
+	if len(wire.Res) != len(wire.Vecs) {
+		return nil, fmt.Errorf("ppr: basis has %d results for %d vectors", len(wire.Res), len(wire.Vecs))
+	}
 	n := len(wire.Vecs)
 	for i, v := range wire.Vecs {
 		for j, x := range v {
@@ -64,7 +72,7 @@ func Load(r io.Reader) (*Basis, error) {
 			}
 		}
 	}
-	return &Basis{opts: wire.Opts, vecs: wire.Vecs}, nil
+	return &Basis{opts: wire.Opts, vecs: wire.Vecs, res: wire.Res}, nil
 }
 
 // LoadFile reads a basis from a file.

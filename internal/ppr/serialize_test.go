@@ -39,6 +39,17 @@ func TestBasisSaveLoadRoundTrip(t *testing.T) {
 			}
 		}
 	}
+	// Convergence state survives the round trip: a loaded basis must not
+	// report truncated solves as converged (or vice versa).
+	for i := 0; i < orig.N(); i++ {
+		if got.SolveResult(i) != orig.SolveResult(i) {
+			t.Fatalf("vector %d: SolveResult %+v vs %+v after round trip",
+				i, got.SolveResult(i), orig.SolveResult(i))
+		}
+	}
+	if got.Converged() != orig.Converged() {
+		t.Fatal("Converged() changed after round trip")
+	}
 	// Combination results are identical.
 	q := map[int]float64{0: 1, 5: 0.5}
 	a, b := orig.Combine(q), got.Combine(q)

@@ -240,6 +240,25 @@ func BuildRandom(n, maxNeighbors int, seed int64) (*Graph, error) {
 	return FromEdges(n, edges)
 }
 
+// CSR is a read-only compressed-sparse-row snapshot of the graph's
+// adjacency: row i's neighbors are Cols[RowPtr[i]:RowPtr[i+1]] (ascending),
+// with the normalized weights S'_ij in Norm at the same positions. It
+// exists for solvers that iterate edges in their innermost loop (the
+// push-style PPR solver) where the per-neighbor callback of Neighbors is
+// measurable overhead. The slices alias the graph's internal storage and
+// must not be mutated.
+type CSR struct {
+	N      int
+	RowPtr []int
+	Cols   []int32
+	Norm   []float64
+}
+
+// CSR returns the adjacency snapshot. O(1): no copying.
+func (g *Graph) CSR() CSR {
+	return CSR{N: g.n, RowPtr: g.rowPtr, Cols: g.cols, Norm: g.norm}
+}
+
 // N returns the number of tasks (nodes).
 func (g *Graph) N() int { return g.n }
 
