@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test check lint vet race race-hot parity load-smoke bench bench-all bench-diff bench-diff-report clean
+.PHONY: all build test check lint vet race race-hot parity store-conformance load-smoke bench bench-all bench-diff bench-diff-report clean
 
 all: build
 
@@ -34,6 +34,13 @@ race:
 race-hot:
 	$(GO) test -race ./internal/obsv ./internal/platform
 
+# Backend conformance suite: every store.Backend implementation (the CRC
+# log and the segmented indexed store) must pass the same contract tests —
+# append/replay parity, torn-tail crash recovery, snapshot round-trips,
+# indexed-lookup equivalence. Run this when adding or changing a backend.
+store-conformance:
+	$(GO) test -run 'TestConformance' -count=1 ./internal/store
+
 # End-to-end overload smoke: boot icrowd-server with admission control and
 # the per-worker limiter on, drive a short open-loop load pass, and fail
 # on any 5xx or an empty report (writes /tmp/icrowd_load_smoke.json; the
@@ -51,7 +58,7 @@ parity:
 # The gate a PR must pass. bench-diff runs report-only here because shared
 # CI machines are too noisy for a hard ns/op gate; run `make bench-diff`
 # on a quiet box before committing a perf-sensitive change.
-check: lint parity race race-hot load-smoke bench-diff-report
+check: lint parity store-conformance race race-hot load-smoke bench-diff-report
 
 # Hot-path benchmarks -> BENCH_hotpath.json (sequential vs parallel
 # precompute, incremental scheme recompute, /assign read throughput).

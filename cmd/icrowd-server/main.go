@@ -23,7 +23,10 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"hash/fnv"
+	"io"
 	"log/slog"
+	"math"
 	"net/http"
 	"os"
 	"os/signal"
@@ -52,7 +55,9 @@ func main() {
 		seed        = flag.Int64("seed", 1, "random seed")
 		measure     = flag.String("measure", "Jaccard", "similarity measure")
 		threshold   = flag.Float64("threshold", 0.25, "similarity threshold")
-		logPath     = flag.String("log", "", "event-log file; replayed on startup for crash recovery")
+		logPath     = flag.String("log", "", "event-log file; replayed on startup for crash recovery (single-project mode)")
+		dataDir     = flag.String("data-dir", "", "multi-project data directory: each project's events live under <dir>/<id>/, every project found is resumed on startup (mutually exclusive with -log)")
+		backendKind = flag.String("backend", "log", "durable store backend: log (single CRC-framed file) or indexed (segmented files + in-memory task/worker index; requires -data-dir)")
 		basisPath   = flag.String("basis", "", "basis cache file: loaded if present, else computed and saved (skips the offline PPR phase on restart)")
 		lease       = flag.Duration("lease", 0, "assignment lease: reclaim tasks from workers silent this long (0 disables)")
 		fsync       = flag.String("fsync", "never", "event-log fsync policy: never, always, or an integer N (fsync every N appends)")
@@ -117,40 +122,90 @@ func main() {
 		}
 	}
 
-	var st core.Strategy
-	modes := map[string]core.Mode{
-		"icrowd": core.ModeAdapt, "qfonly": core.ModeQFOnly, "besteffort": core.ModeBestEffort,
-	}
-	if mode, ok := modes[*strategy]; ok {
-		cfg := core.DefaultConfig()
-		cfg.K = *k
-		cfg.Q = *q
-		cfg.Mode = mode
-		cfg.Seed = *seed
-		cfg.Concurrency = *conc
-		st, err = core.New(ds, basis, cfg)
-	} else {
-		var qual []int
-		qual, err = qualify.Select(qualify.InfQF, basis, *q, *seed)
+	// newStrategy builds a fresh strategy from the flags with the given
+	// seed. It doubles as the per-project factory: every project gets its
+	// own instance, and the seed derived from the project id is stable
+	// across restarts so replaying a project's log reconstructs its state.
+	newStrategy := func(strategySeed int64) (core.Strategy, error) {
+		modes := map[string]core.Mode{
+			"icrowd": core.ModeAdapt, "qfonly": core.ModeQFOnly, "besteffort": core.ModeBestEffort,
+		}
+		if mode, ok := modes[*strategy]; ok {
+			cfg := core.DefaultConfig()
+			cfg.K = *k
+			cfg.Q = *q
+			cfg.Mode = mode
+			cfg.Seed = strategySeed
+			cfg.Concurrency = *conc
+			return core.New(ds, basis, cfg)
+		}
+		qual, err := qualify.Select(qualify.InfQF, basis, *q, strategySeed)
 		if err != nil {
-			fail(err)
+			return nil, err
 		}
 		switch *strategy {
 		case "randommv":
-			st, err = baseline.NewRandomMV(ds, *k, qual, *seed)
+			return baseline.NewRandomMV(ds, *k, qual, strategySeed)
 		case "randomem":
-			st, err = baseline.NewRandomEM(ds, *k, qual, *seed)
+			return baseline.NewRandomEM(ds, *k, qual, strategySeed)
 		case "avgaccpv":
-			st, err = baseline.NewAvgAccPV(ds, *k, qual, 0, *seed)
+			return baseline.NewAvgAccPV(ds, *k, qual, 0, strategySeed)
 		default:
-			err = fmt.Errorf("unknown strategy %q", *strategy)
+			return nil, fmt.Errorf("unknown strategy %q", *strategy)
 		}
 	}
+	st, err := newStrategy(*seed)
 	if err != nil {
 		fail(err)
 	}
 
-	srv := platform.NewServer(st, ds)
+	// Durable storage. -log keeps the single-file, single-project layout;
+	// -data-dir switches to the multi-project store (one subdirectory per
+	// project, -backend selecting the layout inside each).
+	kind, err := store.ParseBackendKind(*backendKind)
+	if err != nil {
+		fail(err)
+	}
+	if *logPath != "" && *dataDir != "" {
+		fail(fmt.Errorf("-log and -data-dir are mutually exclusive"))
+	}
+	if kind != store.BackendLog && *dataDir == "" {
+		fail(fmt.Errorf("-backend %s requires -data-dir (-log always uses the log backend)", kind))
+	}
+	if *snapEvery > 0 && *logPath == "" && *dataDir == "" {
+		fail(fmt.Errorf("-snapshot-every requires -log or -data-dir"))
+	}
+	storeOpts := []store.Option{store.WithBackendKind(kind), store.WithFsync(syncEvery)}
+	if *snapEvery > 0 {
+		storeOpts = append(storeOpts, store.WithSnapshotEvery(*snapEvery))
+	}
+	var (
+		backend store.Backend
+		recov   *store.RecoverInfo
+		pstore  *store.ProjectStore
+	)
+	switch {
+	case *logPath != "":
+		backend, recov, err = store.Open(*logPath, storeOpts...)
+		if err != nil {
+			fail(err)
+		}
+	case *dataDir != "":
+		pstore, err = store.OpenProjects(*dataDir, storeOpts...)
+		if err != nil {
+			fail(err)
+		}
+		backend, recov, err = pstore.Project(store.DefaultProject)
+		if err != nil {
+			fail(err)
+		}
+	}
+
+	var srvOpts []platform.ServerOption
+	if backend != nil {
+		srvOpts = append(srvOpts, platform.WithBackend(backend))
+	}
+	srv := platform.NewServer(st, ds, srvOpts...)
 	srv.SetLogger(logger)
 	// Readiness: the offline PPR basis must cover the dataset the strategy
 	// is serving. A stale cache swap under a running process flips readyz.
@@ -182,36 +237,37 @@ func main() {
 		logger.Info("per-worker rate limit enabled",
 			slog.Float64("rate", *workerRate), slog.Float64("burst", *workerBurst))
 	}
-	if *snapEvery > 0 && *logPath == "" {
-		fail(fmt.Errorf("-snapshot-every requires -log"))
-	}
-	if *logPath != "" {
-		opts := store.Options{SyncEvery: syncEvery}
-		if *snapEvery > 0 {
-			opts.SnapshotPath = *logPath + ".snap"
-			opts.SnapshotEvery = *snapEvery
+	if backend != nil {
+		defer srv.Close()
+		if recov != nil && recov.Tail != nil {
+			logger.Warn("repaired damaged log tail",
+				slog.String("tail", recov.Tail.String()))
 		}
-		l, info, err := store.OpenWithOptions(*logPath, opts)
+		if recov != nil && len(recov.Events) > 0 {
+			if err := store.Replay(recov.Events, st); err != nil {
+				fail(fmt.Errorf("recovering default project: %w", err))
+			}
+			srv.Restore(recov.Events)
+			logger.Info("recovered events from log",
+				slog.Int("events", len(recov.Events)),
+				slog.Int("from_snapshot", recov.FromSnapshot))
+		}
+	}
+	if *dataDir != "" {
+		// Named projects: each gets a fresh strategy seeded from its id (so
+		// replay after a restart rebuilds the same state) and its own
+		// backend under -data-dir; everything already on disk resumes now.
+		factory := func(id string) (core.Strategy, error) {
+			return newStrategy(projectSeed(*seed, id))
+		}
+		resumed, err := srv.EnableProjects(pstore, factory)
 		if err != nil {
 			fail(err)
 		}
-		defer l.Close()
-		if info.Tail != nil {
-			logger.Warn("repaired damaged log tail",
-				slog.String("tail", info.Tail.String()),
-				slog.String("preserved", *logPath+".corrupt"))
-		}
-		if len(info.Events) > 0 {
-			if err := store.Replay(info.Events, st); err != nil {
-				fail(fmt.Errorf("recovering from %s: %w", *logPath, err))
-			}
-			srv.Restore(info.Events)
-			logger.Info("recovered events from log",
-				slog.Int("events", len(info.Events)),
-				slog.Int("from_snapshot", info.FromSnapshot),
-				slog.String("path", *logPath))
-		}
-		srv.SetLog(l)
+		logger.Info("multi-project serving enabled",
+			slog.String("data_dir", *dataDir),
+			slog.String("backend", string(kind)),
+			slog.Int("projects_resumed", resumed))
 	}
 	if *lease > 0 {
 		interval := *lease / 4
@@ -267,6 +323,19 @@ func main() {
 			logger.Error("shutdown did not drain cleanly", slog.String("error", err.Error()))
 		}
 	}
+}
+
+// projectSeed derives a stable per-project strategy seed from the base
+// seed: the default project keeps the base seed exactly, named projects mix
+// in a hash of their id so distinct projects draw distinct randomness while
+// every restart of the same project rebuilds the same strategy.
+func projectSeed(base int64, id string) int64 {
+	if id == store.DefaultProject {
+		return base
+	}
+	h := fnv.New64a()
+	io.WriteString(h, id)
+	return base ^ int64(h.Sum64()&math.MaxInt64)
 }
 
 // parseFsync maps the -fsync flag to Options.SyncEvery: "never" -> 0,

@@ -31,6 +31,7 @@ func main() {
 	var (
 		server    = flag.String("server", "http://localhost:8080", "icrowd-server base URL")
 		worker    = flag.String("worker", "", "worker ID (required)")
+		project   = flag.String("project", "", "named project to work on (default: the server's default project)")
 		mAddr     = flag.String("metrics-addr", "", "serve client-side metrics (Prometheus text) on this listener")
 		logFormat = flag.String("log-format", "text", "log output format: text or json")
 		logLevel  = flag.String("log-level", "info", "minimum log level: debug, info, warn, error")
@@ -55,7 +56,12 @@ func main() {
 		defer ms.Close()
 		logger.Info("metrics listener started", slog.String("addr", *mAddr))
 	}
-	client := &platform.Client{BaseURL: *server}
+	base := &platform.Client{BaseURL: *server}
+	var client platform.ClientAPI = base
+	if *project != "" {
+		client = base.Project(*project)
+		logger.Info("working on project", slog.String("project", *project))
+	}
 	in := bufio.NewScanner(os.Stdin)
 	answered := 0
 	for {
@@ -118,7 +124,7 @@ func readAnswer(in *bufio.Scanner) (ans task.Answer, quit bool) {
 	}
 }
 
-func markInactive(c *platform.Client, worker string) {
+func markInactive(c platform.ClientAPI, worker string) {
 	// Best-effort: quitting before ever being assigned yields a typed
 	// unknown_worker error, which is fine to ignore here.
 	_ = c.Inactive(context.Background(), worker)

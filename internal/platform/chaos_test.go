@@ -100,8 +100,7 @@ func TestChaosSoak(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	so := NewServer(st, ds)
-	so.SetLog(l)
+	so := NewServer(st, ds, WithBackend(l))
 	so.SetAccounting(NewAccounting(HITConfig{}))
 	so.SetLease(150 * time.Millisecond)
 	stopSweeper := so.StartSweeper(20 * time.Millisecond)

@@ -193,10 +193,32 @@ func (c *Client) do(ctx context.Context, method, url string, body []byte) (*http
 	return nil, fmt.Errorf("platform: request failed after %d attempt(s): %w", attempts, lastErr)
 }
 
+// ClientAPI is the per-project surface both client flavours implement:
+// *Client speaks the default project's /v1 routes, and the *ProjectClient
+// returned by Client.Project speaks /v1/projects/{id}. Agents and tools
+// that drive one project take a ClientAPI so they work against either.
+type ClientAPI interface {
+	Assign(ctx context.Context, workerID string) (AssignResponse, error)
+	Submit(ctx context.Context, workerID string, taskID int, ans task.Answer) error
+	SubmitR(ctx context.Context, workerID string, taskID int, ans task.Answer) (SubmitResponse, error)
+	Inactive(ctx context.Context, workerID string) error
+	Status(ctx context.Context) (StatusResponse, error)
+	Results(ctx context.Context) (map[int]string, error)
+}
+
+var (
+	_ ClientAPI = (*Client)(nil)
+	_ ClientAPI = (*ProjectClient)(nil)
+)
+
 // Assign requests a task for the worker.
 func (c *Client) Assign(ctx context.Context, workerID string) (AssignResponse, error) {
+	return c.assign(ctx, "/v1", workerID)
+}
+
+func (c *Client) assign(ctx context.Context, prefix, workerID string) (AssignResponse, error) {
 	var out AssignResponse
-	resp, err := c.do(ctx, http.MethodGet, c.BaseURL+"/v1/assign?workerId="+workerID, nil)
+	resp, err := c.do(ctx, http.MethodGet, c.BaseURL+prefix+"/assign?workerId="+workerID, nil)
 	if err != nil {
 		return out, err
 	}
@@ -216,12 +238,16 @@ func (c *Client) Submit(ctx context.Context, workerID string, taskID int, ans ta
 
 // SubmitR is Submit exposing the full response (e.g. the Duplicate flag).
 func (c *Client) SubmitR(ctx context.Context, workerID string, taskID int, ans task.Answer) (SubmitResponse, error) {
+	return c.submit(ctx, "/v1", workerID, taskID, ans)
+}
+
+func (c *Client) submit(ctx context.Context, prefix, workerID string, taskID int, ans task.Answer) (SubmitResponse, error) {
 	var out SubmitResponse
 	body, err := json.Marshal(SubmitRequest{WorkerID: workerID, TaskID: taskID, Answer: ans.String()})
 	if err != nil {
 		return out, err
 	}
-	resp, err := c.do(ctx, http.MethodPost, c.BaseURL+"/v1/submit", body)
+	resp, err := c.do(ctx, http.MethodPost, c.BaseURL+prefix+"/submit", body)
 	if err != nil {
 		return out, err
 	}
@@ -234,11 +260,15 @@ func (c *Client) SubmitR(ctx context.Context, workerID string, taskID int, ans t
 
 // Inactive signals that the worker returned or abandoned their HIT.
 func (c *Client) Inactive(ctx context.Context, workerID string) error {
+	return c.inactive(ctx, "/v1", workerID)
+}
+
+func (c *Client) inactive(ctx context.Context, prefix, workerID string) error {
 	body, err := json.Marshal(InactiveRequest{WorkerID: workerID})
 	if err != nil {
 		return err
 	}
-	resp, err := c.do(ctx, http.MethodPost, c.BaseURL+"/v1/inactive", body)
+	resp, err := c.do(ctx, http.MethodPost, c.BaseURL+prefix+"/inactive", body)
 	if err != nil {
 		return err
 	}
@@ -251,8 +281,12 @@ func (c *Client) Inactive(ctx context.Context, workerID string) error {
 
 // Status fetches job progress.
 func (c *Client) Status(ctx context.Context) (StatusResponse, error) {
+	return c.status(ctx, "/v1")
+}
+
+func (c *Client) status(ctx context.Context, prefix string) (StatusResponse, error) {
 	var out StatusResponse
-	resp, err := c.do(ctx, http.MethodGet, c.BaseURL+"/v1/status", nil)
+	resp, err := c.do(ctx, http.MethodGet, c.BaseURL+prefix+"/status", nil)
 	if err != nil {
 		return out, err
 	}
@@ -265,7 +299,11 @@ func (c *Client) Status(ctx context.Context) (StatusResponse, error) {
 
 // Results fetches the aggregated answers.
 func (c *Client) Results(ctx context.Context) (map[int]string, error) {
-	resp, err := c.do(ctx, http.MethodGet, c.BaseURL+"/v1/results", nil)
+	return c.results(ctx, "/v1")
+}
+
+func (c *Client) results(ctx context.Context, prefix string) (map[int]string, error) {
+	resp, err := c.do(ctx, http.MethodGet, c.BaseURL+prefix+"/results", nil)
 	if err != nil {
 		return nil, err
 	}
@@ -278,6 +316,105 @@ func (c *Client) Results(ctx context.Context) (map[int]string, error) {
 		return nil, err
 	}
 	return out.Results, nil
+}
+
+// Project returns a client scoped to the named project's routes
+// (/v1/projects/{id}/...). The scoped client shares this client's
+// transport, retry policy and Retry-After handling — a ProjectClient backs
+// off exactly like its parent.
+func (c *Client) Project(id string) *ProjectClient {
+	return &ProjectClient{c: c, id: id, prefix: "/v1/projects/" + id}
+}
+
+// Projects lists the projects the server hosts.
+func (c *Client) Projects(ctx context.Context) ([]ProjectInfo, error) {
+	resp, err := c.do(ctx, http.MethodGet, c.BaseURL+"/v1/projects", nil)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, httpError(resp)
+	}
+	var out ProjectListResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, err
+	}
+	return out.Projects, nil
+}
+
+// ProjectClient is a Client scoped to one named project. Construct with
+// Client.Project; the zero value is not usable.
+type ProjectClient struct {
+	c      *Client
+	id     string
+	prefix string
+}
+
+// ID returns the project id this client targets.
+func (p *ProjectClient) ID() string { return p.id }
+
+// Create registers the project on the server (idempotent PUT). It reports
+// whether the project was newly created.
+func (p *ProjectClient) Create(ctx context.Context) (bool, error) {
+	resp, err := p.c.do(ctx, http.MethodPut, p.c.BaseURL+p.prefix, nil)
+	if err != nil {
+		return false, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusCreated {
+		return false, httpError(resp)
+	}
+	var out ProjectCreateResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return false, err
+	}
+	return out.Created, nil
+}
+
+// Info fetches the project's descriptor.
+func (p *ProjectClient) Info(ctx context.Context) (ProjectInfo, error) {
+	var out ProjectInfo
+	resp, err := p.c.do(ctx, http.MethodGet, p.c.BaseURL+p.prefix, nil)
+	if err != nil {
+		return out, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return out, httpError(resp)
+	}
+	return out, json.NewDecoder(resp.Body).Decode(&out)
+}
+
+// Assign requests a task for the worker within this project.
+func (p *ProjectClient) Assign(ctx context.Context, workerID string) (AssignResponse, error) {
+	return p.c.assign(ctx, p.prefix, workerID)
+}
+
+// Submit posts an answer within this project.
+func (p *ProjectClient) Submit(ctx context.Context, workerID string, taskID int, ans task.Answer) error {
+	_, err := p.SubmitR(ctx, workerID, taskID, ans)
+	return err
+}
+
+// SubmitR is Submit exposing the full response.
+func (p *ProjectClient) SubmitR(ctx context.Context, workerID string, taskID int, ans task.Answer) (SubmitResponse, error) {
+	return p.c.submit(ctx, p.prefix, workerID, taskID, ans)
+}
+
+// Inactive signals the worker's departure within this project.
+func (p *ProjectClient) Inactive(ctx context.Context, workerID string) error {
+	return p.c.inactive(ctx, p.prefix, workerID)
+}
+
+// Status fetches this project's progress.
+func (p *ProjectClient) Status(ctx context.Context) (StatusResponse, error) {
+	return p.c.status(ctx, p.prefix)
+}
+
+// Results fetches this project's aggregated answers.
+func (p *ProjectClient) Results(ctx context.Context) (map[int]string, error) {
+	return p.c.results(ctx, p.prefix)
 }
 
 // httpError turns a non-2xx response into a typed *APIError, decoding the

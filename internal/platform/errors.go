@@ -46,6 +46,10 @@ const (
 	// limit (HTTP 429, Retry-After set): the Zipf hot worker is slowed so
 	// it cannot starve the rest of the crowd.
 	CodeThrottled = "throttled"
+	// CodeProjectNotFound reports a /v1/projects/{id}/... request naming a
+	// project the server does not host (HTTP 404). Distinct from
+	// CodeNotFound so clients can tell "wrong project" from "wrong path".
+	CodeProjectNotFound = "project_not_found"
 )
 
 // ErrorResponse is the JSON body of every non-2xx response the server
@@ -111,6 +115,13 @@ func IsThrottled(err error) bool {
 // produces (admission or rate limit) — the "slow down, nothing happened"
 // class a well-behaved client backs off on.
 func IsShed(err error) bool { return IsOverloaded(err) || IsThrottled(err) }
+
+// IsProjectNotFound reports whether err is the typed 404 for a request
+// naming a project the server does not host.
+func IsProjectNotFound(err error) bool {
+	var ae *APIError
+	return errors.As(err, &ae) && ae.Code == CodeProjectNotFound
+}
 
 // writeError emits a typed JSON error response.
 func writeError(w http.ResponseWriter, status int, code, msg string) {

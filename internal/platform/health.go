@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"icrowd/internal/obsv"
+	"icrowd/internal/store"
 )
 
 // Health probes. GET /v1/healthz is liveness: 200 whenever the process can
@@ -47,15 +48,19 @@ func (s *Server) initHealth(reg *obsv.Registry) {
 // checks (and hand the same probes to a standalone obsv.Serve listener).
 func (s *Server) Health() *obsv.Health { return s.health }
 
-// checkEventLog reports lost durability: the attached log's most recent
+// checkEventLog reports lost durability: some project backend's most recent
 // append or fsync failed and has not succeeded since.
 func (s *Server) checkEventLog() error {
-	l := s.getLog()
-	if l == nil {
-		return nil
-	}
-	if err := l.Healthy(); err != nil {
-		return fmt.Errorf("event log unwritable: %w", err)
+	for _, p := range s.snapshotProjects() {
+		if p.backend == nil {
+			continue
+		}
+		if err := p.backend.Healthy(); err != nil {
+			if p.id == store.DefaultProject {
+				return fmt.Errorf("event log unwritable: %w", err)
+			}
+			return fmt.Errorf("project %s: event log unwritable: %w", p.id, err)
+		}
 	}
 	return nil
 }

@@ -75,9 +75,8 @@ func TestHealthzAlwaysOK(t *testing.T) {
 // watch /v1/readyz flip to 503 naming event_log, then heal the writer and
 // watch readiness recover on the next successful append.
 func TestReadyzFlipsOnUnwritableEventLog(t *testing.T) {
-	srv, s, reg := newMetricsServer(t)
 	w := &flakyWriter{}
-	s.SetLog(store.NewWriter(w))
+	srv, _, reg := newMetricsServer(t, WithBackend(store.NewWriter(w)))
 
 	if code, _ := probe(t, srv.URL, "/v1/readyz"); code != http.StatusOK {
 		t.Fatalf("readyz before any fault = %d, want 200", code)

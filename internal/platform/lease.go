@@ -44,61 +44,89 @@ func (s *Server) deadlineLocked() time.Time {
 	return s.now().Add(s.lease)
 }
 
-// SweepExpired reclaims every assignment whose lease deadline has passed:
-// the departure is logged (write-ahead), the strategy releases the task via
-// WorkerInactive, and the worker's HIT accounting is abandoned. It returns
-// the reclaimed workers, sorted. Workers whose log append fails are left
-// held and retried on the next sweep.
+// deadline stamps a new lease deadline under the server lock. Handlers call
+// it before taking any project lock, so s.mu never nests inside p.mu.
+func (s *Server) deadline() time.Time {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.deadlineLocked()
+}
+
+// SweepExpired reclaims, across every project, each assignment whose lease
+// deadline has passed: the departure is logged (write-ahead), the strategy
+// releases the task via WorkerInactive, and the worker's HIT accounting is
+// abandoned. It returns the reclaimed workers, sorted per project (workers
+// from named projects are prefixed "id/"). Workers whose log append fails
+// are left held and retried on the next sweep.
 func (s *Server) SweepExpired() []string {
 	s.mu.Lock()
-	if s.lease <= 0 {
-		s.mu.Unlock()
+	enabled := s.lease > 0
+	s.mu.Unlock()
+	if !enabled {
 		return nil
 	}
-	now := s.now()
+	var reclaimed []string
+	for _, p := range s.snapshotProjects() {
+		for _, w := range s.sweepProject(p) {
+			if p.id == store.DefaultProject {
+				reclaimed = append(reclaimed, w)
+			} else {
+				reclaimed = append(reclaimed, p.id+"/"+w)
+			}
+		}
+	}
+	return reclaimed
+}
+
+// sweepProject reclaims one project's expired leases (see SweepExpired).
+func (s *Server) sweepProject(p *project) []string {
+	now := s.clockNow()
 	var expired []string
-	for w, h := range s.held {
+	p.mu.Lock()
+	for w, h := range p.held {
 		if !h.Deadline.IsZero() && now.After(h.Deadline) {
 			expired = append(expired, w)
 		}
 	}
-	s.mu.Unlock()
+	p.mu.Unlock()
 	sort.Strings(expired)
 	var reclaimed []string
 	for _, w := range expired {
-		wl := s.lockWorker(w)
+		wl := s.lockWorker(p, w)
 		// Re-check under the worker stripe: the lease may have been renewed
 		// by a redelivery, or the task submitted, since the scan above.
-		s.mu.Lock()
-		h, ok := s.held[w]
-		stillExpired := ok && !h.Deadline.IsZero() && s.now().After(h.Deadline)
-		l := s.log
-		s.mu.Unlock()
+		now = s.clockNow()
+		p.mu.Lock()
+		h, ok := p.held[w]
+		stillExpired := ok && !h.Deadline.IsZero() && now.After(h.Deadline)
+		p.mu.Unlock()
 		if !stillExpired {
 			wl.Unlock()
 			continue
 		}
 		var logErr error
-		s.withLogOrder(l, func() {
-			if l != nil {
-				if e := l.AppendInactive(w); e != nil {
+		p.withLogOrder(func() {
+			if p.backend != nil {
+				if e := store.AppendInactive(p.backend, w); e != nil {
 					logErr = e
 					return
 				}
 			}
-			s.strategyLock()
-			s.st.WorkerInactive(w)
-			s.strategyUnlock()
+			p.strategyLock()
+			p.st.WorkerInactive(w)
+			p.strategyUnlock()
 		})
 		if logErr != nil {
 			s.obs.logFailures.Inc()
 			wl.Unlock()
 			continue // durability lost: keep the lease, retry next sweep
 		}
-		s.mu.Lock()
-		delete(s.held, w)
-		acct := s.acct
-		s.mu.Unlock()
+		p.mu.Lock()
+		delete(p.held, w)
+		acct := p.acct
+		p.pm.events(store.EventInactive)
+		p.pm.setPending(len(p.held))
+		p.mu.Unlock()
 		if acct != nil {
 			acct.OnInactive(w)
 		}
@@ -137,26 +165,33 @@ func (s *Server) StartSweeper(interval time.Duration) (stop func()) {
 	return func() { once.Do(func() { close(done) }) }
 }
 
-// Restore rebuilds the server's fault-tolerance bookkeeping (held
+// Restore rebuilds the default project's fault-tolerance bookkeeping (held
 // assignments, known workers, and the submit idempotency index) from a
 // replayed event history. Call it after store.Replay has rebuilt the
 // strategy, with the same events. Outstanding assignments get a fresh
 // lease from now.
 func (s *Server) Restore(events []store.Event) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.def.restore(events, s.deadline())
+}
+
+// restore is the per-project body of Server.Restore; dl is the fresh lease
+// deadline to stamp on outstanding assignments.
+func (p *project) restore(events []store.Event, dl time.Time) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	for _, e := range events {
 		switch e.Kind {
 		case store.EventAssign:
-			s.seen[e.Worker] = true
-			s.held[e.Worker] = heldTask{Task: e.Task, Deadline: s.deadlineLocked()}
+			p.seen[e.Worker] = true
+			p.held[e.Worker] = heldTask{Task: e.Task, Deadline: dl}
 		case store.EventSubmit:
-			s.seen[e.Worker] = true
-			delete(s.held, e.Worker)
-			s.markAcceptedLocked(e.Worker, e.Task, e.Answer)
+			p.seen[e.Worker] = true
+			delete(p.held, e.Worker)
+			p.markAcceptedLocked(e.Worker, e.Task, e.Answer)
 		case store.EventInactive:
-			s.seen[e.Worker] = true
-			delete(s.held, e.Worker)
+			p.seen[e.Worker] = true
+			delete(p.held, e.Worker)
 		}
 	}
+	p.pm.setPending(len(p.held))
 }

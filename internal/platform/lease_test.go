@@ -28,14 +28,13 @@ func newLeaseServer(t *testing.T) (*Server, *httptest.Server, *fakeClock, string
 		t.Fatal(err)
 	}
 	logPath := filepath.Join(t.TempDir(), "events.jsonl")
-	l, err := store.Open(logPath)
+	l, _, err := store.Open(logPath)
 	if err != nil {
 		t.Fatal(err)
 	}
 	t.Cleanup(func() { l.Close() })
 	clk := &fakeClock{t: time.Unix(1000, 0)}
-	so := NewServer(st, ds)
-	so.SetLog(l)
+	so := NewServer(st, ds, WithBackend(l))
 	so.SetLease(time.Minute)
 	so.SetClock(clk.now)
 	srv := httptest.NewServer(so.Handler())
@@ -165,12 +164,11 @@ func TestRestoreRebuildsDedupAndLeases(t *testing.T) {
 	ds := task.ProductMatching()
 	st1, _ := baseline.NewRandomMV(ds, 3, nil, 5)
 	logPath := filepath.Join(t.TempDir(), "ev.jsonl")
-	l, err := store.Open(logPath)
+	l, _, err := store.Open(logPath)
 	if err != nil {
 		t.Fatal(err)
 	}
-	so1 := NewServer(st1, ds)
-	so1.SetLog(l)
+	so1 := NewServer(st1, ds, WithBackend(l))
 	srv1 := httptest.NewServer(so1.Handler())
 	c := &Client{BaseURL: srv1.URL}
 	resA, _ := c.Assign(context.Background(), "a")

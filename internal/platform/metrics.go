@@ -8,12 +8,13 @@ import (
 	"time"
 
 	"icrowd/internal/obsv"
+	"icrowd/internal/store"
 )
 
-// endpointNames are the five canonical v1 endpoints; metrics for each are
-// pre-registered so a scrape sees every series from the first request on,
-// zeros included.
-var endpointNames = []string{"assign", "submit", "inactive", "status", "results"}
+// endpointNames are the canonical v1 endpoints ("projects" covers the
+// project list/create routes); metrics for each are pre-registered so a
+// scrape sees every series from the first request on, zeros included.
+var endpointNames = []string{"assign", "submit", "inactive", "status", "results", "projects"}
 
 // statusClasses are the response-class labels of
 // icrowd_http_responses_total, indexed by status/100 - 2.
@@ -96,6 +97,50 @@ func newServerMetrics(reg *obsv.Registry) *serverMetrics {
 	return m
 }
 
+// projectMetrics are the per-project instruments: event counters labelled
+// by project and kind, and the pending-assignments gauge. A nil registry
+// yields nil instruments (no-ops), same as serverMetrics.
+type projectMetrics struct {
+	assigns   *obsv.Counter
+	submits   *obsv.Counter
+	inactives *obsv.Counter
+	pending   *obsv.Gauge
+}
+
+func newProjectMetrics(reg *obsv.Registry, id string) *projectMetrics {
+	const help = "Events applied per project, by kind (accepted requests plus lease sweeps; replayed history excluded)."
+	return &projectMetrics{
+		assigns:   reg.Counter("icrowd_project_events_total", help, "project", id, "kind", "assign"),
+		submits:   reg.Counter("icrowd_project_events_total", help, "project", id, "kind", "submit"),
+		inactives: reg.Counter("icrowd_project_events_total", help, "project", id, "kind", "inactive"),
+		pending: reg.Gauge("icrowd_project_pending",
+			"Workers currently holding an assignment, per project.", "project", id),
+	}
+}
+
+// events counts one applied event of the given kind.
+func (pm *projectMetrics) events(kind store.EventKind) {
+	if pm == nil {
+		return
+	}
+	switch kind {
+	case store.EventAssign:
+		pm.assigns.Inc()
+	case store.EventSubmit:
+		pm.submits.Inc()
+	case store.EventInactive:
+		pm.inactives.Inc()
+	}
+}
+
+// setPending updates the project's pending-assignments gauge.
+func (pm *projectMetrics) setPending(n int) {
+	if pm == nil {
+		return
+	}
+	pm.pending.Set(float64(n))
+}
+
 // UseRegistry rebinds the server's metrics — and the probe counters behind
 // /v1/healthz and /v1/readyz — to reg (nil disables metrics entirely).
 // Call it before the server takes traffic; NewServer defaults to
@@ -105,6 +150,9 @@ func (s *Server) UseRegistry(reg *obsv.Registry) {
 	s.initHealth(reg)
 	if s.adm != nil {
 		s.adm.bind(s.obs)
+	}
+	for _, p := range s.snapshotProjects() {
+		p.pm = newProjectMetrics(reg, p.id)
 	}
 }
 
@@ -238,8 +286,14 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 // request's context, so the line carries the request_id of the active span
 // — instead of being silently discarded.
 func (s *Server) writeJSON(r *http.Request, w http.ResponseWriter, v interface{}) {
+	s.writeJSONStatus(r, w, http.StatusOK, v)
+}
+
+// writeJSONStatus is writeJSON with a caller-chosen success status (the
+// project-create handler answers 201).
+func (s *Server) writeJSONStatus(r *http.Request, w http.ResponseWriter, status int, v interface{}) {
 	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(http.StatusOK)
+	w.WriteHeader(status)
 	if err := json.NewEncoder(w).Encode(v); err != nil {
 		s.obs.encodeErrors.Inc()
 		s.logger.LogAttrs(r.Context(), slog.LevelError, "encoding response failed",

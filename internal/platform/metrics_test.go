@@ -17,14 +17,14 @@ import (
 // newMetricsServer builds a server with its own isolated registry so
 // counter assertions are not polluted by other tests sharing the process
 // default registry.
-func newMetricsServer(t *testing.T) (*httptest.Server, *Server, *obsv.Registry) {
+func newMetricsServer(t *testing.T, opts ...ServerOption) (*httptest.Server, *Server, *obsv.Registry) {
 	t.Helper()
 	ds := task.ProductMatching()
 	st, err := baseline.NewRandomMV(ds, 3, nil, 11)
 	if err != nil {
 		t.Fatal(err)
 	}
-	s := NewServer(st, ds)
+	s := NewServer(st, ds, opts...)
 	reg := obsv.NewRegistry()
 	s.UseRegistry(reg)
 	srv := httptest.NewServer(s.Handler())

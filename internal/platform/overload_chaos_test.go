@@ -63,12 +63,11 @@ func TestChaosOverloadBurst(t *testing.T) {
 	}
 	st := &slowStrategy{Strategy: rmv, d: 2 * time.Millisecond}
 	logPath := filepath.Join(t.TempDir(), "events.jsonl")
-	l, err := store.Open(logPath)
+	l, _, err := store.Open(logPath)
 	if err != nil {
 		t.Fatal(err)
 	}
-	so := NewServer(st, ds)
-	so.SetLog(l)
+	so := NewServer(st, ds, WithBackend(l))
 	// Leases are on (with the sweeper running, as in production) but far
 	// longer than the test, so any no_pending 409 would be a real lost
 	// lease, not scheduled reclamation.

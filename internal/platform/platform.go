@@ -67,6 +67,7 @@ import (
 	"log/slog"
 	"math/rand"
 	"net/http"
+	"sort"
 	"sync"
 	"time"
 
@@ -152,44 +153,41 @@ type heldTask struct {
 // requests for different workers almost always proceed in parallel.
 const workerStripes = 64
 
-// Server exposes a core.Strategy over HTTP.
+// Server exposes one or more projects — each a core.Strategy with its own
+// durable backend, lease state and idempotency bookkeeping — over HTTP.
+// The default project answers the classic /v1/* (and legacy unversioned)
+// routes; named projects are served under /v1/projects/{id}/* (see
+// project.go).
 //
 // Locking: per-worker request handling is serialized through the workers
-// stripe (lock order: worker stripe -> mu). Strategy calls are direct when
-// the strategy advertises ConcurrencySafe() == true, and serialized behind
-// stMu otherwise. mu guards only the server's own bookkeeping maps and is
-// never held across a strategy call or a log append.
+// stripe, keyed by (project, worker). Strategy calls are direct when a
+// project's strategy advertises ConcurrencySafe() == true, and serialized
+// behind the project's stMu otherwise. Each project's mu guards only its
+// own bookkeeping maps and is never held across a strategy call or a
+// backend append; the server's mu guards the shared clock and lease
+// configuration and never nests inside a project lock.
 type Server struct {
-	st       core.Strategy
-	ds       *task.Dataset
-	concSafe bool
+	ds *task.Dataset
 
-	// stMu serializes strategy calls for strategies that are not
-	// concurrency-safe (the single-threaded baselines).
-	stMu sync.Mutex
-	// logMu serializes the (strategy mutation, log append) pair whenever a
-	// durable log is attached, so the log's event order always matches the
-	// order the mutations were applied — the invariant store.Replay needs
-	// to reconstruct the exact live state. Without a log there is no order
-	// to preserve and mutations from different workers run in parallel.
-	logMu sync.Mutex
-	// workers stripes the per-worker critical sections.
+	// def is the default project — always present, always routed.
+	def *project
+	// pmu guards the projects map; the map only grows.
+	pmu      sync.RWMutex
+	projects map[string]*project
+	// createMu serializes project creation/resume so a project is opened,
+	// replayed and registered exactly once.
+	createMu sync.Mutex
+	// pstore and factory enable named projects (EnableProjects): the store
+	// supplies per-project backends, the factory fresh strategy instances.
+	pstore  *store.ProjectStore
+	factory StrategyFactory
+
+	// workers stripes the per-(project, worker) critical sections.
 	workers [workerStripes]sync.Mutex
 
-	mu   sync.Mutex // guards the fields below
-	log  *store.Log
-	acct *Accounting
-
+	mu    sync.Mutex // guards the fields below
 	lease time.Duration
 	now   func() time.Time
-	// held mirrors the strategy's pending assignments so the server can
-	// redeliver idempotently, validate submits cheaply, and sweep leases.
-	held map[string]heldTask
-	// seen records every worker that has ever been assigned a task.
-	seen map[string]bool
-	// accepted records acknowledged submits per worker and task (the
-	// idempotency index): worker -> task -> answer.
-	accepted map[string]map[int]string
 
 	// sweepEvery is the interval the running lease sweeper was started
 	// with (zero when no sweeper runs); the readiness probe uses it to
@@ -218,25 +216,151 @@ type Server struct {
 	pprof  bool
 }
 
-// NewServer wraps the strategy and its dataset. Strategies implementing
-// ConcurrencySafe() true are called concurrently; everything else keeps the
-// seed's fully-serialized behaviour.
-func NewServer(st core.Strategy, ds *task.Dataset) *Server {
-	cs, ok := st.(interface{ ConcurrencySafe() bool })
+// project is one served project: a strategy plus everything the server
+// tracks around it. The default project and every named project are the
+// same type driven by the same handlers, which is what keeps the legacy
+// single-project routes byte-identical to the project-scoped ones.
+type project struct {
+	id string
+	st core.Strategy
+	// concSafe caches the strategy's ConcurrencySafe marker.
+	concSafe bool
+	// backend, when non-nil, is the project's durable event store. It is
+	// bound at construction (WithBackend, EnableProjects/CreateProject)
+	// and immutable afterwards — there is no live swap.
+	backend store.Backend
+
+	// stMu serializes strategy calls for strategies that are not
+	// concurrency-safe (the single-threaded baselines).
+	stMu sync.Mutex
+	// logMu serializes the (strategy mutation, backend append) pair
+	// whenever a backend is bound, so the event order always matches the
+	// order the mutations were applied — the invariant store.Replay needs
+	// to reconstruct the exact live state. Without a backend there is no
+	// order to preserve and mutations from different workers run in
+	// parallel.
+	logMu sync.Mutex
+
+	mu   sync.Mutex // guards the fields below
+	acct *Accounting
+	// held mirrors the strategy's pending assignments so the server can
+	// redeliver idempotently, validate submits cheaply, and sweep leases.
+	held map[string]heldTask
+	// seen records every worker that has ever been assigned a task.
+	seen map[string]bool
+	// accepted records acknowledged submits per worker and task (the
+	// idempotency index): worker -> task -> answer.
+	accepted map[string]map[int]string
+
+	// pm holds the project-labelled instruments (metrics.go).
+	pm *projectMetrics
+}
+
+// ServerOption configures a Server at construction, matching core.New's
+// functional-options style.
+type ServerOption func(*Server)
+
+// WithBackend binds the default project's durable event store at
+// construction: every assignment, submission and worker departure is
+// appended, so a restarted server can rebuild its state with store.Replay
+// over a fresh strategy. Binding at construction (rather than a mutable
+// setter) means the backend reference is immutable once the server takes
+// traffic — there is no swap-a-log race surface.
+func WithBackend(b store.Backend) ServerOption {
+	return func(s *Server) { s.def.backend = b }
+}
+
+// WithAccounting enables HIT batching and payment tracking for the default
+// project at construction (equivalent to SetAccounting).
+func WithAccounting(a *Accounting) ServerOption {
+	return func(s *Server) { s.def.acct = a }
+}
+
+// StrategyFactory builds a fresh strategy instance for a named project.
+// It MUST be deterministic per project id — resume replays the project's
+// event log through a freshly built strategy, which only reconstructs the
+// same state when the factory rebuilds the same strategy.
+type StrategyFactory func(projectID string) (core.Strategy, error)
+
+// NewServer wraps the strategy and its dataset as the default project.
+// Strategies implementing ConcurrencySafe() true are called concurrently;
+// everything else keeps the seed's fully-serialized behaviour.
+func NewServer(st core.Strategy, ds *task.Dataset, opts ...ServerOption) *Server {
 	s := &Server{
-		st:       st,
-		ds:       ds,
-		concSafe: ok && cs.ConcurrencySafe(),
-		now:      time.Now,
-		held:     map[string]heldTask{},
-		seen:     map[string]bool{},
-		accepted: map[string]map[int]string{},
-		obs:      newServerMetrics(obsv.Default()),
-		tracer:   obsv.NewTracer(0),
-		logger:   defaultLogger(),
+		ds:     ds,
+		now:    time.Now,
+		obs:    newServerMetrics(obsv.Default()),
+		tracer: obsv.NewTracer(0),
+		logger: defaultLogger(),
+	}
+	s.def = s.newProject(store.DefaultProject, st)
+	s.projects = map[string]*project{store.DefaultProject: s.def}
+	for _, o := range opts {
+		o(s)
 	}
 	s.initHealth(obsv.Default())
 	return s
+}
+
+// newProject builds the bookkeeping shell around a strategy.
+func (s *Server) newProject(id string, st core.Strategy) *project {
+	cs, ok := st.(interface{ ConcurrencySafe() bool })
+	return &project{
+		id:       id,
+		st:       st,
+		concSafe: ok && cs.ConcurrencySafe(),
+		held:     map[string]heldTask{},
+		seen:     map[string]bool{},
+		accepted: map[string]map[int]string{},
+		pm:       newProjectMetrics(s.obs.reg, id),
+	}
+}
+
+// lookup returns the named project, or nil.
+func (s *Server) lookup(id string) *project {
+	s.pmu.RLock()
+	defer s.pmu.RUnlock()
+	return s.projects[id]
+}
+
+// snapshotProjects returns the current projects, default first, the rest
+// sorted by id (a stable order for sweeps and health checks).
+func (s *Server) snapshotProjects() []*project {
+	s.pmu.RLock()
+	defer s.pmu.RUnlock()
+	out := make([]*project, 0, len(s.projects))
+	out = append(out, s.def)
+	ids := make([]string, 0, len(s.projects))
+	for id := range s.projects {
+		if id != s.def.id {
+			ids = append(ids, id)
+		}
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		out = append(out, s.projects[id])
+	}
+	return out
+}
+
+// Close closes every project backend (and the project store, when one is
+// attached). Call after the HTTP server has drained.
+func (s *Server) Close() error {
+	var first error
+	if s.pstore != nil {
+		// The store owns every backend it opened, including any it handed
+		// to projects; closing it closes them all (idempotently).
+		first = s.pstore.Close()
+	}
+	for _, p := range s.snapshotProjects() {
+		if p.backend == nil {
+			continue
+		}
+		if err := p.backend.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
 }
 
 // defaultLogger matches the stdlib logger's historical behaviour —
@@ -250,10 +374,12 @@ func defaultLogger() *slog.Logger {
 	return l
 }
 
-// lockWorker acquires the stripe serializing this worker's requests and
-// returns it for the caller to unlock.
-func (s *Server) lockWorker(worker string) *sync.Mutex {
+// lockWorker acquires the stripe serializing this (project, worker)'s
+// requests and returns it for the caller to unlock.
+func (s *Server) lockWorker(p *project, worker string) *sync.Mutex {
 	h := fnv.New32a()
+	io.WriteString(h, p.id)
+	h.Write([]byte{0})
 	io.WriteString(h, worker)
 	m := &s.workers[h.Sum32()%workerStripes]
 	m.Lock()
@@ -262,16 +388,27 @@ func (s *Server) lockWorker(worker string) *sync.Mutex {
 
 // strategyLock serializes strategy calls for non-concurrency-safe
 // strategies (no-op for core.ICrowd, which locks internally).
-func (s *Server) strategyLock() {
-	if !s.concSafe {
-		s.stMu.Lock()
+func (p *project) strategyLock() {
+	if !p.concSafe {
+		p.stMu.Lock()
 	}
 }
 
-func (s *Server) strategyUnlock() {
-	if !s.concSafe {
-		s.stMu.Unlock()
+func (p *project) strategyUnlock() {
+	if !p.concSafe {
+		p.stMu.Unlock()
 	}
+}
+
+// withLogOrder runs fn under the project's logMu when a backend is bound,
+// keeping strategy mutations and their logged events in one total order
+// for replay.
+func (p *project) withLogOrder(fn func()) {
+	if p.backend != nil {
+		p.logMu.Lock()
+		defer p.logMu.Unlock()
+	}
+	fn()
 }
 
 // SetAdmission enables overload protection on the write endpoints
@@ -383,39 +520,12 @@ func (s *Server) allowWorker(r *http.Request, w http.ResponseWriter, worker stri
 	return false
 }
 
-// SetLog attaches a durable event log: every assignment, submission and
-// worker departure is appended, so a restarted server can rebuild its
-// state with store.Replay over a fresh strategy.
-func (s *Server) SetLog(l *store.Log) {
-	s.mu.Lock()
-	s.log = l
-	s.mu.Unlock()
-}
-
-// SetAccounting enables HIT batching and payment tracking (Section 6.1).
+// SetAccounting enables HIT batching and payment tracking (Section 6.1)
+// for the default project.
 func (s *Server) SetAccounting(a *Accounting) {
-	s.mu.Lock()
-	s.acct = a
-	s.mu.Unlock()
-}
-
-// getLog reads the attached log under the lock (Log itself is
-// internally synchronized).
-func (s *Server) getLog() *store.Log {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.log
-}
-
-// withLogOrder runs fn under logMu when a log is attached (l is the
-// caller's snapshot), keeping strategy mutations and their log events in
-// one total order for replay.
-func (s *Server) withLogOrder(l *store.Log, fn func()) {
-	if l != nil {
-		s.logMu.Lock()
-		defer s.logMu.Unlock()
-	}
-	fn()
+	s.def.mu.Lock()
+	s.def.acct = a
+	s.def.mu.Unlock()
 }
 
 // Handler returns the HTTP routes: every endpoint under the canonical /v1
@@ -431,20 +541,34 @@ func (s *Server) Handler() http.Handler {
 	// sections, so they pass through the admission gate; the reads stay
 	// ungated (see admitted).
 	writeEndpoints := map[string]bool{"assign": true, "submit": true, "inactive": true}
-	for name, h := range map[string]http.HandlerFunc{
+	for name, ph := range map[string]projectHandler{
 		"assign":   s.handleAssign,
 		"submit":   s.handleSubmit,
 		"inactive": s.handleInactive,
 		"status":   s.handleStatus,
 		"results":  s.handleResults,
 	} {
+		// Single-project mounts: /v1/<name> and the legacy unversioned
+		// alias both serve the default project through the same wrapped
+		// handler, so the alias stays byte-identical to /v1.
+		h := s.bindProject(s.def, ph)
 		if writeEndpoints[name] {
 			h = s.admitted(h)
 		}
 		wrapped := s.instrument(name, h)
 		mux.HandleFunc("/v1/"+name, wrapped)
 		mux.HandleFunc("/"+name, wrapped) // legacy unversioned alias
+
+		// Project-scoped mount: the same handler resolved against the
+		// path's {project}, 404 (typed "project_not_found") when unknown.
+		p := s.withProject(ph)
+		if writeEndpoints[name] {
+			p = s.admitted(p)
+		}
+		mux.HandleFunc("/v1/projects/{project}/"+name, s.instrument(name, p))
 	}
+	mux.HandleFunc("/v1/projects", s.instrument("projects", s.handleProjectList))
+	mux.HandleFunc("/v1/projects/{project}", s.instrument("projects", s.handleProjectRoot))
 	mux.HandleFunc("/v1/metrics", s.handleMetrics)
 	mux.HandleFunc("/v1/trace", s.handleTrace)
 	mux.Handle("/v1/healthz", s.health.LivenessHandler())
@@ -456,13 +580,37 @@ func (s *Server) Handler() http.Handler {
 	return mux
 }
 
+// projectHandler is an endpoint handler parameterized by the project it
+// operates on — the same function serves the default mounts and every
+// /v1/projects/{id}/ mount.
+type projectHandler func(p *project, w http.ResponseWriter, r *http.Request)
+
+// bindProject fixes a projectHandler to one project.
+func (s *Server) bindProject(p *project, ph projectHandler) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) { ph(p, w, r) }
+}
+
+// withProject resolves {project} from the request path and dispatches, or
+// answers a typed 404 when the project does not exist.
+func (s *Server) withProject(ph projectHandler) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		id := r.PathValue("project")
+		p := s.lookup(id)
+		if p == nil {
+			s.writeError(r, w, http.StatusNotFound, CodeProjectNotFound, "no such project: "+id)
+			return
+		}
+		ph(p, w, r)
+	}
+}
+
 // handleNotFound is the fallback for unknown paths: a typed JSON envelope
 // instead of net/http's plain-text 404.
 func (s *Server) handleNotFound(w http.ResponseWriter, r *http.Request) {
 	s.writeError(r, w, http.StatusNotFound, CodeNotFound, "no such endpoint: "+r.URL.Path)
 }
 
-func (s *Server) handleAssign(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleAssign(p *project, w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		s.writeError(r, w, http.StatusMethodNotAllowed, CodeMethodNotAllowed, "method not allowed")
 		return
@@ -475,17 +623,20 @@ func (s *Server) handleAssign(w http.ResponseWriter, r *http.Request) {
 	if !s.allowWorker(r, w, worker) {
 		return
 	}
-	wl := s.lockWorker(worker)
+	wl := s.lockWorker(p, worker)
 	defer wl.Unlock()
-	s.mu.Lock()
-	if h, ok := s.held[worker]; ok {
+	// The lease deadline comes from the server clock (s.mu); compute it
+	// before taking p.mu so the two locks never nest.
+	dl := s.deadline()
+	p.mu.Lock()
+	if h, ok := p.held[worker]; ok {
 		// Idempotent redelivery: the worker already holds a task (their
 		// original /assign response may have been lost). Renew the lease,
 		// return the same task, log nothing.
-		h.Deadline = s.deadlineLocked()
-		s.held[worker] = h
-		acct := s.acct
-		s.mu.Unlock()
+		h.Deadline = dl
+		p.held[worker] = h
+		acct := p.acct
+		p.mu.Unlock()
 		s.obs.redelivered.Inc()
 		resp := AssignResponse{Assigned: true, TaskID: h.Task, Text: s.ds.Tasks[h.Task].Text, Redelivered: true}
 		if acct != nil {
@@ -494,36 +645,35 @@ func (s *Server) handleAssign(w http.ResponseWriter, r *http.Request) {
 		s.writeJSON(r, w, resp)
 		return
 	}
-	s.mu.Unlock()
+	p.mu.Unlock()
 	var (
 		tid      int
 		assigned bool
 		done     bool
 		logErr   error
 	)
-	l := s.getLog()
-	s.withLogOrder(l, func() {
-		s.strategyLock()
-		if s.st.Done() {
-			s.strategyUnlock()
+	p.withLogOrder(func() {
+		p.strategyLock()
+		if p.st.Done() {
+			p.strategyUnlock()
 			done = true
 			return
 		}
 		var ok bool
-		tid, ok = s.st.RequestTask(worker)
+		tid, ok = p.st.RequestTask(worker)
 		if !ok {
-			done = s.st.Done()
-			s.strategyUnlock()
+			done = p.st.Done()
+			p.strategyUnlock()
 			return
 		}
-		s.strategyUnlock()
-		if l != nil {
-			if err := l.AppendAssign(worker, tid); err != nil {
+		p.strategyUnlock()
+		if p.backend != nil {
+			if err := store.AppendAssign(p.backend, worker, tid); err != nil {
 				// Roll the uncommitted assignment back so the strategy and
 				// the log stay consistent, then report lost durability.
-				s.strategyLock()
-				s.st.WorkerInactive(worker)
-				s.strategyUnlock()
+				p.strategyLock()
+				p.st.WorkerInactive(worker)
+				p.strategyUnlock()
 				logErr = err
 				return
 			}
@@ -539,11 +689,13 @@ func (s *Server) handleAssign(w http.ResponseWriter, r *http.Request) {
 		s.writeJSON(r, w, AssignResponse{Done: done})
 		return
 	}
-	s.mu.Lock()
-	s.seen[worker] = true
-	s.held[worker] = heldTask{Task: tid, Deadline: s.deadlineLocked()}
-	acct := s.acct
-	s.mu.Unlock()
+	p.mu.Lock()
+	p.seen[worker] = true
+	p.held[worker] = heldTask{Task: tid, Deadline: dl}
+	acct := p.acct
+	p.pm.events(store.EventAssign)
+	p.pm.setPending(len(p.held))
+	p.mu.Unlock()
 	resp := AssignResponse{Assigned: true, TaskID: tid, Text: s.ds.Tasks[tid].Text}
 	if acct != nil {
 		resp.HITRemaining = acct.OnAssign(worker)
@@ -551,7 +703,7 @@ func (s *Server) handleAssign(w http.ResponseWriter, r *http.Request) {
 	s.writeJSON(r, w, resp)
 }
 
-func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleSubmit(p *project, w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		s.writeError(r, w, http.StatusMethodNotAllowed, CodeMethodNotAllowed, "method not allowed")
 		return
@@ -573,11 +725,11 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if !s.allowWorker(r, w, req.WorkerID) {
 		return
 	}
-	wl := s.lockWorker(req.WorkerID)
+	wl := s.lockWorker(p, req.WorkerID)
 	defer wl.Unlock()
-	s.mu.Lock()
-	if _, dup := s.accepted[req.WorkerID][req.TaskID]; dup {
-		s.mu.Unlock()
+	p.mu.Lock()
+	if _, dup := p.accepted[req.WorkerID][req.TaskID]; dup {
+		p.mu.Unlock()
 		// Idempotent acknowledgement: this (worker, task) was already
 		// counted; a retried submit must not double-count into consensus
 		// or accuracy estimates.
@@ -585,8 +737,8 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		s.writeJSON(r, w, SubmitResponse{Accepted: true, Duplicate: true})
 		return
 	}
-	h, holds := s.held[req.WorkerID]
-	s.mu.Unlock()
+	h, holds := p.held[req.WorkerID]
+	p.mu.Unlock()
 	if !holds || h.Task != req.TaskID {
 		s.writeError(r, w, http.StatusConflict, CodeNoPending,
 			"worker does not hold this task (never assigned, or the lease expired)")
@@ -595,17 +747,16 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	// Write-ahead: the submit is durable before it mutates the strategy,
 	// so a replayed log never contains an un-applied suffix.
 	var logErr error
-	l := s.getLog()
-	s.withLogOrder(l, func() {
-		if l != nil {
-			if e := l.AppendSubmit(req.WorkerID, req.TaskID, ans); e != nil {
+	p.withLogOrder(func() {
+		if p.backend != nil {
+			if e := store.AppendSubmit(p.backend, req.WorkerID, req.TaskID, ans); e != nil {
 				logErr = e
 				return
 			}
 		}
-		s.strategyLock()
-		err = s.st.SubmitAnswer(req.WorkerID, req.TaskID, ans)
-		s.strategyUnlock()
+		p.strategyLock()
+		err = p.st.SubmitAnswer(req.WorkerID, req.TaskID, ans)
+		p.strategyUnlock()
 	})
 	if logErr != nil {
 		s.obs.logFailures.Inc()
@@ -618,22 +769,24 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		s.writeError(r, w, http.StatusInternalServerError, CodeInternal, err.Error())
 		return
 	}
-	s.mu.Lock()
-	delete(s.held, req.WorkerID)
-	s.markAcceptedLocked(req.WorkerID, req.TaskID, ans.String())
-	acct := s.acct
-	s.mu.Unlock()
+	p.mu.Lock()
+	delete(p.held, req.WorkerID)
+	p.markAcceptedLocked(req.WorkerID, req.TaskID, ans.String())
+	acct := p.acct
+	p.pm.events(store.EventSubmit)
+	p.pm.setPending(len(p.held))
+	p.mu.Unlock()
 	if acct != nil {
 		acct.OnSubmit()
 	}
 	s.writeJSON(r, w, SubmitResponse{Accepted: true})
 }
 
-func (s *Server) markAcceptedLocked(worker string, taskID int, answer string) {
-	m, ok := s.accepted[worker]
+func (p *project) markAcceptedLocked(worker string, taskID int, answer string) {
+	m, ok := p.accepted[worker]
 	if !ok {
 		m = map[int]string{}
-		s.accepted[worker] = m
+		p.accepted[worker] = m
 	}
 	m[taskID] = answer
 }
@@ -641,7 +794,7 @@ func (s *Server) markAcceptedLocked(worker string, taskID int, answer string) {
 // handleInactive implements POST /v1/inactive: AMT signals that a worker
 // returned or abandoned their HIT; the strategy releases the assignment.
 // The worker may be named via the workerId query parameter or a JSON body.
-func (s *Server) handleInactive(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleInactive(p *project, w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		s.writeError(r, w, http.StatusMethodNotAllowed, CodeMethodNotAllowed, "method not allowed")
 		return
@@ -661,11 +814,11 @@ func (s *Server) handleInactive(w http.ResponseWriter, r *http.Request) {
 	if !s.allowWorker(r, w, worker) {
 		return
 	}
-	wl := s.lockWorker(worker)
+	wl := s.lockWorker(p, worker)
 	defer wl.Unlock()
-	s.mu.Lock()
-	known := s.seen[worker]
-	s.mu.Unlock()
+	p.mu.Lock()
+	known := p.seen[worker]
+	p.mu.Unlock()
 	if !known {
 		s.writeError(r, w, http.StatusBadRequest, CodeUnknownWorker,
 			"worker "+worker+" has never been assigned a task")
@@ -673,53 +826,54 @@ func (s *Server) handleInactive(w http.ResponseWriter, r *http.Request) {
 	}
 	// Write-ahead, as in handleSubmit.
 	var logErr error
-	l := s.getLog()
-	s.withLogOrder(l, func() {
-		if l != nil {
-			if e := l.AppendInactive(worker); e != nil {
+	p.withLogOrder(func() {
+		if p.backend != nil {
+			if e := store.AppendInactive(p.backend, worker); e != nil {
 				logErr = e
 				return
 			}
 		}
-		s.strategyLock()
-		s.st.WorkerInactive(worker)
-		s.strategyUnlock()
+		p.strategyLock()
+		p.st.WorkerInactive(worker)
+		p.strategyUnlock()
 	})
 	if logErr != nil {
 		s.obs.logFailures.Inc()
 		s.writeError(r, w, http.StatusServiceUnavailable, CodeLogWrite, logErr.Error())
 		return
 	}
-	s.mu.Lock()
-	delete(s.held, worker)
-	acct := s.acct
-	s.mu.Unlock()
+	p.mu.Lock()
+	delete(p.held, worker)
+	acct := p.acct
+	p.pm.events(store.EventInactive)
+	p.pm.setPending(len(p.held))
+	p.mu.Unlock()
 	if acct != nil {
 		acct.OnInactive(worker)
 	}
 	w.WriteHeader(http.StatusNoContent)
 }
 
-func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleStatus(p *project, w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		s.writeError(r, w, http.StatusMethodNotAllowed, CodeMethodNotAllowed, "method not allowed")
 		return
 	}
-	s.strategyLock()
-	results := s.st.Results()
-	name := s.st.Name()
-	done := s.st.Done()
-	s.strategyUnlock()
+	p.strategyLock()
+	results := p.st.Results()
+	name := p.st.Name()
+	done := p.st.Done()
+	p.strategyUnlock()
 	completed := 0
 	for _, a := range results {
 		if a != task.None {
 			completed++
 		}
 	}
-	s.mu.Lock()
-	pending := len(s.held)
-	acct := s.acct
-	s.mu.Unlock()
+	p.mu.Lock()
+	pending := len(p.held)
+	acct := p.acct
+	p.mu.Unlock()
 	resp := StatusResponse{
 		Strategy:  name,
 		Total:     s.ds.Len(),
@@ -735,14 +889,14 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 	s.writeJSON(r, w, resp)
 }
 
-func (s *Server) handleResults(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleResults(p *project, w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		s.writeError(r, w, http.StatusMethodNotAllowed, CodeMethodNotAllowed, "method not allowed")
 		return
 	}
-	s.strategyLock()
-	res := s.st.Results()
-	s.strategyUnlock()
+	p.strategyLock()
+	res := p.st.Results()
+	p.strategyUnlock()
 	out := ResultsResponse{Results: make(map[int]string, len(res))}
 	for t, a := range res {
 		out.Results[t] = a.String()
@@ -767,9 +921,11 @@ func parseAnswer(s string) (task.Answer, error) {
 }
 
 // WorkerAgent simulates one AMT worker hammering the server: request,
-// answer from the latent profile, submit, repeat.
+// answer from the latent profile, submit, repeat. Client may be a *Client
+// (default project) or a *ProjectClient (one named project) — the agent
+// drives whichever project its client is scoped to.
 type WorkerAgent struct {
-	Client  *Client
+	Client  ClientAPI
 	Profile *sim.Profile
 	Dataset *task.Dataset
 	Rng     *rand.Rand

@@ -25,12 +25,11 @@ func TestServerLogsAndRecovers(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	l, err := store.Open(path)
+	l, _, err := store.Open(path)
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv1obj := NewServer(st1, ds)
-	srv1obj.SetLog(l)
+	srv1obj := NewServer(st1, ds, WithBackend(l))
 	srv1 := httptest.NewServer(srv1obj.Handler())
 	c := &Client{BaseURL: srv1.URL}
 	var did []int
@@ -166,15 +165,16 @@ func TestEndToEndWithLogMatchesWithout(t *testing.T) {
 
 	run := func(withLog bool) map[int]string {
 		st, _ := baseline.NewRandomMV(ds, 3, nil, 7)
-		so := NewServer(st, ds)
+		var opts []ServerOption
 		if withLog {
-			l, err := store.Open(filepath.Join(t.TempDir(), "ev.jsonl"))
+			l, _, err := store.Open(filepath.Join(t.TempDir(), "ev.jsonl"))
 			if err != nil {
 				t.Fatal(err)
 			}
 			defer l.Close()
-			so.SetLog(l)
+			opts = append(opts, WithBackend(l))
 		}
+		so := NewServer(st, ds, opts...)
 		srv := httptest.NewServer(so.Handler())
 		defer srv.Close()
 		// Single worker agent stream keeps request order deterministic.

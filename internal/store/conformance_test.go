@@ -1,0 +1,324 @@
+package store
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sort"
+	"testing"
+
+	"icrowd/internal/task"
+)
+
+// The backend conformance suite: every Backend implementation must satisfy
+// the contracts documented on the interface. Each TestConformance* test
+// runs against every registered factory, so adding a backend means adding
+// one factory here and inheriting the whole suite.
+
+// backendFactory opens a backend of one kind inside dir.
+type backendFactory struct {
+	name string
+	// open opens (or reopens) the backend rooted in dir with extra options.
+	open func(t *testing.T, dir string, opts ...Option) (Backend, *RecoverInfo)
+	// tailFile returns the file whose tail is the crash-append surface (the
+	// log file, or the active segment of the indexed store).
+	tailFile func(t *testing.T, dir string) string
+}
+
+func conformanceFactories() []backendFactory {
+	return []backendFactory{
+		{
+			name: "log",
+			open: func(t *testing.T, dir string, opts ...Option) (Backend, *RecoverInfo) {
+				t.Helper()
+				b, info, err := Open(filepath.Join(dir, "events.log"), opts...)
+				if err != nil {
+					t.Fatalf("open log backend: %v", err)
+				}
+				return b, info
+			},
+			tailFile: func(t *testing.T, dir string) string {
+				return filepath.Join(dir, "events.log")
+			},
+		},
+		{
+			name: "indexed",
+			open: func(t *testing.T, dir string, opts ...Option) (Backend, *RecoverInfo) {
+				t.Helper()
+				all := append([]Option{WithBackendKind(BackendIndexed), WithSegmentEvents(8)}, opts...)
+				b, info, err := Open(dir, all...)
+				if err != nil {
+					t.Fatalf("open indexed backend: %v", err)
+				}
+				return b, info
+			},
+			tailFile: func(t *testing.T, dir string) string {
+				t.Helper()
+				ents, err := os.ReadDir(dir)
+				if err != nil {
+					t.Fatal(err)
+				}
+				var segs []string
+				for _, e := range ents {
+					if !e.IsDir() && filepath.Ext(e.Name()) == ".log" {
+						segs = append(segs, e.Name())
+					}
+				}
+				if len(segs) == 0 {
+					t.Fatal("indexed store has no segments")
+				}
+				sort.Strings(segs)
+				return filepath.Join(dir, segs[len(segs)-1])
+			},
+		},
+	}
+}
+
+// driveWorkload appends a deterministic mixed workload of n events.
+func driveWorkload(t *testing.T, b Backend, n int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		worker := fmt.Sprintf("w%d", i%5)
+		tid := i % 7
+		var err error
+		switch i % 3 {
+		case 0:
+			err = AppendAssign(b, worker, tid)
+		case 1:
+			ans := task.Yes
+			if i%2 == 0 {
+				ans = task.No
+			}
+			err = AppendSubmit(b, worker, tid, ans)
+		default:
+			err = AppendInactive(b, worker)
+		}
+		if err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+	}
+}
+
+// TestConformanceAppendReplayParity drives the identical workload into
+// every backend and demands bit-identical histories — from the live
+// backend, across a clean reopen, and between backend kinds.
+func TestConformanceAppendReplayParity(t *testing.T) {
+	const n = 50
+	var histories [][]Event
+	for _, f := range conformanceFactories() {
+		f := f
+		t.Run(f.name, func(t *testing.T) {
+			dir := t.TempDir()
+			b, info := f.open(t, dir)
+			if info == nil || len(info.Events) != 0 {
+				t.Fatalf("fresh open recovered %v", info)
+			}
+			driveWorkload(t, b, n)
+			live, err := b.Replay()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(live) != n {
+				t.Fatalf("live replay has %d events, want %d", len(live), n)
+			}
+			for i, e := range live {
+				if e.Seq != int64(i+1) {
+					t.Fatalf("event %d has seq %d, want contiguous from 1", i, e.Seq)
+				}
+			}
+			if err := b.Close(); err != nil {
+				t.Fatal(err)
+			}
+			if err := b.Close(); err != nil {
+				t.Fatalf("Close must be idempotent, got %v", err)
+			}
+			b2, info2 := f.open(t, dir)
+			defer b2.Close()
+			if !reflect.DeepEqual(info2.Events, live) {
+				t.Fatal("recovered history differs from the live history")
+			}
+			reopened, err := b2.Replay()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(reopened, live) {
+				t.Fatal("replay after reopen differs from the live history")
+			}
+			histories = append(histories, live)
+		})
+	}
+	if len(histories) == 2 && !reflect.DeepEqual(histories[0], histories[1]) {
+		t.Fatal("backends disagree on the history of the identical workload")
+	}
+}
+
+// TestConformanceTornTailRecovery simulates a crash mid-append: garbage at
+// the end of the newest file is truncated away, the valid prefix survives,
+// appends continue with the right sequence numbers, and the next reopen is
+// clean.
+func TestConformanceTornTailRecovery(t *testing.T) {
+	const n = 20
+	for _, f := range conformanceFactories() {
+		f := f
+		t.Run(f.name, func(t *testing.T) {
+			dir := t.TempDir()
+			b, _ := f.open(t, dir)
+			driveWorkload(t, b, n)
+			if err := b.Close(); err != nil {
+				t.Fatal(err)
+			}
+			// Crash mid-append: a partial frame lands at the tail.
+			tail := f.tailFile(t, dir)
+			fh, err := os.OpenFile(tail, os.O_APPEND|os.O_WRONLY, 0o644)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := fh.WriteString(`1234abcd {"seq":999,"kind":"assi`); err != nil {
+				t.Fatal(err)
+			}
+			fh.Close()
+
+			b2, info := f.open(t, dir)
+			if info.Tail == nil {
+				t.Fatal("reopen after torn append reported no Tail")
+			}
+			if len(info.Events) != n {
+				t.Fatalf("recovered %d events, want the %d-event valid prefix", len(info.Events), n)
+			}
+			// Appends continue with contiguous sequence numbers.
+			if err := AppendAssign(b2, "post-crash", 1); err != nil {
+				t.Fatal(err)
+			}
+			if got := b2.LastSeq(); got != n+1 {
+				t.Fatalf("LastSeq after repair+append = %d, want %d", got, n+1)
+			}
+			if err := b2.Close(); err != nil {
+				t.Fatal(err)
+			}
+			// The repair is durable: the next open is clean.
+			b3, info3 := f.open(t, dir)
+			defer b3.Close()
+			if info3.Tail != nil {
+				t.Fatalf("second reopen still reports a torn tail: %v", info3.Tail)
+			}
+			if len(info3.Events) != n+1 {
+				t.Fatalf("second reopen recovered %d events, want %d", len(info3.Events), n+1)
+			}
+		})
+	}
+}
+
+// TestConformanceSnapshotRoundTrip enables snapshotting, crosses the
+// compaction threshold, and demands the full history back after reopen.
+func TestConformanceSnapshotRoundTrip(t *testing.T) {
+	const n = 45 // crosses several 16-append snapshot intervals
+	for _, f := range conformanceFactories() {
+		f := f
+		t.Run(f.name, func(t *testing.T) {
+			dir := t.TempDir()
+			b, _ := f.open(t, dir, WithSnapshotEvery(16))
+			driveWorkload(t, b, n)
+			live, err := b.Replay()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := b.Close(); err != nil {
+				t.Fatal(err)
+			}
+			b2, info := f.open(t, dir, WithSnapshotEvery(16))
+			defer b2.Close()
+			if info.FromSnapshot == 0 {
+				t.Fatal("no events recovered from the snapshot despite crossing the interval")
+			}
+			if !reflect.DeepEqual(info.Events, live) {
+				t.Fatalf("snapshot round-trip lost history: recovered %d events, want %d",
+					len(info.Events), len(live))
+			}
+			if got := b2.LastSeq(); got != n {
+				t.Fatalf("LastSeq after snapshot round-trip = %d, want %d", got, n)
+			}
+			// An explicit snapshot is accepted and preserves the history too.
+			if err := b2.Snapshot(); err != nil {
+				t.Fatal(err)
+			}
+			again, err := b2.Replay()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(again, live) {
+				t.Fatal("explicit Snapshot changed the replayable history")
+			}
+		})
+	}
+}
+
+// TestConformanceIndexedLookupEquivalence pins the lookup contract: the
+// indexed views must return exactly what filtering a full replay returns.
+func TestConformanceIndexedLookupEquivalence(t *testing.T) {
+	const n = 60
+	for _, f := range conformanceFactories() {
+		f := f
+		t.Run(f.name, func(t *testing.T) {
+			dir := t.TempDir()
+			b, _ := f.open(t, dir)
+			defer b.Close()
+			driveWorkload(t, b, n)
+			all, err := b.Replay()
+			if err != nil {
+				t.Fatal(err)
+			}
+			for tid := 0; tid < 7; tid++ {
+				got, err := b.EventsByTask(tid)
+				if err != nil {
+					t.Fatal(err)
+				}
+				want := filterEvents(all, func(e Event) bool { return concernsTask(e, tid) })
+				if !reflect.DeepEqual(got, want) {
+					t.Fatalf("EventsByTask(%d) = %d events, filtered replay has %d", tid, len(got), len(want))
+				}
+			}
+			for i := 0; i < 5; i++ {
+				w := fmt.Sprintf("w%d", i)
+				got, err := b.EventsByWorker(w)
+				if err != nil {
+					t.Fatal(err)
+				}
+				want := filterEvents(all, func(e Event) bool { return e.Worker == w })
+				if !reflect.DeepEqual(got, want) {
+					t.Fatalf("EventsByWorker(%s) = %d events, filtered replay has %d", w, len(got), len(want))
+				}
+			}
+		})
+	}
+}
+
+// TestConformanceLastSeqAndHealth pins LastSeq across a reopen and the
+// Healthy contract on a fresh store.
+func TestConformanceLastSeqAndHealth(t *testing.T) {
+	for _, f := range conformanceFactories() {
+		f := f
+		t.Run(f.name, func(t *testing.T) {
+			dir := t.TempDir()
+			b, _ := f.open(t, dir)
+			if got := b.LastSeq(); got != 0 {
+				t.Fatalf("LastSeq on empty store = %d, want 0", got)
+			}
+			if err := b.Healthy(); err != nil {
+				t.Fatalf("fresh store unhealthy: %v", err)
+			}
+			driveWorkload(t, b, 10)
+			if got := b.LastSeq(); got != 10 {
+				t.Fatalf("LastSeq = %d, want 10", got)
+			}
+			if err := b.Close(); err != nil {
+				t.Fatal(err)
+			}
+			b2, _ := f.open(t, dir)
+			defer b2.Close()
+			if got := b2.LastSeq(); got != 10 {
+				t.Fatalf("LastSeq after reopen = %d, want 10", got)
+			}
+		})
+	}
+}

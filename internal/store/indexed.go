@@ -1,0 +1,406 @@
+package store
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// IndexedBackend is the embedded indexed implementation of Backend: a
+// directory of segmented CRC-framed log files plus an in-memory event
+// history with task/worker indexes, so Replay and the EventsBy* lookups
+// answer from memory instead of re-scanning the files.
+//
+// # Layout
+//
+// The store directory holds numbered segments ("seg-00000001.log", each a
+// CRC-framed JSON-lines file in exactly the Log format) and, when
+// snapshotting is enabled, a "snapshot.snap" file written atomically by
+// WriteSnapshot. Appends go to the highest-numbered segment; a new segment
+// is started every WithSegmentEvents events (default 4096), so no single
+// file grows without bound and recovery I/O is sequential over small
+// files.
+//
+// # Durability
+//
+// Only the active (highest-numbered) segment is ever appended to, so a
+// crash can tear only that file: recovery repairs its torn tail exactly
+// like the single-file log (longest valid prefix, damaged bytes preserved
+// in a ".corrupt" sibling). Damage to a sealed (non-final) segment means
+// bytes rotted at rest, which recovery refuses rather than silently
+// dropping the suffix. Snapshot+compaction writes the full history to
+// snapshot.snap and removes the sealed segments; the overlap and gap rules
+// match the single-file log (mergeHistory).
+type IndexedBackend struct {
+	mu  sync.Mutex
+	dir string
+	cfg config
+
+	active    *os.File // the segment being appended to
+	activeIdx int      // its number
+	activeLen int      // events written to it
+
+	next     int64
+	events   []Event
+	byTask   map[int][]int    // task id -> indexes into events
+	byWorker map[string][]int // worker -> indexes into events
+
+	sinceSync int
+	sinceSnap int
+	lastErr   error
+	snapErr   error
+}
+
+var _ Backend = (*IndexedBackend)(nil)
+
+// defaultSegmentEvents is the rotation threshold when WithSegmentEvents is
+// not given.
+const defaultSegmentEvents = 4096
+
+// indexedSnapshotName is the snapshot file inside an indexed store
+// directory.
+const indexedSnapshotName = "snapshot.snap"
+
+func segmentName(idx int) string { return fmt.Sprintf("seg-%08d.log", idx) }
+
+// segmentIndex parses a segment file name; ok is false for non-segment
+// entries.
+func segmentIndex(name string) (int, bool) {
+	if !strings.HasPrefix(name, "seg-") || !strings.HasSuffix(name, ".log") {
+		return 0, false
+	}
+	var idx int
+	if _, err := fmt.Sscanf(name, "seg-%08d.log", &idx); err != nil || idx < 1 {
+		return 0, false
+	}
+	if segmentName(idx) != name {
+		return 0, false
+	}
+	return idx, true
+}
+
+// openIndexed opens (creating if needed) the indexed store at dir and
+// recovers its history: snapshot first, then every segment in order, with
+// torn-tail repair on the active segment.
+func openIndexed(dir string, cfg config) (*IndexedBackend, *RecoverInfo, error) {
+	if cfg.segmentEvents <= 0 {
+		cfg.segmentEvents = defaultSegmentEvents
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, nil, err
+	}
+	snapPath := filepath.Join(dir, indexedSnapshotName)
+	var snap []Event
+	if s, err := ReadSnapshot(snapPath); err == nil {
+		snap = s
+	} else if !os.IsNotExist(err) {
+		return nil, nil, err
+	}
+	segs, err := listSegments(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	var segEvents []Event
+	var tail *Tail
+	activeLen := 0
+	for i, idx := range segs {
+		path := filepath.Join(dir, segmentName(idx))
+		events, t, err := scanFile(path)
+		if err != nil {
+			return nil, nil, err
+		}
+		if t != nil {
+			if i != len(segs)-1 {
+				// A sealed segment is never appended to, so a bad record
+				// here is rot, not a crash artifact: refuse rather than
+				// silently dropping every later segment.
+				return nil, nil, fmt.Errorf("store: sealed segment %s damaged: %s", path, t)
+			}
+			if err := preserveCorrupt(path, t.Offset); err != nil {
+				return nil, nil, err
+			}
+			if err := os.Truncate(path, t.Offset); err != nil {
+				return nil, nil, err
+			}
+			tail = t
+		}
+		segEvents = append(segEvents, events...)
+		if i == len(segs)-1 {
+			activeLen = len(events)
+		}
+	}
+	snapDesc := ""
+	if len(snap) > 0 {
+		snapDesc = snapPath
+	}
+	merged, err := mergeHistory(snap, segEvents, dir, snapDesc)
+	if err != nil {
+		return nil, nil, err
+	}
+	activeIdx := 1
+	if n := len(segs); n > 0 {
+		activeIdx = segs[n-1]
+	}
+	f, err := os.OpenFile(filepath.Join(dir, segmentName(activeIdx)), os.O_CREATE|os.O_RDWR|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, nil, err
+	}
+	b := &IndexedBackend{
+		dir:       dir,
+		cfg:       cfg,
+		active:    f,
+		activeIdx: activeIdx,
+		activeLen: activeLen,
+		next:      1,
+		byTask:    map[int][]int{},
+		byWorker:  map[string][]int{},
+	}
+	if n := len(merged); n > 0 {
+		b.next = merged[n-1].Seq + 1
+	}
+	for _, e := range merged {
+		b.indexLocked(e)
+	}
+	b.sinceSnap = len(segEvents)
+	info := &RecoverInfo{Events: append([]Event(nil), merged...), FromSnapshot: len(snap), Tail: tail}
+	return b, info, nil
+}
+
+// listSegments returns the segment numbers present in dir, ascending.
+func listSegments(dir string) ([]int, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var segs []int
+	for _, ent := range entries {
+		if ent.IsDir() {
+			continue
+		}
+		if idx, ok := segmentIndex(ent.Name()); ok {
+			segs = append(segs, idx)
+		}
+	}
+	sort.Ints(segs)
+	for i := 1; i < len(segs); i++ {
+		if segs[i] != segs[i-1]+1 {
+			return nil, fmt.Errorf("store: segment gap in %s: %s then %s",
+				dir, segmentName(segs[i-1]), segmentName(segs[i]))
+		}
+	}
+	return segs, nil
+}
+
+// indexLocked appends e to the in-memory history and indexes.
+func (b *IndexedBackend) indexLocked(e Event) {
+	i := len(b.events)
+	b.events = append(b.events, e)
+	if e.Kind == EventAssign || e.Kind == EventSubmit {
+		b.byTask[e.Task] = append(b.byTask[e.Task], i)
+	}
+	b.byWorker[e.Worker] = append(b.byWorker[e.Worker], i)
+}
+
+// Append implements Backend.
+func (b *IndexedBackend) Append(e Event) (Event, error) {
+	switch e.Kind {
+	case EventAssign, EventSubmit, EventInactive:
+	default:
+		return Event{}, fmt.Errorf("store: append: unknown kind %q", e.Kind)
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.active == nil {
+		b.lastErr = &WriteError{Op: "append", Path: b.dir, Err: os.ErrClosed}
+		return Event{}, b.lastErr
+	}
+	if b.activeLen >= b.cfg.segmentEvents {
+		if err := b.rotateLocked(); err != nil {
+			b.lastErr = err
+			return Event{}, err
+		}
+	}
+	e.Seq = b.next
+	payload, err := json.Marshal(e)
+	if err != nil {
+		b.lastErr = &WriteError{Op: "marshal", Path: b.active.Name(), Err: err}
+		return Event{}, b.lastErr
+	}
+	if _, err := b.active.Write(frameLine(payload)); err != nil {
+		b.lastErr = &WriteError{Op: "append", Path: b.active.Name(), Err: err}
+		return Event{}, b.lastErr
+	}
+	if b.cfg.syncEvery > 0 {
+		b.sinceSync++
+		if b.sinceSync >= b.cfg.syncEvery {
+			if err := b.active.Sync(); err != nil {
+				b.lastErr = &WriteError{Op: "sync", Path: b.active.Name(), Err: err}
+				return Event{}, b.lastErr
+			}
+			b.sinceSync = 0
+		}
+	}
+	b.next++
+	b.activeLen++
+	b.indexLocked(e)
+	b.lastErr = nil
+	if b.cfg.snapshotEvery > 0 {
+		b.sinceSnap++
+		if b.sinceSnap >= b.cfg.snapshotEvery {
+			b.snapshotLocked()
+		}
+	}
+	return e, nil
+}
+
+// rotateLocked seals the active segment (fsyncing it under a sync policy
+// so sealed segments are durable in full) and starts the next one.
+func (b *IndexedBackend) rotateLocked() error {
+	if b.cfg.syncEvery > 0 && b.sinceSync > 0 {
+		if err := b.active.Sync(); err != nil {
+			return &WriteError{Op: "sync", Path: b.active.Name(), Err: err}
+		}
+		b.sinceSync = 0
+	}
+	if err := b.active.Close(); err != nil {
+		return &WriteError{Op: "append", Path: b.active.Name(), Err: err}
+	}
+	next := b.activeIdx + 1
+	f, err := os.OpenFile(filepath.Join(b.dir, segmentName(next)), os.O_CREATE|os.O_RDWR|os.O_APPEND, 0o644)
+	if err != nil {
+		return &WriteError{Op: "append", Path: filepath.Join(b.dir, segmentName(next)), Err: err}
+	}
+	b.active = f
+	b.activeIdx = next
+	b.activeLen = 0
+	return nil
+}
+
+// Replay implements Backend: the full history, answered from memory.
+func (b *IndexedBackend) Replay() ([]Event, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return append([]Event(nil), b.events...), nil
+}
+
+// EventsByTask implements Backend via the in-memory index.
+func (b *IndexedBackend) EventsByTask(taskID int) ([]Event, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.collectLocked(b.byTask[taskID]), nil
+}
+
+// EventsByWorker implements Backend via the in-memory index.
+func (b *IndexedBackend) EventsByWorker(worker string) ([]Event, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.collectLocked(b.byWorker[worker]), nil
+}
+
+func (b *IndexedBackend) collectLocked(idx []int) []Event {
+	if len(idx) == 0 {
+		return nil
+	}
+	out := make([]Event, len(idx))
+	for i, j := range idx {
+		out[i] = b.events[j]
+	}
+	return out
+}
+
+// LastSeq implements Backend.
+func (b *IndexedBackend) LastSeq() int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.next - 1
+}
+
+// Snapshot implements Backend: force an immediate snapshot+compaction
+// (no-op unless WithSnapshotEvery enabled snapshotting).
+func (b *IndexedBackend) Snapshot() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.cfg.snapshotEvery <= 0 || b.active == nil {
+		return nil
+	}
+	b.snapshotLocked()
+	return b.snapErr
+}
+
+// snapshotLocked writes the full history to snapshot.snap, then compacts:
+// the segments are removed and a fresh one started. A failed snapshot
+// leaves the segments in place (recovery still works; mergeHistory
+// deduplicates by sequence number) and is retried on a later append.
+func (b *IndexedBackend) snapshotLocked() {
+	if err := WriteSnapshot(filepath.Join(b.dir, indexedSnapshotName), b.events); err != nil {
+		b.snapErr = err
+		return
+	}
+	// The history is safe in the snapshot; now replace the segments with a
+	// fresh empty one. Failures here leave extra (fully covered) segments
+	// behind, which recovery tolerates.
+	if b.cfg.syncEvery > 0 {
+		b.sinceSync = 0
+	}
+	if err := b.active.Close(); err != nil {
+		b.snapErr = err
+		return
+	}
+	segs, err := listSegments(b.dir)
+	if err != nil {
+		b.snapErr = err
+		segs = nil
+	}
+	next := b.activeIdx + 1
+	for _, idx := range segs {
+		if err := os.Remove(filepath.Join(b.dir, segmentName(idx))); err != nil {
+			b.snapErr = err
+		}
+	}
+	f, err := os.OpenFile(filepath.Join(b.dir, segmentName(next)), os.O_CREATE|os.O_RDWR|os.O_APPEND, 0o644)
+	if err != nil {
+		b.snapErr = err
+		b.active = nil
+		b.lastErr = &WriteError{Op: "append", Path: b.dir, Err: err}
+		return
+	}
+	b.active = f
+	b.activeIdx = next
+	b.activeLen = 0
+	b.sinceSnap = 0
+	b.snapErr = nil
+}
+
+// SnapshotErr returns the error from the most recent snapshot attempt (nil
+// when it succeeded). Snapshot failures never fail the triggering append.
+func (b *IndexedBackend) SnapshotErr() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.snapErr
+}
+
+// Healthy implements Backend (see Log.Healthy).
+func (b *IndexedBackend) Healthy() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.lastErr
+}
+
+// Close implements Backend. Idempotent.
+func (b *IndexedBackend) Close() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.active == nil {
+		return nil
+	}
+	if b.cfg.syncEvery > 0 && b.sinceSync > 0 {
+		_ = b.active.Sync()
+	}
+	err := b.active.Close()
+	b.active = nil
+	return err
+}

@@ -17,15 +17,15 @@ import (
 func writeFramedLog(t *testing.T, n int) (string, []Event) {
 	t.Helper()
 	path := filepath.Join(t.TempDir(), "events.jsonl")
-	l, err := Open(path)
+	l, _, err := Open(path)
 	if err != nil {
 		t.Fatal(err)
 	}
 	for i := 0; i < n; i++ {
-		if err := l.AppendAssign("w", i); err != nil {
+		if err := AppendAssign(l, "w", i); err != nil {
 			t.Fatal(err)
 		}
-		if err := l.AppendSubmit("w", i, task.Yes); err != nil {
+		if err := AppendSubmit(l, "w", i, task.Yes); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -73,7 +73,7 @@ func TestRecoverTruncatedFinalLine(t *testing.T) {
 	if info.Tail == nil || len(info.Events) != 5 {
 		t.Fatalf("open info = %+v", info)
 	}
-	if err := l.AppendInactive("w"); err != nil {
+	if err := AppendInactive(l, "w"); err != nil {
 		t.Fatal(err)
 	}
 	if err := l.Close(); err != nil {
@@ -161,7 +161,7 @@ func TestRecoveryFromRepairedPrefixReplays(t *testing.T) {
 	// the recovered prefix replays cleanly into a fresh strategy.
 	ds := task.ProductMatching()
 	path := filepath.Join(t.TempDir(), "events.jsonl")
-	l, err := Open(path)
+	l, _, err := Open(path)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -171,9 +171,9 @@ func TestRecoveryFromRepairedPrefixReplays(t *testing.T) {
 		if !ok {
 			break
 		}
-		_ = l.AppendAssign("a", tid)
+		_ = AppendAssign(l, "a", tid)
 		_ = orig.SubmitAnswer("a", tid, task.Yes)
-		_ = l.AppendSubmit("a", tid, task.Yes)
+		_ = AppendSubmit(l, "a", tid, task.Yes)
 	}
 	_ = l.Close()
 	raw, _ := os.ReadFile(path)
@@ -194,7 +194,7 @@ func TestRecoveryFromRepairedPrefixReplays(t *testing.T) {
 
 func TestAppendWriteError(t *testing.T) {
 	l := NewWriter(failingWriter{})
-	err := l.AppendAssign("w", 1)
+	err := AppendAssign(l, "w", 1)
 	if err == nil {
 		t.Fatal("expected write error")
 	}
@@ -245,10 +245,10 @@ func TestSnapshotCompaction(t *testing.T) {
 		t.Fatalf("fresh log has %d events", len(info.Events))
 	}
 	for i := 0; i < 5; i++ {
-		if err := l.AppendAssign("w", i); err != nil {
+		if err := AppendAssign(l, "w", i); err != nil {
 			t.Fatal(err)
 		}
-		if err := l.AppendSubmit("w", i, task.Yes); err != nil {
+		if err := AppendSubmit(l, "w", i, task.Yes); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -288,7 +288,7 @@ func TestSnapshotCompaction(t *testing.T) {
 			t.Fatalf("merged seq %d at index %d", e.Seq, i)
 		}
 	}
-	if err := l2.AppendInactive("w"); err != nil {
+	if err := AppendInactive(l2, "w"); err != nil {
 		t.Fatal(err)
 	}
 	_ = l2.Close()
@@ -319,8 +319,8 @@ func TestSnapshotOverlapAfterCrash(t *testing.T) {
 	}
 	var all []Event
 	for i := 0; i < 3; i++ {
-		_ = l.AppendAssign("w", i)
-		_ = l.AppendSubmit("w", i, task.No)
+		_ = AppendAssign(l, "w", i)
+		_ = AppendSubmit(l, "w", i, task.No)
 	}
 	_ = l.Close()
 	all, err = ReadFile(logPath)

@@ -141,6 +141,10 @@ type RecoverInfo struct {
 }
 
 // Log is an append-only JSON-lines event log with per-record checksums.
+// It is the BackendLog implementation of the Backend interface; LogBackend
+// is the interface-facing alias. Indexed lookups (Replay, EventsByTask,
+// EventsByWorker) re-scan the file — O(full replay), the documented
+// trade-off against IndexedBackend.
 type Log struct {
 	mu        sync.Mutex
 	w         io.Writer
@@ -155,18 +159,20 @@ type Log struct {
 	lastErr   error   // last append/sync failure, cleared by a success
 }
 
-// Open creates or appends to the log file at path with default options
-// (no fsync, no snapshotting). A torn tail is repaired as described in the
-// package comment.
-func Open(path string) (*Log, error) {
-	l, _, err := OpenWithOptions(path, Options{})
-	return l, err
-}
+// LogBackend is the CRC-framed single-file append log behind the Backend
+// interface: torn-tail repair, fsync policy, and snapshot/compaction as
+// described in the package comment.
+type LogBackend = Log
+
+var _ Backend = (*Log)(nil)
 
 // OpenWithOptions opens the log at path, loads the snapshot (when
 // configured and present), scans and repairs the log, and returns the
 // combined replayable history. The returned RecoverInfo is valid even when
 // the log existed: pass RecoverInfo.Events to Replay to rebuild state.
+//
+// Deprecated: use the canonical Open with WithFsync / WithSnapshotPath /
+// WithSnapshotEvery options.
 func OpenWithOptions(path string, opts Options) (*Log, *RecoverInfo, error) {
 	if opts.SnapshotPath != "" && opts.SnapshotEvery <= 0 {
 		opts.SnapshotEvery = 1024
@@ -224,6 +230,10 @@ func OpenWithOptions(path string, opts Options) (*Log, *RecoverInfo, error) {
 // Load reads the replayable history (snapshot + log) without opening the
 // log for appending. snapshotPath may be empty when snapshotting is not in
 // use. Unlike Open, Load never modifies the files.
+//
+// Deprecated: open the backend with the canonical Open (which returns the
+// same RecoverInfo) or query a live backend through Replay/EventsBy*.
+// Load remains for read-only offline inspection of log-backend files.
 func Load(logPath, snapshotPath string) (*RecoverInfo, error) {
 	var snap []Event
 	if snapshotPath != "" {
@@ -307,7 +317,7 @@ func scanFile(path string) ([]Event, *Tail, error) {
 func NewWriter(w io.Writer) *Log { return &Log{w: w, next: 1} }
 
 // Close fsyncs (when a sync policy is configured) and closes the
-// underlying file if the log owns one.
+// underlying file if the log owns one. Idempotent.
 func (l *Log) Close() error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
@@ -317,7 +327,9 @@ func (l *Log) Close() error {
 	if l.opts.SyncEvery > 0 && l.sinceSync > 0 {
 		_ = l.f.Sync()
 	}
-	return l.f.Close()
+	err := l.f.Close()
+	l.f = nil
+	return err
 }
 
 // AppendAssign records a successful task assignment.
@@ -338,6 +350,72 @@ func (l *Log) AppendInactive(worker string) error {
 	return l.append(Event{Kind: EventInactive, Worker: worker})
 }
 
+// Append stamps e with the next sequence number and durably records it
+// (Backend interface). The Kind must be one of the Event kinds; Seq is
+// assigned by the log regardless of what the caller set.
+func (l *Log) Append(e Event) (Event, error) {
+	switch e.Kind {
+	case EventAssign, EventSubmit, EventInactive:
+	default:
+		return Event{}, fmt.Errorf("store: append: unknown kind %q", e.Kind)
+	}
+	return l.appendEvent(e)
+}
+
+// Replay returns the full replayable history (Backend interface): the
+// retained in-memory history when snapshotting is on, otherwise a fresh
+// scan of the snapshot and log files — O(full replay) by design; use
+// IndexedBackend when lookups must be cheap. In-memory writer logs
+// (NewWriter) hold no readable history and return ErrNotQueryable.
+func (l *Log) Replay() ([]Event, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.opts.SnapshotPath != "" {
+		return append([]Event(nil), l.retained...), nil
+	}
+	if l.path == "" {
+		return nil, ErrNotQueryable
+	}
+	info, err := Load(l.path, "")
+	if err != nil {
+		return nil, err
+	}
+	if info.Tail != nil {
+		// The tail was valid at open time; damage appearing afterwards is
+		// an integrity failure, not something to silently drop.
+		return nil, fmt.Errorf("store: log %s damaged since open: %s", l.path, info.Tail)
+	}
+	return info.Events, nil
+}
+
+// EventsByTask returns every event about taskID, in order (Backend
+// interface; scans the history — see Replay).
+func (l *Log) EventsByTask(taskID int) ([]Event, error) {
+	events, err := l.Replay()
+	if err != nil {
+		return nil, err
+	}
+	return filterEvents(events, func(e Event) bool { return concernsTask(e, taskID) }), nil
+}
+
+// EventsByWorker returns every event about worker, in order (Backend
+// interface; scans the history — see Replay).
+func (l *Log) EventsByWorker(worker string) ([]Event, error) {
+	events, err := l.Replay()
+	if err != nil {
+		return nil, err
+	}
+	return filterEvents(events, func(e Event) bool { return e.Worker == worker }), nil
+}
+
+// LastSeq returns the sequence number of the most recent event (0 when
+// empty).
+func (l *Log) LastSeq() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.next - 1
+}
+
 var crcTable = crc32.MakeTable(crc32.Castagnoli)
 
 // checksum is the per-record CRC-32 (Castagnoli) over a JSON payload.
@@ -352,17 +430,24 @@ func frameLine(b []byte) []byte {
 }
 
 func (l *Log) append(e Event) error {
+	_, err := l.appendEvent(e)
+	return err
+}
+
+// appendEvent stamps the sequence number under the lock and writes the
+// framed record; it returns the stamped event.
+func (l *Log) appendEvent(e Event) (Event, error) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	e.Seq = l.next
 	b, err := json.Marshal(e)
 	if err != nil {
 		l.lastErr = &WriteError{Op: "marshal", Path: l.path, Err: err}
-		return l.lastErr
+		return Event{}, l.lastErr
 	}
 	if _, err := l.w.Write(frameLine(b)); err != nil {
 		l.lastErr = &WriteError{Op: "append", Path: l.path, Err: err}
-		return l.lastErr
+		return Event{}, l.lastErr
 	}
 	l.next++
 	if l.opts.SyncEvery > 0 && l.f != nil {
@@ -370,7 +455,7 @@ func (l *Log) append(e Event) error {
 		if l.sinceSync >= l.opts.SyncEvery {
 			if err := l.f.Sync(); err != nil {
 				l.lastErr = &WriteError{Op: "sync", Path: l.path, Err: err}
-				return l.lastErr
+				return Event{}, l.lastErr
 			}
 			l.sinceSync = 0
 		}
@@ -383,7 +468,7 @@ func (l *Log) append(e Event) error {
 			l.snapshotLocked()
 		}
 	}
-	return nil
+	return e, nil
 }
 
 // Healthy reports the log's durability health: nil while the most recent
