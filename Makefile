@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test check lint vet race race-hot parity store-conformance load-smoke bench bench-all bench-diff bench-diff-report clean
+.PHONY: all build test check lint vet race race-hot parity store-conformance load-smoke router-smoke bench bench-all bench-diff bench-diff-report clean
 
 all: build
 
@@ -26,13 +26,14 @@ lint: vet
 race:
 	$(GO) test -race ./...
 
-# Focused race pass over the observability layer and the platform server —
-# the packages whose instruments, log handler, probe surface, admission
-# gate and per-worker limiter map are hammered from many goroutines at
-# once (see TestContentionAllInstruments, TestWorkerLimiterRaceHammer,
-# TestChaosOverloadBurst).
+# Focused race pass over the observability layer, the platform server and
+# the shard router — the packages whose instruments, log handler, probe
+# surface, admission gate, per-worker limiter map and health tracker are
+# hammered from many goroutines at once (see TestContentionAllInstruments,
+# TestWorkerLimiterEvictRaceHammer, TestChaosOverloadBurst,
+# TestChaosKillShard).
 race-hot:
-	$(GO) test -race ./internal/obsv ./internal/platform
+	$(GO) test -race ./internal/obsv ./internal/platform ./internal/shard
 
 # Backend conformance suite: every store.Backend implementation (the CRC
 # log and the segmented indexed store) must pass the same contract tests —
@@ -48,6 +49,13 @@ store-conformance:
 load-smoke:
 	./scripts/load_smoke.sh
 
+# End-to-end sharding smoke: three icrowd-server shards behind
+# icrowd-router — writes route by worker, reads merge, a killed shard
+# degrades to the typed shard_unavailable 503 and is re-admitted after a
+# restart from its own event log.
+router-smoke:
+	./scripts/router_smoke.sh
+
 # Determinism contracts on their own: parallel precompute and the cached
 # scheme are bit-identical to the sequential paths, and the /v1 API is
 # byte-identical to the legacy mount. (Also covered by `race`, but this
@@ -58,7 +66,7 @@ parity:
 # The gate a PR must pass. bench-diff runs report-only here because shared
 # CI machines are too noisy for a hard ns/op gate; run `make bench-diff`
 # on a quiet box before committing a perf-sensitive change.
-check: lint parity store-conformance race race-hot load-smoke bench-diff-report
+check: lint parity store-conformance race race-hot load-smoke router-smoke bench-diff-report
 
 # Hot-path benchmarks -> BENCH_hotpath.json (sequential vs parallel
 # precompute, incremental scheme recompute, /assign read throughput).

@@ -1,0 +1,139 @@
+package obsv
+
+import (
+	"strings"
+)
+
+// Rollup helpers for aggregating several Prometheus text expositions into
+// one — the shard router (internal/shard) scrapes each shard's
+// /v1/metrics and serves the union with a shard label injected, so one
+// scrape of the router sees every instance's series side by side.
+
+// Exposition is one labelled exposition body to merge: Value becomes the
+// injected label's value for every sample in Text.
+type Exposition struct {
+	Value string
+	Text  string
+}
+
+// mergedFamily collects one metric family across expositions: the header
+// lines from the first part that carried them, and every part's samples.
+type mergedFamily struct {
+	help    string
+	typ     string
+	samples []string
+}
+
+// MergeExpositions merges Prometheus text expositions into one body,
+// injecting label="<part.Value>" into every sample line. Each family's
+// # HELP/# TYPE header is emitted once (from the first part that carries
+// it) with all samples of the family grouped under it, as the text format
+// requires. Families appear in first-seen order, samples in part order —
+// the output is deterministic for fixed inputs.
+//
+// The parser understands the subset of the format Registry.WritePrometheus
+// emits (and any conforming exposition whose label values do not contain
+// '}'): HELP/TYPE headers followed by their samples, with histogram
+// _bucket/_sum/_count series grouped under their family header.
+func MergeExpositions(label string, parts []Exposition) string {
+	var order []string
+	fams := map[string]*mergedFamily{}
+	family := func(name string) *mergedFamily {
+		f, ok := fams[name]
+		if !ok {
+			f = &mergedFamily{}
+			fams[name] = f
+			order = append(order, name)
+		}
+		return f
+	}
+	for _, part := range parts {
+		current := "" // family the samples that follow belong to
+		for _, line := range strings.Split(part.Text, "\n") {
+			line = strings.TrimRight(line, "\r")
+			if line == "" {
+				continue
+			}
+			if strings.HasPrefix(line, "#") {
+				fields := strings.SplitN(line, " ", 4)
+				if len(fields) >= 3 && (fields[1] == "HELP" || fields[1] == "TYPE") {
+					f := family(fields[2])
+					if fields[1] == "HELP" && f.help == "" {
+						f.help = line
+					}
+					if fields[1] == "TYPE" && f.typ == "" {
+						f.typ = line
+					}
+					current = fields[2]
+				}
+				continue
+			}
+			name := sampleName(line)
+			if name == "" {
+				continue
+			}
+			// _bucket/_sum/_count (and any suffixed series) stay with the
+			// family whose header introduced them.
+			fam := current
+			if fam == "" || (name != fam && !strings.HasPrefix(name, fam+"_")) {
+				fam = name
+			}
+			family(fam).samples = append(family(fam).samples, injectLabel(line, label, part.Value))
+		}
+	}
+	var b strings.Builder
+	for _, name := range order {
+		f := fams[name]
+		if f.help != "" {
+			b.WriteString(f.help)
+			b.WriteByte('\n')
+		}
+		if f.typ != "" {
+			b.WriteString(f.typ)
+			b.WriteByte('\n')
+		}
+		for _, s := range f.samples {
+			b.WriteString(s)
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}
+
+// sampleName extracts the metric name from a sample line ("" when the line
+// is not a sample).
+func sampleName(line string) string {
+	end := strings.IndexAny(line, "{ ")
+	if end <= 0 {
+		return ""
+	}
+	return line[:end]
+}
+
+// injectLabel adds label="value" to a sample line's label set, creating
+// the braces when the sample had none.
+func injectLabel(line, label, value string) string {
+	pair := label + `="` + escapeLabelValue(value) + `"`
+	if open := strings.Index(line, "{"); open >= 0 {
+		close := strings.Index(line[open:], "}")
+		if close < 0 {
+			return line // malformed; pass through untouched
+		}
+		close += open
+		if close == open+1 { // empty label set {}
+			return line[:open+1] + pair + line[close:]
+		}
+		return line[:close] + "," + pair + line[close:]
+	}
+	sp := strings.Index(line, " ")
+	if sp < 0 {
+		return line
+	}
+	return line[:sp] + "{" + pair + "}" + line[sp:]
+}
+
+// escapeLabelValue escapes a label value per the text exposition format.
+func escapeLabelValue(v string) string {
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}

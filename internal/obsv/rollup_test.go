@@ -1,0 +1,75 @@
+package obsv
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// expo renders a registry to its text exposition.
+func expo(r *Registry) string {
+	var b strings.Builder
+	r.WritePrometheus(&b)
+	return b.String()
+}
+
+func TestMergeExpositionsInjectsLabelAndGroupsFamilies(t *testing.T) {
+	a := NewRegistry()
+	a.Counter("icrowd_http_requests_total", "Requests.", "endpoint", "assign").Add(3)
+	a.Gauge("icrowd_pending", "Pending.").Set(2)
+	a.Histogram("icrowd_wait_seconds", "Wait.", []float64{0.1, 1}).Observe(50 * time.Millisecond)
+
+	b := NewRegistry()
+	b.Counter("icrowd_http_requests_total", "Requests.", "endpoint", "assign").Add(5)
+	b.Counter("icrowd_only_on_b_total", "Only B.").Inc()
+
+	out := MergeExpositions("shard", []Exposition{
+		{Value: "s0", Text: expo(a)},
+		{Value: "s1", Text: expo(b)},
+	})
+
+	// The shared family keeps one header with both shards' samples under it.
+	if got := strings.Count(out, "# TYPE icrowd_http_requests_total counter"); got != 1 {
+		t.Fatalf("TYPE header appears %d times, want 1\n%s", got, out)
+	}
+	for _, want := range []string{
+		`icrowd_http_requests_total{endpoint="assign",shard="s0"} 3`,
+		`icrowd_http_requests_total{endpoint="assign",shard="s1"} 5`,
+		`icrowd_pending{shard="s0"} 2`,
+		`icrowd_only_on_b_total{shard="s1"} 1`,
+		`icrowd_wait_seconds_bucket{le="0.1",shard="s0"} 1`,
+		`icrowd_wait_seconds_count{shard="s0"} 1`,
+	} {
+		if !strings.Contains(out, want+"\n") {
+			t.Fatalf("missing %q in merged exposition:\n%s", want, out)
+		}
+	}
+
+	// Family grouping: every sample of a family sits between its TYPE line
+	// and the next family header.
+	typeIdx := strings.Index(out, "# TYPE icrowd_http_requests_total")
+	s1Idx := strings.Index(out, `icrowd_http_requests_total{endpoint="assign",shard="s1"}`)
+	nextFam := strings.Index(out[typeIdx:], "# HELP icrowd_pending")
+	if s1Idx < typeIdx || (nextFam >= 0 && s1Idx > typeIdx+nextFam) {
+		t.Fatalf("s1 sample not grouped under its family header:\n%s", out)
+	}
+
+	// Histogram suffix series stay with their family, not a new one.
+	if strings.Contains(out, "# TYPE icrowd_wait_seconds_bucket") {
+		t.Fatalf("suffix series split into its own family:\n%s", out)
+	}
+}
+
+func TestMergeExpositionsDeterministicAndEscaped(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x_total", "X.").Inc()
+	parts := []Exposition{{Value: `s"0\`, Text: expo(r)}}
+	out1 := MergeExpositions("shard", parts)
+	out2 := MergeExpositions("shard", parts)
+	if out1 != out2 {
+		t.Fatal("merge is not deterministic")
+	}
+	if !strings.Contains(out1, `x_total{shard="s\"0\\"} 1`) {
+		t.Fatalf("label value not escaped:\n%s", out1)
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"errors"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"sync"
 	"testing"
 	"time"
@@ -273,6 +274,44 @@ func TestServerWorkerRateLimit429(t *testing.T) {
 	}
 	if _, err := c.Assign(context.Background(), "cold"); err != nil {
 		t.Fatalf("cold must be unaffected: %v", err)
+	}
+}
+
+// TestServerThrottleRetryAfterPositive pins the throttled response's
+// Retry-After at a high Rate: the limiter's sub-nanosecond hint must still
+// round up to a positive whole-second header — a "Retry-After: 0" would
+// send the throttled client straight back in a hot loop.
+func TestServerThrottleRetryAfterPositive(t *testing.T) {
+	ds := task.ProductMatching()
+	st, err := baseline.NewRandomMV(ds, 3, nil, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	so := NewServer(st, ds)
+	// Freeze the clock so the enormous Rate cannot refill between calls:
+	// the second request finds 0.5 tokens and a need/Rate wait far below
+	// one nanosecond.
+	now := time.Unix(1000, 0)
+	so.SetClock(func() time.Time { return now })
+	so.SetWorkerRateLimit(RateLimit{Rate: 1e10, Burst: 1.5})
+	srv := httptest.NewServer(so.Handler())
+	defer srv.Close()
+
+	c := &Client{BaseURL: srv.URL}
+	if _, err := c.Assign(context.Background(), "hot"); err != nil {
+		t.Fatalf("hot's first assign: %v", err)
+	}
+	resp, err := http.Get(srv.URL + "/v1/assign?workerId=hot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status = %d, want 429", resp.StatusCode)
+	}
+	secs, err := strconv.Atoi(resp.Header.Get("Retry-After"))
+	if err != nil || secs < 1 {
+		t.Fatalf("Retry-After = %q, want a whole-second value >= 1", resp.Header.Get("Retry-After"))
 	}
 }
 

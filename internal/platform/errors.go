@@ -50,6 +50,12 @@ const (
 	// project the server does not host (HTTP 404). Distinct from
 	// CodeNotFound so clients can tell "wrong project" from "wrong path".
 	CodeProjectNotFound = "project_not_found"
+	// CodeShardUnavailable reports that the shard owning the request's key
+	// range is down (HTTP 503, Retry-After set). Emitted by the
+	// consistent-hash router (internal/shard), never by a single server:
+	// the request was NOT applied and is safe to retry after backing off —
+	// the router re-admits the shard once its health probe recovers.
+	CodeShardUnavailable = "shard_unavailable"
 )
 
 // ErrorResponse is the JSON body of every non-2xx response the server
@@ -115,6 +121,16 @@ func IsThrottled(err error) bool {
 // produces (admission or rate limit) — the "slow down, nothing happened"
 // class a well-behaved client backs off on.
 func IsShed(err error) bool { return IsOverloaded(err) || IsThrottled(err) }
+
+// IsShardUnavailable reports whether err is the router's typed 503 for a
+// request whose owning shard is down. Nothing was applied; the client's
+// retry loop already backs off on it (503 is retryable and the response
+// carries Retry-After), so callers usually only branch on this to count or
+// log the outage rather than to change behaviour.
+func IsShardUnavailable(err error) bool {
+	var ae *APIError
+	return errors.As(err, &ae) && ae.Code == CodeShardUnavailable
+}
 
 // IsProjectNotFound reports whether err is the typed 404 for a request
 // naming a project the server does not host.

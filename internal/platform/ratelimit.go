@@ -1,6 +1,7 @@
 package platform
 
 import (
+	"math"
 	"sync"
 	"time"
 )
@@ -41,6 +42,12 @@ type tokenBucket struct {
 	mu     sync.Mutex
 	tokens float64
 	last   time.Time
+	// dead marks a bucket the eviction scan removed from the map. It is
+	// set under mu before the map delete, so a goroutine that looked the
+	// bucket up just before eviction sees the flag once it acquires mu and
+	// re-fetches the live bucket instead of spending tokens on an orphan
+	// (which would silently discard the worker's debt).
+	dead bool
 }
 
 // defaultLimiterMaxEntries bounds the bucket map. A full bucket is
@@ -54,10 +61,26 @@ const defaultLimiterMaxEntries = 1 << 16
 // safe for concurrent use; a nil limiter admits everything.
 type WorkerLimiter struct {
 	cfg RateLimit
+	// rescanDelay is how long a fruitless eviction pass defers the next
+	// time-triggered pass: roughly one token period, floored so a high
+	// Rate cannot turn every insert into a full scan again.
+	rescanDelay time.Duration
 
 	mu         sync.Mutex
 	buckets    map[string]*tokenBucket
 	maxEntries int
+	// Eviction amortization (guarded by mu). After a pass that reclaimed
+	// nothing — every bucket still owes tokens — the map is allowed to
+	// overshoot maxEntries by a geometric slack: the next pass runs only
+	// once the map has grown past evictMinLen (new buckets are created
+	// full, so growth means reclaimable entries) or the clock has passed
+	// evictNotBefore (debts refill with time). This keeps the insert path
+	// amortized O(1) instead of O(n) per insert while the map is pinned by
+	// throttled buckets. evictMinLen == 0 means the gate is open.
+	evictMinLen    int
+	evictNotBefore time.Time
+	// scans counts full eviction passes (tests pin the amortization).
+	scans int
 }
 
 // NewWorkerLimiter creates a limiter. maxEntries bounds the bucket map
@@ -67,10 +90,22 @@ func NewWorkerLimiter(cfg RateLimit, maxEntries int) *WorkerLimiter {
 	if maxEntries <= 0 {
 		maxEntries = defaultLimiterMaxEntries
 	}
+	cfg = cfg.withDefaults()
+	delay := time.Second
+	if cfg.Rate > 0 {
+		delay = time.Duration(float64(time.Second) / cfg.Rate)
+		if delay < 10*time.Millisecond {
+			delay = 10 * time.Millisecond
+		}
+		if delay > time.Second {
+			delay = time.Second
+		}
+	}
 	return &WorkerLimiter{
-		cfg:        cfg.withDefaults(),
-		buckets:    map[string]*tokenBucket{},
-		maxEntries: maxEntries,
+		cfg:         cfg,
+		rescanDelay: delay,
+		buckets:     map[string]*tokenBucket{},
+		maxEntries:  maxEntries,
 	}
 }
 
@@ -79,14 +114,33 @@ func (l *WorkerLimiter) Config() RateLimit { return l.cfg }
 
 // Allow takes one token from worker's bucket. When the bucket is empty it
 // returns false and the duration until the next token accrues — the
-// Retry-After hint the server sends with the 429.
+// Retry-After hint the server sends with the 429. The hint is always
+// positive: it is rounded *up*, so a throttled client never sees a zero
+// backoff and retries in a hot loop.
 func (l *WorkerLimiter) Allow(worker string, now time.Time) (ok bool, retryAfter time.Duration) {
 	if l == nil {
 		return true, 0
 	}
-	b := l.bucket(worker, now)
+	for {
+		b := l.bucket(worker, now)
+		if decided, ok, retryAfter := l.take(b, now); decided {
+			return ok, retryAfter
+		}
+		// The bucket was evicted between the map lookup and locking it;
+		// retry against the live bucket so no token movement is lost.
+	}
+}
+
+// take attempts to spend one token from b. decided == false reports that b
+// was evicted before it could be locked (b.dead): the caller must re-fetch
+// the worker's live bucket and try again — spending from the orphan would
+// lose the decrement when the worker's next call mints a fresh full bucket.
+func (l *WorkerLimiter) take(b *tokenBucket, now time.Time) (decided, ok bool, retryAfter time.Duration) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
+	if b.dead {
+		return false, false, 0
+	}
 	// Lazy refill. A non-monotonic clock (or a bucket created by a racing
 	// goroutine with a slightly later stamp) yields a negative elapsed;
 	// clamp to zero rather than draining tokens.
@@ -99,15 +153,27 @@ func (l *WorkerLimiter) Allow(worker string, now time.Time) (ok bool, retryAfter
 	}
 	if b.tokens >= 1 {
 		b.tokens--
-		return true, 0
+		return true, true, 0
 	}
 	if l.cfg.Rate <= 0 {
 		// No refill configured: the bucket can never recover, so the hint
 		// is just "back off for a second and let policy change".
-		return false, time.Second
+		return true, false, time.Second
 	}
 	need := 1 - b.tokens
-	return false, time.Duration(need / l.cfg.Rate * float64(time.Second))
+	return true, false, ceilSeconds(need / l.cfg.Rate)
+}
+
+// ceilSeconds converts a fractional second count to a Duration, rounding
+// up so any positive wait maps to at least one nanosecond — truncation
+// toward zero at a high Rate would tell a throttled client to retry
+// immediately.
+func ceilSeconds(sec float64) time.Duration {
+	d := time.Duration(math.Ceil(sec * float64(time.Second)))
+	if d < time.Nanosecond {
+		d = time.Nanosecond
+	}
+	return d
 }
 
 // bucket returns worker's bucket, creating it full on first contact.
@@ -116,7 +182,7 @@ func (l *WorkerLimiter) bucket(worker string, now time.Time) *tokenBucket {
 	defer l.mu.Unlock()
 	b, ok := l.buckets[worker]
 	if !ok {
-		if len(l.buckets) >= l.maxEntries {
+		if len(l.buckets) >= l.maxEntries && l.shouldScanLocked(now) {
 			l.evictFullLocked(now)
 		}
 		b = &tokenBucket{tokens: l.cfg.Burst, last: now}
@@ -125,19 +191,50 @@ func (l *WorkerLimiter) bucket(worker string, now time.Time) *tokenBucket {
 	return b
 }
 
+// shouldScanLocked gates the eviction scan after a fruitless pass: scan
+// again only once the map grew past the recorded slack or the rescan delay
+// elapsed. An open gate (evictMinLen == 0) always scans.
+func (l *WorkerLimiter) shouldScanLocked(now time.Time) bool {
+	if l.evictMinLen == 0 {
+		return true
+	}
+	return len(l.buckets) >= l.evictMinLen || !now.Before(l.evictNotBefore)
+}
+
 // evictFullLocked drops every bucket that has refilled to capacity: a full
 // bucket and an absent bucket admit identically, so the eviction is
 // invisible to callers. Buckets still holding debt are kept — evicting one
-// would hand a throttled worker a fresh burst.
+// would hand a throttled worker a fresh burst. Evicted buckets are marked
+// dead under their own lock *before* the map delete, so a concurrent Allow
+// holding a stale pointer re-fetches instead of decrementing an orphan.
 func (l *WorkerLimiter) evictFullLocked(now time.Time) {
+	l.scans++
+	reclaimed := 0
 	for w, b := range l.buckets {
 		b.mu.Lock()
-		tokens := b.tokens + now.Sub(b.last).Seconds()*l.cfg.Rate
+		full := b.tokens+now.Sub(b.last).Seconds()*l.cfg.Rate >= l.cfg.Burst
+		if full {
+			b.dead = true
+		}
 		b.mu.Unlock()
-		if tokens >= l.cfg.Burst {
+		if full {
 			delete(l.buckets, w)
+			reclaimed++
 		}
 	}
+	if reclaimed > 0 {
+		l.evictMinLen = 0
+		return
+	}
+	// Fruitless pass: every bucket is in debt. Let the map overshoot by a
+	// geometric slack before scanning again so a pinned map costs O(1)
+	// amortized per insert, not O(n).
+	slack := len(l.buckets) / 8
+	if slack < 1 {
+		slack = 1
+	}
+	l.evictMinLen = len(l.buckets) + slack
+	l.evictNotBefore = now.Add(l.rescanDelay)
 }
 
 // Len reports how many buckets are live (tests and debugging).
@@ -148,4 +245,12 @@ func (l *WorkerLimiter) Len() int {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	return len(l.buckets)
+}
+
+// Scans reports how many full eviction passes have run (tests pin the
+// amortized insert path with it).
+func (l *WorkerLimiter) Scans() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.scans
 }

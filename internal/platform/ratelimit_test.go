@@ -159,6 +159,154 @@ func TestWorkerLimiterEviction(t *testing.T) {
 	}
 }
 
+// TestWorkerLimiterEvictRaceKeepsDebt reproduces the eviction race
+// deterministically: a goroutine looks its bucket up (l.bucket) and is
+// about to spend a token when the eviction scan — seeing the bucket still
+// full — deletes it from the map. The buggy limiter spent the token on the
+// orphaned bucket, so the worker's next call minted a fresh full bucket
+// and the debt was silently discarded: two admissions from a Burst-1,
+// zero-refill bucket. The fixed limiter marks evicted buckets dead and
+// re-fetches, so exactly one token is ever granted.
+func TestWorkerLimiterEvictRaceKeepsDebt(t *testing.T) {
+	now := time.Unix(1000, 0)
+	l := NewWorkerLimiter(RateLimit{Rate: 0, Burst: 1}, 1)
+	// Step 1 of Allow: the map lookup hands out a pointer to the (full)
+	// bucket.
+	b := l.bucket("w", now)
+	// The eviction scan runs before the holder locks the bucket: the
+	// bucket is full, so it is reclaimed.
+	l.mu.Lock()
+	l.evictFullLocked(now)
+	l.mu.Unlock()
+	// Step 2 of Allow: spend a token on the handle obtained in step 1.
+	granted := 0
+	if decided, ok, _ := l.take(b, now); decided {
+		if ok {
+			granted++
+		}
+	} else {
+		// The fixed path: the bucket is dead, Allow re-fetches.
+		if ok, _ := l.Allow("w", now); ok {
+			granted++
+		}
+	}
+	// With Burst 1 and no refill the worker is entitled to exactly one
+	// token ever; a second grant means the first decrement was lost.
+	if ok, _ := l.Allow("w", now); ok {
+		granted++
+	}
+	if granted != 1 {
+		t.Fatalf("worker granted %d tokens from a Burst-1 zero-refill bucket (debt discarded by eviction)", granted)
+	}
+}
+
+// TestWorkerLimiterEvictRaceHammer drives Allow against a concurrent
+// eviction loop (run under -race via make race-hot). With Rate 0 and
+// Burst 1 every worker is entitled to exactly one admission ever; a lost
+// decrement (token spent on an evicted orphan bucket) shows up as a
+// worker admitted twice.
+func TestWorkerLimiterEvictRaceHammer(t *testing.T) {
+	now := time.Unix(1000, 0)
+	l := NewWorkerLimiter(RateLimit{Rate: 0, Burst: 1}, 0)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			l.mu.Lock()
+			l.evictFullLocked(now)
+			l.mu.Unlock()
+		}
+	}()
+	for i := 0; i < 2000; i++ {
+		w := fmt.Sprintf("w%d", i)
+		ok1, _ := l.Allow(w, now)
+		ok2, _ := l.Allow(w, now)
+		if ok1 && ok2 {
+			close(stop)
+			wg.Wait()
+			t.Fatalf("worker %s admitted twice from a Burst-1 zero-refill bucket", w)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// TestWorkerLimiterRetryAfterNeverZero pins the high-Rate hint: the wait
+// until the next token is rounded up, never truncated to a zero backoff
+// that would send a throttled client into a hot retry loop.
+func TestWorkerLimiterRetryAfterNeverZero(t *testing.T) {
+	now := time.Unix(1000, 0)
+	// A fractional bucket at an enormous Rate: need/Rate is well under a
+	// nanosecond, which the old hint truncated to zero.
+	l := NewWorkerLimiter(RateLimit{Rate: 1e10, Burst: 1.5}, 0)
+	if ok, _ := l.Allow("w", now); !ok {
+		t.Fatal("first request must pass")
+	}
+	ok, ra := l.Allow("w", now)
+	if ok {
+		t.Fatal("second immediate request must be throttled (0.5 tokens left)")
+	}
+	if ra <= 0 {
+		t.Fatalf("retryAfter = %v, want > 0 (zero tells the client to retry immediately)", ra)
+	}
+}
+
+// TestWorkerLimiterEvictScanAmortized pins the amortized insert path: with
+// the map pinned at maxEntries by in-debt buckets, new-worker inserts must
+// not run a full eviction scan each — after a fruitless pass the next scan
+// waits for geometric map growth or the rescan delay.
+func TestWorkerLimiterEvictScanAmortized(t *testing.T) {
+	now := time.Unix(1000, 0)
+	const cap = 64
+	l := NewWorkerLimiter(RateLimit{Rate: 0, Burst: 1}, cap)
+	// Pin the map: every bucket drained, nothing reclaimable.
+	for i := 0; i < cap; i++ {
+		l.Allow(fmt.Sprintf("d%d", i), now)
+	}
+	if got := l.Scans(); got != 0 {
+		t.Fatalf("scans after fill = %d, want 0", got)
+	}
+	const inserts = 40
+	for i := 0; i < inserts; i++ {
+		l.Allow(fmt.Sprintf("n%d", i), now)
+	}
+	// One scan per insert (the old behaviour) would be 40; geometric
+	// backoff keeps it to a handful.
+	if got := l.Scans(); got >= inserts/2 {
+		t.Fatalf("scans = %d for %d pinned inserts, want amortized (< %d)", got, inserts, inserts/2)
+	}
+	// The time gate: once the rescan delay has passed, the next insert may
+	// scan again (debts refill with time under a positive Rate).
+	before := l.Scans()
+	l.Allow("late", now.Add(2*time.Second))
+	if got := l.Scans(); got != before+1 {
+		t.Fatalf("scans after rescan delay = %d, want %d", got, before+1)
+	}
+}
+
+// BenchmarkWorkerLimiterPinnedInsert measures the new-worker insert path
+// with the bucket map pinned at maxEntries by throttled buckets — the
+// regression guard for the O(n)-scan-per-insert behaviour.
+func BenchmarkWorkerLimiterPinnedInsert(b *testing.B) {
+	const pinned = 1 << 12
+	now := time.Unix(1000, 0)
+	l := NewWorkerLimiter(RateLimit{Rate: 1e-9, Burst: 1}, pinned)
+	for i := 0; i < pinned; i++ {
+		l.Allow(fmt.Sprintf("d%d", i), now)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l.Allow(fmt.Sprintf("n%d", i), now)
+	}
+}
+
 // TestWorkerLimiterRaceHammer hammers the limiter map from many
 // goroutines (run under -race via make race-hot): concurrent bucket
 // creation, refill, and eviction churn on a deliberately tiny map bound.

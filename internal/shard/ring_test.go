@@ -1,0 +1,154 @@
+package shard
+
+import (
+	"fmt"
+	"testing"
+)
+
+// keys generates n synthetic worker IDs shaped like the simulator's.
+func keys(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("w%04d", i)
+	}
+	return out
+}
+
+func TestRingGetEmpty(t *testing.T) {
+	r := NewRing(0)
+	if got := r.Get("w1"); got != "" {
+		t.Fatalf("Get on empty ring = %q, want \"\"", got)
+	}
+	if r.Len() != 0 {
+		t.Fatalf("Len = %d, want 0", r.Len())
+	}
+}
+
+func TestRingDeterministic(t *testing.T) {
+	build := func() *Ring {
+		r := NewRing(64)
+		// Insertion order must not matter: a restarted router that learns
+		// its shard list in a different order must map workers identically.
+		for _, n := range []string{"s2", "s0", "s1"} {
+			r.Add(n)
+		}
+		return r
+	}
+	a, b := build(), build()
+	for _, k := range keys(500) {
+		if a.Get(k) != b.Get(k) {
+			t.Fatalf("ring mapping differs between identical rings for key %q", k)
+		}
+	}
+}
+
+// TestRingKeyStability is the consistent-hashing contract: removing one
+// node only remaps the keys that node owned, and adding it back restores
+// the original mapping exactly.
+func TestRingKeyStability(t *testing.T) {
+	cases := []struct {
+		name   string
+		nodes  []string
+		remove string
+	}{
+		{"three-nodes-drop-first", []string{"http://s0", "http://s1", "http://s2"}, "http://s0"},
+		{"three-nodes-drop-last", []string{"http://s0", "http://s1", "http://s2"}, "http://s2"},
+		{"five-nodes-drop-middle", []string{"a", "b", "c", "d", "e"}, "c"},
+		{"two-nodes", []string{"only-a", "only-b"}, "only-b"},
+	}
+	ks := keys(2000)
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			r := NewRing(0)
+			for _, n := range tc.nodes {
+				r.Add(n)
+			}
+			before := make(map[string]string, len(ks))
+			for _, k := range ks {
+				before[k] = r.Get(k)
+			}
+
+			r.Remove(tc.remove)
+			moved := 0
+			for _, k := range ks {
+				after := r.Get(k)
+				if after == tc.remove {
+					t.Fatalf("key %q still maps to removed node %q", k, tc.remove)
+				}
+				if before[k] != tc.remove && after != before[k] {
+					t.Fatalf("key %q moved from %q to %q although its node %q stayed",
+						k, before[k], after, before[k])
+				}
+				if before[k] == tc.remove {
+					moved++
+				}
+			}
+			if moved == 0 {
+				t.Fatalf("removed node %q owned no keys out of %d — ring is degenerate", tc.remove, len(ks))
+			}
+
+			// Re-adding restores the exact original mapping (virtual-node
+			// hashes depend only on the node name).
+			r.Add(tc.remove)
+			for _, k := range ks {
+				if got := r.Get(k); got != before[k] {
+					t.Fatalf("after re-add, key %q maps to %q, want original %q", k, got, before[k])
+				}
+			}
+		})
+	}
+}
+
+// TestRingBalance pins that virtual nodes spread keys roughly evenly: no
+// shard owns more than twice the fair share at the default replica count.
+func TestRingBalance(t *testing.T) {
+	cases := []struct {
+		shards int
+	}{{2}, {3}, {5}, {8}}
+	ks := keys(10000)
+	for _, tc := range cases {
+		t.Run(fmt.Sprintf("%d-shards", tc.shards), func(t *testing.T) {
+			r := NewRing(0)
+			for i := 0; i < tc.shards; i++ {
+				r.Add(fmt.Sprintf("http://127.0.0.1:%d", 9000+i))
+			}
+			counts := map[string]int{}
+			for _, k := range ks {
+				counts[r.Get(k)]++
+			}
+			if len(counts) != tc.shards {
+				t.Fatalf("keys landed on %d shards, want %d", len(counts), tc.shards)
+			}
+			fair := len(ks) / tc.shards
+			for node, c := range counts {
+				if c > 2*fair {
+					t.Fatalf("shard %s owns %d of %d keys (> 2x fair share %d)", node, c, len(ks), fair)
+				}
+				if c < fair/4 {
+					t.Fatalf("shard %s owns only %d of %d keys (< fair share/4 = %d)", node, c, len(ks), fair/4)
+				}
+			}
+		})
+	}
+}
+
+func TestRingAddRemoveIdempotent(t *testing.T) {
+	r := NewRing(32)
+	r.Add("s0")
+	r.Add("s0") // duplicate add must not double the virtual nodes
+	r.Add("s1")
+	if got := len(r.points); got != 2*32 {
+		t.Fatalf("points = %d, want %d", got, 2*32)
+	}
+	r.Remove("missing") // no-op
+	r.Remove("s1")
+	r.Remove("s1") // double remove: no-op
+	if got, want := fmt.Sprint(r.Nodes()), "[s0]"; got != want {
+		t.Fatalf("Nodes = %v, want %v", got, want)
+	}
+	for _, k := range keys(100) {
+		if r.Get(k) != "s0" {
+			t.Fatalf("single-node ring routed %q elsewhere", k)
+		}
+	}
+}

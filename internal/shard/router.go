@@ -1,0 +1,797 @@
+package shard
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"log/slog"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"icrowd/internal/obsv"
+	"icrowd/internal/platform"
+)
+
+// Router is the HTTP front for a fleet of icrowd-server shards. It speaks
+// the same API as a single server, so clients (and the load harness) point
+// at the router unchanged:
+//
+//   - Writes (/assign, /submit, /inactive) are proxied verbatim to the
+//     shard owning the request's worker ID on the consistent-hash ring.
+//     The owning shard's lease, idempotency and event-log machinery apply
+//     exactly as on a single server, because it sees the worker's whole
+//     history.
+//   - Reads fan out: /status and /results merge every live shard's answer
+//     (per-task majority vote), /v1/healthz and /v1/readyz roll up shard
+//     probes, /v1/metrics serves the union of every shard's Prometheus
+//     exposition with a shard label injected.
+//   - /v1/projects is merged across shards; PUT /v1/projects/{id}
+//     broadcasts so the project exists on every shard before any worker
+//     routes to it.
+//
+// A dead shard takes only its key range out: requests routed to it get a
+// typed 503 shard_unavailable with a Retry-After hint, survivors keep
+// serving theirs, and the health probe re-admits the shard once it answers
+// /v1/healthz again (after replaying its own event log).
+
+// Config configures a Router.
+type Config struct {
+	// Shards are the base URLs of the icrowd-server instances fronted by
+	// the router (e.g. "http://127.0.0.1:9001"). Required, order
+	// irrelevant — the ring depends only on the URL strings.
+	Shards []string
+	// Replicas is the virtual-node count per shard (<= 0 uses
+	// DefaultReplicas).
+	Replicas int
+	// ProbeInterval is how often the background health loop probes each
+	// shard (<= 0 uses 2s). It also sizes the Retry-After hint on
+	// shard_unavailable responses: by the next probe the shard may be back.
+	ProbeInterval time.Duration
+	// ProbeTimeout bounds each individual probe (<= 0 uses 2s).
+	ProbeTimeout time.Duration
+	// Client issues proxy and probe requests (nil uses a client with a 30s
+	// timeout).
+	Client *http.Client
+	// Logger receives router events (nil uses slog.Default()).
+	Logger *slog.Logger
+	// Registry receives the router's own metrics (nil creates one); it is
+	// appended to the merged /v1/metrics output under shard="router".
+	Registry *obsv.Registry
+}
+
+// Router fronts the shard fleet. Create with New; serve its Handler.
+type Router struct {
+	cfg     Config
+	ring    *Ring
+	tracker *Tracker
+	client  *http.Client
+	logger  *slog.Logger
+	reg     *obsv.Registry
+	mux     *http.ServeMux
+	// retryAfter is the Retry-After hint attached to shard_unavailable.
+	retryAfter time.Duration
+
+	proxied     map[string]*obsv.Counter
+	unavailable map[string]*obsv.Counter
+	skipped     map[string]*obsv.Counter
+	upGauge     map[string]*obsv.Gauge
+}
+
+// New builds a router over cfg.Shards.
+func New(cfg Config) (*Router, error) {
+	if len(cfg.Shards) == 0 {
+		return nil, errors.New("shard: router needs at least one shard URL")
+	}
+	if cfg.ProbeInterval <= 0 {
+		cfg.ProbeInterval = 2 * time.Second
+	}
+	if cfg.ProbeTimeout <= 0 {
+		cfg.ProbeTimeout = 2 * time.Second
+	}
+	if cfg.Client == nil {
+		cfg.Client = &http.Client{Timeout: 30 * time.Second}
+	}
+	if cfg.Logger == nil {
+		cfg.Logger = slog.Default()
+	}
+	if cfg.Registry == nil {
+		cfg.Registry = obsv.NewRegistry()
+	}
+	rt := &Router{
+		cfg:         cfg,
+		ring:        NewRing(cfg.Replicas),
+		client:      cfg.Client,
+		logger:      cfg.Logger,
+		reg:         cfg.Registry,
+		retryAfter:  cfg.ProbeInterval,
+		proxied:     map[string]*obsv.Counter{},
+		unavailable: map[string]*obsv.Counter{},
+		skipped:     map[string]*obsv.Counter{},
+		upGauge:     map[string]*obsv.Gauge{},
+	}
+	seen := map[string]bool{}
+	var shards []string
+	for _, s := range cfg.Shards {
+		s = strings.TrimRight(s, "/")
+		if s == "" || seen[s] {
+			continue
+		}
+		seen[s] = true
+		shards = append(shards, s)
+		rt.ring.Add(s)
+		rt.proxied[s] = rt.reg.Counter("icrowd_router_proxied_total",
+			"Requests proxied to each shard.", "target", s)
+		rt.unavailable[s] = rt.reg.Counter("icrowd_router_shard_unavailable_total",
+			"Requests rejected because the owning shard was down.", "target", s)
+		rt.skipped[s] = rt.reg.Counter("icrowd_router_fanout_skipped_total",
+			"Fan-out reads that skipped a down shard.", "target", s)
+		g := rt.reg.Gauge("icrowd_router_shard_up",
+			"Whether the router currently routes to the shard (1 up, 0 down).", "target", s)
+		g.Set(1)
+		rt.upGauge[s] = g
+	}
+	if len(shards) == 0 {
+		return nil, errors.New("shard: router needs at least one shard URL")
+	}
+	rt.tracker = NewTracker(shards, cfg.Client, cfg.ProbeTimeout)
+	rt.mux = rt.routes()
+	return rt, nil
+}
+
+// Handler returns the router's HTTP handler.
+func (rt *Router) Handler() http.Handler { return rt.mux }
+
+// Start runs the health-probe loop until the returned stop function is
+// called. Each round probes every shard's /v1/healthz and flips the
+// up-gauges, re-admitting restarted shards.
+func (rt *Router) Start() (stop func()) {
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		tick := time.NewTicker(rt.cfg.ProbeInterval)
+		defer tick.Stop()
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-tick.C:
+				rt.tracker.ProbeAll(ctx)
+				rt.syncGauges()
+			}
+		}
+	}()
+	return func() {
+		cancel()
+		<-done
+	}
+}
+
+// Shards returns the fleet's current health states.
+func (rt *Router) Shards() []ShardState { return rt.tracker.Snapshot() }
+
+// syncGauges mirrors the tracker's state into the up-gauges.
+func (rt *Router) syncGauges() {
+	for _, st := range rt.tracker.Snapshot() {
+		v := 0.0
+		if st.Up {
+			v = 1
+		}
+		if g := rt.upGauge[st.URL]; g != nil {
+			g.Set(v)
+		}
+	}
+}
+
+// markDown records a passive failure (a proxy attempt hit a transport
+// error) and flips the shard's gauge.
+func (rt *Router) markDown(shard string, err error) {
+	rt.tracker.MarkDown(shard, err)
+	if g := rt.upGauge[shard]; g != nil {
+		g.Set(0)
+	}
+	rt.logger.LogAttrs(context.Background(), slog.LevelWarn, "shard down",
+		slog.String("shard", shard), slog.String("err", err.Error()))
+}
+
+// routes builds the mux. The surface mirrors a single icrowd-server so
+// existing clients work unchanged against the router.
+func (rt *Router) routes() *http.ServeMux {
+	mux := http.NewServeMux()
+	type ep struct {
+		name    string
+		method  string
+		handler http.HandlerFunc
+	}
+	eps := []ep{
+		{"assign", http.MethodGet, rt.writeHandler(workerFromQuery)},
+		{"submit", http.MethodPost, rt.writeHandler(workerFromSubmitBody)},
+		{"inactive", http.MethodPost, rt.writeHandler(workerFromQueryOrBody)},
+		{"status", http.MethodGet, rt.handleStatus},
+		{"results", http.MethodGet, rt.handleResults},
+	}
+	for _, e := range eps {
+		h := requireMethod(e.method, e.handler)
+		mux.HandleFunc("/v1/"+e.name, h)
+		mux.HandleFunc("/"+e.name, h) // legacy unversioned alias
+		mux.HandleFunc("/v1/projects/{project}/"+e.name, h)
+	}
+	mux.HandleFunc("/v1/projects", requireMethod(http.MethodGet, rt.handleProjectList))
+	mux.HandleFunc("/v1/projects/{project}", rt.handleProjectRoot)
+	mux.HandleFunc("/v1/metrics", requireMethod(http.MethodGet, rt.handleMetrics))
+	mux.HandleFunc("/v1/healthz", requireMethod(http.MethodGet, rt.handleHealthz))
+	mux.HandleFunc("/v1/readyz", requireMethod(http.MethodGet, rt.handleReadyz))
+	mux.HandleFunc("/v1/shards", requireMethod(http.MethodGet, rt.handleShards))
+	mux.HandleFunc("/", rt.handleNotFound)
+	return mux
+}
+
+// requireMethod guards a handler with the endpoint's method, answering the
+// same typed 405 the shards do.
+func requireMethod(method string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != method {
+			writeError(w, http.StatusMethodNotAllowed, platform.CodeMethodNotAllowed, "method not allowed")
+			return
+		}
+		h(w, r)
+	}
+}
+
+// ---- write path: route by worker, proxy to the owning shard ----
+
+// workerExtractor pulls the worker ID out of a write request (body already
+// read so it can be both inspected and forwarded).
+type workerExtractor func(r *http.Request, body []byte) string
+
+func workerFromQuery(r *http.Request, _ []byte) string {
+	return r.URL.Query().Get("workerId")
+}
+
+func workerFromSubmitBody(_ *http.Request, body []byte) string {
+	var req platform.SubmitRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		return ""
+	}
+	return req.WorkerID
+}
+
+func workerFromQueryOrBody(r *http.Request, body []byte) string {
+	if w := r.URL.Query().Get("workerId"); w != "" {
+		return w
+	}
+	var req platform.InactiveRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		return ""
+	}
+	return req.WorkerID
+}
+
+// writeHandler proxies a write to the shard owning the request's worker.
+func (rt *Router) writeHandler(extract workerExtractor) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+		if err != nil {
+			writeError(w, http.StatusBadRequest, platform.CodeBadRequest, "read body: "+err.Error())
+			return
+		}
+		worker := extract(r, body)
+		if worker == "" {
+			writeError(w, http.StatusBadRequest, platform.CodeBadRequest, "workerId required")
+			return
+		}
+		shard := rt.ring.Get(worker)
+		if !rt.tracker.Up(shard) {
+			rt.writeShardUnavailable(w, shard)
+			return
+		}
+		rt.proxy(w, r, shard, body)
+	}
+}
+
+// proxy forwards the request verbatim to shard and copies the response
+// back — status, typed error bodies and Retry-After hints included, so the
+// client sees exactly what the shard said. A transport failure marks the
+// shard down and degrades to the typed 503 (nothing was applied: the
+// request never reached a handler that logs events).
+func (rt *Router) proxy(w http.ResponseWriter, r *http.Request, shard string, body []byte) {
+	req, err := http.NewRequestWithContext(r.Context(), r.Method, shard+r.URL.RequestURI(), bytes.NewReader(body))
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, platform.CodeInternal, err.Error())
+		return
+	}
+	if ct := r.Header.Get("Content-Type"); ct != "" {
+		req.Header.Set("Content-Type", ct)
+	}
+	resp, err := rt.client.Do(req)
+	if err != nil {
+		if r.Context().Err() != nil {
+			// The client went away; the shard is not to blame.
+			writeError(w, http.StatusBadRequest, platform.CodeBadRequest, "client cancelled request")
+			return
+		}
+		rt.markDown(shard, err)
+		rt.writeShardUnavailable(w, shard)
+		return
+	}
+	defer resp.Body.Close()
+	if c := rt.proxied[shard]; c != nil {
+		c.Inc()
+	}
+	for _, h := range []string{"Content-Type", "Retry-After", "X-Request-Id"} {
+		if v := resp.Header.Get(h); v != "" {
+			w.Header().Set(h, v)
+		}
+	}
+	w.WriteHeader(resp.StatusCode)
+	io.Copy(w, resp.Body) //nolint:errcheck // best effort once headers are out
+}
+
+// writeShardUnavailable answers the typed 503 for a down shard, hinting
+// the client to retry after the next probe round may have re-admitted it.
+func (rt *Router) writeShardUnavailable(w http.ResponseWriter, shard string) {
+	if c := rt.unavailable[shard]; c != nil {
+		c.Inc()
+	}
+	secs := int64((rt.retryAfter + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+	writeError(w, http.StatusServiceUnavailable, platform.CodeShardUnavailable,
+		"shard "+shard+" is unavailable; its key range will resume after it rejoins")
+}
+
+// ---- read path: fan out and merge ----
+
+// shardResult is one shard's answer to a fan-out read.
+type shardResult struct {
+	shard  string
+	status int
+	body   []byte
+	err    error
+}
+
+var errShardDown = errors.New("shard down")
+
+// fanout GETs path on every shard concurrently (down shards are skipped
+// with err set), returning results in ring-node order (sorted by URL) so
+// merges are deterministic.
+func (rt *Router) fanout(ctx context.Context, path string) []shardResult {
+	shards := rt.ring.Nodes()
+	out := make([]shardResult, len(shards))
+	var wg sync.WaitGroup
+	for i, s := range shards {
+		out[i] = shardResult{shard: s}
+		if !rt.tracker.Up(s) {
+			out[i].err = errShardDown
+			if c := rt.skipped[s]; c != nil {
+				c.Inc()
+			}
+			continue
+		}
+		wg.Add(1)
+		go func(i int, s string) {
+			defer wg.Done()
+			req, err := http.NewRequestWithContext(ctx, http.MethodGet, s+path, nil)
+			if err != nil {
+				out[i].err = err
+				return
+			}
+			resp, err := rt.client.Do(req)
+			if err != nil {
+				if ctx.Err() == nil {
+					rt.markDown(s, err)
+				}
+				out[i].err = err
+				return
+			}
+			defer resp.Body.Close()
+			body, err := io.ReadAll(io.LimitReader(resp.Body, 8<<20))
+			if err != nil {
+				out[i].err = err
+				return
+			}
+			out[i].status = resp.StatusCode
+			out[i].body = body
+		}(i, s)
+	}
+	wg.Wait()
+	return out
+}
+
+// relayOrUnavailable handles a fan-out where no shard produced a 2xx: the
+// first non-2xx response is relayed as-is (it is already a typed error —
+// e.g. project_not_found), and if nothing answered at all the router emits
+// its own 503.
+func relayOrUnavailable(w http.ResponseWriter, results []shardResult) {
+	for _, res := range results {
+		if res.err == nil && res.status != 0 {
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(res.status)
+			w.Write(res.body) //nolint:errcheck
+			return
+		}
+	}
+	writeError(w, http.StatusServiceUnavailable, platform.CodeShardUnavailable,
+		"no shard available")
+}
+
+// basePath returns the shard-side path prefix for the request: the project
+// mount when the request came in project-scoped, the default mount
+// otherwise (legacy unversioned aliases are normalized to /v1).
+func basePath(r *http.Request) string {
+	if p := r.PathValue("project"); p != "" {
+		return "/v1/projects/" + p
+	}
+	return "/v1"
+}
+
+// decode2xx unmarshals every successful result into fresh T values,
+// keeping shard order.
+func decode2xx[T any](results []shardResult) []T {
+	var out []T
+	for _, res := range results {
+		if res.err != nil || res.status/100 != 2 {
+			continue
+		}
+		var v T
+		if err := json.Unmarshal(res.body, &v); err != nil {
+			continue
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+func ok2xx(results []shardResult) int {
+	n := 0
+	for _, res := range results {
+		if res.err == nil && res.status/100 == 2 {
+			n++
+		}
+	}
+	return n
+}
+
+// mergeResults majority-votes each task across shards. NONE answers do not
+// vote; a YES/NO tie keeps the first shard's answer (ring-node order, so
+// the choice is deterministic), and a task every shard reports NONE stays
+// NONE.
+func mergeResults(parts []platform.ResultsResponse) map[int]string {
+	merged := map[int]string{}
+	yes := map[int]int{}
+	no := map[int]int{}
+	first := map[int]string{}
+	for _, p := range parts {
+		for t, a := range p.Results {
+			if _, ok := merged[t]; !ok {
+				merged[t] = "NONE"
+			}
+			switch a {
+			case "YES":
+				yes[t]++
+			case "NO":
+				no[t]++
+			default:
+				continue
+			}
+			if _, ok := first[t]; !ok {
+				first[t] = a
+			}
+		}
+	}
+	for t := range merged {
+		switch {
+		case yes[t] > no[t]:
+			merged[t] = "YES"
+		case no[t] > yes[t]:
+			merged[t] = "NO"
+		case yes[t] > 0:
+			merged[t] = first[t]
+		}
+	}
+	return merged
+}
+
+// handleResults serves the merged cross-shard results view.
+func (rt *Router) handleResults(w http.ResponseWriter, r *http.Request) {
+	results := rt.fanout(r.Context(), basePath(r)+"/results")
+	if ok2xx(results) == 0 {
+		relayOrUnavailable(w, results)
+		return
+	}
+	merged := mergeResults(decode2xx[platform.ResultsResponse](results))
+	writeJSON(w, http.StatusOK, platform.ResultsResponse{Results: merged})
+}
+
+// handleStatus merges every live shard's status: counters sum, Total is
+// the shared dataset size (max), Done only once every live shard is done,
+// and Completed counts tasks whose cross-shard majority vote is decided —
+// the same number a client would get by merging /results itself.
+func (rt *Router) handleStatus(w http.ResponseWriter, r *http.Request) {
+	base := basePath(r)
+	var stRes, resRes []shardResult
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() { defer wg.Done(); stRes = rt.fanout(r.Context(), base+"/status") }()
+	go func() { defer wg.Done(); resRes = rt.fanout(r.Context(), base+"/results") }()
+	wg.Wait()
+	if ok2xx(stRes) == 0 {
+		relayOrUnavailable(w, stRes)
+		return
+	}
+	parts := decode2xx[platform.StatusResponse](stRes)
+	merged := platform.StatusResponse{Done: true}
+	for _, p := range parts {
+		if merged.Strategy == "" {
+			merged.Strategy = p.Strategy
+		}
+		if p.Total > merged.Total {
+			merged.Total = p.Total
+		}
+		merged.Pending += p.Pending
+		merged.HITs += p.HITs
+		merged.Submitted += p.Submitted
+		merged.CostUSD += p.CostUSD
+		merged.Done = merged.Done && p.Done
+	}
+	for _, a := range mergeResults(decode2xx[platform.ResultsResponse](resRes)) {
+		if a != "NONE" {
+			merged.Completed++
+		}
+	}
+	writeJSON(w, http.StatusOK, merged)
+}
+
+// ---- health, metrics, shards ----
+
+// HealthRollup is the router's /v1/healthz body: the router's own
+// liveness plus each shard's tracked state.
+type HealthRollup struct {
+	// Status is "ok" when every shard is up, "degraded" otherwise. The
+	// rollup itself always answers 200 — it reports the router alive.
+	Status string       `json:"status"`
+	Shards []ShardState `json:"shards"`
+}
+
+func (rt *Router) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	roll := HealthRollup{Status: "ok", Shards: rt.tracker.Snapshot()}
+	for _, s := range roll.Shards {
+		if !s.Up {
+			roll.Status = "degraded"
+		}
+	}
+	writeJSON(w, http.StatusOK, roll)
+}
+
+// ReadyState is one shard's readiness inside ReadyRollup.
+type ReadyState struct {
+	URL string `json:"url"`
+	// Status is the shard's own readyz status ("unavailable" when the
+	// shard could not be reached or answered non-2xx).
+	Status string `json:"status"`
+}
+
+// ReadyRollup is the router's /v1/readyz body.
+type ReadyRollup struct {
+	// Status is "ok" when every shard is ready, "degraded" when some shard
+	// reports degraded, "unavailable" (HTTP 503) when any shard is down or
+	// unready — with a shard down, part of the key range rejects writes,
+	// so the fleet as a whole is not ready.
+	Status string       `json:"status"`
+	Shards []ReadyState `json:"shards"`
+}
+
+func (rt *Router) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	results := rt.fanout(r.Context(), "/v1/readyz")
+	roll := ReadyRollup{Status: "ok"}
+	status := http.StatusOK
+	for _, res := range results {
+		rs := ReadyState{URL: res.shard, Status: "unavailable"}
+		if res.err == nil && res.status/100 == 2 {
+			var probe obsv.ProbeResponse
+			if err := json.Unmarshal(res.body, &probe); err == nil && probe.Status != "" {
+				rs.Status = probe.Status
+			} else {
+				rs.Status = "ok"
+			}
+		}
+		switch rs.Status {
+		case "unavailable", "failed":
+			roll.Status = "unavailable"
+			status = http.StatusServiceUnavailable
+		case "degraded":
+			if roll.Status == "ok" {
+				roll.Status = "degraded"
+			}
+		}
+		roll.Shards = append(roll.Shards, rs)
+	}
+	writeJSON(w, status, roll)
+}
+
+// handleMetrics serves the union of every live shard's Prometheus
+// exposition plus the router's own, each sample labelled with its origin.
+func (rt *Router) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	results := rt.fanout(r.Context(), "/v1/metrics")
+	var parts []obsv.Exposition
+	for _, res := range results {
+		if res.err != nil || res.status/100 != 2 {
+			continue
+		}
+		parts = append(parts, obsv.Exposition{Value: res.shard, Text: string(res.body)})
+	}
+	var own strings.Builder
+	rt.reg.WritePrometheus(&own)
+	parts = append(parts, obsv.Exposition{Value: "router", Text: own.String()})
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	io.WriteString(w, obsv.MergeExpositions("shard", parts)) //nolint:errcheck
+}
+
+// ShardsResponse is the /v1/shards body: the fleet as the router sees it.
+type ShardsResponse struct {
+	Shards []ShardState `json:"shards"`
+}
+
+func (rt *Router) handleShards(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, ShardsResponse{Shards: rt.tracker.Snapshot()})
+}
+
+// ---- projects ----
+
+// handleProjectList unions every live shard's project list: per-worker
+// state (Pending) sums, LastSeq is the max across shards (each shard logs
+// its own partition of the project's events).
+func (rt *Router) handleProjectList(w http.ResponseWriter, r *http.Request) {
+	results := rt.fanout(r.Context(), "/v1/projects")
+	if ok2xx(results) == 0 {
+		relayOrUnavailable(w, results)
+		return
+	}
+	byID := map[string]*platform.ProjectInfo{}
+	var order []string
+	for _, part := range decode2xx[platform.ProjectListResponse](results) {
+		for _, p := range part.Projects {
+			info, ok := byID[p.ID]
+			if !ok {
+				cp := p
+				byID[p.ID] = &cp
+				order = append(order, p.ID)
+				continue
+			}
+			info.Pending += p.Pending
+			if p.LastSeq > info.LastSeq {
+				info.LastSeq = p.LastSeq
+			}
+		}
+	}
+	// Default project first, the rest by id — the single-server order.
+	sort.SliceStable(order, func(i, j int) bool {
+		if (order[i] == "default") != (order[j] == "default") {
+			return order[i] == "default"
+		}
+		return order[i] < order[j]
+	})
+	resp := platform.ProjectListResponse{Projects: []platform.ProjectInfo{}}
+	for _, id := range order {
+		resp.Projects = append(resp.Projects, *byID[id])
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleProjectRoot serves GET (merged describe) and PUT (broadcast
+// create) for one project.
+func (rt *Router) handleProjectRoot(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("project")
+	switch r.Method {
+	case http.MethodGet:
+		results := rt.fanout(r.Context(), "/v1/projects/"+id)
+		if ok2xx(results) == 0 {
+			relayOrUnavailable(w, results)
+			return
+		}
+		var merged platform.ProjectInfo
+		for i, p := range decode2xx[platform.ProjectInfo](results) {
+			if i == 0 {
+				merged = p
+				continue
+			}
+			merged.Pending += p.Pending
+			if p.LastSeq > merged.LastSeq {
+				merged.LastSeq = p.LastSeq
+			}
+		}
+		writeJSON(w, http.StatusOK, merged)
+	case http.MethodPut:
+		rt.broadcastCreate(w, r, id)
+	default:
+		writeError(w, http.StatusMethodNotAllowed, platform.CodeMethodNotAllowed, "method not allowed")
+	}
+}
+
+// broadcastCreate PUTs the project on every shard. Creation must reach the
+// whole fleet — a worker can hash to any shard, so a project existing on
+// only some of them would 404 for part of the crowd. Any down shard fails
+// the call with the typed 503 (the PUT is idempotent; retry once the fleet
+// is whole).
+func (rt *Router) broadcastCreate(w http.ResponseWriter, r *http.Request, id string) {
+	shards := rt.ring.Nodes()
+	results := make([]shardResult, len(shards))
+	var wg sync.WaitGroup
+	for i, s := range shards {
+		results[i] = shardResult{shard: s}
+		if !rt.tracker.Up(s) {
+			results[i].err = errShardDown
+			continue
+		}
+		wg.Add(1)
+		go func(i int, s string) {
+			defer wg.Done()
+			req, err := http.NewRequestWithContext(r.Context(), http.MethodPut, s+"/v1/projects/"+id, nil)
+			if err != nil {
+				results[i].err = err
+				return
+			}
+			resp, err := rt.client.Do(req)
+			if err != nil {
+				if r.Context().Err() == nil {
+					rt.markDown(s, err)
+				}
+				results[i].err = err
+				return
+			}
+			defer resp.Body.Close()
+			body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+			results[i].status = resp.StatusCode
+			results[i].body = body
+		}(i, s)
+	}
+	wg.Wait()
+	created := false
+	for _, res := range results {
+		if res.err != nil {
+			rt.writeShardUnavailable(w, res.shard)
+			return
+		}
+		if res.status/100 != 2 {
+			// Relay the shard's typed rejection (bad id, log failure, ...).
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(res.status)
+			w.Write(res.body) //nolint:errcheck
+			return
+		}
+		var cr platform.ProjectCreateResponse
+		if err := json.Unmarshal(res.body, &cr); err == nil && cr.Created {
+			created = true
+		}
+	}
+	status := http.StatusOK
+	if created {
+		status = http.StatusCreated
+	}
+	writeJSON(w, status, platform.ProjectCreateResponse{ID: id, Created: created})
+}
+
+// handleNotFound mirrors the shards' typed 404.
+func (rt *Router) handleNotFound(w http.ResponseWriter, r *http.Request) {
+	writeError(w, http.StatusNotFound, platform.CodeNotFound, "no such endpoint: "+r.URL.Path)
+}
+
+// ---- small helpers ----
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, code, msg string) {
+	writeJSON(w, status, platform.ErrorResponse{Code: code, Message: msg})
+}

@@ -1,0 +1,424 @@
+package shard
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"icrowd/internal/platform"
+)
+
+// fakeShard is a scripted icrowd-server stand-in: it records which workers
+// hit its write endpoints and serves canned read bodies.
+type fakeShard struct {
+	mu      sync.Mutex
+	assigns []string
+	submits []string
+	status  platform.StatusResponse
+	results map[int]string
+	ready   string // readyz status body; "" serves ok
+}
+
+func (f *fakeShard) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/assign", func(w http.ResponseWriter, r *http.Request) {
+		f.mu.Lock()
+		f.assigns = append(f.assigns, r.URL.Query().Get("workerId"))
+		f.mu.Unlock()
+		json.NewEncoder(w).Encode(platform.AssignResponse{Assigned: true, TaskID: 1})
+	})
+	mux.HandleFunc("/v1/submit", func(w http.ResponseWriter, r *http.Request) {
+		var req platform.SubmitRequest
+		json.NewDecoder(r.Body).Decode(&req)
+		f.mu.Lock()
+		f.submits = append(f.submits, req.WorkerID)
+		f.mu.Unlock()
+		json.NewEncoder(w).Encode(platform.SubmitResponse{Accepted: true})
+	})
+	mux.HandleFunc("/v1/status", func(w http.ResponseWriter, r *http.Request) {
+		json.NewEncoder(w).Encode(f.status)
+	})
+	mux.HandleFunc("/v1/results", func(w http.ResponseWriter, r *http.Request) {
+		json.NewEncoder(w).Encode(platform.ResultsResponse{Results: f.results})
+	})
+	mux.HandleFunc("/v1/healthz", func(w http.ResponseWriter, r *http.Request) {
+		json.NewEncoder(w).Encode(map[string]string{"status": "ok"})
+	})
+	mux.HandleFunc("/v1/readyz", func(w http.ResponseWriter, r *http.Request) {
+		st := f.ready
+		if st == "" {
+			st = "ok"
+		}
+		if st == "failed" {
+			w.WriteHeader(http.StatusServiceUnavailable)
+		}
+		json.NewEncoder(w).Encode(map[string]string{"status": st})
+	})
+	mux.HandleFunc("/v1/metrics", func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "# HELP fake_total Fake.\n# TYPE fake_total counter\nfake_total 1\n")
+	})
+	mux.HandleFunc("/v1/projects", func(w http.ResponseWriter, r *http.Request) {
+		json.NewEncoder(w).Encode(platform.ProjectListResponse{Projects: []platform.ProjectInfo{
+			{ID: "default", Strategy: "baseline-mv", LastSeq: 3, Pending: 1},
+		}})
+	})
+	mux.HandleFunc("/v1/projects/{project}", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method == http.MethodPut {
+			w.WriteHeader(http.StatusCreated)
+			json.NewEncoder(w).Encode(platform.ProjectCreateResponse{ID: r.PathValue("project"), Created: true})
+			return
+		}
+		json.NewEncoder(w).Encode(platform.ProjectInfo{ID: r.PathValue("project"), Strategy: "baseline-mv", LastSeq: 2, Pending: 1})
+	})
+	return mux
+}
+
+// newFleet spins up n fake shards behind a router, returning the router's
+// test server, the fakes (index-aligned with urls) and the shard URLs.
+func newFleet(t *testing.T, n int) (*httptest.Server, []*fakeShard, []string, *Router) {
+	t.Helper()
+	fakes := make([]*fakeShard, n)
+	urls := make([]string, n)
+	for i := range fakes {
+		fakes[i] = &fakeShard{results: map[int]string{}}
+		srv := httptest.NewServer(fakes[i].handler())
+		t.Cleanup(srv.Close)
+		urls[i] = srv.URL
+	}
+	rt, err := New(Config{Shards: urls, ProbeInterval: 50 * time.Millisecond, ProbeTimeout: time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	front := httptest.NewServer(rt.Handler())
+	t.Cleanup(front.Close)
+	return front, fakes, urls, rt
+}
+
+func get(t *testing.T, url string) (int, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, body
+}
+
+func TestRouterRoutesWritesByWorker(t *testing.T) {
+	front, fakes, urls, rt := newFleet(t, 3)
+	workers := keys(60)
+	for _, w := range workers {
+		status, _ := get(t, front.URL+"/v1/assign?workerId="+w)
+		if status != http.StatusOK {
+			t.Fatalf("assign %s: HTTP %d", w, status)
+		}
+		body := fmt.Sprintf(`{"workerId":%q,"taskId":1,"answer":"YES"}`, w)
+		resp, err := http.Post(front.URL+"/v1/submit", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("submit %s: HTTP %d", w, resp.StatusCode)
+		}
+	}
+	// Every worker's assign and submit landed on the ring-owning shard.
+	byURL := map[string]*fakeShard{}
+	for i, u := range urls {
+		byURL[u] = fakes[i]
+	}
+	for _, w := range workers {
+		owner := byURL[rt.ring.Get(w)]
+		if !contains(owner.assigns, w) {
+			t.Fatalf("worker %s assign did not reach its ring owner", w)
+		}
+		if !contains(owner.submits, w) {
+			t.Fatalf("worker %s submit did not reach its ring owner", w)
+		}
+	}
+	for i, f := range fakes {
+		if len(f.assigns) == 0 {
+			t.Fatalf("shard %d received no assigns — ring is degenerate", i)
+		}
+		for _, w := range f.assigns {
+			if rt.ring.Get(w) != urls[i] {
+				t.Fatalf("worker %s reached shard %d but the ring owns it elsewhere", w, i)
+			}
+		}
+	}
+}
+
+func contains(xs []string, x string) bool {
+	for _, v := range xs {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}
+
+func TestRouterMissingWorkerIsTyped400(t *testing.T) {
+	front, _, _, _ := newFleet(t, 2)
+	status, body := get(t, front.URL+"/v1/assign")
+	if status != http.StatusBadRequest {
+		t.Fatalf("HTTP %d, want 400", status)
+	}
+	var er platform.ErrorResponse
+	if err := json.Unmarshal(body, &er); err != nil || er.Code != platform.CodeBadRequest {
+		t.Fatalf("body %s, want code bad_request", body)
+	}
+}
+
+func TestRouterDownShardGetsTyped503(t *testing.T) {
+	front, _, urls, rt := newFleet(t, 3)
+	// Find a worker owned by shard 0, then kill shard 0 at the transport
+	// level by marking it down (the passive path is exercised in the chaos
+	// test against real closed listeners).
+	var victim string
+	for _, w := range keys(200) {
+		if rt.ring.Get(w) == urls[0] {
+			victim = w
+			break
+		}
+	}
+	if victim == "" {
+		t.Fatal("no worker maps to shard 0")
+	}
+	rt.markDown(urls[0], fmt.Errorf("test: connection refused"))
+
+	status, body := get(t, front.URL+"/v1/assign?workerId="+victim)
+	if status != http.StatusServiceUnavailable {
+		t.Fatalf("HTTP %d, want 503", status)
+	}
+	var er platform.ErrorResponse
+	if err := json.Unmarshal(body, &er); err != nil || er.Code != platform.CodeShardUnavailable {
+		t.Fatalf("body %s, want code shard_unavailable", body)
+	}
+	resp, err := http.Get(front.URL + "/v1/assign?workerId=" + victim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if ra, err := strconv.Atoi(resp.Header.Get("Retry-After")); err != nil || ra < 1 {
+		t.Fatalf("Retry-After = %q, want integer >= 1", resp.Header.Get("Retry-After"))
+	}
+
+	// Workers owned by surviving shards still get through.
+	var survivor string
+	for _, w := range keys(200) {
+		if rt.ring.Get(w) != urls[0] {
+			survivor = w
+			break
+		}
+	}
+	if status, _ := get(t, front.URL+"/v1/assign?workerId="+survivor); status != http.StatusOK {
+		t.Fatalf("survivor worker got HTTP %d, want 200", status)
+	}
+}
+
+func TestRouterProbeReadmitsShard(t *testing.T) {
+	front, _, urls, rt := newFleet(t, 2)
+	rt.markDown(urls[1], fmt.Errorf("test: down"))
+	if rt.tracker.Up(urls[1]) {
+		t.Fatal("markDown did not take")
+	}
+	stop := rt.Start()
+	defer stop()
+	deadline := time.Now().Add(5 * time.Second)
+	for !rt.tracker.Up(urls[1]) {
+		if time.Now().After(deadline) {
+			t.Fatal("probe loop never re-admitted the healthy shard")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	// And the fleet rollup reflects it.
+	status, body := get(t, front.URL+"/v1/healthz")
+	if status != http.StatusOK {
+		t.Fatalf("healthz HTTP %d", status)
+	}
+	var roll HealthRollup
+	if err := json.Unmarshal(body, &roll); err != nil || roll.Status != "ok" {
+		t.Fatalf("healthz rollup %s, want status ok", body)
+	}
+}
+
+func TestRouterStatusAndResultsMerge(t *testing.T) {
+	front, fakes, _, _ := newFleet(t, 3)
+	fakes[0].status = platform.StatusResponse{Strategy: "baseline-mv", Total: 4, Pending: 1, HITs: 5, Submitted: 4, CostUSD: 0.4, Done: true}
+	fakes[1].status = platform.StatusResponse{Strategy: "baseline-mv", Total: 4, Pending: 2, HITs: 3, Submitted: 2, CostUSD: 0.2, Done: false}
+	fakes[2].status = platform.StatusResponse{Strategy: "baseline-mv", Total: 4, Pending: 0, HITs: 1, Submitted: 1, CostUSD: 0.1, Done: true}
+	// Task 0: 2xYES vs 1xNO -> YES. Task 1: YES/NO tie -> first shard's
+	// answer in URL order. Task 2: only NONEs -> NONE. Task 3: one shard
+	// decided -> its answer.
+	fakes[0].results = map[int]string{0: "YES", 1: "YES", 2: "NONE", 3: "NONE"}
+	fakes[1].results = map[int]string{0: "YES", 1: "NO", 2: "NONE", 3: "NO"}
+	fakes[2].results = map[int]string{0: "NO", 1: "NONE", 2: "NONE", 3: "NONE"}
+
+	status, body := get(t, front.URL+"/v1/results")
+	if status != http.StatusOK {
+		t.Fatalf("results HTTP %d", status)
+	}
+	var res platform.ResultsResponse
+	if err := json.Unmarshal(body, &res); err != nil {
+		t.Fatal(err)
+	}
+	if res.Results[0] != "YES" {
+		t.Fatalf("task 0 = %s, want YES (majority)", res.Results[0])
+	}
+	if res.Results[1] != "YES" && res.Results[1] != "NO" {
+		t.Fatalf("task 1 = %s, want a decided tie-break", res.Results[1])
+	}
+	if res.Results[2] != "NONE" {
+		t.Fatalf("task 2 = %s, want NONE", res.Results[2])
+	}
+	if res.Results[3] != "NO" {
+		t.Fatalf("task 3 = %s, want NO (only decided vote)", res.Results[3])
+	}
+
+	status, body = get(t, front.URL+"/v1/status")
+	if status != http.StatusOK {
+		t.Fatalf("status HTTP %d", status)
+	}
+	var st platform.StatusResponse
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Strategy != "baseline-mv" || st.Total != 4 {
+		t.Fatalf("merged strategy/total = %s/%d", st.Strategy, st.Total)
+	}
+	if st.Pending != 3 || st.HITs != 9 || st.Submitted != 7 {
+		t.Fatalf("merged sums wrong: %+v", st)
+	}
+	if st.Done {
+		t.Fatal("Done must be AND across shards (shard 1 is not done)")
+	}
+	if st.Completed != 3 { // tasks 0, 1, 3 decided after the merge
+		t.Fatalf("Completed = %d, want 3", st.Completed)
+	}
+}
+
+func TestRouterReadyzRollsUpWorstState(t *testing.T) {
+	front, fakes, urls, rt := newFleet(t, 3)
+	if status, _ := get(t, front.URL+"/v1/readyz"); status != http.StatusOK {
+		t.Fatalf("all-ok readyz HTTP %d, want 200", status)
+	}
+	fakes[1].ready = "degraded"
+	status, body := get(t, front.URL+"/v1/readyz")
+	var roll ReadyRollup
+	if err := json.Unmarshal(body, &roll); err != nil {
+		t.Fatal(err)
+	}
+	if status != http.StatusOK || roll.Status != "degraded" {
+		t.Fatalf("degraded shard: HTTP %d status %s, want 200/degraded", status, roll.Status)
+	}
+	rt.markDown(urls[2], fmt.Errorf("test: down"))
+	status, body = get(t, front.URL+"/v1/readyz")
+	if err := json.Unmarshal(body, &roll); err != nil {
+		t.Fatal(err)
+	}
+	if status != http.StatusServiceUnavailable || roll.Status != "unavailable" {
+		t.Fatalf("down shard: HTTP %d status %s, want 503/unavailable", status, roll.Status)
+	}
+}
+
+func TestRouterMetricsMergesShardsAndSelf(t *testing.T) {
+	front, _, urls, _ := newFleet(t, 2)
+	// Generate some router-side traffic so its own counters exist.
+	get(t, front.URL+"/v1/assign?workerId=w0001")
+	status, body := get(t, front.URL+"/v1/metrics")
+	if status != http.StatusOK {
+		t.Fatalf("metrics HTTP %d", status)
+	}
+	out := string(body)
+	for _, u := range urls {
+		if !strings.Contains(out, `fake_total{shard="`+u+`"} 1`) {
+			t.Fatalf("missing shard %s sample in merged metrics:\n%s", u, out)
+		}
+	}
+	if strings.Count(out, "# TYPE fake_total counter") != 1 {
+		t.Fatalf("family header not merged:\n%s", out)
+	}
+	if !strings.Contains(out, `shard="router"`) {
+		t.Fatalf("router's own metrics missing:\n%s", out)
+	}
+	// The router's own per-backend series use the target label so the
+	// injected shard label never duplicates: one shard= pair per sample.
+	for _, line := range strings.Split(out, "\n") {
+		if strings.Count(line, `shard="`) > 1 {
+			t.Fatalf("duplicate shard label in merged sample: %s", line)
+		}
+	}
+	if !strings.Contains(out, `target="`+urls[0]+`"`) {
+		t.Fatalf("router per-backend series missing target label:\n%s", out)
+	}
+}
+
+func TestRouterProjectBroadcast(t *testing.T) {
+	front, _, urls, rt := newFleet(t, 3)
+	req, _ := http.NewRequest(http.MethodPut, front.URL+"/v1/projects/batch7", nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("PUT HTTP %d: %s", resp.StatusCode, body)
+	}
+	var cr platform.ProjectCreateResponse
+	if err := json.Unmarshal(body, &cr); err != nil || cr.ID != "batch7" || !cr.Created {
+		t.Fatalf("create response %s", body)
+	}
+
+	// List merges shard views: Pending sums, LastSeq max.
+	status, body := get(t, front.URL+"/v1/projects")
+	if status != http.StatusOK {
+		t.Fatalf("list HTTP %d", status)
+	}
+	var list platform.ProjectListResponse
+	if err := json.Unmarshal(body, &list); err != nil {
+		t.Fatal(err)
+	}
+	if len(list.Projects) != 1 || list.Projects[0].ID != "default" {
+		t.Fatalf("list %s", body)
+	}
+	if list.Projects[0].Pending != 3 || list.Projects[0].LastSeq != 3 {
+		t.Fatalf("merged pending/lastSeq = %d/%d, want 3/3", list.Projects[0].Pending, list.Projects[0].LastSeq)
+	}
+
+	// With a shard down, create must refuse: the project would be missing
+	// for every worker hashing to the dead shard.
+	rt.markDown(urls[0], fmt.Errorf("test: down"))
+	req, _ = http.NewRequest(http.MethodPut, front.URL+"/v1/projects/batch8", nil)
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	var er platform.ErrorResponse
+	if resp.StatusCode != http.StatusServiceUnavailable ||
+		json.Unmarshal(body, &er) != nil || er.Code != platform.CodeShardUnavailable {
+		t.Fatalf("PUT with down shard: HTTP %d %s, want typed 503", resp.StatusCode, body)
+	}
+}
+
+func TestRouterUnknownPathIsTyped404(t *testing.T) {
+	front, _, _, _ := newFleet(t, 1)
+	status, body := get(t, front.URL+"/v1/nope")
+	var er platform.ErrorResponse
+	if status != http.StatusNotFound || json.Unmarshal(body, &er) != nil || er.Code != platform.CodeNotFound {
+		t.Fatalf("HTTP %d %s, want typed 404", status, body)
+	}
+}
