@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test check lint vet race race-hot parity store-conformance load-smoke router-smoke bench bench-all bench-diff bench-diff-report clean
+.PHONY: all build test check lint vet race race-hot parity store-conformance load-smoke router-smoke trace-smoke bench bench-all bench-diff bench-diff-report clean
 
 all: build
 
@@ -27,11 +27,11 @@ race:
 	$(GO) test -race ./...
 
 # Focused race pass over the observability layer, the platform server and
-# the shard router — the packages whose instruments, log handler, probe
-# surface, admission gate, per-worker limiter map and health tracker are
-# hammered from many goroutines at once (see TestContentionAllInstruments,
-# TestWorkerLimiterEvictRaceHammer, TestChaosOverloadBurst,
-# TestChaosKillShard).
+# the shard router — the packages whose instruments, log handler, tracer
+# ring, SLO burn-rate engine, probe surface, admission gate, per-worker
+# limiter map and health tracker are hammered from many goroutines at once
+# (see TestContentionAllInstruments, TestWorkerLimiterEvictRaceHammer,
+# TestChaosOverloadBurst, TestChaosKillShard, TestTraceAssemblyAcrossFleet).
 race-hot:
 	$(GO) test -race ./internal/obsv ./internal/platform ./internal/shard
 
@@ -56,6 +56,12 @@ load-smoke:
 router-smoke:
 	./scripts/router_smoke.sh
 
+# End-to-end tracing smoke: two shards behind the router, one submit, and
+# GET /v1/trace/{traceid} must assemble the cross-process tree — router
+# span as root, the owning shard's spans as children, one shared trace ID.
+trace-smoke:
+	./scripts/trace_smoke.sh
+
 # Determinism contracts on their own: parallel precompute and the cached
 # scheme are bit-identical to the sequential paths, and the /v1 API is
 # byte-identical to the legacy mount. (Also covered by `race`, but this
@@ -66,7 +72,7 @@ parity:
 # The gate a PR must pass. bench-diff runs report-only here because shared
 # CI machines are too noisy for a hard ns/op gate; run `make bench-diff`
 # on a quiet box before committing a perf-sensitive change.
-check: lint parity store-conformance race race-hot load-smoke router-smoke bench-diff-report
+check: lint parity store-conformance race race-hot load-smoke router-smoke trace-smoke bench-diff-report
 
 # Hot-path benchmarks -> BENCH_hotpath.json (sequential vs parallel
 # precompute, incremental scheme recompute, /assign read throughput).

@@ -11,7 +11,10 @@
 // /v1/submit, each measured as its own sample. The report summarizes
 // goodput, shed rate, and p50/p95/p99 latency over admitted (2xx)
 // requests, plus the hot worker's share of admitted traffic (bounded by
-// the per-worker rate limiter when one is configured).
+// the per-worker rate limiter when one is configured). When the target
+// runs with -slo-latency, the generator also polls GET /v1/slo roughly
+// once per second and folds the sampled 5m burn rates into an "slo"
+// section of the report.
 //
 // Usage:
 //
@@ -25,6 +28,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -36,6 +40,7 @@ import (
 	"time"
 
 	"icrowd/internal/benchfmt"
+	"icrowd/internal/obsv"
 	"icrowd/internal/platform"
 	"icrowd/internal/task"
 )
@@ -89,6 +94,11 @@ func main() {
 		mu.Unlock()
 	}
 
+	// Sample the server's SLO burn rates while arrivals run; the section is
+	// omitted from the report when the target has no SLO engine.
+	poller := newSLOPoller(hc, *target)
+	stopPolling := poller.start(time.Second)
+
 	rng := rand.New(rand.NewSource(*seed))
 	zipf := rand.NewZipf(rand.New(rand.NewSource(*seed+1)), *zipfS, 1, uint64(*workers-1))
 	start := time.Now()
@@ -109,8 +119,10 @@ func main() {
 	}
 	wg.Wait()
 	elapsed := time.Since(start)
+	stopPolling()
 
 	rep := summarize(samples, benchfmt.LoadReport{
+		SLO:         poller.summary(),
 		GeneratedBy: "icrowd-loadgen",
 		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
 		GitCommit:   benchfmt.GitCommit(),
@@ -230,6 +242,110 @@ func summarize(samples []sample, rep benchfmt.LoadReport) *benchfmt.LoadReport {
 		rep.HotWorkerShare = float64(hottest) / float64(rep.Admitted)
 	}
 	return &rep
+}
+
+// sloPoller samples the target's GET /v1/slo while the run is in flight,
+// accumulating each objective's 5m burn rates so the report can show how
+// the error budget behaved under the offered load.
+type sloPoller struct {
+	hc     *http.Client
+	target string
+
+	mu    sync.Mutex
+	polls int
+	acc   map[string]*sloAcc
+}
+
+type sloAcc struct {
+	requests    int64
+	latencyBurn []float64
+	errorBurn   []float64
+}
+
+func newSLOPoller(hc *http.Client, target string) *sloPoller {
+	return &sloPoller{hc: hc, target: target, acc: map[string]*sloAcc{}}
+}
+
+// start polls every interval until the returned stop function is called
+// (one final poll runs on stop so short runs still get a sample).
+func (p *sloPoller) start(interval time.Duration) (stop func()) {
+	done := make(chan struct{})
+	finished := make(chan struct{})
+	go func() {
+		defer close(finished)
+		tick := time.NewTicker(interval)
+		defer tick.Stop()
+		for {
+			select {
+			case <-done:
+				p.poll()
+				return
+			case <-tick.C:
+				p.poll()
+			}
+		}
+	}()
+	return func() {
+		close(done)
+		<-finished
+	}
+}
+
+func (p *sloPoller) poll() {
+	resp, err := p.hc.Get(p.target + "/v1/slo")
+	if err != nil {
+		return
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return // typically 404 slo_disabled: the target has no SLO engine
+	}
+	var rep obsv.SLOReport
+	if err := json.NewDecoder(resp.Body).Decode(&rep); err != nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.polls++
+	for _, obj := range rep.Objectives {
+		for _, w := range obj.Windows {
+			if w.Window != "5m" {
+				continue
+			}
+			a := p.acc[obj.Key]
+			if a == nil {
+				a = &sloAcc{}
+				p.acc[obj.Key] = a
+			}
+			a.requests = w.Requests
+			a.latencyBurn = append(a.latencyBurn, w.LatencyBurnRate)
+			a.errorBurn = append(a.errorBurn, w.ErrorBurnRate)
+		}
+	}
+}
+
+// summary folds the samples into the report section; nil when the target
+// never answered /v1/slo with a report.
+func (p *sloPoller) summary() *benchfmt.SLOSummary {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.polls == 0 {
+		return nil
+	}
+	sum := &benchfmt.SLOSummary{
+		Polls:      p.polls,
+		Objectives: map[string]benchfmt.SLOObjectiveSummary{},
+	}
+	for key, a := range p.acc {
+		sum.Objectives[key] = benchfmt.SLOObjectiveSummary{
+			Requests:       a.requests,
+			LatencyBurnP50: benchfmt.Quantile(a.latencyBurn, 0.50),
+			LatencyBurnMax: benchfmt.Quantile(a.latencyBurn, 1),
+			ErrorBurnP50:   benchfmt.Quantile(a.errorBurn, 0.50),
+			ErrorBurnMax:   benchfmt.Quantile(a.errorBurn, 1),
+		}
+	}
+	return sum
 }
 
 // waitReady polls target's /v1/healthz until it answers 200 or the budget

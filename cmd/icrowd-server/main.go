@@ -70,6 +70,11 @@ func main() {
 		workerRate  = flag.Float64("worker-rate", 0, "per-worker rate limit in requests/second (0 disables)")
 		workerBurst = flag.Float64("worker-burst", 0, "per-worker burst allowance (0 = same as -worker-rate, min 1)")
 		overloadWin = flag.Duration("overload-window", 5*time.Second, "sustained queue saturation before /v1/readyz reports degraded")
+		sloLatency  = flag.Duration("slo-latency", 0, "default per-request latency SLO target; enables the burn-rate engine and GET /v1/slo (0 disables)")
+		sloPerEP    = flag.String("slo-endpoint-latency", "", `per-endpoint latency target overrides as endpoint=duration pairs, e.g. "assign=5ms,submit=25ms" (requires -slo-latency)`)
+		sloLatGoal  = flag.Float64("slo-latency-goal", 0.99, "fraction of requests that must meet their latency target")
+		sloErrGoal  = flag.Float64("slo-error-goal", 0.999, "fraction of requests that must not fail with 5xx")
+		sloBurn     = flag.Float64("slo-burn-degraded", 0, "report degraded on /v1/readyz while any objective's 5m burn rate exceeds this multiple (0 disables; 14.4 is the canonical fast-burn threshold)")
 		mAddr       = flag.String("metrics-addr", "", "serve Prometheus metrics on this extra listener (metrics are always at GET /v1/metrics on -addr)")
 		pprofOn     = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ on -addr (and on -metrics-addr when set)")
 		logFormat   = flag.String("log-format", "text", "log output format: text or json")
@@ -236,6 +241,27 @@ func main() {
 		srv.SetWorkerRateLimit(platform.RateLimit{Rate: *workerRate, Burst: *workerBurst})
 		logger.Info("per-worker rate limit enabled",
 			slog.Float64("rate", *workerRate), slog.Float64("burst", *workerBurst))
+	}
+	if *sloPerEP != "" && *sloLatency <= 0 {
+		fail(fmt.Errorf("-slo-endpoint-latency requires -slo-latency > 0"))
+	}
+	if *sloLatency > 0 {
+		perEP, err := platform.ParseSLOLatencySpec(*sloPerEP)
+		if err != nil {
+			fail(err)
+		}
+		srv.SetSLO(platform.SLOConfig{
+			LatencyTarget:   *sloLatency,
+			PerEndpoint:     perEP,
+			LatencyGoal:     *sloLatGoal,
+			ErrorGoal:       *sloErrGoal,
+			DegradeBurnRate: *sloBurn,
+		})
+		logger.Info("SLO burn-rate engine enabled",
+			slog.Duration("latency_target", *sloLatency),
+			slog.Float64("latency_goal", *sloLatGoal),
+			slog.Float64("error_goal", *sloErrGoal),
+			slog.Float64("degrade_burn", *sloBurn))
 	}
 	if backend != nil {
 		defer srv.Close()

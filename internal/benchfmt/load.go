@@ -69,7 +69,35 @@ type LoadReport struct {
 	// requests — with the per-worker limiter on, it stays near its
 	// configured rate share instead of the raw Zipf mass.
 	HotWorkerShare float64 `json:"hot_worker_share"`
-	Note           string  `json:"note,omitempty"`
+	// SLO summarizes the server's /v1/slo burn-rate view as sampled during
+	// the run. Absent when the target has no SLO engine configured.
+	SLO  *SLOSummary `json:"slo,omitempty"`
+	Note string      `json:"note,omitempty"`
+}
+
+// SLOSummary condenses the burn-rate samples the generator polled from the
+// target's GET /v1/slo (roughly once per second) while arrivals ran. Burn
+// rate is budget spend relative to the objective: 1.0 consumes exactly the
+// error budget over the window, above 1.0 the objective is being missed.
+type SLOSummary struct {
+	// Polls counts successful /v1/slo fetches during the run.
+	Polls int `json:"polls"`
+	// Objectives maps each objective key ("assign", "project:default", ...)
+	// to its sampled 5m burn-rate quantiles.
+	Objectives map[string]SLOObjectiveSummary `json:"objectives"`
+}
+
+// SLOObjectiveSummary is one objective's sampled 5m burn-rate behaviour
+// over the run.
+type SLOObjectiveSummary struct {
+	// Requests is the objective's 5m request count at the last poll.
+	Requests int64 `json:"requests"`
+	// LatencyBurnP50/Max summarize the sampled 5m latency burn rates.
+	LatencyBurnP50 float64 `json:"latency_burn_5m_p50"`
+	LatencyBurnMax float64 `json:"latency_burn_5m_max"`
+	// ErrorBurnP50/Max summarize the sampled 5m error burn rates.
+	ErrorBurnP50 float64 `json:"error_burn_5m_p50"`
+	ErrorBurnMax float64 `json:"error_burn_5m_max"`
 }
 
 // ReadLoadFile loads a load report from path.

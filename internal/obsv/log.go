@@ -16,14 +16,15 @@ import (
 // Registry (icrowd_log_lines_total{level=...}), and lines logged with a
 // request context — any *Context logging call whose ctx carries the span
 // the platform middleware opened — gain a request_id attribute equal to
-// the span ID echoed to the client as X-Request-Id, so a log line, its
-// trace span and the HTTP response can be joined after the fact.
+// the 32-hex trace ID echoed to the client as X-Request-Id, so a log line,
+// its trace tree and the HTTP response can be joined after the fact,
+// across every process the request touched.
 
 // Log line field names shared by both formats (DESIGN.md §7.5).
 const (
 	// LogTimeKey replaces slog's default "time" key.
 	LogTimeKey = "ts"
-	// LogRequestIDKey carries the span ID of the active request.
+	// LogRequestIDKey carries the trace ID of the active request.
 	LogRequestIDKey = "request_id"
 )
 
@@ -161,7 +162,7 @@ func (h *logHandler) Enabled(ctx context.Context, l slog.Level) bool {
 func (h *logHandler) Handle(ctx context.Context, rec slog.Record) error {
 	h.counts.count(rec.Level)
 	if sp := SpanFromContext(ctx); sp != nil {
-		rec.AddAttrs(slog.Uint64(LogRequestIDKey, sp.ID()))
+		rec.AddAttrs(slog.String(LogRequestIDKey, sp.TraceID().String()))
 	}
 	return h.next.Handle(ctx, rec)
 }

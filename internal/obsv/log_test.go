@@ -127,9 +127,9 @@ func TestLoggerInjectsRequestID(t *testing.T) {
 	if err := json.Unmarshal([]byte(lines[1]), &withoutSpan); err != nil {
 		t.Fatal(err)
 	}
-	id, ok := withSpan[LogRequestIDKey].(float64)
-	if !ok || uint64(id) != sp.ID() {
-		t.Errorf("%s = %v, want span ID %d", LogRequestIDKey, withSpan[LogRequestIDKey], sp.ID())
+	id, ok := withSpan[LogRequestIDKey].(string)
+	if !ok || id != sp.TraceID().String() {
+		t.Errorf("%s = %v, want trace ID %s", LogRequestIDKey, withSpan[LogRequestIDKey], sp.TraceID())
 	}
 	if _, ok := withoutSpan[LogRequestIDKey]; ok {
 		t.Errorf("line without a span carries %s: %s", LogRequestIDKey, lines[1])

@@ -1,6 +1,7 @@
 package obsv
 
 import (
+	"context"
 	"net/http/httptest"
 	"strings"
 	"sync"
@@ -100,8 +101,22 @@ func TestNilInstrumentsNoOp(t *testing.T) {
 	sp := tr.Start("x")
 	sp.Annotate("k=v")
 	sp.End()
-	if sp.ID() != 0 || tr.Recent(10) != nil {
+	if sp.SpanID() != 0 || sp.TraceID().IsValid() || sp.Context().IsValid() {
+		t.Fatal("nil span must carry zero IDs")
+	}
+	if tr.Recent(10) != nil || tr.ByTrace(NewTraceID()) != nil {
 		t.Fatal("nil tracer must no-op")
+	}
+	if child := tr.Child(context.Background(), "x"); child != nil {
+		t.Fatal("nil tracer Child must return nil")
+	}
+	if hsp, rid := tr.StartServerSpan(httptest.NewRequest("GET", "/", nil), "x"); hsp != nil || rid != "" {
+		t.Fatal("nil tracer StartServerSpan must return nil")
+	}
+	var eng *SLOEngine
+	eng.Observe("k", time.Second, 500, time.Now())
+	if rep := eng.Report(time.Now()); len(rep.Objectives) != 0 {
+		t.Fatal("nil SLO engine must report empty")
 	}
 }
 
@@ -139,14 +154,24 @@ func TestTracerRing(t *testing.T) {
 	if len(recent) != 4 {
 		t.Fatalf("ring retained %d spans, want 4", len(recent))
 	}
-	// Newest first, IDs strictly decreasing.
-	for i := 1; i < len(recent); i++ {
-		if recent[i].ID >= recent[i-1].ID {
+	// Newest first: the oldest two annotations (i=0, i=1) were evicted.
+	for i, want := range []string{"i=5", "i=4", "i=3", "i=2"} {
+		if len(recent[i].Attrs) != 1 || recent[i].Attrs[0] != want {
 			t.Fatalf("spans not newest-first: %v", recent)
 		}
 	}
-	if recent[0].ID != 6 {
-		t.Fatalf("newest span ID = %d, want 6", recent[0].ID)
+	seen := map[string]bool{}
+	for _, rec := range recent {
+		if len(rec.SpanID) != 16 || len(rec.TraceID) != 32 {
+			t.Fatalf("span IDs not hex-rendered: %+v", rec)
+		}
+		if rec.ParentID != "" {
+			t.Fatalf("root span has a parent: %+v", rec)
+		}
+		if seen[rec.SpanID] {
+			t.Fatalf("duplicate span ID %s", rec.SpanID)
+		}
+		seen[rec.SpanID] = true
 	}
 	if got := tr.Recent(2); len(got) != 2 {
 		t.Fatalf("Recent(2) returned %d spans", len(got))

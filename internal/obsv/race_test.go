@@ -27,6 +27,9 @@ func TestContentionAllInstruments(t *testing.T) {
 	hist := reg.Histogram("contention_latency_seconds", "latency", DefaultLatencyBuckets)
 	hb := NewHeartbeat(reg.Gauge("contention_heartbeat_seconds", "hb"))
 	tracer := NewTracer(64)
+	slo := NewSLOEngine(reg, func(key string) SLOObjective {
+		return SLOObjective{LatencyTarget: time.Millisecond, LatencyGoal: 0.99, ErrorGoal: 0.999}
+	})
 	rc := NewRuntimeCollector(reg)
 	stopRC := rc.Start(time.Millisecond)
 	defer stopRC()
@@ -46,6 +49,13 @@ func TestContentionAllInstruments(t *testing.T) {
 			for i := 0; i < iterations; i++ {
 				sp := tracer.Start("contend")
 				ctx := ContextWithSpan(context.Background(), sp)
+				child := tracer.Child(ctx, "contend.sub")
+				child.End()
+				if i%50 == 0 {
+					tracer.ByTrace(sp.TraceID())
+					slo.Report(time.Now())
+				}
+				slo.Observe("contend", time.Duration(i)*time.Microsecond, 200+(i%2)*300, time.Now())
 				ctr.Inc()
 				labeled.Add(2)
 				gauge.Add(1)

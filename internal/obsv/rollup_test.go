@@ -60,6 +60,66 @@ func TestMergeExpositionsInjectsLabelAndGroupsFamilies(t *testing.T) {
 	}
 }
 
+// TestMergeExpositionsConflictingHeaders pins the first-wins rule when
+// shards disagree on a family's HELP or TYPE text (version skew during a
+// rolling deploy): one header is emitted — the first seen — and every
+// shard's samples still land under it.
+func TestMergeExpositionsConflictingHeaders(t *testing.T) {
+	out := MergeExpositions("shard", []Exposition{
+		{Value: "s0", Text: "# HELP m_total Old wording.\n# TYPE m_total counter\nm_total 1\n"},
+		{Value: "s1", Text: "# HELP m_total New wording.\n# TYPE m_total gauge\nm_total 2\n"},
+	})
+	if got := strings.Count(out, "# HELP m_total"); got != 1 {
+		t.Fatalf("HELP appears %d times, want 1\n%s", got, out)
+	}
+	if !strings.Contains(out, "# HELP m_total Old wording.\n") {
+		t.Fatalf("first shard's HELP did not win:\n%s", out)
+	}
+	if !strings.Contains(out, "# TYPE m_total counter\n") || strings.Contains(out, "gauge") {
+		t.Fatalf("first shard's TYPE did not win:\n%s", out)
+	}
+	for _, want := range []string{`m_total{shard="s0"} 1`, `m_total{shard="s1"} 2`} {
+		if !strings.Contains(out, want+"\n") {
+			t.Fatalf("missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestMergeExpositionsEscapedLabelValues pins injection into sample lines
+// whose existing label values carry escaped quotes and backslashes: the
+// shard label lands inside the braces without disturbing the escapes.
+func TestMergeExpositionsEscapedLabelValues(t *testing.T) {
+	text := "# HELP m_total M.\n# TYPE m_total counter\n" +
+		`m_total{path="C:\\tmp",msg="say \"hi\""} 7` + "\n"
+	out := MergeExpositions("shard", []Exposition{{Value: "s0", Text: text}})
+	want := `m_total{path="C:\\tmp",msg="say \"hi\"",shard="s0"} 7`
+	if !strings.Contains(out, want+"\n") {
+		t.Fatalf("escaped labels mangled, want %q in:\n%s", want, out)
+	}
+}
+
+// TestMergeExpositionsEmptyShard pins that a shard with an empty
+// exposition (a freshly restarted process with a nil registry, or a body
+// of only blank lines) contributes nothing and breaks nothing.
+func TestMergeExpositionsEmptyShard(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x_total", "X.").Inc()
+	out := MergeExpositions("shard", []Exposition{
+		{Value: "s0", Text: ""},
+		{Value: "s1", Text: expo(r)},
+		{Value: "s2", Text: "\n\n"},
+	})
+	if !strings.Contains(out, `x_total{shard="s1"} 1`+"\n") {
+		t.Fatalf("live shard's sample missing:\n%s", out)
+	}
+	if strings.Contains(out, "s0") || strings.Contains(out, "s2") {
+		t.Fatalf("empty shards leaked into the merge:\n%s", out)
+	}
+	if MergeExpositions("shard", nil) != "" {
+		t.Fatal("merging no parts must produce an empty body")
+	}
+}
+
 func TestMergeExpositionsDeterministicAndEscaped(t *testing.T) {
 	r := NewRegistry()
 	r.Counter("x_total", "X.").Inc()

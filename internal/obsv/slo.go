@@ -1,0 +1,364 @@
+package obsv
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// SLO burn-rate engine. An objective declares, for one tracked key (an
+// endpoint name like "assign", or a project dimension like
+// "project:default"), a latency target with a goal fraction and an error
+// (non-5xx) goal fraction. The engine buckets every observation into 10s
+// slots and answers, over rolling 5m and 1h windows: how fast is the error
+// budget burning? Burn rate is the classic SRE ratio
+//
+//	burn = badFraction / (1 - goal)
+//
+// so 1.0 means "spending budget exactly as fast as the objective allows",
+// 14.4 over 5m is the canonical page-worthy fast burn. GET /v1/slo serves
+// Report, icrowd_slo_* gauges/counters mirror it for scraping, and the
+// platform wires a configurable 5m threshold into the degraded tier of
+// /v1/readyz.
+//
+// A nil *SLOEngine no-ops everywhere, matching the package's nil-instrument
+// contract.
+
+// SLOObjective is the declared objective for one key.
+type SLOObjective struct {
+	// Key names the tracked dimension ("assign", "project:p1", ...).
+	Key string `json:"key"`
+	// LatencyTarget is the per-request latency objective.
+	LatencyTarget time.Duration `json:"-"`
+	// LatencyGoal is the fraction of requests that must meet
+	// LatencyTarget (e.g. 0.99).
+	LatencyGoal float64 `json:"latency_goal"`
+	// ErrorGoal is the fraction of requests that must not fail with a
+	// 5xx (e.g. 0.999).
+	ErrorGoal float64 `json:"error_goal"`
+}
+
+// SLOWindows are the rolling windows every objective is evaluated over.
+var SLOWindows = []time.Duration{5 * time.Minute, time.Hour}
+
+const (
+	sloBucketSeconds = 10
+	// sloBucketCount covers the longest window plus one slot of slack so
+	// the partially-filled current bucket never evicts a bucket the 1h
+	// window still needs.
+	sloBucketCount = int(time.Hour/time.Second)/sloBucketSeconds + 1
+)
+
+// sloSeries is the per-key state: a ring of 10s buckets plus the exported
+// instruments.
+type sloSeries struct {
+	obj SLOObjective
+
+	mu    sync.Mutex
+	epoch [sloBucketCount]int64 // unix/10 stamp of each slot, 0 = empty
+	total [sloBucketCount]int64
+	slow  [sloBucketCount]int64
+	errs  [sloBucketCount]int64
+
+	lastSync int64 // unix second the gauges were last refreshed
+
+	cTotal, cSlow, cErr *Counter
+	gBurn               map[string]*Gauge // "latency/5m" etc.
+}
+
+// SLOEngine tracks burn rates for a set of objectives. Keys are created
+// lazily on first Observe via the objective factory, so per-project
+// dimensions appear as projects take traffic.
+type SLOEngine struct {
+	reg          *Registry
+	objectiveFor func(key string) SLOObjective
+
+	mu     sync.RWMutex
+	series map[string]*sloSeries
+}
+
+// NewSLOEngine builds an engine registering its instruments in reg (nil
+// disables the metrics mirror but the engine still tracks windows).
+// objectiveFor supplies the objective for each new key; goals are clamped
+// to [0.5, 0.9999] so burn rates stay finite and meaningful.
+func NewSLOEngine(reg *Registry, objectiveFor func(key string) SLOObjective) *SLOEngine {
+	return &SLOEngine{reg: reg, objectiveFor: objectiveFor, series: make(map[string]*sloSeries)}
+}
+
+func clampGoal(g float64) float64 {
+	switch {
+	case g < 0.5:
+		return 0.5
+	case g > 0.9999:
+		return 0.9999
+	}
+	return g
+}
+
+func (e *SLOEngine) seriesFor(key string) *sloSeries {
+	e.mu.RLock()
+	s := e.series[key]
+	e.mu.RUnlock()
+	if s != nil {
+		return s
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if s = e.series[key]; s != nil {
+		return s
+	}
+	obj := e.objectiveFor(key)
+	obj.Key = key
+	obj.LatencyGoal = clampGoal(obj.LatencyGoal)
+	obj.ErrorGoal = clampGoal(obj.ErrorGoal)
+	s = &sloSeries{
+		obj:    obj,
+		cTotal: e.reg.Counter("icrowd_slo_requests_total", "Requests observed per SLO key.", "slo", key),
+		cSlow:  e.reg.Counter("icrowd_slo_latency_miss_total", "Requests over the SLO latency target.", "slo", key),
+		cErr:   e.reg.Counter("icrowd_slo_errors_total", "5xx requests per SLO key.", "slo", key),
+		gBurn:  make(map[string]*Gauge, 2*len(SLOWindows)),
+	}
+	for _, win := range SLOWindows {
+		w := windowLabel(win)
+		for _, signal := range []string{"latency", "error"} {
+			s.gBurn[signal+"/"+w] = e.reg.Gauge("icrowd_slo_burn_rate",
+				"Error-budget burn rate (bad fraction / budget) over a rolling window.",
+				"slo", key, "signal", signal, "window", w)
+		}
+	}
+	e.series[key] = s
+	return s
+}
+
+func windowLabel(d time.Duration) string {
+	if d%time.Hour == 0 {
+		return fmt.Sprintf("%dh", d/time.Hour)
+	}
+	return fmt.Sprintf("%dm", d/time.Minute)
+}
+
+// Observe records one request outcome for key at time now. status >= 500
+// burns error budget; d > the key's latency target burns latency budget.
+func (e *SLOEngine) Observe(key string, d time.Duration, status int, now time.Time) {
+	if e == nil {
+		return
+	}
+	s := e.seriesFor(key)
+	idx := now.Unix() / sloBucketSeconds
+	pos := int(idx % int64(sloBucketCount))
+	slow := d > s.obj.LatencyTarget
+	errd := status >= 500
+
+	s.mu.Lock()
+	if s.epoch[pos] != idx {
+		s.epoch[pos] = idx
+		s.total[pos], s.slow[pos], s.errs[pos] = 0, 0, 0
+	}
+	s.total[pos]++
+	if slow {
+		s.slow[pos]++
+	}
+	if errd {
+		s.errs[pos]++
+	}
+	sync := now.Unix() != s.lastSync
+	if sync {
+		s.lastSync = now.Unix()
+	}
+	var snap []SLOWindowStatus
+	if sync {
+		snap = s.windowsLocked(idx)
+	}
+	s.mu.Unlock()
+
+	s.cTotal.Inc()
+	if slow {
+		s.cSlow.Inc()
+	}
+	if errd {
+		s.cErr.Inc()
+	}
+	if sync {
+		for _, w := range snap {
+			s.gBurn["latency/"+w.Window].Set(w.LatencyBurnRate)
+			s.gBurn["error/"+w.Window].Set(w.ErrorBurnRate)
+		}
+	}
+}
+
+// windowsLocked sums the ring over every configured window ending at
+// bucket index idx. Caller holds s.mu.
+func (s *sloSeries) windowsLocked(idx int64) []SLOWindowStatus {
+	out := make([]SLOWindowStatus, 0, len(SLOWindows))
+	for _, win := range SLOWindows {
+		buckets := int64(win/time.Second) / sloBucketSeconds
+		lo := idx - buckets + 1
+		var total, slow, errs int64
+		for i := lo; i <= idx; i++ {
+			pos := int(((i % int64(sloBucketCount)) + int64(sloBucketCount)) % int64(sloBucketCount))
+			if s.epoch[pos] != i {
+				continue
+			}
+			total += s.total[pos]
+			slow += s.slow[pos]
+			errs += s.errs[pos]
+		}
+		out = append(out, SLOWindowStatus{
+			Window:          windowLabel(win),
+			Requests:        total,
+			LatencyMisses:   slow,
+			Errors:          errs,
+			LatencyBurnRate: burnRate(slow, total, s.obj.LatencyGoal),
+			ErrorBurnRate:   burnRate(errs, total, s.obj.ErrorGoal),
+		})
+	}
+	return out
+}
+
+func burnRate(bad, total int64, goal float64) float64 {
+	if total == 0 || bad == 0 {
+		return 0
+	}
+	return (float64(bad) / float64(total)) / (1 - goal)
+}
+
+// SLOWindowStatus is one rolling window's state for one objective.
+type SLOWindowStatus struct {
+	Window          string  `json:"window"`
+	Requests        int64   `json:"requests"`
+	LatencyMisses   int64   `json:"latency_misses"`
+	Errors          int64   `json:"errors"`
+	LatencyBurnRate float64 `json:"latency_burn_rate"`
+	ErrorBurnRate   float64 `json:"error_burn_rate"`
+}
+
+// SLOObjectiveStatus is one objective with its window evaluations.
+type SLOObjectiveStatus struct {
+	Key             string            `json:"key"`
+	LatencyTargetMS float64           `json:"latency_target_ms"`
+	LatencyGoal     float64           `json:"latency_goal"`
+	ErrorGoal       float64           `json:"error_goal"`
+	Windows         []SLOWindowStatus `json:"windows"`
+}
+
+// SLOReport is the GET /v1/slo payload.
+type SLOReport struct {
+	Objectives []SLOObjectiveStatus `json:"objectives"`
+}
+
+// Report evaluates every tracked objective at time now, keys sorted.
+// Nil engines return an empty report.
+func (e *SLOEngine) Report(now time.Time) SLOReport {
+	var rep SLOReport
+	if e == nil {
+		return rep
+	}
+	e.mu.RLock()
+	keys := make([]string, 0, len(e.series))
+	for k := range e.series {
+		keys = append(keys, k)
+	}
+	e.mu.RUnlock()
+	sort.Strings(keys)
+	idx := now.Unix() / sloBucketSeconds
+	for _, k := range keys {
+		e.mu.RLock()
+		s := e.series[k]
+		e.mu.RUnlock()
+		s.mu.Lock()
+		wins := s.windowsLocked(idx)
+		s.mu.Unlock()
+		rep.Objectives = append(rep.Objectives, SLOObjectiveStatus{
+			Key:             s.obj.Key,
+			LatencyTargetMS: float64(s.obj.LatencyTarget) / float64(time.Millisecond),
+			LatencyGoal:     s.obj.LatencyGoal,
+			ErrorGoal:       s.obj.ErrorGoal,
+			Windows:         wins,
+		})
+	}
+	return rep
+}
+
+// MaxBurn returns the highest burn rate (latency or error) across every
+// tracked objective over window win at time now, with the key that holds
+// it. Feeds the readyz degraded check. Nil engines return 0.
+func (e *SLOEngine) MaxBurn(win time.Duration, now time.Time) (float64, string) {
+	if e == nil {
+		return 0, ""
+	}
+	var maxBurn float64
+	var at string
+	label := windowLabel(win)
+	for _, obj := range e.Report(now).Objectives {
+		for _, w := range obj.Windows {
+			if w.Window != label {
+				continue
+			}
+			if w.LatencyBurnRate > maxBurn {
+				maxBurn, at = w.LatencyBurnRate, obj.Key+"/latency"
+			}
+			if w.ErrorBurnRate > maxBurn {
+				maxBurn, at = w.ErrorBurnRate, obj.Key+"/error"
+			}
+		}
+	}
+	return maxBurn, at
+}
+
+// MergeSLOReports merges per-shard reports into a fleet view: window
+// counts are summed per key and burn rates recomputed from the sums, using
+// the first shard's declared goals for each key (shards share flag-driven
+// objectives, so disagreement means a config skew — the first declaration
+// wins deterministically). The trace analogue is BuildTraceTree; the
+// metrics analogue is MergeExpositions.
+func MergeSLOReports(parts []SLOReport) SLOReport {
+	type acc struct {
+		obj  SLOObjectiveStatus
+		wins map[string]*SLOWindowStatus
+	}
+	byKey := make(map[string]*acc)
+	var keys []string
+	for _, part := range parts {
+		for _, obj := range part.Objectives {
+			a := byKey[obj.Key]
+			if a == nil {
+				a = &acc{obj: obj, wins: make(map[string]*SLOWindowStatus)}
+				byKey[obj.Key] = a
+				keys = append(keys, obj.Key)
+			}
+			for _, w := range obj.Windows {
+				dst := a.wins[w.Window]
+				if dst == nil {
+					a.wins[w.Window] = &SLOWindowStatus{Window: w.Window}
+					dst = a.wins[w.Window]
+				}
+				dst.Requests += w.Requests
+				dst.LatencyMisses += w.LatencyMisses
+				dst.Errors += w.Errors
+			}
+		}
+	}
+	sort.Strings(keys)
+	var out SLOReport
+	for _, k := range keys {
+		a := byKey[k]
+		merged := SLOObjectiveStatus{
+			Key:             a.obj.Key,
+			LatencyTargetMS: a.obj.LatencyTargetMS,
+			LatencyGoal:     a.obj.LatencyGoal,
+			ErrorGoal:       a.obj.ErrorGoal,
+		}
+		for _, win := range SLOWindows {
+			w := a.wins[windowLabel(win)]
+			if w == nil {
+				continue
+			}
+			w.LatencyBurnRate = burnRate(w.LatencyMisses, w.Requests, merged.LatencyGoal)
+			w.ErrorBurnRate = burnRate(w.Errors, w.Requests, merged.ErrorGoal)
+			merged.Windows = append(merged.Windows, *w)
+		}
+		out.Objectives = append(out.Objectives, merged)
+	}
+	return out
+}

@@ -1,0 +1,176 @@
+package obsv
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+func testObjective(key string) SLOObjective {
+	return SLOObjective{LatencyTarget: 10 * time.Millisecond, LatencyGoal: 0.99, ErrorGoal: 0.999}
+}
+
+func window(t *testing.T, rep SLOReport, key, win string) SLOWindowStatus {
+	t.Helper()
+	for _, obj := range rep.Objectives {
+		if obj.Key != key {
+			continue
+		}
+		for _, w := range obj.Windows {
+			if w.Window == win {
+				return w
+			}
+		}
+	}
+	t.Fatalf("window %s/%s not in report: %+v", key, win, rep)
+	return SLOWindowStatus{}
+}
+
+func TestSLOEngineBurnRates(t *testing.T) {
+	eng := NewSLOEngine(NewRegistry(), testObjective)
+	now := time.Unix(100000, 0)
+	// 100 requests: 2 slow, 1 error.
+	for i := 0; i < 100; i++ {
+		d := time.Millisecond
+		status := 200
+		if i < 2 {
+			d = 50 * time.Millisecond
+		}
+		if i == 5 {
+			status = 503
+		}
+		eng.Observe("assign", d, status, now.Add(time.Duration(i)*time.Second))
+	}
+	at := now.Add(99 * time.Second)
+	rep := eng.Report(at)
+	w5 := window(t, rep, "assign", "5m")
+	if w5.Requests != 100 || w5.LatencyMisses != 2 || w5.Errors != 1 {
+		t.Fatalf("5m counts wrong: %+v", w5)
+	}
+	// Latency budget is 1%: 2/100 bad = 2x burn. Error budget 0.1%: 1/100 = 10x.
+	if math.Abs(w5.LatencyBurnRate-2.0) > 1e-9 {
+		t.Fatalf("latency burn = %v, want 2.0", w5.LatencyBurnRate)
+	}
+	if math.Abs(w5.ErrorBurnRate-10.0) > 1e-9 {
+		t.Fatalf("error burn = %v, want 10.0", w5.ErrorBurnRate)
+	}
+	w1h := window(t, rep, "assign", "1h")
+	if w1h.Requests != 100 {
+		t.Fatalf("1h window missed observations: %+v", w1h)
+	}
+
+	// 6 minutes later the 5m window has rolled off but 1h still holds all.
+	later := at.Add(6 * time.Minute)
+	rep = eng.Report(later)
+	if w := window(t, rep, "assign", "5m"); w.Requests != 0 || w.LatencyBurnRate != 0 {
+		t.Fatalf("5m window did not roll off: %+v", w)
+	}
+	if w := window(t, rep, "assign", "1h"); w.Requests != 100 {
+		t.Fatalf("1h window lost data: %+v", w)
+	}
+	// 2 hours later everything has expired (ring positions reused): only
+	// the one fresh observation is in any window.
+	expiredAt := later.Add(2 * time.Hour)
+	eng.Observe("assign", time.Millisecond, 200, expiredAt)
+	if w := window(t, eng.Report(expiredAt), "assign", "1h"); w.Requests != 1 {
+		t.Fatalf("stale buckets leaked: %+v", w)
+	}
+
+	burn, key := eng.MaxBurn(5*time.Minute, at)
+	if math.Abs(burn-10.0) > 1e-9 || key != "assign/error" {
+		t.Fatalf("MaxBurn = %v at %q, want 10.0 at assign/error", burn, key)
+	}
+}
+
+func TestSLOEngineMetricsMirror(t *testing.T) {
+	reg := NewRegistry()
+	eng := NewSLOEngine(reg, testObjective)
+	now := time.Unix(200000, 0)
+	eng.Observe("submit", 50*time.Millisecond, 500, now)
+	// The gauge sync is throttled to once per second; a second observation
+	// in a later second flushes it.
+	eng.Observe("submit", time.Millisecond, 200, now.Add(2*time.Second))
+	var sb strings.Builder
+	reg.WritePrometheus(&sb)
+	out := sb.String()
+	for _, want := range []string{
+		`icrowd_slo_requests_total{slo="submit"} 2`,
+		`icrowd_slo_latency_miss_total{slo="submit"} 1`,
+		`icrowd_slo_errors_total{slo="submit"} 1`,
+		`icrowd_slo_burn_rate{slo="submit",signal="latency",window="5m"}`,
+		`icrowd_slo_burn_rate{slo="submit",signal="error",window="1h"}`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+}
+
+func TestSLOEngineClampsGoals(t *testing.T) {
+	eng := NewSLOEngine(NewRegistry(), func(string) SLOObjective {
+		return SLOObjective{LatencyTarget: time.Millisecond, LatencyGoal: 1.5, ErrorGoal: 0}
+	})
+	now := time.Unix(300000, 0)
+	eng.Observe("k", time.Second, 500, now)
+	rep := eng.Report(now)
+	if rep.Objectives[0].LatencyGoal != 0.9999 || rep.Objectives[0].ErrorGoal != 0.5 {
+		t.Fatalf("goals not clamped: %+v", rep.Objectives[0])
+	}
+	w := window(t, rep, "k", "5m")
+	if math.IsInf(w.LatencyBurnRate, 0) || math.IsNaN(w.LatencyBurnRate) {
+		t.Fatalf("burn rate not finite: %v", w.LatencyBurnRate)
+	}
+}
+
+func TestSLOReportSortedAndPerProject(t *testing.T) {
+	eng := NewSLOEngine(NewRegistry(), testObjective)
+	now := time.Unix(400000, 0)
+	eng.Observe("project:zeta", time.Millisecond, 200, now)
+	eng.Observe("assign", time.Millisecond, 200, now)
+	eng.Observe("project:alpha", time.Millisecond, 200, now)
+	rep := eng.Report(now)
+	var keys []string
+	for _, obj := range rep.Objectives {
+		keys = append(keys, obj.Key)
+	}
+	want := []string{"assign", "project:alpha", "project:zeta"}
+	if len(keys) != 3 || keys[0] != want[0] || keys[1] != want[1] || keys[2] != want[2] {
+		t.Fatalf("report keys = %v, want %v", keys, want)
+	}
+}
+
+func TestMergeSLOReports(t *testing.T) {
+	mk := func(key string, req5, slow5, err5 int64) SLOReport {
+		return SLOReport{Objectives: []SLOObjectiveStatus{{
+			Key: key, LatencyTargetMS: 10, LatencyGoal: 0.99, ErrorGoal: 0.999,
+			Windows: []SLOWindowStatus{
+				{Window: "5m", Requests: req5, LatencyMisses: slow5, Errors: err5},
+				{Window: "1h", Requests: req5 * 2, LatencyMisses: slow5, Errors: err5},
+			},
+		}}}
+	}
+	merged := MergeSLOReports([]SLOReport{
+		mk("assign", 100, 2, 0),
+		mk("assign", 300, 2, 4),
+		mk("submit", 50, 0, 0),
+	})
+	if len(merged.Objectives) != 2 {
+		t.Fatalf("merged %d objectives, want 2", len(merged.Objectives))
+	}
+	w := window(t, merged, "assign", "5m")
+	if w.Requests != 400 || w.LatencyMisses != 4 || w.Errors != 4 {
+		t.Fatalf("merged counts wrong: %+v", w)
+	}
+	// 4/400 slow against a 1% budget = exactly 1x burn; 4/400 errors
+	// against 0.1% = 10x.
+	if math.Abs(w.LatencyBurnRate-1.0) > 1e-9 || math.Abs(w.ErrorBurnRate-10.0) > 1e-9 {
+		t.Fatalf("merged burn rates wrong: %+v", w)
+	}
+	if merged.Objectives[0].Key != "assign" || merged.Objectives[1].Key != "submit" {
+		t.Fatalf("merged keys unsorted: %+v", merged.Objectives)
+	}
+	if got := MergeSLOReports(nil); len(got.Objectives) != 0 {
+		t.Fatalf("empty merge produced %+v", got)
+	}
+}

@@ -2,34 +2,244 @@ package obsv
 
 import (
 	"context"
+	crand "crypto/rand"
+	"encoding/binary"
+	"errors"
+	"hash/fnv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 )
 
-// Tracer records lightweight spans — named timed operations with a
-// process-unique ID and optional key=value annotations — into a fixed-size
-// ring. It is the request-tracing half of the observability layer: the
-// platform server opens one span per HTTP request (the span ID doubles as
-// the request ID echoed in the X-Request-Id header), subsystems annotate
-// it, and GET /v1/trace dumps the most recent completed spans.
+// Distributed tracing for the sharded serving stack. A request entering
+// anywhere — the platform client, the router, or a shard directly — is
+// assigned a 128-bit trace ID; every operation done on its behalf opens a
+// span with a process-random 64-bit span ID and a parent link, and the
+// trace/span pair travels across process boundaries in a W3C-style
+// traceparent header. Each process retains its own completed spans in a
+// fixed ring; the router's GET /v1/trace/{traceid} fans out to every shard
+// and reassembles the cross-process tree with BuildTraceTree (the trace
+// analogue of MergeExpositions).
 //
 // A nil *Tracer is valid and free: Start returns a nil *Span and every
 // Span method no-ops, so tracing can be compiled out of a code path by
 // simply not configuring a tracer.
-type Tracer struct {
-	seq atomic.Uint64
 
+// TraceID is a 128-bit trace identifier, rendered as 32 lowercase hex
+// digits. The zero value is invalid (per W3C trace-context, an all-zero
+// trace ID means "no trace").
+type TraceID [2]uint64
+
+// SpanID is a 64-bit span identifier, rendered as 16 lowercase hex digits.
+// The zero value is invalid.
+type SpanID uint64
+
+// IsValid reports whether the trace ID is non-zero.
+func (t TraceID) IsValid() bool { return t[0] != 0 || t[1] != 0 }
+
+// String renders the trace ID as 32 lowercase hex digits.
+func (t TraceID) String() string {
+	var b [32]byte
+	hexEncode64(b[:16], t[0])
+	hexEncode64(b[16:], t[1])
+	return string(b[:])
+}
+
+// IsValid reports whether the span ID is non-zero.
+func (s SpanID) IsValid() bool { return s != 0 }
+
+// String renders the span ID as 16 lowercase hex digits.
+func (s SpanID) String() string {
+	var b [16]byte
+	hexEncode64(b[:], uint64(s))
+	return string(b[:])
+}
+
+func hexEncode64(dst []byte, v uint64) {
+	const digits = "0123456789abcdef"
+	for i := 15; i >= 0; i -= 2 {
+		dst[i] = digits[v&0xf]
+		dst[i-1] = digits[(v>>4)&0xf]
+		v >>= 8
+	}
+}
+
+func hexDecode64(s string) (uint64, bool) {
+	var v uint64
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		var d uint64
+		switch {
+		case c >= '0' && c <= '9':
+			d = uint64(c - '0')
+		case c >= 'a' && c <= 'f':
+			d = uint64(c-'a') + 10
+		default:
+			return 0, false
+		}
+		v = v<<4 | d
+	}
+	return v, true
+}
+
+// ErrBadTraceID is returned by ParseTraceID for anything that is not 32
+// lowercase hex digits with at least one non-zero bit.
+var ErrBadTraceID = errors.New("obsv: trace ID must be 32 lowercase hex digits, not all zero")
+
+// ParseTraceID parses the 32-hex-digit form produced by TraceID.String.
+func ParseTraceID(s string) (TraceID, error) {
+	if len(s) != 32 {
+		return TraceID{}, ErrBadTraceID
+	}
+	hi, ok1 := hexDecode64(s[:16])
+	lo, ok2 := hexDecode64(s[16:])
+	id := TraceID{hi, lo}
+	if !ok1 || !ok2 || !id.IsValid() {
+		return TraceID{}, ErrBadTraceID
+	}
+	return id, nil
+}
+
+// TraceIDFromString coerces an arbitrary caller-supplied request ID into a
+// trace ID: a well-formed 32-hex string is adopted verbatim, anything else
+// is hashed deterministically (two FNV-1a streams) so retries carrying the
+// same opaque X-Request-Id land in the same trace.
+func TraceIDFromString(s string) TraceID {
+	if id, err := ParseTraceID(s); err == nil {
+		return id
+	}
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	hi := h.Sum64()
+	h.Write([]byte{0x1c}) // domain-separate the low half
+	lo := h.Sum64()
+	id := TraceID{hi, lo}
+	if !id.IsValid() {
+		id[1] = 1
+	}
+	return id
+}
+
+// SpanContext is the propagated half of a span: the trace it belongs to
+// and its own ID, enough for a remote process to create child spans.
+type SpanContext struct {
+	Trace TraceID
+	Span  SpanID
+}
+
+// IsValid reports whether both halves are non-zero.
+func (sc SpanContext) IsValid() bool { return sc.Trace.IsValid() && sc.Span.IsValid() }
+
+// TraceparentHeader is the canonical propagation header name.
+const TraceparentHeader = "traceparent"
+
+// Traceparent renders the context in W3C trace-context form:
+// "00-<32 hex traceid>-<16 hex spanid>-01" (version 00, sampled flag set —
+// the ring tracer records everything it is asked to).
+func (sc SpanContext) Traceparent() string {
+	var b strings.Builder
+	b.Grow(55)
+	b.WriteString("00-")
+	b.WriteString(sc.Trace.String())
+	b.WriteByte('-')
+	b.WriteString(sc.Span.String())
+	b.WriteString("-01")
+	return b.String()
+}
+
+// ParseTraceparent parses a W3C traceparent header value. It accepts any
+// known version except the reserved "ff", ignores trailing fields a future
+// version may append, and rejects all-zero trace or span IDs.
+func ParseTraceparent(s string) (SpanContext, bool) {
+	s = strings.TrimSpace(s)
+	if len(s) < 55 || s[2] != '-' || s[35] != '-' || s[52] != '-' {
+		return SpanContext{}, false
+	}
+	if len(s) > 55 && s[55] != '-' {
+		return SpanContext{}, false
+	}
+	if _, ok := hexDecode64(s[:2]); !ok || s[:2] == "ff" {
+		return SpanContext{}, false
+	}
+	tid, err := ParseTraceID(s[3:35])
+	if err != nil {
+		return SpanContext{}, false
+	}
+	sidBits, ok := hexDecode64(s[36:52])
+	if !ok || sidBits == 0 {
+		return SpanContext{}, false
+	}
+	if _, ok := hexDecode64(s[53:55]); !ok {
+		return SpanContext{}, false
+	}
+	return SpanContext{Trace: tid, Span: SpanID(sidBits)}, true
+}
+
+// idState drives the process-wide ID generator: an atomic Weyl sequence
+// seeded once from crypto/rand, finalized through splitmix64. Allocation-
+// free and lock-free on the hot path, unique across shard processes because
+// every process draws its own random seed.
+var idState atomic.Uint64
+
+func init() {
+	var seed [8]byte
+	if _, err := crand.Read(seed[:]); err == nil {
+		idState.Store(binary.LittleEndian.Uint64(seed[:]))
+	} else {
+		idState.Store(uint64(time.Now().UnixNano()))
+	}
+}
+
+func randUint64() uint64 {
+	x := idState.Add(0x9e3779b97f4a7c15)
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// NewTraceID draws a random non-zero 128-bit trace ID.
+func NewTraceID() TraceID {
+	for {
+		id := TraceID{randUint64(), randUint64()}
+		if id.IsValid() {
+			return id
+		}
+	}
+}
+
+func newSpanID() SpanID {
+	for {
+		if id := SpanID(randUint64()); id.IsValid() {
+			return id
+		}
+	}
+}
+
+// Tracer records completed spans into a fixed-size ring. The ring is a
+// per-process retention buffer, not a durable trace store: GET /v1/trace
+// serves the most recent spans, and the router's trace assembly queries
+// every shard's ring by trace ID.
+type Tracer struct {
 	mu   sync.Mutex
 	ring []SpanRecord
 	next int // ring write position
 	full bool
 }
 
-// SpanRecord is one completed span as stored in the ring.
+// SpanRecord is one completed span as stored in the ring. IDs are
+// serialized in their canonical hex string form so records are directly
+// comparable across processes and stable in JSON.
 type SpanRecord struct {
-	// ID is the process-unique span ID (the request ID for HTTP spans).
-	ID uint64 `json:"id"`
+	// TraceID is the 32-hex-digit trace the span belongs to.
+	TraceID string `json:"traceId"`
+	// SpanID is the span's own 16-hex-digit ID.
+	SpanID string `json:"spanId"`
+	// ParentID is the 16-hex-digit parent span, empty for roots.
+	ParentID string `json:"parentId,omitempty"`
 	// Name identifies the operation, e.g. "http.assign".
 	Name string `json:"name"`
 	// Start is when the span was opened.
@@ -54,27 +264,77 @@ func NewTracer(capacity int) *Tracer {
 
 // Span is an open span. Methods no-op on nil.
 type Span struct {
-	tr    *Tracer
-	id    uint64
-	name  string
-	start time.Time
-	attrs []string
+	tr     *Tracer
+	sc     SpanContext
+	parent SpanID
+	name   string
+	start  time.Time
+	attrs  []string
 }
 
-// Start opens a span. Returns nil (a valid no-op span) on a nil tracer.
+// Start opens a root span in a fresh trace. Returns nil (a valid no-op
+// span) on a nil tracer.
 func (t *Tracer) Start(name string) *Span {
+	return t.StartChild(SpanContext{}, name)
+}
+
+// StartChild opens a span under parent: the span joins parent's trace and
+// records parent's span ID as its parent link. Either half of parent may be
+// zero — an invalid trace starts a fresh one (so StartChild(SpanContext{
+// Trace: id}, ...) roots a span in a caller-chosen trace), and an invalid
+// parent span leaves the new span a root of its trace.
+func (t *Tracer) StartChild(parent SpanContext, name string) *Span {
 	if t == nil {
 		return nil
 	}
-	return &Span{tr: t, id: t.seq.Add(1), name: name, start: time.Now()}
+	trace := parent.Trace
+	if !trace.IsValid() {
+		trace = NewTraceID()
+	}
+	return &Span{
+		tr:     t,
+		sc:     SpanContext{Trace: trace, Span: newSpanID()},
+		parent: parent.Span,
+		name:   name,
+		start:  time.Now(),
+	}
 }
 
-// ID returns the span's process-unique ID (0 on nil).
-func (s *Span) ID() uint64 {
+// Child opens a span under the span carried by ctx, or a fresh root span
+// when ctx carries none. This is how handlers open sub-operation spans
+// (log append, scheme recompute, lease sweeps) beneath their request span.
+func (t *Tracer) Child(ctx context.Context, name string) *Span {
+	if t == nil {
+		return nil
+	}
+	if sp := SpanFromContext(ctx); sp != nil {
+		return t.StartChild(sp.Context(), name)
+	}
+	return t.Start(name)
+}
+
+// Context returns the span's propagation context (zero on nil).
+func (s *Span) Context() SpanContext {
+	if s == nil {
+		return SpanContext{}
+	}
+	return s.sc
+}
+
+// TraceID returns the trace the span belongs to (zero on nil).
+func (s *Span) TraceID() TraceID {
+	if s == nil {
+		return TraceID{}
+	}
+	return s.sc.Trace
+}
+
+// SpanID returns the span's own ID (zero on nil).
+func (s *Span) SpanID() SpanID {
 	if s == nil {
 		return 0
 	}
-	return s.id
+	return s.sc.Span
 }
 
 // Annotate attaches a "key=value" note to the span.
@@ -90,11 +350,15 @@ func (s *Span) End() {
 		return
 	}
 	rec := SpanRecord{
-		ID:         s.id,
+		TraceID:    s.sc.Trace.String(),
+		SpanID:     s.sc.Span.String(),
 		Name:       s.name,
 		Start:      s.start,
 		DurationNS: int64(time.Since(s.start)),
 		Attrs:      s.attrs,
+	}
+	if s.parent.IsValid() {
+		rec.ParentID = s.parent.String()
 	}
 	t := s.tr
 	t.mu.Lock()
@@ -111,9 +375,11 @@ func (s *Span) End() {
 type spanKey struct{}
 
 // ContextWithSpan returns ctx carrying sp as the active span. The platform
-// middleware attaches each request's span this way, and the structured log
-// handler reads it back to stamp request_id on every line logged with the
-// request's context. A nil span returns ctx unchanged.
+// middleware attaches each request's span this way; the structured log
+// handler reads it back to stamp request_id (the trace ID) on every line
+// logged with the request's context, and outbound HTTP (the platform
+// client, the router proxy) reads it to inject the traceparent header. A
+// nil span returns ctx unchanged.
 func ContextWithSpan(ctx context.Context, sp *Span) context.Context {
 	if sp == nil {
 		return ctx
@@ -133,6 +399,13 @@ func SpanFromContext(ctx context.Context) *Span {
 // Recent returns up to n completed spans, newest first (n <= 0 returns
 // everything retained). Nil tracers return nil.
 func (t *Tracer) Recent(n int) []SpanRecord {
+	return t.RecentFiltered(n, "")
+}
+
+// RecentFiltered is Recent restricted to spans whose name starts with
+// namePrefix (empty matches everything). The whole ring is scanned so a
+// narrow prefix still fills n from older retained spans.
+func (t *Tracer) RecentFiltered(n int, namePrefix string) []SpanRecord {
 	if t == nil {
 		return nil
 	}
@@ -146,12 +419,41 @@ func (t *Tracer) Recent(n int) []SpanRecord {
 		n = size
 	}
 	out := make([]SpanRecord, 0, n)
-	for i := 0; i < n; i++ {
+	for i := 0; i < size && len(out) < n; i++ {
 		idx := t.next - 1 - i
 		if idx < 0 {
 			idx += len(t.ring)
 		}
-		out = append(out, t.ring[idx])
+		if namePrefix == "" || strings.HasPrefix(t.ring[idx].Name, namePrefix) {
+			out = append(out, t.ring[idx])
+		}
+	}
+	return out
+}
+
+// ByTrace returns every retained span belonging to trace id, oldest first
+// (ring order — within one process that is also commit order). Nil tracers
+// and unknown traces return nil.
+func (t *Tracer) ByTrace(id TraceID) []SpanRecord {
+	if t == nil {
+		return nil
+	}
+	want := id.String()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	size := t.next
+	if t.full {
+		size = len(t.ring)
+	}
+	var out []SpanRecord
+	for i := 0; i < size; i++ {
+		idx := t.next - size + i
+		if idx < 0 {
+			idx += len(t.ring)
+		}
+		if t.ring[idx].TraceID == want {
+			out = append(out, t.ring[idx])
+		}
 	}
 	return out
 }

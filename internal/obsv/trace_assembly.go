@@ -1,0 +1,68 @@
+package obsv
+
+import "sort"
+
+// Cross-process trace assembly — the trace analogue of MergeExpositions.
+// Every process retains only its own spans; the router collects each
+// shard's spans for one trace ID (plus its own), tags them with their
+// origin, and BuildTraceTree stitches the parent links back into the
+// cross-process call tree.
+
+// OriginSpan is a SpanRecord tagged with the process it came from — the
+// shard base URL, or "router" for the router's own spans.
+type OriginSpan struct {
+	SpanRecord
+	Origin string `json:"origin,omitempty"`
+}
+
+// TraceNode is one span in an assembled trace tree.
+type TraceNode struct {
+	Span     OriginSpan   `json:"span"`
+	Children []*TraceNode `json:"children,omitempty"`
+}
+
+// BuildTraceTree assembles tagged spans into parent/child trees. Roots are
+// spans with no parent link — plus orphans whose parent span is not in the
+// set (a shard's ring may have evicted it, or the shard may be down), so
+// partial traces still render instead of disappearing. Siblings and roots
+// are ordered by start time (span ID breaks ties deterministically);
+// duplicate span IDs keep the first occurrence.
+func BuildTraceTree(spans []OriginSpan) []*TraceNode {
+	nodes := make(map[string]*TraceNode, len(spans))
+	order := make([]*TraceNode, 0, len(spans))
+	for _, sp := range spans {
+		if sp.SpanID == "" {
+			continue
+		}
+		if _, dup := nodes[sp.SpanID]; dup {
+			continue
+		}
+		n := &TraceNode{Span: sp}
+		nodes[sp.SpanID] = n
+		order = append(order, n)
+	}
+	var roots []*TraceNode
+	for _, n := range order {
+		parent := nodes[n.Span.ParentID]
+		if n.Span.ParentID == "" || parent == nil || parent == n {
+			roots = append(roots, n)
+			continue
+		}
+		parent.Children = append(parent.Children, n)
+	}
+	sortNodes(roots)
+	for _, n := range order {
+		sortNodes(n.Children)
+	}
+	return roots
+}
+
+func sortNodes(ns []*TraceNode) {
+	sort.SliceStable(ns, func(i, j int) bool {
+		a, b := ns[i].Span, ns[j].Span
+		if !a.Start.Equal(b.Start) {
+			return a.Start.Before(b.Start)
+		}
+		return a.SpanID < b.SpanID
+	})
+}

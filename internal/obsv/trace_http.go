@@ -1,0 +1,50 @@
+package obsv
+
+import "net/http"
+
+// RequestIDHeader is the request-correlation header the serving stack has
+// always echoed; it now carries the 32-hex trace ID (or the caller's own
+// opaque ID, echoed back verbatim when one was supplied).
+const RequestIDHeader = "X-Request-Id"
+
+// StartServerSpan opens the span for an inbound HTTP request, honoring
+// caller-supplied trace context, and returns the span plus the request ID
+// to echo in X-Request-Id. Precedence:
+//
+//  1. A valid traceparent header continues the caller's trace as a child
+//     span (the router and the platform client inject one).
+//  2. Otherwise an X-Request-Id header roots a span in the trace ID it
+//     coerces to (verbatim if it is 32 hex digits, deterministically
+//     hashed if opaque) and is echoed back unchanged.
+//  3. Otherwise a fresh root span in a fresh trace.
+//
+// Nil tracers return (nil, ""): the caller skips the echo and tracing is
+// off for the request.
+func (t *Tracer) StartServerSpan(r *http.Request, name string) (*Span, string) {
+	if t == nil {
+		return nil, ""
+	}
+	if pc, ok := ParseTraceparent(r.Header.Get(TraceparentHeader)); ok {
+		sp := t.StartChild(pc, name)
+		if rid := r.Header.Get(RequestIDHeader); rid != "" {
+			return sp, rid
+		}
+		return sp, sp.TraceID().String()
+	}
+	if rid := r.Header.Get(RequestIDHeader); rid != "" {
+		sp := t.StartChild(SpanContext{Trace: TraceIDFromString(rid)}, name)
+		return sp, rid
+	}
+	sp := t.Start(name)
+	return sp, sp.TraceID().String()
+}
+
+// InjectTraceparent stamps the traceparent header for sp onto an outbound
+// request (no-op on a nil span). The platform client and the router proxy
+// call this so a trace crosses process boundaries intact.
+func InjectTraceparent(req *http.Request, sp *Span) {
+	if sp == nil {
+		return
+	}
+	req.Header.Set(TraceparentHeader, sp.Context().Traceparent())
+}

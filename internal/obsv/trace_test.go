@@ -1,0 +1,288 @@
+package obsv
+
+import (
+	"context"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTraceIDFormatAndParse(t *testing.T) {
+	id := NewTraceID()
+	if !id.IsValid() {
+		t.Fatal("NewTraceID returned the zero ID")
+	}
+	s := id.String()
+	if len(s) != 32 || strings.ToLower(s) != s {
+		t.Fatalf("trace ID string %q is not 32 lowercase hex digits", s)
+	}
+	back, err := ParseTraceID(s)
+	if err != nil || back != id {
+		t.Fatalf("round-trip failed: %v %v", back, err)
+	}
+	for _, bad := range []string{
+		"", "abc", strings.Repeat("0", 32), strings.Repeat("g", 32),
+		strings.Repeat("A", 32), strings.Repeat("f", 31), strings.Repeat("f", 33),
+	} {
+		if _, err := ParseTraceID(bad); err == nil {
+			t.Errorf("ParseTraceID(%q) accepted invalid input", bad)
+		}
+	}
+	if id2 := NewTraceID(); id2 == id {
+		t.Fatal("two NewTraceID draws collided")
+	}
+}
+
+func TestTraceparentRoundTrip(t *testing.T) {
+	sc := SpanContext{Trace: NewTraceID(), Span: newSpanID()}
+	h := sc.Traceparent()
+	if len(h) != 55 || !strings.HasPrefix(h, "00-") || !strings.HasSuffix(h, "-01") {
+		t.Fatalf("traceparent %q not in version-00 form", h)
+	}
+	back, ok := ParseTraceparent(h)
+	if !ok || back != sc {
+		t.Fatalf("round-trip failed: %+v ok=%v", back, ok)
+	}
+	// Future versions may append "-extra"; version ff and zero IDs are out.
+	if _, ok := ParseTraceparent("01-" + sc.Trace.String() + "-" + sc.Span.String() + "-01-extra"); !ok {
+		t.Error("future-version traceparent with trailing field rejected")
+	}
+	for _, bad := range []string{
+		"",
+		"00-" + sc.Trace.String() + "-" + sc.Span.String(),               // missing flags
+		"ff-" + sc.Trace.String() + "-" + sc.Span.String() + "-01",       // reserved version
+		"00-" + strings.Repeat("0", 32) + "-" + sc.Span.String() + "-01", // zero trace
+		"00-" + sc.Trace.String() + "-0000000000000000-01",               // zero span
+		"00_" + sc.Trace.String() + "-" + sc.Span.String() + "-01",       // bad separator
+		"00-" + strings.Repeat("z", 32) + "-" + sc.Span.String() + "-01",
+	} {
+		if _, ok := ParseTraceparent(bad); ok {
+			t.Errorf("ParseTraceparent(%q) accepted invalid input", bad)
+		}
+	}
+	// Leading/trailing whitespace is tolerated.
+	if back, ok := ParseTraceparent("  " + h + " "); !ok || back != sc {
+		t.Error("whitespace-padded traceparent rejected")
+	}
+}
+
+func TestTraceIDFromString(t *testing.T) {
+	id := NewTraceID()
+	if got := TraceIDFromString(id.String()); got != id {
+		t.Fatalf("well-formed hex not adopted verbatim: %v != %v", got, id)
+	}
+	a := TraceIDFromString("client-req-42")
+	b := TraceIDFromString("client-req-42")
+	c := TraceIDFromString("client-req-43")
+	if !a.IsValid() || a != b {
+		t.Fatal("opaque IDs must hash deterministically to a valid trace ID")
+	}
+	if a == c {
+		t.Fatal("distinct opaque IDs collided")
+	}
+}
+
+func TestStartChildLinksParent(t *testing.T) {
+	tr := NewTracer(8)
+	root := tr.Start("http.submit")
+	child := tr.StartChild(root.Context(), "log.append")
+	if child.TraceID() != root.TraceID() {
+		t.Fatal("child left the parent's trace")
+	}
+	if child.SpanID() == root.SpanID() {
+		t.Fatal("child reused the parent's span ID")
+	}
+	child.End()
+	root.End()
+
+	spans := tr.ByTrace(root.TraceID())
+	if len(spans) != 2 {
+		t.Fatalf("ByTrace returned %d spans, want 2", len(spans))
+	}
+	// Ring order: child ended first.
+	if spans[0].Name != "log.append" || spans[0].ParentID != root.SpanID().String() {
+		t.Fatalf("child record wrong: %+v", spans[0])
+	}
+	if spans[1].Name != "http.submit" || spans[1].ParentID != "" {
+		t.Fatalf("root record wrong: %+v", spans[1])
+	}
+
+	// A caller-chosen trace with no parent span roots a span in that trace.
+	tid := NewTraceID()
+	adopted := tr.StartChild(SpanContext{Trace: tid}, "adopted")
+	if adopted.TraceID() != tid {
+		t.Fatal("caller-chosen trace ID not adopted")
+	}
+	adopted.End()
+	if got := tr.ByTrace(tid); len(got) != 1 || got[0].ParentID != "" {
+		t.Fatalf("adopted root recorded wrong: %+v", got)
+	}
+}
+
+func TestChildFromContext(t *testing.T) {
+	tr := NewTracer(8)
+	root := tr.Start("req")
+	ctx := ContextWithSpan(context.Background(), root)
+	child := tr.Child(ctx, "sub")
+	if child.TraceID() != root.TraceID() || child.Context().Span == root.Context().Span {
+		t.Fatal("Child did not branch under the context span")
+	}
+	orphan := tr.Child(context.Background(), "free")
+	if orphan.TraceID() == root.TraceID() || !orphan.TraceID().IsValid() {
+		t.Fatal("Child without a context span must start a fresh trace")
+	}
+}
+
+func TestRecentFiltered(t *testing.T) {
+	tr := NewTracer(16)
+	for i := 0; i < 3; i++ {
+		tr.Start("http.assign").End()
+		tr.Start("log.append").End()
+	}
+	got := tr.RecentFiltered(0, "http.")
+	if len(got) != 3 {
+		t.Fatalf("filtered returned %d spans, want 3", len(got))
+	}
+	for _, rec := range got {
+		if rec.Name != "http.assign" {
+			t.Fatalf("filter leaked %q", rec.Name)
+		}
+	}
+	// A narrow filter still fills n from older spans past non-matching ones.
+	if got := tr.RecentFiltered(2, "log."); len(got) != 2 {
+		t.Fatalf("RecentFiltered(2, log.) returned %d", len(got))
+	}
+	if got := tr.RecentFiltered(5, "nope."); len(got) != 0 {
+		t.Fatalf("non-matching prefix returned %d spans", len(got))
+	}
+}
+
+func TestStartServerSpanPrecedence(t *testing.T) {
+	tr := NewTracer(16)
+
+	// 1. traceparent wins: span continues the inbound trace as a child.
+	parent := SpanContext{Trace: NewTraceID(), Span: newSpanID()}
+	r := httptest.NewRequest("GET", "/v1/assign", nil)
+	r.Header.Set(TraceparentHeader, parent.Traceparent())
+	sp, rid := tr.StartServerSpan(r, "http.assign")
+	if sp.TraceID() != parent.Trace {
+		t.Fatal("traceparent trace not continued")
+	}
+	if rid != parent.Trace.String() {
+		t.Fatalf("echo = %q, want the trace ID", rid)
+	}
+	sp.End()
+	if recs := tr.ByTrace(parent.Trace); len(recs) != 1 || recs[0].ParentID != parent.Span.String() {
+		t.Fatalf("inbound parent not linked: %+v", recs)
+	}
+
+	// traceparent + caller's own X-Request-Id: the opaque ID is echoed.
+	r = httptest.NewRequest("GET", "/v1/assign", nil)
+	r.Header.Set(TraceparentHeader, parent.Traceparent())
+	r.Header.Set(RequestIDHeader, "caller-7")
+	if _, rid := tr.StartServerSpan(r, "http.assign"); rid != "caller-7" {
+		t.Fatalf("caller's request ID not echoed: %q", rid)
+	}
+
+	// 2. Bare X-Request-Id: echoed verbatim, trace derived deterministically.
+	r = httptest.NewRequest("GET", "/v1/assign", nil)
+	r.Header.Set(RequestIDHeader, "caller-8")
+	spA, ridA := tr.StartServerSpan(r, "http.assign")
+	r2 := httptest.NewRequest("GET", "/v1/assign", nil)
+	r2.Header.Set(RequestIDHeader, "caller-8")
+	spB, ridB := tr.StartServerSpan(r2, "http.assign")
+	if ridA != "caller-8" || ridB != "caller-8" {
+		t.Fatalf("opaque request ID not echoed: %q %q", ridA, ridB)
+	}
+	if spA.TraceID() != spB.TraceID() {
+		t.Fatal("same opaque request ID must map to one trace")
+	}
+
+	// A 32-hex X-Request-Id is adopted as the trace ID itself.
+	tid := NewTraceID()
+	r = httptest.NewRequest("GET", "/v1/assign", nil)
+	r.Header.Set(RequestIDHeader, tid.String())
+	sp, rid = tr.StartServerSpan(r, "http.assign")
+	if sp.TraceID() != tid || rid != tid.String() {
+		t.Fatalf("hex request ID not adopted: trace=%v rid=%q", sp.TraceID(), rid)
+	}
+
+	// 3. Nothing inbound: fresh trace, echo is the new trace ID.
+	sp, rid = tr.StartServerSpan(httptest.NewRequest("GET", "/", nil), "http.assign")
+	if !sp.TraceID().IsValid() || rid != sp.TraceID().String() {
+		t.Fatalf("fresh span echo wrong: %q", rid)
+	}
+}
+
+func TestInjectTraceparent(t *testing.T) {
+	tr := NewTracer(4)
+	sp := tr.Start("out")
+	req := httptest.NewRequest("GET", "http://shard/v1/assign", nil)
+	InjectTraceparent(req, sp)
+	got, ok := ParseTraceparent(req.Header.Get(TraceparentHeader))
+	if !ok || got != sp.Context() {
+		t.Fatalf("injected header does not parse back: %q", req.Header.Get(TraceparentHeader))
+	}
+	req2 := httptest.NewRequest("GET", "http://shard/v1/assign", nil)
+	InjectTraceparent(req2, nil)
+	if req2.Header.Get(TraceparentHeader) != "" {
+		t.Fatal("nil span must not inject")
+	}
+}
+
+func TestBuildTraceTree(t *testing.T) {
+	t0 := time.Unix(100, 0)
+	mk := func(span, parent, name, origin string, at time.Time) OriginSpan {
+		return OriginSpan{
+			SpanRecord: SpanRecord{
+				TraceID: strings.Repeat("a", 32), SpanID: span, ParentID: parent,
+				Name: name, Start: at,
+			},
+			Origin: origin,
+		}
+	}
+	spans := []OriginSpan{
+		// Shard spans arrive before the router root — order must not matter.
+		mk("cccccccccccccccc", "bbbbbbbbbbbbbbbb", "log.append", "http://s1", t0.Add(3*time.Millisecond)),
+		mk("bbbbbbbbbbbbbbbb", "aaaaaaaaaaaaaaaa", "http.submit", "http://s1", t0.Add(time.Millisecond)),
+		mk("aaaaaaaaaaaaaaaa", "", "router.submit", "router", t0),
+		mk("dddddddddddddddd", "bbbbbbbbbbbbbbbb", "scheme.recompute", "http://s1", t0.Add(2*time.Millisecond)),
+		// Orphan: parent evicted from its shard's ring — still rendered as a root.
+		mk("eeeeeeeeeeeeeeee", "9999999999999999", "lease.sweep", "http://s2", t0.Add(4*time.Millisecond)),
+	}
+	roots := BuildTraceTree(spans)
+	if len(roots) != 2 {
+		t.Fatalf("got %d roots, want 2 (tree root + orphan)", len(roots))
+	}
+	root := roots[0]
+	if root.Span.Name != "router.submit" || root.Span.Origin != "router" {
+		t.Fatalf("first root = %+v, want the router span", root.Span)
+	}
+	if len(root.Children) != 1 || root.Children[0].Span.Name != "http.submit" {
+		t.Fatalf("router children wrong: %+v", root.Children)
+	}
+	shard := root.Children[0]
+	if len(shard.Children) != 2 ||
+		shard.Children[0].Span.Name != "scheme.recompute" ||
+		shard.Children[1].Span.Name != "log.append" {
+		t.Fatalf("shard children not start-ordered: %+v", shard.Children)
+	}
+	if roots[1].Span.Name != "lease.sweep" {
+		t.Fatalf("orphan not promoted to root: %+v", roots[1].Span)
+	}
+
+	// Duplicates keep the first occurrence; self-parent is a root not a cycle.
+	dup := []OriginSpan{
+		mk("aaaaaaaaaaaaaaaa", "", "first", "r", t0),
+		mk("aaaaaaaaaaaaaaaa", "", "second", "r", t0),
+		mk("ffffffffffffffff", "ffffffffffffffff", "selfie", "r", t0.Add(time.Millisecond)),
+	}
+	roots = BuildTraceTree(dup)
+	if len(roots) != 2 || roots[0].Span.Name != "first" || roots[1].Span.Name != "selfie" {
+		t.Fatalf("dup/self-parent handling wrong: %+v", roots)
+	}
+	if got := BuildTraceTree(nil); len(got) != 0 {
+		t.Fatalf("empty input produced %d roots", len(got))
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"strconv"
 	"time"
 
+	"icrowd/internal/obsv"
 	"icrowd/internal/task"
 )
 
@@ -172,6 +173,12 @@ func (c *Client) do(ctx context.Context, method, url string, body []byte) (*http
 		if body != nil {
 			req.Header.Set("Content-Type", "application/json")
 		}
+		// Propagate trace context: a caller holding an open span (e.g. a
+		// traced service calling through the client) stamps it into the
+		// traceparent header so the server's span becomes its child. Every
+		// retry re-stamps the same parent — retries are attempts of one
+		// logical operation, so they share one trace.
+		obsv.InjectTraceparent(req, obsv.SpanFromContext(ctx))
 		resp, err := c.hc().Do(req)
 		if err != nil {
 			if ctx.Err() != nil {

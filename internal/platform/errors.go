@@ -56,6 +56,11 @@ const (
 	// the request was NOT applied and is safe to retry after backing off —
 	// the router re-admits the shard once its health probe recovers.
 	CodeShardUnavailable = "shard_unavailable"
+	// CodeSLODisabled reports a GET /v1/slo against a server (or fleet)
+	// with no SLO engine configured (HTTP 404): objectives are declared
+	// via the -slo-* flags, so their absence is a configuration, not a
+	// fault.
+	CodeSLODisabled = "slo_disabled"
 )
 
 // ErrorResponse is the JSON body of every non-2xx response the server

@@ -4,7 +4,6 @@ import (
 	"bytes"
 	"encoding/json"
 	"errors"
-	"fmt"
 	"log/slog"
 	"net/http"
 	"net/http/httptest"
@@ -211,7 +210,7 @@ func TestJSONLogSchemaAndRequestID(t *testing.T) {
 	if got := line["msg"]; got != "http request" {
 		t.Errorf("msg = %v, want \"http request\"", got)
 	}
-	if got := fmt.Sprintf("%.0f", line[obsv.LogRequestIDKey]); got != rid {
+	if got, _ := line[obsv.LogRequestIDKey].(string); got != rid {
 		t.Errorf("request_id = %v, want X-Request-Id %s", line[obsv.LogRequestIDKey], rid)
 	}
 	if got := line["endpoint"]; got != "status" {

@@ -1,10 +1,13 @@
 package platform
 
 import (
+	"context"
 	"sort"
+	"strconv"
 	"sync"
 	"time"
 
+	"icrowd/internal/obsv"
 	"icrowd/internal/store"
 )
 
@@ -65,9 +68,14 @@ func (s *Server) SweepExpired() []string {
 	if !enabled {
 		return nil
 	}
+	// Each sweep pass is a root span of its own trace (there is no inbound
+	// request to inherit from); the per-worker log appends hang off it as
+	// children, so a slow sweep shows where the time went.
+	sp := s.tracer.Start("lease.sweep")
+	ctx := obsv.ContextWithSpan(context.Background(), sp)
 	var reclaimed []string
 	for _, p := range s.snapshotProjects() {
-		for _, w := range s.sweepProject(p) {
+		for _, w := range s.sweepProject(ctx, p) {
 			if p.id == store.DefaultProject {
 				reclaimed = append(reclaimed, w)
 			} else {
@@ -75,11 +83,13 @@ func (s *Server) SweepExpired() []string {
 			}
 		}
 	}
+	sp.Annotate("reclaimed=" + strconv.Itoa(len(reclaimed)))
+	sp.End()
 	return reclaimed
 }
 
 // sweepProject reclaims one project's expired leases (see SweepExpired).
-func (s *Server) sweepProject(p *project) []string {
+func (s *Server) sweepProject(ctx context.Context, p *project) []string {
 	now := s.clockNow()
 	var expired []string
 	p.mu.Lock()
@@ -107,7 +117,11 @@ func (s *Server) sweepProject(p *project) []string {
 		var logErr error
 		p.withLogOrder(func() {
 			if p.backend != nil {
-				if e := store.AppendInactive(p.backend, w); e != nil {
+				lsp := s.tracer.Child(ctx, "log.append")
+				lsp.Annotate("worker=" + w)
+				e := store.AppendInactive(p.backend, w)
+				lsp.End()
+				if e != nil {
 					logErr = e
 					return
 				}

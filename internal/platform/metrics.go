@@ -148,6 +148,7 @@ func (pm *projectMetrics) setPending(n int) {
 func (s *Server) UseRegistry(reg *obsv.Registry) {
 	s.obs = newServerMetrics(reg)
 	s.initHealth(reg)
+	s.initSLO(reg)
 	if s.adm != nil {
 		s.adm.bind(s.obs)
 	}
@@ -204,19 +205,23 @@ func (w *statusWriter) Write(b []byte) (int, error) {
 
 // instrument wraps an endpoint handler with the observability middleware:
 // request counting, a latency histogram observation, a status-class
-// counter, one trace span per request whose ID is echoed as X-Request-Id
-// (and carried in the request context so every log line emitted while
-// handling the request is stamped with the same request_id), and a
-// debug-level structured access log line. Both the /v1 and the legacy
-// mount share the wrapped handler, so the endpoint label aggregates the
-// two spellings and the response bytes stay identical across mounts.
+// counter, one trace span per request, SLO accounting, and a debug-level
+// structured access log line. The span honors caller-supplied trace
+// context (obsv.Tracer.StartServerSpan): a traceparent header continues
+// the caller's trace as a child span, an X-Request-Id is echoed back
+// verbatim and coerced into the trace ID, and only a bare request mints a
+// fresh trace. The echoed X-Request-Id plus the span carried in the
+// request context stamp every log line handled under the request with the
+// same request_id (the trace ID). Both the /v1 and the legacy mount share
+// the wrapped handler, so the endpoint label aggregates the two spellings
+// and the response bytes stay identical across mounts.
 func (s *Server) instrument(name string, h http.HandlerFunc) http.HandlerFunc {
 	em := s.obs.endpoints[name]
 	return func(w http.ResponseWriter, r *http.Request) {
 		em.requests.Inc()
-		sp := s.tracer.Start("http." + name)
+		sp, rid := s.tracer.StartServerSpan(r, "http."+name)
 		if sp != nil {
-			w.Header().Set("X-Request-Id", strconv.FormatUint(sp.ID(), 10))
+			w.Header().Set(obsv.RequestIDHeader, rid)
 			r = r.WithContext(obsv.ContextWithSpan(r.Context(), sp))
 		}
 		sw := &statusWriter{ResponseWriter: w}
@@ -234,6 +239,15 @@ func (s *Server) instrument(name string, h http.HandlerFunc) http.HandlerFunc {
 		if sp != nil {
 			sp.Annotate("status=" + strconv.Itoa(code))
 			sp.End()
+		}
+		if s.slo != nil {
+			now := s.clockNow()
+			s.slo.Observe(name, elapsed, code, now)
+			proj := r.PathValue("project")
+			if proj == "" {
+				proj = store.DefaultProject
+			}
+			s.slo.Observe("project:"+proj, elapsed, code, now)
 		}
 		s.logger.LogAttrs(r.Context(), slog.LevelDebug, "http request",
 			slog.String("endpoint", name),
@@ -257,8 +271,16 @@ type TraceResponse struct {
 	Spans []obsv.SpanRecord `json:"spans"`
 }
 
+// maxTraceQueryN bounds GET /v1/trace's ?n=: the ring never retains
+// anywhere near this many spans, so a larger ask is a caller bug (or an
+// attempt to make the server allocate a giant slice) and gets a typed 400.
+const maxTraceQueryN = 10000
+
 // handleTrace serves GET /v1/trace: the most recent completed spans,
-// newest first. ?n= bounds the count (default 100).
+// newest first. ?n= bounds the count (default 100, max maxTraceQueryN,
+// anything non-numeric, negative or absurd is a typed 400) and ?name=
+// keeps only spans whose name starts with the given prefix (e.g.
+// name=http.assign, name=lease.).
 func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		s.writeError(r, w, http.StatusMethodNotAllowed, CodeMethodNotAllowed, "method not allowed")
@@ -267,17 +289,45 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 	n := 100
 	if q := r.URL.Query().Get("n"); q != "" {
 		v, err := strconv.Atoi(q)
-		if err != nil || v < 1 {
-			s.writeError(r, w, http.StatusBadRequest, CodeBadRequest, "n must be a positive integer")
+		if err != nil || v < 1 || v > maxTraceQueryN {
+			s.writeError(r, w, http.StatusBadRequest, CodeBadRequest,
+				"n must be an integer in [1, "+strconv.Itoa(maxTraceQueryN)+"]")
 			return
 		}
 		n = v
 	}
-	spans := s.tracer.Recent(n)
+	spans := s.tracer.RecentFiltered(n, r.URL.Query().Get("name"))
 	if spans == nil {
 		spans = []obsv.SpanRecord{}
 	}
 	s.writeJSON(r, w, TraceResponse{Spans: spans})
+}
+
+// TraceQueryResponse is returned by GET /v1/trace/{traceid}: every span
+// this process retains for one trace, oldest first. An unknown trace is a
+// 200 with an empty list — the router's assembly fans this endpoint out to
+// every shard and most shards will not have seen most traces.
+type TraceQueryResponse struct {
+	TraceID string            `json:"traceId"`
+	Spans   []obsv.SpanRecord `json:"spans"`
+}
+
+// handleTraceByID serves GET /v1/trace/{traceid}.
+func (s *Server) handleTraceByID(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		s.writeError(r, w, http.StatusMethodNotAllowed, CodeMethodNotAllowed, "method not allowed")
+		return
+	}
+	id, err := obsv.ParseTraceID(r.PathValue("traceid"))
+	if err != nil {
+		s.writeError(r, w, http.StatusBadRequest, CodeBadRequest, err.Error())
+		return
+	}
+	spans := s.tracer.ByTrace(id)
+	if spans == nil {
+		spans = []obsv.SpanRecord{}
+	}
+	s.writeJSON(r, w, TraceQueryResponse{TraceID: id.String(), Spans: spans})
 }
 
 // writeJSON emits a 200 JSON response with headers committed before the

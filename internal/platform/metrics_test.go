@@ -200,8 +200,11 @@ func TestTraceEndpointAndRequestID(t *testing.T) {
 	if tr.Spans[0].Name != "http.results" || tr.Spans[1].Name != "http.status" {
 		t.Fatalf("spans not newest-first: %+v", tr.Spans)
 	}
-	if tr.Spans[1].ID != mustUint(t, rid) {
-		t.Fatalf("status span ID %d != X-Request-Id %s", tr.Spans[1].ID, rid)
+	if tr.Spans[1].TraceID != rid {
+		t.Fatalf("status span trace %s != X-Request-Id %s", tr.Spans[1].TraceID, rid)
+	}
+	if _, err := obsv.ParseTraceID(rid); err != nil {
+		t.Fatalf("X-Request-Id %q is not a 128-bit trace ID: %v", rid, err)
 	}
 	found := false
 	for _, a := range tr.Spans[1].Attrs {
@@ -212,15 +215,6 @@ func TestTraceEndpointAndRequestID(t *testing.T) {
 	if !found {
 		t.Fatalf("status span missing status=200 annotation: %+v", tr.Spans[1])
 	}
-}
-
-func mustUint(t *testing.T, s string) uint64 {
-	t.Helper()
-	v, err := strconv.ParseUint(s, 10, 64)
-	if err != nil {
-		t.Fatalf("parse %q: %v", s, err)
-	}
-	return v
 }
 
 // TestNilRegistryDisablesMetrics checks UseRegistry(nil) turns the whole

@@ -207,12 +207,16 @@ type Server struct {
 	// obs holds the server's metric instruments (metrics.go); tracer is the
 	// per-request span ring behind /v1/trace and X-Request-Id; logger is
 	// the structured logger (SetLogger); health is the probe surface behind
-	// /v1/healthz and /v1/readyz. All are set before the server takes
-	// traffic and read-only afterwards.
+	// /v1/healthz and /v1/readyz; slo is the burn-rate engine behind
+	// /v1/slo (nil until SetSLO, sloCfg remembers the configuration across
+	// UseRegistry rebinds). All are set before the server takes traffic and
+	// read-only afterwards.
 	obs    *serverMetrics
 	tracer *obsv.Tracer
 	logger *slog.Logger
 	health *obsv.Health
+	slo    *obsv.SLOEngine
+	sloCfg SLOConfig
 	pprof  bool
 }
 
@@ -571,6 +575,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/projects/{project}", s.instrument("projects", s.handleProjectRoot))
 	mux.HandleFunc("/v1/metrics", s.handleMetrics)
 	mux.HandleFunc("/v1/trace", s.handleTrace)
+	mux.HandleFunc("/v1/trace/{traceid}", s.handleTraceByID)
+	mux.HandleFunc("/v1/slo", s.handleSLO)
 	mux.Handle("/v1/healthz", s.health.LivenessHandler())
 	mux.Handle("/v1/readyz", s.health.ReadinessHandler())
 	if s.pprof {
@@ -652,6 +658,11 @@ func (s *Server) handleAssign(p *project, w http.ResponseWriter, r *http.Request
 		done     bool
 		logErr   error
 	)
+	// The strategy's task-selection work (for ICrowd: the scheme lookup and
+	// assignment bookkeeping) gets its own child span under the request; the
+	// durable append nests as a sibling so trace trees separate compute time
+	// from log latency.
+	ssp := s.tracer.Child(r.Context(), "strategy.assign")
 	p.withLogOrder(func() {
 		p.strategyLock()
 		if p.st.Done() {
@@ -668,7 +679,10 @@ func (s *Server) handleAssign(p *project, w http.ResponseWriter, r *http.Request
 		}
 		p.strategyUnlock()
 		if p.backend != nil {
-			if err := store.AppendAssign(p.backend, worker, tid); err != nil {
+			lsp := s.tracer.Child(r.Context(), "log.append")
+			err := store.AppendAssign(p.backend, worker, tid)
+			lsp.End()
+			if err != nil {
 				// Roll the uncommitted assignment back so the strategy and
 				// the log stay consistent, then report lost durability.
 				p.strategyLock()
@@ -680,6 +694,8 @@ func (s *Server) handleAssign(p *project, w http.ResponseWriter, r *http.Request
 		}
 		assigned = true
 	})
+	ssp.Annotate("worker=" + worker)
+	ssp.End()
 	if logErr != nil {
 		s.obs.logFailures.Inc()
 		s.writeError(r, w, http.StatusServiceUnavailable, CodeLogWrite, logErr.Error())
@@ -749,14 +765,22 @@ func (s *Server) handleSubmit(p *project, w http.ResponseWriter, r *http.Request
 	var logErr error
 	p.withLogOrder(func() {
 		if p.backend != nil {
-			if e := store.AppendSubmit(p.backend, req.WorkerID, req.TaskID, ans); e != nil {
+			lsp := s.tracer.Child(r.Context(), "log.append")
+			e := store.AppendSubmit(p.backend, req.WorkerID, req.TaskID, ans)
+			lsp.End()
+			if e != nil {
 				logErr = e
 				return
 			}
 		}
+		// SubmitAnswer is where ICrowd folds the answer into the estimator
+		// and recomputes the affected assignment scheme — the hottest
+		// sub-operation on the submit path, so it gets its own span.
+		rsp := s.tracer.Child(r.Context(), "scheme.recompute")
 		p.strategyLock()
 		err = p.st.SubmitAnswer(req.WorkerID, req.TaskID, ans)
 		p.strategyUnlock()
+		rsp.End()
 	})
 	if logErr != nil {
 		s.obs.logFailures.Inc()
@@ -828,7 +852,10 @@ func (s *Server) handleInactive(p *project, w http.ResponseWriter, r *http.Reque
 	var logErr error
 	p.withLogOrder(func() {
 		if p.backend != nil {
-			if e := store.AppendInactive(p.backend, worker); e != nil {
+			lsp := s.tracer.Child(r.Context(), "log.append")
+			e := store.AppendInactive(p.backend, worker)
+			lsp.End()
+			if e != nil {
 				logErr = e
 				return
 			}

@@ -1,0 +1,141 @@
+package platform
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"time"
+
+	"icrowd/internal/obsv"
+)
+
+// SLOConfig declares the server's service-level objectives. One latency
+// target covers every endpoint by default; PerEndpoint overrides it for
+// specific endpoints ("assign", "submit", ...). Every objective also
+// tracks a per-project dimension ("project:<id>") with the default
+// target, so a single noisy project is visible on its own burn-rate
+// series. The zero value (LatencyTarget == 0) disables the engine.
+type SLOConfig struct {
+	// LatencyTarget is the default per-request latency objective; <= 0
+	// disables the SLO engine entirely.
+	LatencyTarget time.Duration
+	// PerEndpoint overrides LatencyTarget for named endpoints.
+	PerEndpoint map[string]time.Duration
+	// LatencyGoal is the fraction of requests that must meet their target
+	// (default 0.99).
+	LatencyGoal float64
+	// ErrorGoal is the fraction of requests that must not 5xx
+	// (default 0.999).
+	ErrorGoal float64
+	// DegradeBurnRate, when > 0, registers a degraded readiness check:
+	// /v1/readyz reports status "degraded" (still 200) while any
+	// objective's 5m burn rate exceeds this threshold. The canonical
+	// fast-burn page threshold is 14.4 (exhausting a 30-day budget in a
+	// day).
+	DegradeBurnRate float64
+}
+
+func (c SLOConfig) enabled() bool { return c.LatencyTarget > 0 }
+
+// SetSLO installs the burn-rate engine behind GET /v1/slo, the
+// icrowd_slo_* metrics and (when cfg.DegradeBurnRate > 0) the "slo_burn"
+// degraded readiness check. Call before the server takes traffic; a zero
+// cfg.LatencyTarget removes the engine.
+func (s *Server) SetSLO(cfg SLOConfig) {
+	if cfg.LatencyGoal == 0 {
+		cfg.LatencyGoal = 0.99
+	}
+	if cfg.ErrorGoal == 0 {
+		cfg.ErrorGoal = 0.999
+	}
+	s.sloCfg = cfg
+	s.initSLO(s.obs.reg)
+}
+
+// initSLO (re)builds the engine against reg — also called by UseRegistry
+// so the gauges land in the new registry (window history restarts, which
+// is fine before traffic).
+func (s *Server) initSLO(reg *obsv.Registry) {
+	if !s.sloCfg.enabled() {
+		s.slo = nil
+		return
+	}
+	cfg := s.sloCfg
+	s.slo = obsv.NewSLOEngine(reg, func(key string) obsv.SLOObjective {
+		target := cfg.LatencyTarget
+		if !strings.HasPrefix(key, "project:") {
+			if t, ok := cfg.PerEndpoint[key]; ok {
+				target = t
+			}
+		}
+		return obsv.SLOObjective{
+			LatencyTarget: target,
+			LatencyGoal:   cfg.LatencyGoal,
+			ErrorGoal:     cfg.ErrorGoal,
+		}
+	})
+	if cfg.DegradeBurnRate > 0 {
+		s.registerSLOCheck()
+	}
+}
+
+// registerSLOCheck installs the "slo_burn" degraded readiness check on the
+// current probe surface: burning budget fast is an SRE page, not a
+// load-balancer eviction, so readyz stays 200 and reports "degraded" —
+// the same tier the admission queue uses.
+func (s *Server) registerSLOCheck() {
+	s.health.AddDegradedCheck("slo_burn", func() error {
+		eng, threshold := s.slo, s.sloCfg.DegradeBurnRate
+		burn, key := eng.MaxBurn(5*time.Minute, s.clockNow())
+		if burn > threshold {
+			return fmt.Errorf("slo %s burning budget at %.1fx (threshold %.1fx over 5m)", key, burn, threshold)
+		}
+		return nil
+	})
+}
+
+// handleSLO serves GET /v1/slo: every tracked objective with its rolling
+// 5m/1h windows and burn rates. A typed 404 when no SLO is configured.
+func (s *Server) handleSLO(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		s.writeError(r, w, http.StatusMethodNotAllowed, CodeMethodNotAllowed, "method not allowed")
+		return
+	}
+	if s.slo == nil {
+		s.writeError(r, w, http.StatusNotFound, CodeSLODisabled,
+			"no SLO configured (start the server with -slo-latency > 0)")
+		return
+	}
+	s.writeJSON(r, w, s.slo.Report(s.clockNow()))
+}
+
+// ParseSLOLatencySpec parses the -slo-endpoint-latency flag value:
+// comma-separated endpoint=duration pairs, e.g. "assign=5ms,submit=25ms".
+// Endpoints must be canonical v1 endpoint names.
+func ParseSLOLatencySpec(spec string) (map[string]time.Duration, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	known := make(map[string]bool, len(endpointNames))
+	for _, ep := range endpointNames {
+		known[ep] = true
+	}
+	out := make(map[string]time.Duration)
+	for _, pair := range strings.Split(spec, ",") {
+		name, val, ok := strings.Cut(strings.TrimSpace(pair), "=")
+		if !ok {
+			return nil, errors.New("platform: SLO spec entries must be endpoint=duration, got " + pair)
+		}
+		if !known[name] {
+			return nil, errors.New("platform: unknown SLO endpoint " + name +
+				" (valid: " + strings.Join(endpointNames, ", ") + ")")
+		}
+		d, err := time.ParseDuration(val)
+		if err != nil || d <= 0 {
+			return nil, errors.New("platform: bad SLO latency for " + name + ": " + val)
+		}
+		out[name] = d
+	}
+	return out, nil
+}

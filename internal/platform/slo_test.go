@@ -1,0 +1,139 @@
+package platform
+
+import (
+	"encoding/json"
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+
+	"icrowd/internal/obsv"
+)
+
+// TestSLOEndpointDisabled pins the typed 404 when no objectives are
+// declared: absence of SLO config is not an error condition.
+func TestSLOEndpointDisabled(t *testing.T) {
+	srv, _, _ := newMetricsServer(t)
+	status, _, body := exchange(t, srv.URL, "GET", "/v1/slo", "")
+	var er ErrorResponse
+	if status != http.StatusNotFound || json.Unmarshal(body, &er) != nil || er.Code != CodeSLODisabled {
+		t.Fatalf("GET /v1/slo without config: %d %s, want typed 404 slo_disabled", status, body)
+	}
+	if s, _, b := exchange(t, srv.URL, "POST", "/v1/slo", ""); s != http.StatusMethodNotAllowed {
+		t.Fatalf("POST /v1/slo: %d %s, want 405", s, b)
+	}
+}
+
+// TestSLOEndpointReportsTraffic drives real requests through the
+// middleware with a sub-nanosecond latency target (everything misses)
+// and checks /v1/slo shows per-endpoint and per-project objectives with
+// the observed counts and burn rates.
+func TestSLOEndpointReportsTraffic(t *testing.T) {
+	srv, s, reg := newMetricsServer(t)
+	s.SetSLO(SLOConfig{LatencyTarget: time.Nanosecond})
+
+	exchange(t, srv.URL, "GET", "/v1/status", "")
+	exchange(t, srv.URL, "GET", "/v1/status", "")
+	exchange(t, srv.URL, "GET", "/v1/assign", "") // 400: counted, not an SLO error
+
+	status, _, body := exchange(t, srv.URL, "GET", "/v1/slo", "")
+	if status != http.StatusOK {
+		t.Fatalf("GET /v1/slo: %d %s", status, body)
+	}
+	var rep obsv.SLOReport
+	if err := json.Unmarshal(body, &rep); err != nil {
+		t.Fatalf("slo body %s: %v", body, err)
+	}
+	byKey := map[string]obsv.SLOObjectiveStatus{}
+	for _, o := range rep.Objectives {
+		byKey[o.Key] = o
+	}
+	st, ok := byKey["status"]
+	if !ok {
+		t.Fatalf("report missing endpoint objective: %s", body)
+	}
+	if st.Windows[0].Requests != 2 || st.Windows[0].LatencyMisses != 2 {
+		t.Fatalf("status 5m window = %+v, want 2 requests / 2 misses", st.Windows[0])
+	}
+	if st.Windows[0].LatencyBurnRate <= 1 {
+		t.Fatalf("all-miss latency burn = %v, want > 1", st.Windows[0].LatencyBurnRate)
+	}
+	if st.Windows[0].Errors != 0 {
+		t.Fatalf("a 400 must not count as an SLO error: %+v", st.Windows[0])
+	}
+	proj, ok := byKey["project:default"]
+	if !ok {
+		t.Fatalf("report missing per-project objective: %s", body)
+	}
+	if proj.Windows[0].Requests != 3 {
+		t.Fatalf("project:default 5m requests = %d, want 3", proj.Windows[0].Requests)
+	}
+	// The mirrored gauges live on the server's registry.
+	g := reg.Gauge("icrowd_slo_burn_rate", "",
+		"slo", "status", "signal", "latency", "window", "5m")
+	if g.Value() <= 1 {
+		t.Fatalf("icrowd_slo_burn_rate{slo=status} = %v, want > 1", g.Value())
+	}
+}
+
+// TestSLOBurnDegradesReadyz pins the readiness wiring: a fast error burn
+// above the configured threshold flips /v1/readyz into the degraded tier
+// (still 200) naming slo_burn, and recovery follows the 5m window.
+func TestSLOBurnDegradesReadyz(t *testing.T) {
+	srv, s, _ := newMetricsServer(t)
+	now := time.Unix(1_700_000_000, 0)
+	var mu sync.Mutex
+	s.SetClock(func() time.Time { mu.Lock(); defer mu.Unlock(); return now })
+	s.SetSLO(SLOConfig{
+		LatencyTarget:   time.Second,
+		ErrorGoal:       0.999,
+		DegradeBurnRate: 14.4,
+	})
+
+	if code, pr := probe(t, srv.URL, "/v1/readyz"); code != http.StatusOK || pr.Status != "ok" {
+		t.Fatalf("readyz before burn = %d %q, want 200 ok", code, pr.Status)
+	}
+
+	// 10 requests, half of them 5xx: error burn = 0.5/0.001 = 500x.
+	for i := 0; i < 10; i++ {
+		code := 200
+		if i%2 == 0 {
+			code = 500
+		}
+		s.slo.Observe("status", time.Millisecond, code, now)
+	}
+	code, pr := probe(t, srv.URL, "/v1/readyz")
+	if code != http.StatusOK || pr.Status != "degraded" {
+		t.Fatalf("readyz during burn = %d %q, want 200 degraded", code, pr.Status)
+	}
+	if _, ok := pr.Degraded["slo_burn"]; !ok {
+		t.Fatalf("degraded map %v, want slo_burn entry", pr.Degraded)
+	}
+
+	// Advance past the 5m window: the burn rolls off and readiness heals.
+	mu.Lock()
+	now = now.Add(6 * time.Minute)
+	mu.Unlock()
+	if code, pr := probe(t, srv.URL, "/v1/readyz"); code != http.StatusOK || pr.Status != "ok" {
+		t.Fatalf("readyz after window rolloff = %d %q, want 200 ok", code, pr.Status)
+	}
+}
+
+// TestParseSLOLatencySpec covers the flag-parsing helper both directions.
+func TestParseSLOLatencySpec(t *testing.T) {
+	m, err := ParseSLOLatencySpec("assign=5ms, submit=25ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m["assign"] != 5*time.Millisecond || m["submit"] != 25*time.Millisecond {
+		t.Fatalf("parsed %v", m)
+	}
+	if m, err := ParseSLOLatencySpec(""); err != nil || m != nil {
+		t.Fatalf("empty spec = %v, %v", m, err)
+	}
+	for _, bad := range []string{"assign", "assign=", "assign=5", "nosuch=5ms", "assign=-5ms"} {
+		if _, err := ParseSLOLatencySpec(bad); err == nil {
+			t.Errorf("spec %q accepted, want error", bad)
+		}
+	}
+}

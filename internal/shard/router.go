@@ -63,6 +63,12 @@ type Config struct {
 	// Registry receives the router's own metrics (nil creates one); it is
 	// appended to the merged /v1/metrics output under shard="router".
 	Registry *obsv.Registry
+	// Tracer records the router's own request spans (nil creates one with
+	// the default capacity). The router continues any inbound trace
+	// context, propagates it to the shards on every proxy and fan-out, and
+	// contributes its spans to GET /v1/trace/{traceid} under origin
+	// "router".
+	Tracer *obsv.Tracer
 }
 
 // Router fronts the shard fleet. Create with New; serve its Handler.
@@ -73,6 +79,7 @@ type Router struct {
 	client  *http.Client
 	logger  *slog.Logger
 	reg     *obsv.Registry
+	tracer  *obsv.Tracer
 	mux     *http.ServeMux
 	// retryAfter is the Retry-After hint attached to shard_unavailable.
 	retryAfter time.Duration
@@ -103,12 +110,16 @@ func New(cfg Config) (*Router, error) {
 	if cfg.Registry == nil {
 		cfg.Registry = obsv.NewRegistry()
 	}
+	if cfg.Tracer == nil {
+		cfg.Tracer = obsv.NewTracer(0)
+	}
 	rt := &Router{
 		cfg:         cfg,
 		ring:        NewRing(cfg.Replicas),
 		client:      cfg.Client,
 		logger:      cfg.Logger,
 		reg:         cfg.Registry,
+		tracer:      cfg.Tracer,
 		retryAfter:  cfg.ProbeInterval,
 		proxied:     map[string]*obsv.Counter{},
 		unavailable: map[string]*obsv.Counter{},
@@ -217,19 +228,39 @@ func (rt *Router) routes() *http.ServeMux {
 		{"results", http.MethodGet, rt.handleResults},
 	}
 	for _, e := range eps {
-		h := requireMethod(e.method, e.handler)
+		h := requireMethod(e.method, rt.instrument(e.name, e.handler))
 		mux.HandleFunc("/v1/"+e.name, h)
 		mux.HandleFunc("/"+e.name, h) // legacy unversioned alias
 		mux.HandleFunc("/v1/projects/{project}/"+e.name, h)
 	}
 	mux.HandleFunc("/v1/projects", requireMethod(http.MethodGet, rt.handleProjectList))
 	mux.HandleFunc("/v1/projects/{project}", rt.handleProjectRoot)
+	mux.HandleFunc("/v1/trace", requireMethod(http.MethodGet, rt.handleTrace))
+	mux.HandleFunc("/v1/trace/{traceid}", requireMethod(http.MethodGet, rt.handleTraceByID))
+	mux.HandleFunc("/v1/slo", requireMethod(http.MethodGet, rt.handleSLO))
 	mux.HandleFunc("/v1/metrics", requireMethod(http.MethodGet, rt.handleMetrics))
 	mux.HandleFunc("/v1/healthz", requireMethod(http.MethodGet, rt.handleHealthz))
 	mux.HandleFunc("/v1/readyz", requireMethod(http.MethodGet, rt.handleReadyz))
 	mux.HandleFunc("/v1/shards", requireMethod(http.MethodGet, rt.handleShards))
 	mux.HandleFunc("/", rt.handleNotFound)
 	return mux
+}
+
+// instrument opens a router span for the request — continuing any inbound
+// trace context the same way a single server's middleware does — echoes the
+// request ID, and threads the span through the context so proxy and fan-out
+// calls propagate it to the shards. The router's span becomes the root of
+// the cross-process trace; each shard's http.* span hangs off it.
+func (rt *Router) instrument(name string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		sp, rid := rt.tracer.StartServerSpan(r, "router."+name)
+		if sp != nil {
+			w.Header().Set(obsv.RequestIDHeader, rid)
+			r = r.WithContext(obsv.ContextWithSpan(r.Context(), sp))
+			defer sp.End()
+		}
+		h(w, r)
+	}
 }
 
 // requireMethod guards a handler with the endpoint's method, answering the
@@ -309,6 +340,9 @@ func (rt *Router) proxy(w http.ResponseWriter, r *http.Request, shard string, bo
 	if ct := r.Header.Get("Content-Type"); ct != "" {
 		req.Header.Set("Content-Type", ct)
 	}
+	sp := obsv.SpanFromContext(r.Context())
+	sp.Annotate("shard=" + shard)
+	obsv.InjectTraceparent(req, sp)
 	resp, err := rt.client.Do(req)
 	if err != nil {
 		if r.Context().Err() != nil {
@@ -324,8 +358,11 @@ func (rt *Router) proxy(w http.ResponseWriter, r *http.Request, shard string, bo
 	if c := rt.proxied[shard]; c != nil {
 		c.Inc()
 	}
+	// The shard's X-Request-Id must not clobber the one the router already
+	// echoed: with tracing on, both name the same trace, and the router's
+	// copy is the one that matches a caller-supplied X-Request-Id verbatim.
 	for _, h := range []string{"Content-Type", "Retry-After", "X-Request-Id"} {
-		if v := resp.Header.Get(h); v != "" {
+		if v := resp.Header.Get(h); v != "" && w.Header().Get(h) == "" {
 			w.Header().Set(h, v)
 		}
 	}
@@ -384,6 +421,7 @@ func (rt *Router) fanout(ctx context.Context, path string) []shardResult {
 				out[i].err = err
 				return
 			}
+			obsv.InjectTraceparent(req, obsv.SpanFromContext(ctx))
 			resp, err := rt.client.Do(req)
 			if err != nil {
 				if ctx.Err() == nil {
@@ -642,6 +680,100 @@ type ShardsResponse struct {
 
 func (rt *Router) handleShards(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, ShardsResponse{Shards: rt.tracker.Snapshot()})
+}
+
+// ---- tracing and SLO rollups ----
+
+// maxTraceQueryN mirrors the shards' bound on GET /v1/trace's ?n=.
+const maxTraceQueryN = 10000
+
+// handleTrace serves the router's OWN recent spans (router.* request spans
+// and probe activity), with the same ?n= bounds and ?name= prefix filter a
+// single server exposes. Cross-process assembly lives one level down at
+// /v1/trace/{traceid}.
+func (rt *Router) handleTrace(w http.ResponseWriter, r *http.Request) {
+	n := 100
+	if q := r.URL.Query().Get("n"); q != "" {
+		v, err := strconv.Atoi(q)
+		if err != nil || v < 1 || v > maxTraceQueryN {
+			writeError(w, http.StatusBadRequest, platform.CodeBadRequest,
+				"n must be an integer in [1, "+strconv.Itoa(maxTraceQueryN)+"]")
+			return
+		}
+		n = v
+	}
+	spans := rt.tracer.RecentFiltered(n, r.URL.Query().Get("name"))
+	if spans == nil {
+		spans = []obsv.SpanRecord{}
+	}
+	writeJSON(w, http.StatusOK, platform.TraceResponse{Spans: spans})
+}
+
+// TraceAssembly is the router's GET /v1/trace/{traceid} body: every span
+// the fleet recorded for the trace — the router's own plus each shard's,
+// tagged with their origin — and the assembled parent/child tree. It is the
+// trace analogue of the merged /v1/metrics exposition.
+type TraceAssembly struct {
+	// TraceID is the canonical 32-hex trace being assembled.
+	TraceID string `json:"traceId"`
+	// Spans is the flat union across processes, each tagged with Origin
+	// ("router" or the shard's base URL).
+	Spans []obsv.OriginSpan `json:"spans"`
+	// Tree is the assembled forest: normally a single root (the router's
+	// request span) with shard spans as descendants. Spans whose parent was
+	// evicted from a ring surface as extra roots rather than disappearing.
+	Tree []*obsv.TraceNode `json:"tree"`
+	// Skipped lists shards that could not be queried (down or answering
+	// garbage): their spans, if any, are missing from the assembly.
+	Skipped []string `json:"skipped,omitempty"`
+}
+
+// handleTraceByID assembles the cross-process trace: fan out to every live
+// shard's /v1/trace/{traceid}, merge with the router's own ring, and build
+// the tree. Unknown traces return an empty assembly (200), matching the
+// single-server contract; a malformed ID is a typed 400.
+func (rt *Router) handleTraceByID(w http.ResponseWriter, r *http.Request) {
+	id, err := obsv.ParseTraceID(r.PathValue("traceid"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, platform.CodeBadRequest,
+			"traceid must be 32 hex characters")
+		return
+	}
+	results := rt.fanout(r.Context(), "/v1/trace/"+id.String())
+	asm := TraceAssembly{TraceID: id.String(), Spans: []obsv.OriginSpan{}}
+	for _, rec := range rt.tracer.ByTrace(id) {
+		asm.Spans = append(asm.Spans, obsv.OriginSpan{SpanRecord: rec, Origin: "router"})
+	}
+	for _, res := range results {
+		if res.err != nil || res.status/100 != 2 {
+			asm.Skipped = append(asm.Skipped, res.shard)
+			continue
+		}
+		var tq platform.TraceQueryResponse
+		if err := json.Unmarshal(res.body, &tq); err != nil {
+			asm.Skipped = append(asm.Skipped, res.shard)
+			continue
+		}
+		for _, rec := range tq.Spans {
+			asm.Spans = append(asm.Spans, obsv.OriginSpan{SpanRecord: rec, Origin: res.shard})
+		}
+	}
+	asm.Tree = obsv.BuildTraceTree(asm.Spans)
+	writeJSON(w, http.StatusOK, asm)
+}
+
+// handleSLO rolls up the fleet's error budgets: window counts sum across
+// shards and burn rates are recomputed from the sums, so the answer is what
+// a single server carrying the whole load would report. When no shard has
+// an SLO engine the first typed 404 (slo_disabled) is relayed as-is.
+func (rt *Router) handleSLO(w http.ResponseWriter, r *http.Request) {
+	results := rt.fanout(r.Context(), "/v1/slo")
+	parts := decode2xx[obsv.SLOReport](results)
+	if len(parts) == 0 {
+		relayOrUnavailable(w, results)
+		return
+	}
+	writeJSON(w, http.StatusOK, obsv.MergeSLOReports(parts))
 }
 
 // ---- projects ----

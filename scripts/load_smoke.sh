@@ -29,6 +29,7 @@ $GO build -o "$BIN/icrowd-loadgen" ./cmd/icrowd-loadgen
 "$BIN/icrowd-server" -addr "127.0.0.1:$PORT" -strategy randommv -k 3 \
 	-lease 30s -max-inflight 4 -queue-depth 8 -queue-timeout 100ms \
 	-request-timeout 2s -worker-rate 10 -worker-burst 5 \
+	-slo-latency 250ms -slo-burn-degraded 14.4 \
 	-data-dir "$BIN/data" \
 	>"$BIN/server.log" 2>&1 &
 SRV_PID=$!
@@ -44,6 +45,14 @@ if ! "$BIN/icrowd-loadgen" -target "http://127.0.0.1:$PORT" \
 fi
 
 [ -s "$OUT" ] || { echo "load-smoke: $OUT is empty" >&2; exit 1; }
+
+# The server ran with -slo-latency, so the generator must have captured
+# burn-rate samples into the report's slo section.
+grep -q '"slo"' "$OUT" || {
+	echo "load-smoke: report has no slo section despite -slo-latency" >&2
+	cat "$OUT" >&2
+	exit 1
+}
 
 # Projects smoke: create a named project and exercise its scoped routes.
 # Every call must return 2xx; assignment may legitimately report
